@@ -1,0 +1,54 @@
+// Ablation: equivalent-resistance distance (the paper's model) vs plain
+// hop-count distance as the scheduler's input. The equivalent distance
+// rewards path redundancy (parallel minimal paths), which hops cannot see;
+// this harness measures whether that translates into better mappings.
+#include "bench_util.h"
+
+int main() {
+  using namespace commsched;
+  bench::PrintHeader("Ablation — equivalent distance vs hop count as the search metric",
+                     "design choice of §3");
+
+  TextTable out({"network", "metric", "Cc(by own metric)", "Cc(by equiv metric)", "throughput"});
+  out.set_precision(3);
+
+  struct Net {
+    std::string name;
+    topo::SwitchGraph graph;
+  };
+  std::vector<Net> nets;
+  nets.push_back({"random-16sw", bench::PaperNetwork16()});
+  nets.push_back({"rings-24sw", bench::PaperNetwork24()});
+
+  for (const Net& net : nets) {
+    const route::UpDownRouting routing(net.graph);
+    const dist::DistanceTable equiv = dist::DistanceTable::Build(routing);
+    const dist::DistanceTable hops = dist::DistanceTable::BuildHopCount(routing);
+    const std::size_t m = net.graph.switch_count() / 4;
+    const std::vector<std::size_t> sizes(4, m);
+    sched::TabuOptions tabu;
+    tabu.max_iterations_per_seed = net.graph.switch_count() >= 20 ? 60 : 20;
+
+    const work::Workload workload = work::Workload::Uniform(4, net.graph.host_count() / 4);
+    sim::SweepOptions sweep = bench::PaperSweep();
+    sweep.points = 7;
+
+    for (const auto* metric : {"equivalent", "hop-count"}) {
+      const bool is_equiv = std::string(metric) == "equivalent";
+      const dist::DistanceTable& table = is_equiv ? equiv : hops;
+      const sched::SearchResult result = sched::TabuSearch(table, sizes, tabu);
+      const double own_cc = result.best_cc;
+      const double equiv_cc = qual::ClusteringCoefficient(equiv, result.best);
+      const auto mapping = work::ProcessMapping::FromPartition(net.graph, workload, result.best);
+      const sim::TrafficPattern pattern(net.graph, workload, mapping);
+      const double tput =
+          sim::RunLoadSweep(net.graph, routing, pattern, sweep).Throughput();
+      out.AddRow({net.name, std::string(metric), own_cc, equiv_cc, tput});
+    }
+  }
+  std::cout << out;
+  std::cout << "\nreading: close throughputs mean hop count is a decent proxy on these\n"
+            << "sparse nets; the equivalent metric is never worse and wins where minimal\n"
+            << "paths overlap (it models shared-link contention).\n";
+  return 0;
+}

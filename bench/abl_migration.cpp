@@ -1,0 +1,61 @@
+// Extension: migration-aware re-scheduling. A live system cannot freely
+// reshuffle processes; the anchored Tabu search trades mapping quality
+// against the number of switches whose processes must move. Scenario: a
+// link of the designed 24-switch network fails, distances change, and the
+// scheduler re-places with increasing migration budgets.
+#include "bench_util.h"
+
+int main() {
+  using namespace commsched;
+  bench::PrintHeader("Extension — migration-aware re-scheduling after a link failure",
+                     "anchored search; §6 integration future work");
+
+  const topo::SwitchGraph healthy = bench::PaperNetwork24();
+  const route::UpDownRouting routing_before(healthy);
+  const dist::DistanceTable table_before = dist::DistanceTable::Build(routing_before);
+  sched::TabuOptions base;
+  base.max_iterations_per_seed = 60;
+  const sched::SearchResult original = sched::TabuSearch(table_before, {6, 6, 6, 6}, base);
+  std::cout << "healthy mapping:  " << original.best.ToString() << "  (F_G "
+            << original.best_fg << ")\n";
+
+  // Fail two links of ring 0: the ring splits into two chains held together
+  // only through other rings, so the old ring-aligned cluster is now spread
+  // across the tree and the optimal partition changes. (A single ring-link
+  // cut leaves the ring partition optimal — rings are 2-edge-connected.)
+  topo::SwitchGraph degraded = healthy.WithoutLink(*healthy.FindLink(0, 1));
+  degraded = degraded.WithoutLink(*degraded.FindLink(3, 4));
+  CS_CHECK(degraded.IsConnected(), "bridges keep the degraded net connected");
+  const route::UpDownRouting routing_after(degraded);
+  const dist::DistanceTable table_after = dist::DistanceTable::Build(routing_after);
+  const double stale_fg = qual::GlobalSimilarity(table_after, original.best);
+  std::cout << "links (0,1) and (3,4) failed: stale mapping now scores F_G " << stale_fg
+            << " on the new distance table\n\n";
+
+  const work::Workload workload = work::Workload::Uniform(4, 24);
+  sim::SweepOptions sweep = bench::PaperSweep();
+  sweep.points = 6;
+  sweep.max_rate = 1.0;
+  auto throughput = [&](const qual::Partition& p) {
+    const auto mapping = work::ProcessMapping::FromPartition(degraded, workload, p);
+    const sim::TrafficPattern pattern(degraded, workload, mapping);
+    return sim::RunLoadSweep(degraded, routing_after, pattern, sweep).Throughput();
+  };
+
+  TextTable out({"migration penalty", "switches moved", "F_G after", "throughput"});
+  out.set_precision(4);
+  out.AddRow({std::string("stale (no resched)"), 0LL, stale_fg, throughput(original.best)});
+  for (double penalty : {1.0, 0.1, 0.02, 0.0}) {
+    sched::TabuOptions anchored = base;
+    anchored.anchor = &original.best;
+    anchored.migration_penalty = penalty;
+    const sched::SearchResult result = sched::TabuSearch(table_after, {6, 6, 6, 6}, anchored);
+    out.AddRow({penalty, static_cast<long long>(result.moved_from_anchor), result.best_fg,
+                throughput(result.best)});
+  }
+  std::cout << out;
+  std::cout << "\nreading: the penalty knob spans 'do nothing' to 'full re-optimization';\n"
+            << "moderate penalties recover most of the lost quality while migrating only\n"
+            << "a handful of switches' processes.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation: deterministic vs adaptive selection among the minimal legal
+// up*/down* outputs, and how the scheduling gain interacts with it. Also
+// reports what the up*/down* restriction itself costs relative to hop-count
+// distances (root congestion is the paper's motivation for modeling routing
+// inside the distance table).
+#include "bench_util.h"
+
+int main() {
+  using namespace commsched;
+  bench::PrintHeader("Ablation — routing: deterministic vs adaptive up*/down*",
+                     "§2 Autonet discussion");
+
+  const topo::SwitchGraph network = bench::PaperNetwork16();
+  const route::UpDownRouting routing(network);
+  const dist::DistanceTable table = dist::DistanceTable::Build(routing);
+  const work::Workload workload = work::Workload::Uniform(4, 16);
+
+  const sched::SearchResult op = sched::TabuSearch(table, {4, 4, 4, 4});
+  Rng rng(2000);
+  const qual::Partition random_partition = qual::Partition::Random({4, 4, 4, 4}, rng);
+
+  TextTable out({"mapping", "routing", "throughput", "low-load latency"});
+  out.set_precision(3);
+  for (const bool adaptive : {false, true}) {
+    for (const auto* which : {"OP", "random"}) {
+      const qual::Partition& partition =
+          std::string(which) == "OP" ? op.best : random_partition;
+      const auto mapping = work::ProcessMapping::FromPartition(network, workload, partition);
+      const sim::TrafficPattern pattern(network, workload, mapping);
+      sim::SweepOptions sweep = bench::PaperSweep();
+      sweep.points = 7;
+      sweep.config.adaptive_routing = adaptive;
+      const sim::SweepResult result = sim::RunLoadSweep(network, routing, pattern, sweep);
+      out.AddRow({std::string(which), std::string(adaptive ? "adaptive" : "deterministic"),
+                  result.Throughput(), result.LowLoadLatency()});
+    }
+  }
+  std::cout << out;
+
+  // How much does the up*/down* restriction inflate distances? (It forbids
+  // some minimal physical paths and concentrates traffic near the root.)
+  const route::ShortestPathRouting unrestricted(network);
+  const dist::DistanceTable ud_hops = dist::DistanceTable::BuildHopCount(routing);
+  const dist::DistanceTable sp_hops = dist::DistanceTable::BuildHopCount(unrestricted);
+  double inflated_pairs = 0.0;
+  double total_pairs = 0.0;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < network.switch_count(); ++i) {
+    for (std::size_t j = i + 1; j < network.switch_count(); ++j) {
+      total_pairs += 1.0;
+      const double extra = ud_hops(i, j) - sp_hops(i, j);
+      if (extra > 0.5) inflated_pairs += 1.0;
+      worst = std::max(worst, extra);
+    }
+  }
+  std::cout << "\nup*/down* forbids the physically shortest path for "
+            << 100.0 * inflated_pairs / total_pairs << " % of switch pairs (worst detour +"
+            << worst << " hops) — why the distance model must see the routing algorithm.\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Ablation: the paper's Tabu schedule (10 seeds / 20 iterations / 3 repeats,
+// tabu tenure h). How sensitive is the found minimum to each knob?
+#include "bench_util.h"
+
+int main() {
+  using namespace commsched;
+  bench::PrintHeader("Ablation — Tabu search parameters", "§4.2 schedule");
+
+  const topo::SwitchGraph network = bench::PaperNetwork16();
+  const route::UpDownRouting routing(network);
+  const dist::DistanceTable table = dist::DistanceTable::Build(routing);
+  const std::vector<std::size_t> sizes{4, 4, 4, 4};
+
+  const sched::SearchResult exact = sched::ExhaustiveSearch(table, sizes);
+  std::cout << "exact minimum F_G = " << exact.best_fg << "\n\n";
+
+  TextTable out({"seeds", "iters/seed", "tenure", "aspiration", "F_G", "gap(%)", "evals"});
+  out.set_precision(4);
+  auto run = [&](std::size_t seeds, std::size_t iters, std::size_t tenure, bool aspiration) {
+    sched::TabuOptions options;
+    options.seeds = seeds;
+    options.max_iterations_per_seed = iters;
+    options.tenure = tenure;
+    options.aspiration = aspiration;
+    const sched::SearchResult r = sched::TabuSearch(table, sizes, options);
+    out.AddRow({static_cast<long long>(seeds), static_cast<long long>(iters),
+                static_cast<long long>(tenure), std::string(aspiration ? "on" : "off"),
+                r.best_fg, (r.best_fg / exact.best_fg - 1.0) * 100.0,
+                static_cast<long long>(r.evaluations)});
+  };
+
+  // Seed count sweep (paper: 10).
+  for (std::size_t seeds : {1u, 3u, 5u, 10u, 20u}) run(seeds, 20, 4, true);
+  // Iteration budget sweep (paper: 20).
+  for (std::size_t iters : {5u, 10u, 20u, 50u, 100u}) run(10, iters, 4, true);
+  // Tenure sweep.
+  for (std::size_t tenure : {1u, 2u, 4u, 8u, 16u}) run(10, 20, tenure, true);
+  // Aspiration off.
+  run(10, 20, 4, false);
+
+  std::cout << out;
+  std::cout << "\nreading: the paper's 10x20 schedule reaches the exact optimum; fewer\n"
+            << "seeds or a tiny budget leave a gap, larger budgets only cost evaluations.\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation: virtual channels and routing flexibility. The paper's simulator
+// uses single-channel wormhole up*/down*; Duato's design methodology [8]
+// (the paper's evaluation reference) adds virtual channels and fully
+// adaptive minimal routing with an escape channel. How much of the
+// scheduling gain survives better routing — and does better routing shrink
+// the gap between good and bad mappings?
+#include "bench_util.h"
+
+int main() {
+  using namespace commsched;
+  bench::PrintHeader("Ablation — virtual channels & Duato fully-adaptive routing",
+                     "evaluation substrate of §5 / reference [8]");
+
+  const topo::SwitchGraph network = bench::PaperNetwork16();
+  const route::UpDownRouting routing(network);
+  const dist::DistanceTable table = dist::DistanceTable::Build(routing);
+  const work::Workload workload = work::Workload::Uniform(4, 16);
+
+  const sched::SearchResult op = sched::TabuSearch(table, {4, 4, 4, 4});
+  Rng rng(2000);
+  const qual::Partition random_partition = qual::Partition::Random({4, 4, 4, 4}, rng);
+
+  const auto op_mapping = work::ProcessMapping::FromPartition(network, workload, op.best);
+  const auto rnd_mapping =
+      work::ProcessMapping::FromPartition(network, workload, random_partition);
+  const sim::TrafficPattern op_traffic(network, workload, op_mapping);
+  const sim::TrafficPattern rnd_traffic(network, workload, rnd_mapping);
+
+  auto throughput = [&](const sim::TrafficPattern& pattern, const sim::VcRoutingPolicy& policy,
+                        std::size_t vcs) {
+    sim::SimConfig config;
+    config.warmup_cycles = 4000;
+    config.measure_cycles = 12000;
+    config.virtual_channels = vcs;
+    double best = 0.0;
+    for (double rate : {0.4, 0.8, 1.2, 1.6}) {
+      sim::NetworkSimulator simulator(network, policy, pattern, config);
+      best = std::max(best, simulator.Run(rate).accepted_flits_per_switch_cycle);
+    }
+    return best;
+  };
+
+  TextTable out({"routing", "VCs", "OP tput", "random tput", "OP/random"});
+  out.set_precision(3);
+  for (std::size_t vcs : {1u, 2u, 4u}) {
+    const sim::SingleClassVcPolicy det(routing, vcs, false);
+    const double op_t = throughput(op_traffic, det, vcs);
+    const double rnd_t = throughput(rnd_traffic, det, vcs);
+    out.AddRow({std::string("up*/down* det"), static_cast<long long>(vcs), op_t, rnd_t,
+                op_t / rnd_t});
+  }
+  for (std::size_t vcs : {1u, 2u, 4u}) {
+    const sim::SingleClassVcPolicy adapt(routing, vcs, true);
+    const double op_t = throughput(op_traffic, adapt, vcs);
+    const double rnd_t = throughput(rnd_traffic, adapt, vcs);
+    out.AddRow({std::string("up*/down* adaptive"), static_cast<long long>(vcs), op_t, rnd_t,
+                op_t / rnd_t});
+  }
+  for (std::size_t vcs : {2u, 4u}) {
+    const sim::DuatoFullyAdaptivePolicy duato(network, vcs);
+    const double op_t = throughput(op_traffic, duato, vcs);
+    const double rnd_t = throughput(rnd_traffic, duato, vcs);
+    out.AddRow({std::string("duato fully-adaptive"), static_cast<long long>(vcs), op_t, rnd_t,
+                op_t / rnd_t});
+  }
+  std::cout << out;
+  std::cout << "\nreading: richer routing lifts every mapping, but the scheduled mapping\n"
+            << "keeps a clear margin — communication-aware placement and adaptive routing\n"
+            << "are complementary, not substitutes.\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Shared helpers for the figure/table reproduction harnesses.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "core/commsched.h"
+
+namespace commsched::bench {
+
+/// The random irregular 16-switch network used throughout §5 (seeded so the
+/// repo's numbers are reproducible; the paper's own instance is unpublished).
+inline topo::SwitchGraph PaperNetwork16(std::uint64_t seed = 1) {
+  topo::IrregularTopologyOptions options;
+  options.switch_count = 16;
+  options.seed = seed;
+  return topo::GenerateIrregularTopology(options);
+}
+
+/// The specially designed 24-switch network of §5.2 (four rings of six).
+inline topo::SwitchGraph PaperNetwork24() { return topo::MakeFourRingsOfSix(); }
+
+/// Simulation settings sized so a full figure regenerates in seconds while
+/// keeping the curve shapes stable.
+inline sim::SweepOptions PaperSweep() {
+  sim::SweepOptions sweep;
+  sweep.points = 9;  // S1..S9
+  sweep.min_rate = 0.08;
+  sweep.max_rate = 1.4;
+  sweep.config.warmup_cycles = 5000;
+  sweep.config.measure_cycles = 15000;
+  return sweep;
+}
+
+inline void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::cout << "==================================================================\n";
+  std::cout << title << "\n";
+  std::cout << "(reproduces " << paper_ref << ")\n";
+  std::cout << "==================================================================\n";
+}
+
+}  // namespace commsched::bench

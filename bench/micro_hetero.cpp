@@ -1,0 +1,84 @@
+// Micro-benchmarks: meta-task heuristics and the combined scheduler.
+#include <benchmark/benchmark.h>
+
+#include "core/commsched.h"
+
+namespace {
+
+using namespace commsched;
+using namespace commsched::hetero;
+
+EtcMatrix Instance(std::size_t tasks, std::size_t machines) {
+  EtcOptions options;
+  options.tasks = tasks;
+  options.machines = machines;
+  options.seed = 7;
+  return EtcMatrix::Generate(options);
+}
+
+void BM_MinMin(benchmark::State& state) {
+  const EtcMatrix etc = Instance(static_cast<std::size_t>(state.range(0)), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MinMin(etc));
+  }
+}
+BENCHMARK(BM_MinMin)->Arg(128)->Arg(512);
+
+void BM_Sufferage(benchmark::State& state) {
+  const EtcMatrix etc = Instance(static_cast<std::size_t>(state.range(0)), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sufferage(etc));
+  }
+}
+BENCHMARK(BM_Sufferage)->Arg(128)->Arg(512);
+
+void BM_Mct(benchmark::State& state) {
+  const EtcMatrix etc = Instance(static_cast<std::size_t>(state.range(0)), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Mct(etc));
+  }
+}
+BENCHMARK(BM_Mct)->Arg(512)->Arg(4096);
+
+void BM_LocalSearchPolish(benchmark::State& state) {
+  const EtcMatrix etc = Instance(128, 8);
+  const MetaSchedule seed = MinMin(etc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ImproveByLocalSearch(etc, seed));
+  }
+}
+BENCHMARK(BM_LocalSearchPolish)->Unit(benchmark::kMillisecond);
+
+void BM_CombinedStrategy(benchmark::State& state) {
+  const topo::SwitchGraph graph = topo::MakeFourRingsOfSix();
+  const route::UpDownRouting routing(graph);
+  const dist::DistanceTable table = dist::DistanceTable::Build(routing);
+  HeteroSystem system;
+  system.graph = &graph;
+  system.table = &table;
+  system.switch_speed.assign(24, 1.0);
+  for (std::size_t s = 0; s < 24; s += 4) system.switch_speed[s] = 6.0;
+  const std::vector<ApplicationDemand> apps = {
+      {"a", 40.0, 1.0, 6}, {"b", 2.0, 30.0, 6}, {"c", 10.0, 10.0, 6}, {"d", 10.0, 10.0, 6}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ScheduleHetero(system, apps, HeteroStrategy::kCombined));
+  }
+}
+BENCHMARK(BM_CombinedStrategy)->Unit(benchmark::kMillisecond);
+
+void BM_OnlineAllocate(benchmark::State& state) {
+  const topo::SwitchGraph graph = topo::MakeFourRingsOfSix();
+  const route::UpDownRouting routing(graph);
+  const dist::DistanceTable table = dist::DistanceTable::Build(routing);
+  for (auto _ : state) {
+    sched::OnlineScheduler scheduler(graph, table);
+    benchmark::DoNotOptimize(scheduler.Allocate("a", 6));
+    benchmark::DoNotOptimize(scheduler.Allocate("b", 6));
+    benchmark::DoNotOptimize(scheduler.Allocate("c", 6));
+  }
+}
+BENCHMARK(BM_OnlineAllocate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Micro-benchmarks: full searcher runs (the paper's scheduling cost).
+#include <benchmark/benchmark.h>
+
+#include "core/commsched.h"
+
+namespace {
+
+using namespace commsched;
+
+dist::DistanceTable Table(std::size_t switches) {
+  topo::IrregularTopologyOptions options;
+  options.switch_count = switches;
+  options.seed = 1;
+  const topo::SwitchGraph g = topo::GenerateIrregularTopology(options);
+  const route::UpDownRouting routing(g);
+  return dist::DistanceTable::Build(routing);
+}
+
+void BM_TabuSearchPaperSchedule(benchmark::State& state) {
+  const dist::DistanceTable table = Table(static_cast<std::size_t>(state.range(0)));
+  const std::vector<std::size_t> sizes(4, table.size() / 4);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    sched::TabuOptions options;
+    options.rng_seed = ++seed;
+    benchmark::DoNotOptimize(sched::TabuSearch(table, sizes, options));
+  }
+}
+BENCHMARK(BM_TabuSearchPaperSchedule)->Arg(16)->Arg(24)->Unit(benchmark::kMillisecond);
+
+void BM_TabuSearchParallelSeeds(benchmark::State& state) {
+  const dist::DistanceTable table = Table(24);
+  const std::vector<std::size_t> sizes(4, 6);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    sched::TabuOptions options;
+    options.rng_seed = ++seed;
+    options.parallel_seeds = true;
+    benchmark::DoNotOptimize(sched::TabuSearch(table, sizes, options));
+  }
+}
+BENCHMARK(BM_TabuSearchParallelSeeds)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatedAnnealing(benchmark::State& state) {
+  const dist::DistanceTable table = Table(16);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    sched::AnnealingOptions options;
+    options.iterations = 20000;
+    options.rng_seed = ++seed;
+    benchmark::DoNotOptimize(sched::SimulatedAnnealing(table, {4, 4, 4, 4}, options));
+  }
+}
+BENCHMARK(BM_SimulatedAnnealing)->Unit(benchmark::kMillisecond);
+
+void BM_ExhaustiveWithPruning(benchmark::State& state) {
+  const dist::DistanceTable table = Table(static_cast<std::size_t>(state.range(0)));
+  const std::vector<std::size_t> sizes(4, table.size() / 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::ExhaustiveSearch(table, sizes));
+  }
+}
+BENCHMARK(BM_ExhaustiveWithPruning)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// The paper's §1 vision, made executable: "the scheduler would choose
+// either a computation-aware or a communication-aware task scheduling
+// strategy depending on the kind of requirements that leads to the system
+// performance bottleneck." We sweep workloads from compute-bound to
+// communication-bound on a heterogeneous 24-switch system and compare the
+// three strategies' estimated makespans.
+#include "bench_util.h"
+
+int main() {
+  using namespace commsched;
+  using namespace commsched::hetero;
+  bench::PrintHeader("Combined computation/communication scheduling strategies",
+                     "§1 (integration is the paper's future work)");
+
+  const topo::SwitchGraph network = bench::PaperNetwork24();
+  const route::UpDownRouting routing(network);
+  const dist::DistanceTable table = dist::DistanceTable::Build(routing);
+
+  // Heterogeneous machine: fast switches scattered across the rings.
+  HeteroSystem system;
+  system.graph = &network;
+  system.table = &table;
+  system.switch_speed.assign(24, 1.0);
+  for (std::size_t s = 0; s < 24; s += 4) system.switch_speed[s] = 6.0;
+
+  // Four applications with distinct profiles (an HPC job, a streaming job,
+  // two middling ones); the sweep scales the whole workload from compute-
+  // bound to communication-bound.
+  auto make_apps = [](double compute_scale, double comm_scale) {
+    return std::vector<ApplicationDemand>{
+        {"hpc", 40.0 * compute_scale, 1.0 * comm_scale, 6},
+        {"stream", 2.0 * compute_scale, 30.0 * comm_scale, 6},
+        {"mixed1", 10.0 * compute_scale, 10.0 * comm_scale, 6},
+        {"mixed2", 10.0 * compute_scale, 10.0 * comm_scale, 6},
+    };
+  };
+
+  TextTable out({"workload (compute/comm scale)", "compute-only", "comm-only", "combined",
+                 "winner"});
+  out.set_precision(3);
+  for (const auto& [label, compute, comm] :
+       std::vector<std::tuple<std::string, double, double>>{
+           {"compute-bound (10/0.01)", 10.0, 0.01},
+           {"mostly compute (4/0.2)", 4.0, 0.2},
+           {"balanced (1/1)", 1.0, 1.0},
+           {"mostly comm (0.2/4)", 0.2, 4.0},
+           {"comm-bound (0.01/10)", 0.01, 10.0}}) {
+    const std::vector<ApplicationDemand> apps = make_apps(compute, comm);
+    const double mk_compute =
+        ScheduleHetero(system, apps, HeteroStrategy::kComputeOnly).makespan;
+    const double mk_comm =
+        ScheduleHetero(system, apps, HeteroStrategy::kCommunicationOnly).makespan;
+    const double mk_combined =
+        ScheduleHetero(system, apps, HeteroStrategy::kCombined).makespan;
+    std::string winner = "combined";
+    if (mk_compute <= mk_combined + 1e-9 && mk_compute <= mk_comm) winner = "compute-only(~)";
+    if (mk_comm <= mk_combined + 1e-9 && mk_comm < mk_compute) winner = "comm-only(~)";
+    out.AddRow({label, mk_compute, mk_comm, mk_combined, winner});
+  }
+  std::cout << out;
+  std::cout << "\nreading: each single-objective strategy wins exactly on its own\n"
+            << "bottleneck and loses badly on the other; the combined strategy matches\n"
+            << "the better of the two everywhere and beats both in the middle — the\n"
+            << "paper's proposed selection rule, plus the option to blend.\n";
+  return 0;
+}

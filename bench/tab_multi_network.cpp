@@ -1,0 +1,49 @@
+// §5.2 claim: "The correlation index for any of the considered networks was
+// higher than 70% for simulation points at both low network load and network
+// saturation." This harness repeats the Fig. 6 study over several distinct
+// topologies (sizes 16..24) and reports the C_c / throughput correlation and
+// the OP-vs-random improvement for each.
+#include "bench_util.h"
+
+int main() {
+  using namespace commsched;
+  bench::PrintHeader("Multi-network study — C_c correlation and OP gain per topology",
+                     "§5.2 'other network examples'");
+
+  struct Net {
+    std::string name;
+    topo::SwitchGraph graph;
+  };
+  std::vector<Net> nets;
+  nets.push_back({"random-16sw-A", bench::PaperNetwork16(1)});
+  nets.push_back({"random-16sw-B", bench::PaperNetwork16(7)});
+  nets.push_back({"random-20sw", topo::GenerateIrregularTopology({20, 4, 3, 3, 1000})});
+  nets.push_back({"random-24sw", topo::GenerateIrregularTopology({24, 4, 3, 5, 1000})});
+  nets.push_back({"rings-24sw", bench::PaperNetwork24()});
+
+  TextTable out({"network", "OP Cc", "rand Cc(max)", "corr(Cc,tput)", "OP/rand tput"});
+  out.set_precision(3);
+  for (const Net& net : nets) {
+    core::ExperimentOptions options;
+    options.random_mappings = 6;
+    options.sweep = bench::PaperSweep();
+    options.sweep.points = 7;
+    options.tabu.max_iterations_per_seed = net.graph.switch_count() >= 20 ? 60 : 20;
+    const core::ExperimentResult result = core::RunPaperExperiment(net.graph, options);
+
+    std::vector<double> cc;
+    std::vector<double> tput;
+    double rand_cc_max = 0.0;
+    for (std::size_t k = 0; k < result.mappings.size(); ++k) {
+      cc.push_back(result.mappings[k].cc);
+      tput.push_back(result.mappings[k].Throughput());
+      if (k > 0) rand_cc_max = std::max(rand_cc_max, result.mappings[k].cc);
+    }
+    out.AddRow({net.name, result.Scheduled().cc, rand_cc_max,
+                stats::PearsonCorrelation(cc, tput), result.ThroughputImprovement()});
+  }
+  std::cout << out;
+  std::cout << "\npaper's claims: corr > 0.7 on every network; OP/rand > 1 everywhere,\n"
+            << "largest on the clustered rings-24sw topology.\n";
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Extension: online allocation over an arrival/departure trace (the regime
+// the paper's scheduler would actually run in). Compares the distance-aware
+// OnlineScheduler against first-fit (lowest-id free switches) on allocation
+// tightness and simulated throughput snapshots.
+#include <deque>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace commsched;
+
+/// First-fit baseline: take the lowest-numbered free switches.
+class FirstFitScheduler {
+ public:
+  explicit FirstFitScheduler(std::size_t switches) : is_free_(switches, true) {}
+
+  std::optional<std::vector<std::size_t>> Allocate(std::size_t count) {
+    std::vector<std::size_t> chosen;
+    for (std::size_t s = 0; s < is_free_.size() && chosen.size() < count; ++s) {
+      if (is_free_[s]) chosen.push_back(s);
+    }
+    if (chosen.size() < count) return std::nullopt;
+    for (std::size_t s : chosen) is_free_[s] = false;
+    return chosen;
+  }
+  void Release(const std::vector<std::size_t>& slots) {
+    for (std::size_t s : slots) is_free_[s] = true;
+  }
+
+ private:
+  std::vector<bool> is_free_;
+};
+
+double SetCost(const dist::DistanceTable& table, const std::vector<std::size_t>& members) {
+  double cost = 0.0;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    for (std::size_t j = i + 1; j < members.size(); ++j) {
+      const double d = table(members[i], members[j]);
+      cost += d * d;
+    }
+  }
+  const double pairs = static_cast<double>(members.size() * (members.size() - 1) / 2);
+  return pairs > 0 ? cost / pairs : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace commsched;
+  bench::PrintHeader("Extension — online allocation under churn",
+                     "§6 'integration with process scheduling'");
+
+  const topo::SwitchGraph network = bench::PaperNetwork24();
+  const route::UpDownRouting routing(network);
+  const dist::DistanceTable table = dist::DistanceTable::Build(routing);
+
+  sched::OnlineScheduler smart(network, table);
+  FirstFitScheduler firstfit(network.switch_count());
+
+  // A churn trace: job sizes cycle, lifetimes vary — fragmentation builds.
+  Rng rng(11);
+  struct LiveJob {
+    std::string name;
+    std::size_t expires;
+    std::vector<std::size_t> ff_slots;
+  };
+  std::deque<LiveJob> live;
+  std::size_t next_id = 0;
+  double smart_cost_sum = 0.0;
+  double ff_cost_sum = 0.0;
+  std::size_t allocations = 0;
+  std::size_t rejects_smart = 0;
+
+  TextTable timeline({"step", "live jobs", "free", "frag(smart)", "cost(firstfit)"});
+  timeline.set_precision(3);
+  for (std::size_t step = 0; step < 60; ++step) {
+    // Departures.
+    while (!live.empty() && live.front().expires <= step) {
+      smart.Release(live.front().name);
+      firstfit.Release(live.front().ff_slots);
+      live.pop_front();
+    }
+    // One arrival per step, size 2..6 switches.
+    const std::size_t size = 2 + static_cast<std::size_t>(rng.NextIndex(5));
+    const std::string name = "job" + std::to_string(next_id++);
+    const auto smart_slots = smart.Allocate(name, size);
+    if (smart_slots) {
+      auto ff_slots = firstfit.Allocate(size);
+      CS_CHECK(ff_slots.has_value(), "first-fit must fit whenever smart fits");
+      const std::size_t lifetime = 4 + static_cast<std::size_t>(rng.NextIndex(10));
+      live.push_back({name, step + lifetime, *ff_slots});
+      smart_cost_sum += smart.AllocationCost(name);
+      ff_cost_sum += SetCost(table, *ff_slots);
+      ++allocations;
+    } else {
+      ++rejects_smart;  // machine full; first-fit is skipped too (aligned traces)
+    }
+    if (step % 10 == 9) {
+      timeline.AddRow({static_cast<long long>(step + 1),
+                       static_cast<long long>(live.size()),
+                       static_cast<long long>(smart.FreeSwitchCount()),
+                       smart.FragmentationIndex(), ff_cost_sum / allocations});
+    }
+  }
+  std::cout << timeline;
+  std::cout << "\nmean allocation cost (normalized mean intra T² per pair):\n";
+  std::cout << "  distance-aware: " << smart_cost_sum / allocations << "\n";
+  std::cout << "  first-fit:      " << ff_cost_sum / allocations << "\n";
+  std::cout << "allocations: " << allocations << ", rejected (machine full): "
+            << rejects_smart << "\n";
+  std::cout << "\nreading: the distance-aware allocator keeps applications on tight switch\n"
+            << "groups even as churn fragments the free pool; first-fit's allocations\n"
+            << "degrade because 'lowest ids' says nothing about proximity.\n";
+  return 0;
+}

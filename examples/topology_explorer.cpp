@@ -1,0 +1,61 @@
+// Topology explorer: generate or load a topology, inspect its up*/down*
+// structure and equivalent-distance table, and export Graphviz colored by
+// the scheduled partition.
+//
+//   ./examples/topology_explorer                      # random 16-switch net
+//   ./examples/topology_explorer rings                # the paper's 24-switch net
+//   ./examples/topology_explorer random <N> <seed>    # random N-switch net
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/commsched.h"
+
+int main(int argc, char** argv) {
+  using namespace commsched;
+
+  const std::string kind = argc > 1 ? argv[1] : "random";
+  std::size_t switches = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 16;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+
+  topo::SwitchGraph network = [&] {
+    if (kind == "rings") {
+      switches = 24;
+      return topo::MakeFourRingsOfSix();
+    }
+    if (kind == "mesh") {
+      return topo::MakeMesh2D(4, switches / 4);
+    }
+    topo::IrregularTopologyOptions options;
+    options.switch_count = switches;
+    options.seed = seed;
+    return topo::GenerateIrregularTopology(options);
+  }();
+
+  std::cout << "# Topology (" << kind << ")\n" << topo::ToText(network) << "\n";
+
+  const route::UpDownRouting routing(network);
+  std::cout << "up*/down* root: switch " << routing.root() << "\n";
+  std::cout << "deadlock-free on one virtual channel: "
+            << (route::IsDeadlockFree(routing) ? "yes" : "no") << "\n";
+  std::cout << "BFS levels:";
+  for (topo::SwitchId s = 0; s < network.switch_count(); ++s) {
+    std::cout << ' ' << routing.Level(s);
+  }
+  std::cout << "\n\n# Table of equivalent distances\n";
+  const dist::DistanceTable table = dist::DistanceTable::Build(routing);
+  std::cout << table.ToCsv();
+  std::cout << "mean squared distance: " << table.MeanSquaredDistance() << "\n";
+  std::cout << "defines a metric space: "
+            << (table.SatisfiesTriangleInequality() ? "yes" : "no (as the paper notes)") << "\n";
+
+  if (network.switch_count() % 4 == 0) {
+    const std::vector<std::size_t> sizes(4, network.switch_count() / 4);
+    const sched::SearchResult best = sched::TabuSearch(table, sizes);
+    std::cout << "\n# Best 4-cluster partition (C_c = " << best.best_cc << ")\n"
+              << best.best.ToString() << "\n";
+    std::cout << "\n# Graphviz (colored by cluster)\n"
+              << topo::ToDot(network, best.best.cluster_of_switch());
+  }
+  return 0;
+}

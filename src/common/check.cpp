@@ -1,0 +1,15 @@
+#include "common/check.h"
+
+namespace commsched::detail {
+
+void ThrowContractError(std::string_view expr, std::string_view file, int line,
+                        const std::string& message) {
+  std::ostringstream oss;
+  oss << "contract violation: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) {
+    oss << " — " << message;
+  }
+  throw ContractError(oss.str());
+}
+
+}  // namespace commsched::detail

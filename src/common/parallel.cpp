@@ -1,0 +1,105 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace commsched {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock lock(mutex_);
+    CS_CHECK(!shutting_down_, "Submit after ThreadPool shutdown");
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      work_available_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // shutting down and drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      task();
+    } catch (...) {
+      std::unique_lock lock(mutex_);
+      if (!first_error_) {
+        first_error_ = std::current_exception();
+      }
+    }
+    {
+      std::unique_lock lock(mutex_);
+      if (--in_flight_ == 0) {
+        all_done_.notify_all();
+      }
+    }
+  }
+}
+
+void ParallelFor(ThreadPool& pool, std::size_t n, const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t workers = pool.thread_count();
+  const std::size_t blocks = std::min(n, workers * 4);  // a little oversubscription
+  const std::size_t block_size = (n + blocks - 1) / blocks;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t lo = b * block_size;
+    const std::size_t hi = std::min(n, lo + block_size);
+    if (lo >= hi) break;
+    pool.Submit([lo, hi, &body] {
+      for (std::size_t i = lo; i < hi; ++i) {
+        body(i);
+      }
+    });
+  }
+  pool.Wait();
+}
+
+void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body) {
+  if (n <= 1 || std::thread::hardware_concurrency() <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  ThreadPool pool(std::min<std::size_t>(n, std::thread::hardware_concurrency()));
+  ParallelFor(pool, n, body);
+}
+
+}  // namespace commsched

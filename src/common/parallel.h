@@ -1,0 +1,66 @@
+// A small fixed-size thread pool and parallel_for used for embarrassingly
+// parallel sweeps: multi-seed heuristic searches and (mapping × load)
+// simulation campaigns.
+//
+// Design notes (per HPC guidance): parallelism is explicit; tasks must not
+// share mutable state, and every stochastic task derives its own RNG stream
+// before submission so results are independent of the worker count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+
+namespace commsched {
+
+/// Fixed-size pool of worker threads executing void() tasks FIFO.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  /// Enqueues a task. Must not be called after destruction has begun.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished. Rethrows the first
+  /// exception any task threw (subsequent ones are dropped).
+  void Wait();
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;
+  std::exception_ptr first_error_;
+  bool shutting_down_ = false;
+};
+
+/// Runs body(i) for i in [0, n) across the pool; blocks until complete.
+/// Indices are dealt in contiguous blocks for locality. Exceptions from the
+/// body are rethrown (first one wins).
+void ParallelFor(ThreadPool& pool, std::size_t n, const std::function<void(std::size_t)>& body);
+
+/// Convenience: runs body(i) on a transient pool sized for the machine.
+/// For n <= 1 (or single-core machines) runs inline.
+void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body);
+
+}  // namespace commsched

@@ -1,0 +1,74 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// Every stochastic component in commsched (topology generation, traffic
+// injection, heuristic search seeds) takes an explicit 64-bit seed so that
+// experiments are exactly reproducible.  Rng is xoshiro256** seeded through
+// splitmix64; Rng::Split() derives an independent stream, which lets
+// parallel sweeps give results that do not depend on thread scheduling.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace commsched {
+
+/// splitmix64 step; used for seeding and for deriving child seeds.
+[[nodiscard]] std::uint64_t SplitMix64(std::uint64_t& state);
+
+/// xoshiro256** generator with helpers for the distributions commsched needs.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Raw 64-bit output (UniformRandomBitGenerator interface).
+  [[nodiscard]] std::uint64_t operator()();
+
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+
+  /// Uniform integer in [0, bound). Requires bound > 0. Unbiased (rejection).
+  [[nodiscard]] std::uint64_t NextIndex(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t NextInt(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double NextDouble();
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  [[nodiscard]] bool NextBool(double p);
+
+  /// Derives an independent child generator; advances this generator.
+  [[nodiscard]] Rng Split();
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(NextIndex(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  [[nodiscard]] const T& Pick(const std::vector<T>& v) {
+    CS_CHECK(!v.empty(), "Pick from empty vector");
+    return v[static_cast<std::size_t>(NextIndex(v.size()))];
+  }
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// A random permutation of 0..n-1.
+[[nodiscard]] std::vector<std::size_t> RandomPermutation(std::size_t n, Rng& rng);
+
+}  // namespace commsched

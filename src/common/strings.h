@@ -1,0 +1,32 @@
+// Small string helpers shared by serializers and bench harness output.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace commsched {
+
+/// Joins elements with a separator using operator<< rendering.
+template <typename Range>
+[[nodiscard]] std::string Join(const Range& range, std::string_view sep) {
+  std::ostringstream oss;
+  bool first = true;
+  for (const auto& item : range) {
+    if (!first) oss << sep;
+    first = false;
+    oss << item;
+  }
+  return oss.str();
+}
+
+/// Splits on a single-character delimiter; keeps empty fields.
+[[nodiscard]] std::vector<std::string> Split(std::string_view text, char delim);
+
+/// Strips ASCII whitespace from both ends.
+[[nodiscard]] std::string Trim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+[[nodiscard]] bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace commsched

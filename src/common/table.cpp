@@ -1,0 +1,106 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace commsched {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  CS_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::AddRow(std::vector<TableCell> row) {
+  CS_CHECK(row.size() == header_.size(), "row width ", row.size(), " != header width ",
+           header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::set_precision(int digits) {
+  CS_CHECK(digits >= 0 && digits <= 17, "precision out of range");
+  precision_ = digits;
+}
+
+std::string TextTable::CellText(const TableCell& cell) const {
+  if (const auto* s = std::get_if<std::string>(&cell)) {
+    return *s;
+  }
+  if (const auto* i = std::get_if<long long>(&cell)) {
+    return std::to_string(*i);
+  }
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision_) << std::get<double>(cell);
+  return oss.str();
+}
+
+std::string TextTable::ToText() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(CellText(row[c]));
+      widths[c] = std::max(widths[c], cells.back().size());
+    }
+    rendered.push_back(std::move(cells));
+  }
+
+  std::ostringstream oss;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      oss << (c == 0 ? "| " : " | ") << std::setw(static_cast<int>(widths[c])) << cells[c];
+    }
+    oss << " |\n";
+  };
+  emit_row(header_);
+  oss << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    oss << std::string(widths[c] + 2, '-') << '|';
+  }
+  oss << '\n';
+  for (const auto& cells : rendered) {
+    emit_row(cells);
+  }
+  return oss.str();
+}
+
+std::string TextTable::ToCsv() const {
+  auto escape = [](const std::string& field) {
+    if (field.find_first_of(",\"\n") == std::string::npos) {
+      return field;
+    }
+    std::string out = "\"";
+    for (char ch : field) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream oss;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    oss << (c ? "," : "") << escape(header_[c]);
+  }
+  oss << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      oss << (c ? "," : "") << escape(CellText(row[c]));
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table) {
+  return os << table.ToText();
+}
+
+}  // namespace commsched

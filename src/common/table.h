@@ -1,0 +1,46 @@
+// Plain-text and CSV tabular output used by the bench harnesses so that
+// every reproduced figure/table prints in a uniform, machine-parseable way.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace commsched {
+
+/// A cell is a string, an integer, or a double (printed with fixed precision).
+using TableCell = std::variant<std::string, long long, double>;
+
+/// Row-major table with a header; renders aligned text or CSV.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; must match the header width.
+  void AddRow(std::vector<TableCell> row);
+
+  /// Number of data rows.
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Digits after the decimal point for double cells (default 4).
+  void set_precision(int digits);
+
+  /// Renders an aligned, pipe-separated table.
+  [[nodiscard]] std::string ToText() const;
+
+  /// Renders RFC-4180-ish CSV (quotes fields containing comma/quote/newline).
+  [[nodiscard]] std::string ToCsv() const;
+
+  /// Writes ToText() to the stream.
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& table);
+
+ private:
+  [[nodiscard]] std::string CellText(const TableCell& cell) const;
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<TableCell>> rows_;
+  int precision_ = 4;
+};
+
+}  // namespace commsched

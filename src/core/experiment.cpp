@@ -1,0 +1,76 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "simnet/traffic.h"
+#include "workload/workload.h"
+
+namespace commsched::core {
+
+double ExperimentResult::BestRandomThroughput() const {
+  CS_CHECK(mappings.size() >= 2, "experiment has no random mappings");
+  double best = 0.0;
+  for (std::size_t k = 1; k < mappings.size(); ++k) {
+    best = std::max(best, mappings[k].Throughput());
+  }
+  return best;
+}
+
+double ExperimentResult::ThroughputImprovement() const {
+  const double random_best = BestRandomThroughput();
+  CS_CHECK(random_best > 0.0, "random mappings delivered nothing");
+  return Scheduled().Throughput() / random_best;
+}
+
+ExperimentResult RunPaperExperiment(const topo::SwitchGraph& graph,
+                                    const ExperimentOptions& options) {
+  CS_CHECK(options.applications >= 2, "need at least two applications");
+  CS_CHECK(graph.switch_count() % options.applications == 0,
+           "switch count must divide evenly into the applications");
+
+  const route::UpDownRouting routing(graph, options.root_policy);
+  const sched::CommAwareScheduler scheduler(graph, routing);
+  const work::Workload workload = work::Workload::Uniform(
+      options.applications,
+      graph.host_count() / options.applications);
+
+  ExperimentResult result;
+
+  // The scheduler's mapping (OP).
+  sched::ScheduleOutcome op = scheduler.Schedule(workload, options.tabu);
+  result.search = op.search;
+  MappingEvaluation op_eval;
+  op_eval.label = "OP";
+  op_eval.partition = op.partition;
+  op_eval.fg = op.fg;
+  op_eval.dg = op.dg;
+  op_eval.cc = op.cc;
+  result.mappings.push_back(std::move(op_eval));
+
+  // Random mappings (R1..Rk).
+  Rng rng(options.rng_seed);
+  for (std::size_t k = 0; k < options.random_mappings; ++k) {
+    const work::ProcessMapping mapping = work::ProcessMapping::RandomAligned(graph, workload, rng);
+    sched::ScheduleOutcome eval = scheduler.Evaluate(workload, mapping);
+    MappingEvaluation r;
+    r.label = "R" + std::to_string(k + 1);
+    r.partition = eval.partition;
+    r.fg = eval.fg;
+    r.dg = eval.dg;
+    r.cc = eval.cc;
+    result.mappings.push_back(std::move(r));
+  }
+
+  if (options.run_simulation) {
+    for (MappingEvaluation& eval : result.mappings) {
+      const work::ProcessMapping mapping =
+          work::ProcessMapping::FromPartition(graph, workload, eval.partition);
+      const sim::TrafficPattern pattern(graph, workload, mapping);
+      eval.sweep = sim::RunLoadSweep(graph, routing, pattern, options.sweep);
+    }
+  }
+  return result;
+}
+
+}  // namespace commsched::core

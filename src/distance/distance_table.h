@@ -1,0 +1,74 @@
+// The table of equivalent distances (paper §3, originally [2]).
+//
+// For each switch pair (i, j): take the union of links on every minimal path
+// supplied by the routing algorithm, replace each link by a 1 Ω resistor, and
+// define T[i][j] as the effective resistance between i and j. The table
+// captures both topology and routing, is traffic-independent, does not
+// satisfy the triangle inequality (so it is not a metric), and is the basis
+// of the scheduling quality functions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "routing/routing.h"
+
+namespace commsched::dist {
+
+using route::Routing;
+using topo::SwitchId;
+
+/// Symmetric N x N table of equivalent distances; T[i][i] == 0.
+class DistanceTable {
+ public:
+  DistanceTable() = default;
+
+  /// Table with all off-diagonal entries `fill` (mostly for tests).
+  DistanceTable(std::size_t n, double fill);
+
+  /// Builds the equivalent-distance table for a routing function, optionally
+  /// parallelizing across pairs.
+  [[nodiscard]] static DistanceTable Build(const Routing& routing, bool parallel = true);
+
+  /// Hop-count table (ablation baseline): T[i][j] = minimal legal hops.
+  [[nodiscard]] static DistanceTable BuildHopCount(const Routing& routing);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  [[nodiscard]] double operator()(std::size_t i, std::size_t j) const {
+    CS_DCHECK(i < n_ && j < n_, "distance index out of range");
+    return values_[i * n_ + j];
+  }
+
+  void Set(std::size_t i, std::size_t j, double value);
+
+  /// Sum of squared distances over unordered pairs: sum_{i<j} T[i][j]^2.
+  [[nodiscard]] double SumSquaredAllPairs() const;
+
+  /// Quadratic mean normalizer of eq. (2)/(5): SumSquaredAllPairs() divided
+  /// by N(N-1)/2.
+  [[nodiscard]] double MeanSquaredDistance() const;
+
+  /// True if T[i][j] <= T[i][k] + T[k][j] for all triples (the equivalent
+  /// distance generally violates this; exposed so tests/benches can report
+  /// how non-metric a table is).
+  [[nodiscard]] bool SatisfiesTriangleInequality(double tolerance = 1e-9) const;
+
+  /// Max |T - other| entry.
+  [[nodiscard]] double MaxAbsDiff(const DistanceTable& other) const;
+
+  /// CSV rendering (switch ids as header).
+  [[nodiscard]] std::string ToCsv() const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> values_;
+};
+
+/// Pearson correlation between the equivalent-distance and hop-count tables
+/// (upper triangle); the paper reports the equivalent distance tracks
+/// congestion better than hops, but the two are strongly related.
+[[nodiscard]] double CorrelateTables(const DistanceTable& a, const DistanceTable& b);
+
+}  // namespace commsched::dist

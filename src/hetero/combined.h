@@ -1,0 +1,93 @@
+// Combined computation/communication scheduling — the paper's stated goal:
+// "an ideal scheduling strategy would map the processes to processors
+// taking into account both the computational and the communication
+// requirements … choosing either a computation-aware or a
+// communication-aware strategy depending on the kind of requirements that
+// leads to the system performance bottleneck" (§1).
+//
+// Model: applications demand `compute_work` (normalized operations) and
+// `comm_intensity` (normalized bytes × distance sensitivity); switches have
+// heterogeneous aggregate speeds. For application a placed on switch set S:
+//   compute time  = compute_work / Σ_{s∈S} speed(s)
+//   comm time     = comm_intensity × f(S), where f(S) is the cluster's mean
+//                   squared equivalent distance normalized by the network
+//                   mean (a per-cluster F_G — the inverse-bandwidth proxy of
+//                   §4.1; 0 for single-switch clusters, whose traffic never
+//                   leaves the switch)
+//   app time      = max(compute time, comm time)       (overlap model)
+//   makespan      = max over applications.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "distance/distance_table.h"
+#include "quality/partition.h"
+#include "topology/graph.h"
+
+namespace commsched::hetero {
+
+struct ApplicationDemand {
+  std::string name;
+  double compute_work = 1.0;
+  double comm_intensity = 1.0;
+  std::size_t cluster_switches = 1;  // switches the application occupies
+};
+
+/// The machine: topology + distance table + per-switch aggregate speed.
+/// References must outlive the outcome computations.
+struct HeteroSystem {
+  const topo::SwitchGraph* graph = nullptr;
+  const dist::DistanceTable* table = nullptr;
+  std::vector<double> switch_speed;  // one entry per switch, > 0
+};
+
+struct AppEstimate {
+  double compute_time = 0.0;
+  double comm_time = 0.0;
+  [[nodiscard]] double Time() const {
+    return compute_time > comm_time ? compute_time : comm_time;
+  }
+  [[nodiscard]] bool CommBound() const { return comm_time > compute_time; }
+};
+
+struct HeteroOutcome {
+  qual::Partition partition;  // cluster a hosts application a
+  std::vector<AppEstimate> per_app;
+  double makespan = 0.0;
+};
+
+enum class HeteroStrategy {
+  kComputeOnly,        // heaviest applications get the fastest switches
+  kCommunicationOnly,  // the paper's Tabu partition; speeds ignored
+  kCombined,           // local search on the estimated makespan
+};
+
+/// Per-application estimates for a given placement (cluster a = app a).
+[[nodiscard]] std::vector<AppEstimate> EstimateApps(const HeteroSystem& system,
+                                                    const std::vector<ApplicationDemand>& apps,
+                                                    const qual::Partition& partition);
+
+/// max over EstimateApps.
+[[nodiscard]] double EstimateMakespan(const HeteroSystem& system,
+                                      const std::vector<ApplicationDemand>& apps,
+                                      const qual::Partition& partition);
+
+struct HeteroOptions {
+  std::uint64_t rng_seed = 1;
+  std::size_t restarts = 4;          // combined-strategy local-search restarts
+  std::size_t max_iterations = 400;  // per restart
+};
+
+/// Schedules the applications under one strategy and returns the placement
+/// plus the per-application time estimates. Validates that cluster sizes
+/// cover the network exactly.
+[[nodiscard]] HeteroOutcome ScheduleHetero(const HeteroSystem& system,
+                                           const std::vector<ApplicationDemand>& apps,
+                                           HeteroStrategy strategy,
+                                           const HeteroOptions& options = {});
+
+/// Human-readable strategy name.
+[[nodiscard]] std::string ToString(HeteroStrategy strategy);
+
+}  // namespace commsched::hetero

@@ -1,0 +1,75 @@
+#include "hetero/etc.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace commsched::hetero {
+
+EtcMatrix::EtcMatrix(std::size_t tasks, std::size_t machines, double fill)
+    : tasks_(tasks), machines_(machines), values_(tasks * machines, fill) {
+  CS_CHECK(tasks >= 1 && machines >= 1, "ETC matrix needs at least one task and machine");
+}
+
+void EtcMatrix::Set(std::size_t task, std::size_t machine, double value) {
+  CS_CHECK(task < tasks_ && machine < machines_, "ETC index out of range");
+  CS_CHECK(value > 0.0, "execution times must be positive");
+  values_[task * machines_ + machine] = value;
+}
+
+EtcMatrix EtcMatrix::Generate(const EtcOptions& options) {
+  CS_CHECK(options.task_heterogeneity >= 1.0 && options.machine_heterogeneity >= 1.0,
+           "heterogeneity factors must be >= 1");
+  EtcMatrix etc(options.tasks, options.machines);
+  Rng rng(options.seed);
+  for (std::size_t t = 0; t < options.tasks; ++t) {
+    const double base = 1.0 + rng.NextDouble() * (options.task_heterogeneity - 1.0);
+    std::vector<double> row(options.machines);
+    for (double& v : row) {
+      v = base * (1.0 + rng.NextDouble() * (options.machine_heterogeneity - 1.0));
+    }
+    switch (options.consistency) {
+      case EtcConsistency::kConsistent:
+        std::sort(row.begin(), row.end());
+        break;
+      case EtcConsistency::kSemiConsistent: {
+        // Sort the even-indexed machine entries; odd stay unordered.
+        std::vector<double> evens;
+        for (std::size_t m = 0; m < row.size(); m += 2) evens.push_back(row[m]);
+        std::sort(evens.begin(), evens.end());
+        for (std::size_t k = 0; k < evens.size(); ++k) row[2 * k] = evens[k];
+        break;
+      }
+      case EtcConsistency::kInconsistent:
+        break;
+    }
+    for (std::size_t m = 0; m < options.machines; ++m) {
+      etc.Set(t, m, row[m]);
+    }
+  }
+  return etc;
+}
+
+std::size_t EtcMatrix::BestMachine(std::size_t task) const {
+  CS_CHECK(task < tasks_, "task out of range");
+  std::size_t best = 0;
+  for (std::size_t m = 1; m < machines_; ++m) {
+    if ((*this)(task, m) < (*this)(task, best)) best = m;
+  }
+  return best;
+}
+
+bool EtcMatrix::IsConsistent() const {
+  // Rank machines by the first row; every other row must agree.
+  std::vector<std::size_t> order(machines_);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return (*this)(0, a) < (*this)(0, b); });
+  for (std::size_t t = 1; t < tasks_; ++t) {
+    for (std::size_t k = 0; k + 1 < machines_; ++k) {
+      if ((*this)(t, order[k]) > (*this)(t, order[k + 1])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace commsched::hetero

@@ -1,0 +1,67 @@
+// Expected-Time-to-Compute (ETC) matrices for heterogeneous meta-task
+// scheduling, following the range-based model of Braun & Siegel's
+// comparison study [6] (the paper's §2 cites this line of work: OLB, UDA,
+// Fast Greedy, Min-min, Max-min over heterogeneous machines).
+//
+// etc(t, m) is the execution time of task t on machine m:
+//   etc(t, m) = U(1, task_heterogeneity) * U(1, machine_heterogeneity)
+// with per-row consistency options:
+//   * consistent      — machines have a global speed order (rows sorted);
+//   * semi-consistent — even-indexed machines are consistent, odd are not;
+//   * inconsistent    — no structure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace commsched::hetero {
+
+enum class EtcConsistency {
+  kConsistent,
+  kSemiConsistent,
+  kInconsistent,
+};
+
+struct EtcOptions {
+  std::size_t tasks = 128;
+  std::size_t machines = 8;
+  /// "High" heterogeneity in the literature: ~3000 tasks / ~1000 machines;
+  /// "low": ~100 / ~10. Any value > 1 works.
+  double task_heterogeneity = 100.0;
+  double machine_heterogeneity = 10.0;
+  EtcConsistency consistency = EtcConsistency::kInconsistent;
+  std::uint64_t seed = 1;
+};
+
+/// Dense tasks x machines execution-time matrix.
+class EtcMatrix {
+ public:
+  EtcMatrix(std::size_t tasks, std::size_t machines, double fill = 0.0);
+
+  [[nodiscard]] static EtcMatrix Generate(const EtcOptions& options);
+
+  [[nodiscard]] std::size_t task_count() const { return tasks_; }
+  [[nodiscard]] std::size_t machine_count() const { return machines_; }
+
+  [[nodiscard]] double operator()(std::size_t task, std::size_t machine) const {
+    CS_DCHECK(task < tasks_ && machine < machines_, "ETC index out of range");
+    return values_[task * machines_ + machine];
+  }
+  void Set(std::size_t task, std::size_t machine, double value);
+
+  /// Machine with the smallest execution time for `task` (lowest id wins ties).
+  [[nodiscard]] std::size_t BestMachine(std::size_t task) const;
+
+  /// True if every row ranks the machines identically (consistent ETC).
+  [[nodiscard]] bool IsConsistent() const;
+
+ private:
+  std::size_t tasks_;
+  std::size_t machines_;
+  std::vector<double> values_;
+};
+
+}  // namespace commsched::hetero

@@ -1,0 +1,192 @@
+#include "hetero/meta_heuristics.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace commsched::hetero {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::size_t ArgMin(const std::vector<double>& values) {
+  return static_cast<std::size_t>(std::min_element(values.begin(), values.end()) -
+                                  values.begin());
+}
+
+/// Shared skeleton for the list-scheduling family (Min-min / Max-min /
+/// Sufferage): repeatedly score every unassigned task by its best
+/// completion-time option and commit the task `pick` selects.
+template <typename PickTask>
+MetaSchedule ListSchedule(const EtcMatrix& etc, PickTask&& pick) {
+  const std::size_t tasks = etc.task_count();
+  const std::size_t machines = etc.machine_count();
+  std::vector<std::size_t> assignment(tasks, 0);
+  std::vector<double> ready(machines, 0.0);
+  std::vector<bool> done(tasks, false);
+
+  for (std::size_t round = 0; round < tasks; ++round) {
+    std::size_t chosen_task = tasks;
+    std::size_t chosen_machine = 0;
+    double chosen_key = -kInf;
+    for (std::size_t t = 0; t < tasks; ++t) {
+      if (done[t]) continue;
+      double best_ct = kInf;
+      double second_ct = kInf;
+      std::size_t best_m = 0;
+      for (std::size_t m = 0; m < machines; ++m) {
+        const double ct = ready[m] + etc(t, m);
+        if (ct < best_ct) {
+          second_ct = best_ct;
+          best_ct = ct;
+          best_m = m;
+        } else if (ct < second_ct) {
+          second_ct = ct;
+        }
+      }
+      const double key = pick(best_ct, second_ct);
+      if (chosen_task == tasks || key > chosen_key) {
+        chosen_key = key;
+        chosen_task = t;
+        chosen_machine = best_m;
+      }
+    }
+    done[chosen_task] = true;
+    assignment[chosen_task] = chosen_machine;
+    ready[chosen_machine] += etc(chosen_task, chosen_machine);
+  }
+  return MetaSchedule::FromAssignment(etc, std::move(assignment));
+}
+
+}  // namespace
+
+MetaSchedule MetaSchedule::FromAssignment(const EtcMatrix& etc,
+                                          std::vector<std::size_t> machine_of_task) {
+  CS_CHECK(machine_of_task.size() == etc.task_count(), "assignment must cover every task");
+  MetaSchedule schedule;
+  schedule.machine_of_task = std::move(machine_of_task);
+  schedule.machine_finish.assign(etc.machine_count(), 0.0);
+  for (std::size_t t = 0; t < etc.task_count(); ++t) {
+    const std::size_t m = schedule.machine_of_task[t];
+    CS_CHECK(m < etc.machine_count(), "machine id out of range");
+    schedule.machine_finish[m] += etc(t, m);
+  }
+  schedule.makespan =
+      *std::max_element(schedule.machine_finish.begin(), schedule.machine_finish.end());
+  return schedule;
+}
+
+MetaSchedule Olb(const EtcMatrix& etc) {
+  std::vector<std::size_t> assignment(etc.task_count());
+  std::vector<double> ready(etc.machine_count(), 0.0);
+  for (std::size_t t = 0; t < etc.task_count(); ++t) {
+    const std::size_t m = ArgMin(ready);
+    assignment[t] = m;
+    ready[m] += etc(t, m);
+  }
+  return MetaSchedule::FromAssignment(etc, std::move(assignment));
+}
+
+MetaSchedule Met(const EtcMatrix& etc) {
+  std::vector<std::size_t> assignment(etc.task_count());
+  for (std::size_t t = 0; t < etc.task_count(); ++t) {
+    assignment[t] = etc.BestMachine(t);
+  }
+  return MetaSchedule::FromAssignment(etc, std::move(assignment));
+}
+
+MetaSchedule Mct(const EtcMatrix& etc) {
+  std::vector<std::size_t> assignment(etc.task_count());
+  std::vector<double> ready(etc.machine_count(), 0.0);
+  for (std::size_t t = 0; t < etc.task_count(); ++t) {
+    std::size_t best = 0;
+    double best_ct = kInf;
+    for (std::size_t m = 0; m < etc.machine_count(); ++m) {
+      const double ct = ready[m] + etc(t, m);
+      if (ct < best_ct) {
+        best_ct = ct;
+        best = m;
+      }
+    }
+    assignment[t] = best;
+    ready[best] += etc(t, best);
+  }
+  return MetaSchedule::FromAssignment(etc, std::move(assignment));
+}
+
+MetaSchedule MinMin(const EtcMatrix& etc) {
+  // Smallest best completion first: pick key = -best_ct.
+  return ListSchedule(etc, [](double best_ct, double) { return -best_ct; });
+}
+
+MetaSchedule MaxMin(const EtcMatrix& etc) {
+  return ListSchedule(etc, [](double best_ct, double) { return best_ct; });
+}
+
+MetaSchedule Sufferage(const EtcMatrix& etc) {
+  return ListSchedule(etc, [](double best_ct, double second_ct) {
+    return (second_ct == kInf ? 0.0 : second_ct - best_ct);
+  });
+}
+
+MetaSchedule ImproveByLocalSearch(const EtcMatrix& etc, MetaSchedule seed,
+                                  const MakespanSearchOptions& options) {
+  MetaSchedule current = MetaSchedule::FromAssignment(etc, seed.machine_of_task);
+  const std::size_t tasks = etc.task_count();
+  const std::size_t machines = etc.machine_count();
+
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    double best_makespan = current.makespan;
+    std::vector<std::size_t> best_assignment;
+
+    // Single-task moves off the critical machine.
+    const std::size_t critical = static_cast<std::size_t>(
+        std::max_element(current.machine_finish.begin(), current.machine_finish.end()) -
+        current.machine_finish.begin());
+    for (std::size_t t = 0; t < tasks; ++t) {
+      if (current.machine_of_task[t] != critical) continue;
+      for (std::size_t m = 0; m < machines; ++m) {
+        if (m == critical) continue;
+        auto candidate = current.machine_of_task;
+        candidate[t] = m;
+        const MetaSchedule moved = MetaSchedule::FromAssignment(etc, std::move(candidate));
+        if (moved.makespan < best_makespan - 1e-12) {
+          best_makespan = moved.makespan;
+          best_assignment = moved.machine_of_task;
+        }
+      }
+    }
+    // Pairwise swaps involving the critical machine.
+    for (std::size_t t1 = 0; t1 < tasks; ++t1) {
+      if (current.machine_of_task[t1] != critical) continue;
+      for (std::size_t t2 = 0; t2 < tasks; ++t2) {
+        if (current.machine_of_task[t2] == critical) continue;
+        auto candidate = current.machine_of_task;
+        std::swap(candidate[t1], candidate[t2]);
+        const MetaSchedule swapped = MetaSchedule::FromAssignment(etc, std::move(candidate));
+        if (swapped.makespan < best_makespan - 1e-12) {
+          best_makespan = swapped.makespan;
+          best_assignment = swapped.machine_of_task;
+        }
+      }
+    }
+    if (best_assignment.empty()) break;  // local minimum
+    current = MetaSchedule::FromAssignment(etc, std::move(best_assignment));
+  }
+  return current;
+}
+
+std::vector<std::pair<std::string, MetaSchedule>> RunAllHeuristics(const EtcMatrix& etc) {
+  std::vector<std::pair<std::string, MetaSchedule>> results;
+  results.emplace_back("OLB", Olb(etc));
+  results.emplace_back("MET/UDA", Met(etc));
+  results.emplace_back("MCT/FastGreedy", Mct(etc));
+  results.emplace_back("Min-min", MinMin(etc));
+  results.emplace_back("Max-min", MaxMin(etc));
+  results.emplace_back("Sufferage", Sufferage(etc));
+  results.emplace_back("Min-min+LS", ImproveByLocalSearch(etc, MinMin(etc)));
+  return results;
+}
+
+}  // namespace commsched::hetero

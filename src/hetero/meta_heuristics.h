@@ -1,0 +1,66 @@
+// Static mapping heuristics for independent meta-tasks on heterogeneous
+// machines — the computation-side schedulers the paper's §2 surveys
+// (OLB, UDA/MET, Fast Greedy/MCT, Min-min, Max-min [1, 12, 16, 18]).
+// These complement the communication-aware technique: the paper's ideal
+// scheduler picks whichever side is the bottleneck.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hetero/etc.h"
+
+namespace commsched::hetero {
+
+/// A complete assignment of tasks to machines.
+struct MetaSchedule {
+  std::vector<std::size_t> machine_of_task;
+  std::vector<double> machine_finish;  // per-machine completion time
+  double makespan = 0.0;
+
+  /// Recomputes machine_finish/makespan from the assignment; used to verify
+  /// heuristic outputs and by local search.
+  static MetaSchedule FromAssignment(const EtcMatrix& etc,
+                                     std::vector<std::size_t> machine_of_task);
+};
+
+/// Opportunistic Load Balancing: tasks in arrival order to the machine that
+/// becomes available earliest, ignoring execution times.
+[[nodiscard]] MetaSchedule Olb(const EtcMatrix& etc);
+
+/// Minimum Execution Time (User-Directed Assignment): each task to its
+/// fastest machine, ignoring load.
+[[nodiscard]] MetaSchedule Met(const EtcMatrix& etc);
+
+/// Minimum Completion Time ("Fast Greedy"): tasks in arrival order to the
+/// machine minimizing that task's completion time.
+[[nodiscard]] MetaSchedule Mct(const EtcMatrix& etc);
+
+/// Min-min: repeatedly commit the (task, machine) pair whose completion
+/// time is globally smallest.
+[[nodiscard]] MetaSchedule MinMin(const EtcMatrix& etc);
+
+/// Max-min: repeatedly commit the task whose best completion time is
+/// largest (front-loads the big tasks).
+[[nodiscard]] MetaSchedule MaxMin(const EtcMatrix& etc);
+
+/// Sufferage: repeatedly commit the task that would suffer most if denied
+/// its best machine (largest second-best minus best completion) [18].
+[[nodiscard]] MetaSchedule Sufferage(const EtcMatrix& etc);
+
+struct MakespanSearchOptions {
+  std::size_t max_iterations = 2000;
+  std::uint64_t rng_seed = 1;
+};
+
+/// Local search on top of a seed schedule: steepest-descent over single-task
+/// moves and pairwise swaps until a local minimum of the makespan.
+[[nodiscard]] MetaSchedule ImproveByLocalSearch(const EtcMatrix& etc, MetaSchedule seed,
+                                                const MakespanSearchOptions& options = {});
+
+/// Runs every heuristic and returns (name, schedule) pairs — the §2 survey
+/// table in code form.
+[[nodiscard]] std::vector<std::pair<std::string, MetaSchedule>> RunAllHeuristics(
+    const EtcMatrix& etc);
+
+}  // namespace commsched::hetero

@@ -1,0 +1,80 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+namespace commsched::linalg {
+
+Matrix Matrix::Identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  CS_CHECK(rows_ == other.rows_ && cols_ == other.cols_, "shape mismatch in +=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  CS_CHECK(rows_ == other.rows_ && cols_ == other.cols_, "shape mismatch in -=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (double& x : data_) x *= scalar;
+  return *this;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      t(c, r) = (*this)(r, c);
+    }
+  }
+  return t;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  CS_CHECK(a.cols_ == b.rows_, "shape mismatch in matrix product");
+  Matrix out(a.rows_, b.cols_);
+  for (std::size_t i = 0; i < a.rows_; ++i) {
+    for (std::size_t k = 0; k < a.cols_; ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = b.row(k);
+      double* orow = out.row(i);
+      for (std::size_t j = 0; j < b.cols_; ++j) {
+        orow[j] += aik * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  CS_CHECK(rows_ == other.rows_ && cols_ == other.cols_, "shape mismatch in MaxAbsDiff");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
+  }
+  return worst;
+}
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m) {
+  os << std::fixed << std::setprecision(4);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      os << (c ? " " : "") << std::setw(9) << m(r, c);
+    }
+    os << '\n';
+  }
+  return os;
+}
+
+}  // namespace commsched::linalg

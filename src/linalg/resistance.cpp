@@ -1,0 +1,170 @@
+#include "linalg/resistance.h"
+
+#include <vector>
+
+#include "linalg/solve.h"
+
+namespace commsched::linalg {
+
+ResistorNetwork::ResistorNetwork(std::size_t node_count) : node_count_(node_count) {
+  CS_CHECK(node_count >= 1, "resistor network needs at least one node");
+}
+
+void ResistorNetwork::Add(std::size_t a, std::size_t b, double resistance) {
+  CS_CHECK(a < node_count_ && b < node_count_, "resistor endpoint out of range");
+  CS_CHECK(a != b, "self-loop resistor is meaningless");
+  CS_CHECK(resistance > 0.0, "resistance must be positive");
+  resistors_.push_back({a, b, resistance});
+}
+
+Matrix ResistorNetwork::Laplacian() const {
+  Matrix l(node_count_, node_count_);
+  for (const Resistor& r : resistors_) {
+    const double g = 1.0 / r.resistance;
+    l(r.a, r.a) += g;
+    l(r.b, r.b) += g;
+    l(r.a, r.b) -= g;
+    l(r.b, r.a) -= g;
+  }
+  return l;
+}
+
+bool ResistorNetwork::Connected(std::size_t s, std::size_t t) const {
+  CS_CHECK(s < node_count_ && t < node_count_, "node out of range");
+  if (s == t) return true;
+  std::vector<std::vector<std::size_t>> adj(node_count_);
+  for (const Resistor& r : resistors_) {
+    adj[r.a].push_back(r.b);
+    adj[r.b].push_back(r.a);
+  }
+  std::vector<bool> seen(node_count_, false);
+  std::vector<std::size_t> stack{s};
+  seen[s] = true;
+  while (!stack.empty()) {
+    const std::size_t u = stack.back();
+    stack.pop_back();
+    if (u == t) return true;
+    for (std::size_t v : adj[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        stack.push_back(v);
+      }
+    }
+  }
+  return false;
+}
+
+double ResistorNetwork::EffectiveResistance(std::size_t s, std::size_t t) const {
+  CS_CHECK(s < node_count_ && t < node_count_, "terminal out of range");
+  if (s == t) return 0.0;
+  CS_CHECK(Connected(s, t), "terminals are not connected; resistance is infinite");
+
+  // Ground node t: delete its row/column from L, solve L' v = e_s.
+  const Matrix l = Laplacian();
+  const std::size_t n = node_count_;
+  // Map original node -> reduced index.
+  std::vector<std::size_t> reduced(n, static_cast<std::size_t>(-1));
+  std::size_t idx = 0;
+  for (std::size_t u = 0; u < n; ++u) {
+    if (u != t) reduced[u] = idx++;
+  }
+  Matrix lg(n - 1, n - 1);
+  for (std::size_t r = 0; r < n; ++r) {
+    if (r == t) continue;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (c == t) continue;
+      lg(reduced[r], reduced[c]) = l(r, c);
+    }
+  }
+  std::vector<double> rhs(n - 1, 0.0);
+  rhs[reduced[s]] = 1.0;
+
+  // The grounded Laplacian restricted to the component of s is SPD; if the
+  // network has other disconnected nodes the full grounded matrix is
+  // singular, so restrict to nodes reachable from s or t first.
+  // (Connectivity of s,t was checked; unreachable nodes have zero rows.)
+  // Drop isolated/unreachable rows to keep the solver happy.
+  std::vector<std::vector<std::size_t>> adj(n);
+  for (const Resistor& r : resistors_) {
+    adj[r.a].push_back(r.b);
+    adj[r.b].push_back(r.a);
+  }
+  std::vector<bool> reach(n, false);
+  std::vector<std::size_t> stack{s};
+  reach[s] = true;
+  while (!stack.empty()) {
+    const std::size_t u = stack.back();
+    stack.pop_back();
+    for (std::size_t v : adj[u]) {
+      if (!reach[v]) {
+        reach[v] = true;
+        stack.push_back(v);
+      }
+    }
+  }
+  std::vector<std::size_t> keep;  // reduced indices to keep
+  for (std::size_t u = 0; u < n; ++u) {
+    if (u != t && reach[u]) keep.push_back(reduced[u]);
+  }
+  Matrix lk(keep.size(), keep.size());
+  std::vector<double> rhsk(keep.size());
+  for (std::size_t r = 0; r < keep.size(); ++r) {
+    rhsk[r] = rhs[keep[r]];
+    for (std::size_t c = 0; c < keep.size(); ++c) {
+      lk(r, c) = lg(keep[r], keep[c]);
+    }
+  }
+
+  auto chol = CholeskyFactorization::Compute(lk);
+  std::vector<double> v;
+  if (chol) {
+    v = chol->Solve(rhsk);
+  } else {
+    v = SolveLinearSystem(lk, rhsk);  // fallback (shouldn't happen for SPD)
+  }
+  // v[s] is the potential at s with 1 A injected at s and extracted at the
+  // grounded t, i.e. the effective resistance.
+  for (std::size_t r = 0; r < keep.size(); ++r) {
+    if (keep[r] == reduced[s]) {
+      return v[r];
+    }
+  }
+  CS_UNREACHABLE("source vanished from reduced system");
+}
+
+Matrix AllPairsEffectiveResistance(const ResistorNetwork& network) {
+  const std::size_t n = network.node_count();
+  Matrix result(n, n);
+  if (n == 1) return result;
+  for (std::size_t u = 1; u < n; ++u) {
+    CS_CHECK(network.Connected(0, u), "AllPairsEffectiveResistance requires a connected network");
+  }
+  // Ground node 0; invert the reduced Laplacian by solving n-1 systems with
+  // one Cholesky factorization.
+  const Matrix l = network.Laplacian();
+  Matrix lg(n - 1, n - 1);
+  for (std::size_t r = 1; r < n; ++r) {
+    for (std::size_t c = 1; c < n; ++c) {
+      lg(r - 1, c - 1) = l(r, c);
+    }
+  }
+  auto chol = CholeskyFactorization::Compute(lg);
+  CS_CHECK(chol.has_value(), "grounded Laplacian must be SPD for a connected network");
+  Matrix m(n, n);  // M = L^+-like matrix with ground row/col zero
+  for (std::size_t c = 1; c < n; ++c) {
+    std::vector<double> e(n - 1, 0.0);
+    e[c - 1] = 1.0;
+    const std::vector<double> col = chol->Solve(e);
+    for (std::size_t r = 1; r < n; ++r) {
+      m(r, c) = col[r - 1];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      result(i, j) = m(i, i) + m(j, j) - m(i, j) - m(j, i);
+    }
+  }
+  return result;
+}
+
+}  // namespace commsched::linalg

@@ -1,0 +1,83 @@
+// The paper's quality functions (§4.1, eqs. 1-5).
+//
+//   F_Ai (eq. 1): quadratic sum of intracluster equivalent distances.
+//   F_G  (eq. 2): mean squared intracluster distance, normalized by the
+//                 network-wide mean squared distance. F_G ≈ 1 for a random
+//                 mapping; F_G → 0 for tightly packed clusters.
+//   D_Ai (eq. 4): quadratic sum of distances from a cluster to all others.
+//   D_G  (eq. 5): mean squared intercluster distance, same normalization.
+//   C_c = D_G / F_G: the clustering coefficient — the intracluster /
+//                 intercluster bandwidth relationship the scheduler maximizes.
+#pragma once
+
+#include "distance/distance_table.h"
+#include "quality/partition.h"
+
+namespace commsched::qual {
+
+using dist::DistanceTable;
+
+/// Eq. (1): F_Ai for one cluster.
+[[nodiscard]] double ClusterSimilarity(const DistanceTable& table, const Partition& partition,
+                                       std::size_t cluster);
+
+/// Eq. (4): D_Ai for one cluster.
+[[nodiscard]] double ClusterDissimilarity(const DistanceTable& table, const Partition& partition,
+                                          std::size_t cluster);
+
+/// Eq. (2): F_G. Requires at least one cluster with >= 2 switches.
+[[nodiscard]] double GlobalSimilarity(const DistanceTable& table, const Partition& partition);
+
+/// Eq. (5): D_G. Requires at least two clusters.
+[[nodiscard]] double GlobalDissimilarity(const DistanceTable& table, const Partition& partition);
+
+/// C_c = D_G / F_G.
+[[nodiscard]] double ClusteringCoefficient(const DistanceTable& table, const Partition& partition);
+
+/// Incremental evaluator for swap-based search. Maintains the intracluster
+/// quadratic sum so that evaluating a candidate swap is O(cluster size) and
+/// the full F_G / D_G / C_c are O(1) after construction.
+///
+/// The key identity: the ordered intercluster sum equals
+///   2 * (sum over all pairs - intracluster sum),
+/// so D_G is derivable from the same running intracluster sum as F_G.
+class SwapEvaluator {
+ public:
+  /// Both `table` and an initial partition; the table must outlive this.
+  SwapEvaluator(const DistanceTable& table, Partition partition);
+
+  [[nodiscard]] const Partition& partition() const { return partition_; }
+  [[nodiscard]] const DistanceTable& table() const { return *table_; }
+
+  /// Current intracluster quadratic sum (sum of F_Ai).
+  [[nodiscard]] double IntraSum() const { return intra_sum_; }
+
+  [[nodiscard]] double Fg() const;
+  [[nodiscard]] double Dg() const;
+  [[nodiscard]] double Cc() const;
+
+  /// Change of the intracluster sum if switches a and b (in different
+  /// clusters) were exchanged. F_G scales by the same constant, so ordering
+  /// moves by delta orders them by F_G. Requires different clusters.
+  [[nodiscard]] double SwapDelta(std::size_t a, std::size_t b) const;
+
+  /// Applies the swap and updates the running sum in O(N).
+  void ApplySwap(std::size_t a, std::size_t b);
+
+  /// Replaces the partition (full O(N^2) recompute).
+  void Reset(Partition partition);
+
+  /// F_G that would result from applying delta to the current intra sum.
+  [[nodiscard]] double FgAfterDelta(double delta) const;
+
+ private:
+  [[nodiscard]] double ComputeIntraSum() const;
+
+  const DistanceTable* table_;
+  Partition partition_;
+  double intra_sum_ = 0.0;
+  double sum_all_pairs_sq_ = 0.0;   // sum_{i<j} T_ij^2
+  double mean_sq_distance_ = 0.0;   // normalizer of eqs. (2)/(5)
+};
+
+}  // namespace commsched::qual

@@ -1,0 +1,127 @@
+#include "routing/deadlock.h"
+
+#include <algorithm>
+
+namespace commsched::route {
+
+std::vector<Channel> DirectedChannels(const SwitchGraph& graph) {
+  std::vector<Channel> channels;
+  channels.reserve(2 * graph.link_count());
+  for (LinkId l = 0; l < graph.link_count(); ++l) {
+    const topo::Link& link = graph.link(l);
+    channels.push_back({l, link.a, link.b});
+    channels.push_back({l, link.b, link.a});
+  }
+  return channels;
+}
+
+std::size_t ChannelIndex(const SwitchGraph& graph, LinkId link, SwitchId from) {
+  const topo::Link& l = graph.link(link);
+  CS_CHECK(l.a == from || l.b == from, "switch is not an endpoint of the link");
+  return 2 * link + (l.a == from ? 0 : 1);
+}
+
+std::vector<std::vector<std::size_t>> BuildChannelDependencyGraph(const Routing& routing) {
+  const SwitchGraph& g = routing.graph();
+  const std::size_t channel_count = 2 * g.link_count();
+  std::vector<std::vector<std::size_t>> adjacency(channel_count);
+
+  // A message that traversed channel c1 = (u -> v) arrives at v in phase
+  // ArrivalPhase(c1). For every destination it may then request each
+  // candidate channel c2 out of v.
+  for (LinkId l = 0; l < g.link_count(); ++l) {
+    for (int dir = 0; dir < 2; ++dir) {
+      const topo::Link& link = g.link(l);
+      const SwitchId u = dir == 0 ? link.a : link.b;
+      const SwitchId v = dir == 0 ? link.b : link.a;
+      const std::size_t c1 = ChannelIndex(g, l, u);
+      const Phase arrival = routing.ArrivalPhase(l, v);
+
+      std::vector<bool> seen(channel_count, false);
+      for (SwitchId dest = 0; dest < g.switch_count(); ++dest) {
+        if (dest == v) continue;
+        // Only destinations for which c1 is actually usable matter; a hop
+        // into v is usable toward dest when v lies on some permitted minimal
+        // path, i.e. when the routing would have offered c1 from u. Checking
+        // the offer keeps the CDG tight (Duato's "routing subfunction").
+        bool c1_offered = false;
+        for (const NextHop& hop : routing.NextHops(u, dest, Phase::kUp)) {
+          if (hop.link == l && hop.next == v) {
+            c1_offered = true;
+            break;
+          }
+        }
+        if (!c1_offered && arrival == Phase::kDown) {
+          for (const NextHop& hop : routing.NextHops(u, dest, Phase::kDown)) {
+            if (hop.link == l && hop.next == v) {
+              c1_offered = true;
+              break;
+            }
+          }
+        }
+        if (!c1_offered) continue;
+        for (const NextHop& hop : routing.NextHops(v, dest, arrival)) {
+          const std::size_t c2 = ChannelIndex(g, hop.link, v);
+          if (!seen[c2]) {
+            seen[c2] = true;
+            adjacency[c1].push_back(c2);
+          }
+        }
+      }
+      std::sort(adjacency[c1].begin(), adjacency[c1].end());
+    }
+  }
+  return adjacency;
+}
+
+namespace {
+
+// Iterative DFS cycle detection with colors; returns a cycle if found.
+std::vector<std::size_t> FindCycle(const std::vector<std::vector<std::size_t>>& adjacency) {
+  enum class Color : char { kWhite, kGray, kBlack };
+  const std::size_t n = adjacency.size();
+  std::vector<Color> color(n, Color::kWhite);
+  std::vector<std::size_t> parent(n, static_cast<std::size_t>(-1));
+
+  for (std::size_t start = 0; start < n; ++start) {
+    if (color[start] != Color::kWhite) continue;
+    // Explicit stack of (node, next-child-index).
+    std::vector<std::pair<std::size_t, std::size_t>> stack{{start, 0}};
+    color[start] = Color::kGray;
+    while (!stack.empty()) {
+      auto& [u, child] = stack.back();
+      if (child < adjacency[u].size()) {
+        const std::size_t v = adjacency[u][child++];
+        if (color[v] == Color::kWhite) {
+          color[v] = Color::kGray;
+          parent[v] = u;
+          stack.emplace_back(v, 0);
+        } else if (color[v] == Color::kGray) {
+          // Found a back edge u -> v: reconstruct the cycle v ... u.
+          std::vector<std::size_t> cycle{v};
+          for (std::size_t w = u; w != v; w = parent[w]) {
+            cycle.push_back(w);
+          }
+          std::reverse(cycle.begin() + 1, cycle.end());
+          return cycle;
+        }
+      } else {
+        color[u] = Color::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<std::size_t> FindDependencyCycle(const Routing& routing) {
+  return FindCycle(BuildChannelDependencyGraph(routing));
+}
+
+bool IsDeadlockFree(const Routing& routing) {
+  return FindDependencyCycle(routing).empty();
+}
+
+}  // namespace commsched::route

@@ -1,0 +1,43 @@
+// Channel-dependency-graph deadlock analysis (Duato [8]).
+//
+// Wormhole routing on a single virtual channel is deadlock-free iff the
+// channel dependency graph (CDG) of the routing function is acyclic. We use
+// this to verify that our up*/down* implementation is safe on one channel and
+// to demonstrate that unrestricted shortest-path routing is not.
+#pragma once
+
+#include <vector>
+
+#include "routing/routing.h"
+
+namespace commsched::route {
+
+/// A directed channel: one direction of a physical link.
+struct Channel {
+  LinkId link = 0;
+  SwitchId from = 0;
+  SwitchId to = 0;
+
+  friend bool operator==(const Channel&, const Channel&) = default;
+};
+
+/// All 2 * link_count directed channels of a graph; channel 2*l goes from
+/// link(l).a to link(l).b and channel 2*l+1 the reverse.
+[[nodiscard]] std::vector<Channel> DirectedChannels(const SwitchGraph& graph);
+
+/// Directed channel id for traversing `link` out of `from`.
+[[nodiscard]] std::size_t ChannelIndex(const SwitchGraph& graph, LinkId link, SwitchId from);
+
+/// Builds the CDG: adjacency[c1] contains c2 iff some message that can hold
+/// channel c1 may request channel c2 next (over all destinations and phases
+/// the routing function can put it in).
+[[nodiscard]] std::vector<std::vector<std::size_t>> BuildChannelDependencyGraph(
+    const Routing& routing);
+
+/// True iff the CDG is acyclic (routing is deadlock-free on one VC).
+[[nodiscard]] bool IsDeadlockFree(const Routing& routing);
+
+/// Returns one cycle of channel ids if the CDG has one, else empty.
+[[nodiscard]] std::vector<std::size_t> FindDependencyCycle(const Routing& routing);
+
+}  // namespace commsched::route

@@ -1,0 +1,43 @@
+#include "routing/routing.h"
+
+namespace commsched::route {
+
+std::vector<std::vector<SwitchId>> EnumerateMinimalPaths(const Routing& routing, SwitchId s,
+                                                         SwitchId t, std::size_t limit) {
+  std::vector<std::vector<SwitchId>> paths;
+  if (s == t) {
+    paths.push_back({s});
+    return paths;
+  }
+  // DFS over NextHops; every branch stays on a minimal remaining path by
+  // construction, so no pruning is needed beyond the enumeration limit.
+  struct Frame {
+    SwitchId at;
+    Phase phase;
+    std::vector<NextHop> hops;
+    std::size_t next = 0;
+  };
+  std::vector<SwitchId> current{s};
+  std::vector<Frame> stack;
+  stack.push_back({s, Phase::kUp, routing.NextHops(s, t, Phase::kUp), 0});
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next >= frame.hops.size()) {
+      stack.pop_back();
+      current.pop_back();
+      continue;
+    }
+    const NextHop hop = frame.hops[frame.next++];
+    current.push_back(hop.next);
+    if (hop.next == t) {
+      paths.push_back(current);
+      CS_CHECK(paths.size() <= limit, "minimal path enumeration limit exceeded");
+      current.pop_back();
+    } else {
+      stack.push_back({hop.next, hop.phase, routing.NextHops(hop.next, t, hop.phase), 0});
+    }
+  }
+  return paths;
+}
+
+}  // namespace commsched::route

@@ -1,0 +1,204 @@
+#include "sched/annealing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace commsched::sched {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+/// Uniform random unordered pair of switches in different clusters.
+std::pair<std::size_t, std::size_t> RandomInterClusterPair(const Partition& partition, Rng& rng) {
+  const std::size_t n = partition.switch_count();
+  for (;;) {
+    const std::size_t a = static_cast<std::size_t>(rng.NextIndex(n));
+    const std::size_t b = static_cast<std::size_t>(rng.NextIndex(n));
+    if (a != b && partition.ClusterOf(a) != partition.ClusterOf(b)) {
+      return {std::min(a, b), std::max(a, b)};
+    }
+  }
+}
+
+/// Median |delta| over random moves — a robust temperature scale.
+double CalibrateTemperature(const qual::SwapEvaluator& eval, Rng& rng) {
+  std::vector<double> magnitudes;
+  magnitudes.reserve(64);
+  for (int i = 0; i < 64; ++i) {
+    const auto [a, b] = RandomInterClusterPair(eval.partition(), rng);
+    magnitudes.push_back(std::abs(eval.SwapDelta(a, b)));
+  }
+  std::nth_element(magnitudes.begin(), magnitudes.begin() + magnitudes.size() / 2,
+                   magnitudes.end());
+  const double median = magnitudes[magnitudes.size() / 2];
+  return std::max(median, 1e-9);
+}
+
+}  // namespace
+
+SearchResult SimulatedAnnealing(const DistanceTable& table,
+                                const std::vector<std::size_t>& cluster_sizes,
+                                const AnnealingOptions& options) {
+  Rng rng(options.rng_seed);
+  Partition start = Partition::Random(cluster_sizes, rng);
+  qual::SwapEvaluator eval(table, std::move(start));
+
+  SearchResult result;
+  result.best = eval.partition();
+  double best_sum = eval.IntraSum();
+
+  double temperature = options.initial_temperature > 0.0 ? options.initial_temperature
+                                                         : CalibrateTemperature(eval, rng);
+  const double floor = temperature * options.final_temperature_ratio;
+
+  if (options.record_trace) {
+    result.trace.push_back({0, eval.Fg(), true});
+  }
+  for (std::size_t it = 0; it < options.iterations; ++it) {
+    const auto [a, b] = RandomInterClusterPair(eval.partition(), rng);
+    const double delta = eval.SwapDelta(a, b);
+    ++result.evaluations;
+    const bool accept = delta < kEps || rng.NextDouble() < std::exp(-delta / temperature);
+    if (accept) {
+      eval.ApplySwap(a, b);
+      ++result.iterations;
+      if (eval.IntraSum() < best_sum - kEps) {
+        best_sum = eval.IntraSum();
+        result.best = eval.partition();
+      }
+      if (options.record_trace) {
+        result.trace.push_back({it + 1, eval.Fg(), false});
+      }
+    }
+    temperature = std::max(temperature * options.cooling, floor);
+  }
+  FinalizeResult(table, result);
+  return result;
+}
+
+namespace {
+
+/// Capacity-respecting crossover: child copies parent A's cluster for a
+/// random subset of switches (up to each cluster's capacity) and fills the
+/// remaining switches greedily in parent B's cluster where possible.
+Partition Crossover(const Partition& pa, const Partition& pb,
+                    const std::vector<std::size_t>& cluster_sizes, Rng& rng) {
+  const std::size_t n = pa.switch_count();
+  std::vector<std::size_t> child(n, static_cast<std::size_t>(-1));
+  std::vector<std::size_t> capacity = cluster_sizes;
+  std::vector<std::size_t> order = RandomPermutation(n, rng);
+
+  // Phase 1: inherit from A for a random half of the switches.
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const std::size_t s = order[k];
+    const std::size_t c = pa.ClusterOf(s);
+    if (capacity[c] > 0) {
+      child[s] = c;
+      --capacity[c];
+    }
+  }
+  // Phase 2: inherit from B where capacity allows.
+  for (std::size_t s = 0; s < n; ++s) {
+    if (child[s] != static_cast<std::size_t>(-1)) continue;
+    const std::size_t c = pb.ClusterOf(s);
+    if (capacity[c] > 0) {
+      child[s] = c;
+      --capacity[c];
+    }
+  }
+  // Phase 3: any leftovers go to whichever cluster still has room.
+  for (std::size_t s = 0; s < n; ++s) {
+    if (child[s] != static_cast<std::size_t>(-1)) continue;
+    for (std::size_t c = 0; c < capacity.size(); ++c) {
+      if (capacity[c] > 0) {
+        child[s] = c;
+        --capacity[c];
+        break;
+      }
+    }
+  }
+  return Partition(std::move(child));
+}
+
+}  // namespace
+
+SearchResult GeneticSimulatedAnnealing(const DistanceTable& table,
+                                       const std::vector<std::size_t>& cluster_sizes,
+                                       const GeneticAnnealingOptions& options) {
+  CS_CHECK(options.population >= 2, "population must be at least 2");
+  Rng rng(options.rng_seed);
+
+  struct Individual {
+    qual::SwapEvaluator eval;
+    explicit Individual(qual::SwapEvaluator e) : eval(std::move(e)) {}
+  };
+  std::vector<Individual> population;
+  population.reserve(options.population);
+  for (std::size_t i = 0; i < options.population; ++i) {
+    population.emplace_back(qual::SwapEvaluator(table, Partition::Random(cluster_sizes, rng)));
+  }
+
+  SearchResult result;
+  result.best = population.front().eval.partition();
+  double best_sum = population.front().eval.IntraSum();
+
+  double temperature = options.initial_temperature > 0.0
+                           ? options.initial_temperature
+                           : CalibrateTemperature(population.front().eval, rng);
+
+  auto consider_best = [&](const qual::SwapEvaluator& eval) {
+    if (eval.IntraSum() < best_sum - kEps) {
+      best_sum = eval.IntraSum();
+      result.best = eval.partition();
+    }
+  };
+  for (auto& ind : population) consider_best(ind.eval);
+
+  for (std::size_t gen = 0; gen < options.generations; ++gen) {
+    // Mutation phase: each individual attempts SA-accepted swaps.
+    for (auto& ind : population) {
+      for (std::size_t m = 0; m < options.moves_per_individual; ++m) {
+        const auto [a, b] = RandomInterClusterPair(ind.eval.partition(), rng);
+        const double delta = ind.eval.SwapDelta(a, b);
+        ++result.evaluations;
+        if (delta < kEps || rng.NextDouble() < std::exp(-delta / temperature)) {
+          ind.eval.ApplySwap(a, b);
+          ++result.iterations;
+          consider_best(ind.eval);
+        }
+      }
+    }
+    // Selection phase: sort by fitness; replace the worst with elite copies
+    // or crossovers of two random elites.
+    std::vector<std::size_t> rank(population.size());
+    for (std::size_t i = 0; i < rank.size(); ++i) rank[i] = i;
+    std::sort(rank.begin(), rank.end(), [&](std::size_t x, std::size_t y) {
+      return population[x].eval.IntraSum() < population[y].eval.IntraSum();
+    });
+    const std::size_t elites = std::max<std::size_t>(
+        1, static_cast<std::size_t>(options.elite_fraction * population.size()));
+    for (std::size_t k = 0; k < elites && k < population.size(); ++k) {
+      const std::size_t victim = rank[population.size() - 1 - k];
+      if (victim == rank[k]) continue;
+      if (rng.NextBool(options.crossover_probability) && elites >= 2) {
+        const std::size_t p1 = rank[rng.NextIndex(elites)];
+        const std::size_t p2 = rank[rng.NextIndex(elites)];
+        population[victim].eval.Reset(Crossover(population[p1].eval.partition(),
+                                                population[p2].eval.partition(), cluster_sizes,
+                                                rng));
+      } else {
+        population[victim].eval.Reset(population[rank[k]].eval.partition());
+      }
+      consider_best(population[victim].eval);
+    }
+    temperature *= options.cooling;
+  }
+  FinalizeResult(table, result);
+  return result;
+}
+
+}  // namespace commsched::sched

@@ -1,0 +1,126 @@
+#include "sched/astar.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace commsched::sched {
+
+namespace {
+
+
+struct Node {
+  double f = 0.0;  // g + h
+  double g = 0.0;  // intracluster sum of the prefix
+  std::vector<std::uint8_t> cluster_of;  // assignment of switches [0, depth)
+
+  // Min-heap by f.
+  friend bool operator>(const Node& a, const Node& b) { return a.f > b.f; }
+};
+
+}  // namespace
+
+SearchResult AStarSearch(const DistanceTable& table,
+                         const std::vector<std::size_t>& cluster_sizes,
+                         const AStarOptions& options) {
+  const std::size_t n = table.size();
+  std::size_t total = 0;
+  std::size_t total_intra_pairs = 0;
+  for (std::size_t size : cluster_sizes) {
+    CS_CHECK(size > 0, "cluster sizes must be positive");
+    total += size;
+    total_intra_pairs += size * (size - 1) / 2;
+  }
+  CS_CHECK(total == n, "cluster sizes must cover every switch");
+  CS_CHECK(cluster_sizes.size() <= 255, "too many clusters for the compact encoding");
+
+  // Sorted squared pair distances and their prefix sums: the sum of the R
+  // smallest is an admissible bound for any R future intracluster pairs.
+  std::vector<double> sorted_sq;
+  sorted_sq.reserve(n * (n - 1) / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      sorted_sq.push_back(table(i, j) * table(i, j));
+    }
+  }
+  std::sort(sorted_sq.begin(), sorted_sq.end());
+  std::vector<double> prefix(sorted_sq.size() + 1, 0.0);
+  for (std::size_t k = 0; k < sorted_sq.size(); ++k) {
+    prefix[k + 1] = prefix[k] + sorted_sq[k];
+  }
+  const double min_sq = sorted_sq.empty() ? 0.0 : sorted_sq.front();
+
+  auto heuristic = [&](const std::vector<std::uint8_t>& cluster_of) -> double {
+    if (options.heuristic_level == 0) return 0.0;
+    // Intracluster pairs already realized by the prefix.
+    std::vector<std::size_t> filled(cluster_sizes.size(), 0);
+    for (std::uint8_t c : cluster_of) ++filled[c];
+    std::size_t current_pairs = 0;
+    for (std::size_t c = 0; c < filled.size(); ++c) {
+      current_pairs += filled[c] * (filled[c] - 1) / 2;
+    }
+    const std::size_t remaining = total_intra_pairs - current_pairs;
+    if (options.heuristic_level == 1) {
+      return static_cast<double>(remaining) * min_sq;
+    }
+    return prefix[remaining];  // sum of the R globally smallest pair costs
+  };
+
+  std::priority_queue<Node, std::vector<Node>, std::greater<>> open;
+  open.push({heuristic({}), 0.0, {}});
+
+  SearchResult result;
+  while (!open.empty()) {
+    Node node = std::move(const_cast<Node&>(open.top()));
+    open.pop();
+    const std::size_t depth = node.cluster_of.size();
+    if (depth == n) {
+      std::vector<std::size_t> assignment(node.cluster_of.begin(), node.cluster_of.end());
+      result.best = Partition(std::move(assignment));
+      FinalizeResult(table, result);
+      return result;
+    }
+    ++result.evaluations;
+    CS_CHECK(result.evaluations <= options.max_expansions, "A* exceeded max_expansions");
+
+    std::vector<std::size_t> filled(cluster_sizes.size(), 0);
+    for (std::uint8_t c : node.cluster_of) ++filled[c];
+    for (std::size_t c = 0; c < cluster_sizes.size(); ++c) {
+      if (filled[c] >= cluster_sizes[c]) continue;
+      // Symmetry breaking: an empty cluster may be opened only if no earlier
+      // cluster of the same size is still empty.
+      if (filled[c] == 0) {
+        bool blocked = false;
+        for (std::size_t c2 = 0; c2 < c; ++c2) {
+          if (filled[c2] == 0 && cluster_sizes[c2] == cluster_sizes[c]) {
+            blocked = true;
+            break;
+          }
+        }
+        if (blocked) continue;
+      }
+      double delta = 0.0;
+      for (std::size_t s = 0; s < depth; ++s) {
+        if (node.cluster_of[s] == c) {
+          const double d = table(s, depth);
+          delta += d * d;
+        }
+      }
+      Node child;
+      child.g = node.g + delta;
+      child.cluster_of = node.cluster_of;
+      child.cluster_of.push_back(static_cast<std::uint8_t>(c));
+      // Note: the prefix-sum heuristic is admissible but NOT consistent
+      // (a child's f may drop below its parent's — the parent's bound can
+      // charge higher-ranked global pairs than the child actually formed).
+      // That is fine for optimality: this is tree search (each assignment
+      // prefix is generated exactly once), so the first goal popped still
+      // carries the global minimum.
+      child.f = child.g + heuristic(child.cluster_of);
+      open.push(std::move(child));
+    }
+    ++result.iterations;
+  }
+  CS_UNREACHABLE("A* open list exhausted without reaching a goal");
+}
+
+}  // namespace commsched::sched

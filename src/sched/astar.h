@@ -1,0 +1,30 @@
+// A* search over partial partitions (§2 mentions the authors evaluated the
+// A* heuristic of Kafil & Ahmad [17] alongside GSA and Tabu).
+//
+// States are prefixes of the assignment order (switch 0..k-1 placed),
+// g = intracluster quadratic sum accumulated so far, and h is an admissible
+// lower bound: every not-yet-formed intracluster pair will cost at least the
+// smallest squared distance its switches can still realize. With an
+// admissible h, the first goal popped is the global optimum — same answer
+// as ExhaustiveSearch, typically visiting far fewer states, at the price of
+// a priority queue and visited-state bookkeeping.
+#pragma once
+
+#include "sched/search.h"
+
+namespace commsched::sched {
+
+struct AStarOptions {
+  /// Abort when the open list has expanded this many states (safety valve).
+  std::size_t max_expansions = 50'000'000;
+  /// h strength: 0 = h==0 (uniform-cost search), 1 = global-min bound,
+  /// 2 = per-switch min bound (tighter, slightly costlier per node).
+  int heuristic_level = 2;
+};
+
+/// Exact minimum of F_G via A*; result.evaluations counts expanded states.
+[[nodiscard]] SearchResult AStarSearch(const DistanceTable& table,
+                                       const std::vector<std::size_t>& cluster_sizes,
+                                       const AStarOptions& options = {});
+
+}  // namespace commsched::sched

@@ -1,0 +1,148 @@
+#include "sched/exhaustive.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace commsched::sched {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+struct Enumerator {
+  const DistanceTable& table;
+  const ExhaustiveOptions& options;
+  std::vector<std::size_t> capacity;           // remaining slots per cluster
+  std::vector<std::size_t> sizes;              // full sizes per cluster
+  std::vector<std::vector<std::size_t>> members;  // assigned switches per cluster
+  std::vector<std::size_t> cluster_of;         // per switch (filled in order)
+  double intra_sum = 0.0;
+  double best_sum = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> best_assignment;
+  unsigned long long leaves = 0;
+
+  explicit Enumerator(const DistanceTable& t, const std::vector<std::size_t>& cluster_sizes,
+                      const ExhaustiveOptions& opts)
+      : table(t), options(opts), capacity(cluster_sizes), sizes(cluster_sizes),
+        members(cluster_sizes.size()), cluster_of(t.size(), 0) {}
+
+  void Assign(std::size_t s) {
+    if (s == table.size()) {
+      ++leaves;
+      CS_CHECK(leaves <= options.max_leaves, "exhaustive search exceeded max_leaves");
+      if (intra_sum < best_sum - kEps) {
+        best_sum = intra_sum;
+        best_assignment = cluster_of;
+      }
+      return;
+    }
+    for (std::size_t c = 0; c < capacity.size(); ++c) {
+      if (capacity[c] == 0) continue;
+      // Symmetry breaking: an empty cluster may be opened only if no earlier
+      // cluster of the same size is still empty.
+      if (members[c].empty()) {
+        bool blocked = false;
+        for (std::size_t c2 = 0; c2 < c; ++c2) {
+          if (members[c2].empty() && sizes[c2] == sizes[c]) {
+            blocked = true;
+            break;
+          }
+        }
+        if (blocked) continue;
+      }
+      double delta = 0.0;
+      for (std::size_t m : members[c]) {
+        const double d = table(s, m);
+        delta += d * d;
+      }
+      if (options.prune && intra_sum + delta >= best_sum - kEps) {
+        continue;  // exact bound: remaining assignments only add mass
+      }
+      members[c].push_back(s);
+      --capacity[c];
+      cluster_of[s] = c;
+      intra_sum += delta;
+      Assign(s + 1);
+      intra_sum -= delta;
+      ++capacity[c];
+      members[c].pop_back();
+    }
+  }
+};
+
+unsigned long long CheckedMul(unsigned long long a, unsigned long long b) {
+  CS_CHECK(b == 0 || a <= std::numeric_limits<unsigned long long>::max() / b,
+           "partition count overflows 64 bits");
+  return a * b;
+}
+
+unsigned long long Binomial(std::size_t n, std::size_t k) {
+  k = std::min(k, n - k);
+  unsigned long long result = 1;
+  for (std::size_t i = 1; i <= k; ++i) {
+    // result * (n-k+i) / i stays integral at each step.
+    const unsigned long long numer = n - k + i;
+    const unsigned long long g = std::gcd(result, static_cast<unsigned long long>(i));
+    unsigned long long r = result / g;
+    unsigned long long d = i / g;
+    r = CheckedMul(r, numer);
+    CS_CHECK(r % d == 0, "binomial arithmetic error");
+    result = r / d;
+  }
+  return result;
+}
+
+}  // namespace
+
+unsigned long long CountPartitions(const std::vector<std::size_t>& cluster_sizes) {
+  CS_CHECK(!cluster_sizes.empty(), "need at least one cluster");
+  std::size_t n = 0;
+  for (std::size_t size : cluster_sizes) n += size;
+  unsigned long long count = 1;
+  std::size_t remaining = n;
+  for (std::size_t size : cluster_sizes) {
+    count = CheckedMul(count, Binomial(remaining, size));
+    remaining -= size;
+  }
+  // Divide by m! for each multiplicity m of equal cluster sizes.
+  std::vector<std::size_t> sorted = cluster_sizes;
+  std::sort(sorted.begin(), sorted.end());
+  std::size_t run = 1;
+  for (std::size_t i = 1; i <= sorted.size(); ++i) {
+    if (i < sorted.size() && sorted[i] == sorted[i - 1]) {
+      ++run;
+    } else {
+      for (std::size_t f = 2; f <= run; ++f) {
+        CS_CHECK(count % f == 0, "multiplicity division error");
+        count /= f;
+      }
+      run = 1;
+    }
+  }
+  return count;
+}
+
+SearchResult ExhaustiveSearch(const DistanceTable& table,
+                              const std::vector<std::size_t>& cluster_sizes,
+                              const ExhaustiveOptions& options) {
+  std::size_t n = 0;
+  for (std::size_t size : cluster_sizes) {
+    CS_CHECK(size > 0, "cluster sizes must be positive");
+    n += size;
+  }
+  CS_CHECK(n == table.size(), "cluster sizes must cover every switch");
+
+  Enumerator enumerator(table, cluster_sizes, options);
+  enumerator.Assign(0);
+  CS_CHECK(!enumerator.best_assignment.empty(), "no feasible partition found");
+
+  SearchResult result;
+  result.best = Partition(enumerator.best_assignment);
+  result.evaluations = enumerator.leaves;
+  result.iterations = enumerator.leaves;
+  FinalizeResult(table, result);
+  return result;
+}
+
+}  // namespace commsched::sched

@@ -1,0 +1,70 @@
+#include "sched/local_search.h"
+
+#include <limits>
+
+#include "common/rng.h"
+
+namespace commsched::sched {
+
+namespace {
+constexpr double kEps = 1e-12;
+}  // namespace
+
+SearchResult SteepestDescent(const DistanceTable& table,
+                             const std::vector<std::size_t>& cluster_sizes,
+                             const SteepestDescentOptions& options) {
+  Rng rng(options.rng_seed);
+  SearchResult result;
+  double best_sum = std::numeric_limits<double>::infinity();
+
+  for (std::size_t restart = 0; restart < options.restarts; ++restart) {
+    qual::SwapEvaluator eval(table, Partition::Random(cluster_sizes, rng));
+    const std::size_t n = eval.partition().switch_count();
+    for (std::size_t it = 0; it < options.max_iterations_per_restart; ++it) {
+      double best_delta = -kEps;
+      std::pair<std::size_t, std::size_t> best_move{n, n};
+      for (std::size_t a = 0; a < n; ++a) {
+        for (std::size_t b = a + 1; b < n; ++b) {
+          if (eval.partition().ClusterOf(a) == eval.partition().ClusterOf(b)) continue;
+          const double delta = eval.SwapDelta(a, b);
+          ++result.evaluations;
+          if (delta < best_delta) {
+            best_delta = delta;
+            best_move = {a, b};
+          }
+        }
+      }
+      if (best_move.first >= n) break;  // local minimum
+      eval.ApplySwap(best_move.first, best_move.second);
+      ++result.iterations;
+    }
+    if (eval.IntraSum() < best_sum - kEps) {
+      best_sum = eval.IntraSum();
+      result.best = eval.partition();
+    }
+  }
+  FinalizeResult(table, result);
+  return result;
+}
+
+SearchResult RandomSearch(const DistanceTable& table,
+                          const std::vector<std::size_t>& cluster_sizes,
+                          const RandomSearchOptions& options) {
+  CS_CHECK(options.samples >= 1, "need at least one sample");
+  Rng rng(options.rng_seed);
+  SearchResult result;
+  double best_sum = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < options.samples; ++k) {
+    qual::SwapEvaluator eval(table, Partition::Random(cluster_sizes, rng));
+    ++result.evaluations;
+    if (eval.IntraSum() < best_sum - kEps) {
+      best_sum = eval.IntraSum();
+      result.best = eval.partition();
+    }
+  }
+  result.iterations = options.samples;
+  FinalizeResult(table, result);
+  return result;
+}
+
+}  // namespace commsched::sched

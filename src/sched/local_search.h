@@ -1,0 +1,32 @@
+// Simple search baselines: steepest-descent hill climbing (Tabu without the
+// escape mechanism) and pure random sampling. Both bound how much the Tabu
+// machinery actually buys (bench/tab_heuristic_compare, abl_tabu_params).
+#pragma once
+
+#include "sched/search.h"
+
+namespace commsched::sched {
+
+struct SteepestDescentOptions {
+  std::size_t restarts = 10;
+  std::size_t max_iterations_per_restart = 1000;  // descent almost always stops earlier
+  std::uint64_t rng_seed = 1;
+};
+
+/// Repeated steepest descent: apply the best decreasing swap until a local
+/// minimum; restart from fresh random partitions; keep the best.
+[[nodiscard]] SearchResult SteepestDescent(const DistanceTable& table,
+                                           const std::vector<std::size_t>& cluster_sizes,
+                                           const SteepestDescentOptions& options = {});
+
+struct RandomSearchOptions {
+  std::size_t samples = 1000;
+  std::uint64_t rng_seed = 1;
+};
+
+/// Best of `samples` uniformly random partitions.
+[[nodiscard]] SearchResult RandomSearch(const DistanceTable& table,
+                                        const std::vector<std::size_t>& cluster_sizes,
+                                        const RandomSearchOptions& options = {});
+
+}  // namespace commsched::sched

@@ -1,0 +1,159 @@
+#include "sched/online.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace commsched::sched {
+
+OnlineScheduler::OnlineScheduler(const topo::SwitchGraph& graph,
+                                 const dist::DistanceTable& table, const OnlineOptions& options)
+    : graph_(&graph), table_(&table), options_(options) {
+  CS_CHECK(table.size() == graph.switch_count(), "table / graph size mismatch");
+  is_free_.assign(graph.switch_count(), true);
+  free_.resize(graph.switch_count());
+  for (std::size_t s = 0; s < graph.switch_count(); ++s) free_[s] = s;
+}
+
+double OnlineScheduler::SetCost(const std::vector<std::size_t>& members) const {
+  double cost = 0.0;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    for (std::size_t j = i + 1; j < members.size(); ++j) {
+      const double d = (*table_)(members[i], members[j]);
+      cost += d * d;
+    }
+  }
+  return cost;
+}
+
+std::optional<std::vector<std::size_t>> OnlineScheduler::Allocate(const std::string& name,
+                                                                  std::size_t switch_count) {
+  CS_CHECK(switch_count >= 1, "allocation needs at least one switch");
+  CS_CHECK(allocations_.find(name) == allocations_.end(), "'", name, "' already allocated");
+  if (free_.size() < switch_count) {
+    return std::nullopt;
+  }
+
+  // Greedy: try every free switch as the seed; grow by the free switch with
+  // the least added cost; keep the cheapest grown set.
+  std::vector<std::size_t> best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (std::size_t seed : free_) {
+    std::vector<std::size_t> chosen{seed};
+    std::vector<std::size_t> pool;
+    pool.reserve(free_.size() - 1);
+    for (std::size_t s : free_) {
+      if (s != seed) pool.push_back(s);
+    }
+    double cost = 0.0;
+    while (chosen.size() < switch_count) {
+      std::size_t pick = 0;
+      double pick_delta = std::numeric_limits<double>::infinity();
+      for (std::size_t k = 0; k < pool.size(); ++k) {
+        double delta = 0.0;
+        for (std::size_t m : chosen) {
+          const double d = (*table_)(pool[k], m);
+          delta += d * d;
+        }
+        if (delta < pick_delta) {
+          pick_delta = delta;
+          pick = k;
+        }
+      }
+      cost += pick_delta;
+      chosen.push_back(pool[pick]);
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    if (cost < best_cost - 1e-12) {
+      best_cost = cost;
+      best = chosen;
+    }
+  }
+
+  // Local search: swap a chosen switch for a free one while it helps.
+  for (std::size_t round = 0; round < options_.local_search_iterations; ++round) {
+    bool improved = false;
+    for (std::size_t i = 0; i < best.size() && !improved; ++i) {
+      for (std::size_t candidate : free_) {
+        if (std::find(best.begin(), best.end(), candidate) != best.end()) continue;
+        std::vector<std::size_t> trial = best;
+        trial[i] = candidate;
+        const double cost = SetCost(trial);
+        if (cost < best_cost - 1e-12) {
+          best_cost = cost;
+          best = std::move(trial);
+          improved = true;
+          break;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+
+  std::sort(best.begin(), best.end());
+  for (std::size_t s : best) {
+    is_free_[s] = false;
+  }
+  free_.erase(std::remove_if(free_.begin(), free_.end(),
+                             [&](std::size_t s) { return !is_free_[s]; }),
+              free_.end());
+  allocations_[name] = best;
+  return best;
+}
+
+void OnlineScheduler::Release(const std::string& name) {
+  auto it = allocations_.find(name);
+  CS_CHECK(it != allocations_.end(), "unknown allocation '", name, "'");
+  for (std::size_t s : it->second) {
+    CS_DCHECK(!is_free_[s], "double free of switch ", s);
+    is_free_[s] = true;
+    free_.push_back(s);
+  }
+  std::sort(free_.begin(), free_.end());
+  allocations_.erase(it);
+}
+
+std::size_t OnlineScheduler::FreeSwitchCount() const { return free_.size(); }
+
+double OnlineScheduler::AllocationCost(const std::string& name) const {
+  auto it = allocations_.find(name);
+  CS_CHECK(it != allocations_.end(), "unknown allocation '", name, "'");
+  const std::size_t n = it->second.size();
+  if (n < 2) return 0.0;
+  return SetCost(it->second) / (static_cast<double>(n) * (n - 1) / 2.0);
+}
+
+double OnlineScheduler::FragmentationIndex() const {
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (const auto& [name, members] : allocations_) {
+    if (members.size() < 2) continue;
+    sum += AllocationCost(name) / table_->MeanSquaredDistance();
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+}
+
+qual::Partition OnlineScheduler::SnapshotPartition(std::vector<std::string>* cluster_names) const {
+  std::vector<std::size_t> cluster_of(graph_->switch_count(), 0);
+  std::vector<std::string> names;
+  std::size_t next = 0;
+  for (const auto& [name, members] : allocations_) {
+    for (std::size_t s : members) {
+      cluster_of[s] = next;
+    }
+    names.push_back(name);
+    ++next;
+  }
+  if (!free_.empty()) {
+    for (std::size_t s : free_) {
+      cluster_of[s] = next;
+    }
+    names.push_back("<idle>");
+    ++next;
+  }
+  CS_CHECK(next >= 1, "empty system has no partition");
+  if (cluster_names) *cluster_names = std::move(names);
+  return qual::Partition(std::move(cluster_of));
+}
+
+}  // namespace commsched::sched

@@ -1,0 +1,75 @@
+// Online allocation: applications arrive and depart over time and must be
+// placed on whatever switches are currently free — the day-to-day regime of
+// the paper's NOW scenario ("integration with process scheduling", §6).
+//
+// Allocate() picks a set of free switches with minimal intracluster
+// quadratic distance (greedy growth from the best seed, refined by swap
+// local search within the free pool), so each application lands on the
+// tightest region still available. Release() frees an application's
+// switches. Fragmentation shows up as rising allocation costs; the
+// FragmentationIndex tracks it.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "distance/distance_table.h"
+#include "quality/partition.h"
+#include "topology/graph.h"
+
+namespace commsched::sched {
+
+struct OnlineOptions {
+  /// Swap-improvement rounds per allocation (0 = greedy only).
+  std::size_t local_search_iterations = 100;
+};
+
+class OnlineScheduler {
+ public:
+  /// The table must match the graph and outlive the scheduler.
+  OnlineScheduler(const topo::SwitchGraph& graph, const dist::DistanceTable& table,
+                  const OnlineOptions& options = {});
+
+  /// Allocates `switch_count` switches for `name`; returns the chosen
+  /// switches (ascending) or nullopt if not enough are free. `name` must
+  /// not already be allocated.
+  [[nodiscard]] std::optional<std::vector<std::size_t>> Allocate(const std::string& name,
+                                                                 std::size_t switch_count);
+
+  /// Releases a previous allocation; throws if `name` is unknown.
+  void Release(const std::string& name);
+
+  [[nodiscard]] std::size_t FreeSwitchCount() const;
+  [[nodiscard]] const std::vector<std::size_t>& FreeSwitches() const { return free_; }
+  [[nodiscard]] const std::map<std::string, std::vector<std::size_t>>& allocations() const {
+    return allocations_;
+  }
+
+  /// Mean intracluster quadratic distance per pair of an allocation.
+  [[nodiscard]] double AllocationCost(const std::string& name) const;
+
+  /// Mean of AllocationCost over live allocations with >= 2 switches,
+  /// normalized by the table's mean squared distance (1.0 = as bad as
+  /// random placement, smaller is tighter). 0 when nothing qualifies.
+  [[nodiscard]] double FragmentationIndex() const;
+
+  /// The current overall partition: one cluster per allocation (in
+  /// lexicographic name order) plus, if any switches are free, a final
+  /// "idle" cluster. Useful to hand the live system to the simulator.
+  [[nodiscard]] qual::Partition SnapshotPartition(
+      std::vector<std::string>* cluster_names = nullptr) const;
+
+ private:
+  [[nodiscard]] double SetCost(const std::vector<std::size_t>& members) const;
+
+  const topo::SwitchGraph* graph_;
+  const dist::DistanceTable* table_;
+  OnlineOptions options_;
+  std::vector<bool> is_free_;
+  std::vector<std::size_t> free_;  // ascending
+  std::map<std::string, std::vector<std::size_t>> allocations_;
+};
+
+}  // namespace commsched::sched

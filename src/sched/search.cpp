@@ -1,0 +1,25 @@
+#include "sched/search.h"
+
+namespace commsched::sched {
+
+void FinalizeResult(const DistanceTable& table, SearchResult& result) {
+  result.best_fg = qual::GlobalSimilarity(table, result.best);
+  result.best_dg = qual::GlobalDissimilarity(table, result.best);
+  CS_CHECK(result.best_fg > 0.0, "degenerate F_G");
+  result.best_cc = result.best_dg / result.best_fg;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> InterClusterPairs(const Partition& partition) {
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  const std::size_t n = partition.switch_count();
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      if (partition.ClusterOf(a) != partition.ClusterOf(b)) {
+        pairs.emplace_back(a, b);
+      }
+    }
+  }
+  return pairs;
+}
+
+}  // namespace commsched::sched

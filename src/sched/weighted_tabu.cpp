@@ -1,0 +1,246 @@
+#include "sched/weighted_tabu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/rng.h"
+
+namespace commsched::sched {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+SearchResult RunWeightedSeed(const DistanceTable& table, const qual::WeightMatrix& weights,
+                             const Partition& start, const TabuOptions& options) {
+  qual::WeightedSwapEvaluator eval(table, weights, start);
+  const std::size_t n = start.switch_count();
+
+  SearchResult result;
+  result.best = start;
+  double best_fg = eval.Fg();
+  double current_fg = best_fg;
+
+  if (options.record_trace) {
+    result.trace.push_back({0, current_fg, true});
+  }
+
+  std::vector<std::vector<std::size_t>> tabu_until(n, std::vector<std::size_t>(n, 0));
+  std::map<long long, std::size_t> local_min_hits;
+  auto quantize = [](double fg) { return static_cast<long long>(std::llround(fg * 1e9)); };
+
+  std::size_t iteration = 0;
+  while (iteration < options.max_iterations_per_seed) {
+    double best_down = current_fg - kEps;  // must strictly decrease
+    std::pair<std::size_t, std::size_t> down_move{n, n};
+    double best_up = std::numeric_limits<double>::infinity();
+    std::pair<std::size_t, std::size_t> up_move{n, n};
+    bool any_decrease_exists = false;
+
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = a + 1; b < n; ++b) {
+        if (eval.partition().ClusterOf(a) == eval.partition().ClusterOf(b)) continue;
+        const double after = eval.FgAfterSwap(a, b);
+        ++result.evaluations;
+        if (after < current_fg - kEps) any_decrease_exists = true;
+        const bool tabu = tabu_until[a][b] > iteration;
+        if (tabu && !(options.aspiration && after < best_fg - kEps)) continue;
+        if (after < best_down) {
+          best_down = after;
+          down_move = {a, b};
+        }
+        if (after > current_fg + kEps && after < best_up) {
+          best_up = after;
+          up_move = {a, b};
+        }
+      }
+    }
+
+    std::pair<std::size_t, std::size_t> move{n, n};
+    bool escaping = false;
+    if (down_move.first < n) {
+      move = down_move;
+    } else {
+      if (!any_decrease_exists) {
+        if (++local_min_hits[quantize(current_fg)] >= options.local_min_repeats) break;
+      }
+      if (up_move.first >= n) break;
+      move = up_move;
+      escaping = true;
+    }
+
+    eval.ApplySwap(move.first, move.second);
+    current_fg = eval.Fg();
+    ++iteration;
+    ++result.iterations;
+    if (escaping) {
+      tabu_until[move.first][move.second] = iteration + options.tenure;
+    }
+    if (options.record_trace) {
+      result.trace.push_back({iteration, current_fg, false});
+    }
+    if (current_fg < best_fg - kEps) {
+      best_fg = current_fg;
+      result.best = eval.partition();
+    }
+  }
+
+  result.best_fg = qual::WeightedGlobalSimilarity(table, weights, result.best);
+  result.best_dg = qual::WeightedGlobalDissimilarity(table, weights, result.best);
+  result.best_cc = result.best_dg / result.best_fg;
+  return result;
+}
+
+SearchResult RunIntensitySeed(const DistanceTable& table,
+                              const std::vector<double>& intensity, const Partition& start,
+                              const TabuOptions& options) {
+  qual::IntensitySwapEvaluator eval(table, start, intensity);
+  const std::size_t n = start.switch_count();
+
+  SearchResult result;
+  result.best = start;
+  double best_fg = eval.Fg();
+  double current_fg = best_fg;
+  if (options.record_trace) {
+    result.trace.push_back({0, current_fg, true});
+  }
+
+  std::vector<std::vector<std::size_t>> tabu_until(n, std::vector<std::size_t>(n, 0));
+  std::map<long long, std::size_t> local_min_hits;
+  auto quantize = [](double fg) { return static_cast<long long>(std::llround(fg * 1e9)); };
+
+  std::size_t iteration = 0;
+  while (iteration < options.max_iterations_per_seed) {
+    double best_delta_down = 0.0;
+    std::pair<std::size_t, std::size_t> down_move{n, n};
+    double best_delta_up = std::numeric_limits<double>::infinity();
+    std::pair<std::size_t, std::size_t> up_move{n, n};
+    bool any_decrease_exists = false;
+
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = a + 1; b < n; ++b) {
+        if (eval.partition().ClusterOf(a) == eval.partition().ClusterOf(b)) continue;
+        const double delta = eval.SwapDelta(a, b);
+        ++result.evaluations;
+        if (delta < -kEps) any_decrease_exists = true;
+        const bool tabu = tabu_until[a][b] > iteration;
+        if (tabu && !(options.aspiration && eval.FgAfterDelta(delta) < best_fg - kEps)) {
+          continue;
+        }
+        if (delta < best_delta_down - kEps) {
+          best_delta_down = delta;
+          down_move = {a, b};
+        }
+        if (delta > kEps && delta < best_delta_up) {
+          best_delta_up = delta;
+          up_move = {a, b};
+        }
+      }
+    }
+
+    std::pair<std::size_t, std::size_t> move{n, n};
+    bool escaping = false;
+    if (down_move.first < n && best_delta_down < -kEps) {
+      move = down_move;
+    } else {
+      if (!any_decrease_exists) {
+        if (++local_min_hits[quantize(current_fg)] >= options.local_min_repeats) break;
+      }
+      if (up_move.first >= n) break;
+      move = up_move;
+      escaping = true;
+    }
+
+    eval.ApplySwap(move.first, move.second);
+    current_fg = eval.Fg();
+    ++iteration;
+    ++result.iterations;
+    if (escaping) {
+      tabu_until[move.first][move.second] = iteration + options.tenure;
+    }
+    if (options.record_trace) {
+      result.trace.push_back({iteration, current_fg, false});
+    }
+    if (current_fg < best_fg - kEps) {
+      best_fg = current_fg;
+      result.best = eval.partition();
+    }
+  }
+
+  result.best_fg = qual::IntensityGlobalSimilarity(table, result.best, intensity);
+  result.best_dg = qual::GlobalDissimilarity(table, result.best);
+  result.best_cc = result.best_dg / qual::GlobalSimilarity(table, result.best);
+  return result;
+}
+
+}  // namespace
+
+SearchResult IntensityTabuSearch(const DistanceTable& table,
+                                 const std::vector<std::size_t>& cluster_sizes,
+                                 const std::vector<double>& cluster_intensity,
+                                 const TabuOptions& options) {
+  CS_CHECK(options.seeds >= 1, "need at least one seed");
+  CS_CHECK(cluster_intensity.size() == cluster_sizes.size(), "one intensity per cluster");
+  Rng rng(options.rng_seed);
+
+  SearchResult combined;
+  bool first = true;
+  std::size_t iteration_base = 0;
+  for (std::size_t s = 0; s < options.seeds; ++s) {
+    const Partition start = Partition::Random(cluster_sizes, rng);
+    SearchResult run = RunIntensitySeed(table, cluster_intensity, start, options);
+    combined.iterations += run.iterations;
+    combined.evaluations += run.evaluations;
+    if (options.record_trace) {
+      for (TracePoint point : run.trace) {
+        point.iteration += iteration_base;
+        combined.trace.push_back(point);
+      }
+      iteration_base += run.iterations + 1;
+    }
+    if (first || run.best_fg < combined.best_fg - kEps) {
+      combined.best = run.best;
+      combined.best_fg = run.best_fg;
+      combined.best_dg = run.best_dg;
+      combined.best_cc = run.best_cc;
+      first = false;
+    }
+  }
+  return combined;
+}
+
+SearchResult WeightedTabuSearch(const DistanceTable& table, const qual::WeightMatrix& weights,
+                                const std::vector<std::size_t>& cluster_sizes,
+                                const TabuOptions& options) {
+  CS_CHECK(options.seeds >= 1, "need at least one seed");
+  Rng rng(options.rng_seed);
+
+  SearchResult combined;
+  bool first = true;
+  std::size_t iteration_base = 0;
+  for (std::size_t s = 0; s < options.seeds; ++s) {
+    const Partition start = Partition::Random(cluster_sizes, rng);
+    SearchResult run = RunWeightedSeed(table, weights, start, options);
+    combined.iterations += run.iterations;
+    combined.evaluations += run.evaluations;
+    if (options.record_trace) {
+      for (TracePoint point : run.trace) {
+        point.iteration += iteration_base;
+        combined.trace.push_back(point);
+      }
+      iteration_base += run.iterations + 1;
+    }
+    if (first || run.best_fg < combined.best_fg - kEps) {
+      combined.best = run.best;
+      combined.best_fg = run.best_fg;
+      combined.best_dg = run.best_dg;
+      combined.best_cc = run.best_cc;
+      first = false;
+    }
+  }
+  return combined;
+}
+
+}  // namespace commsched::sched

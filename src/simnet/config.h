@@ -1,0 +1,52 @@
+// Simulator configuration.
+//
+// The evaluation methodology follows the paper (§5): flit-level model,
+// wormhole switching, cycle-accurate link/switch timing — one flit per link
+// per cycle, one cycle routing decision for header flits, input-buffered
+// switches with credit flow control.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace commsched::sim {
+
+struct SimConfig {
+  /// Flits per message (header + body; the tail is the last flit).
+  std::size_t message_length_flits = 16;
+
+  /// Capacity of each input buffer, in flits.
+  std::size_t input_buffer_flits = 4;
+
+  /// false: deterministic routing (first minimal legal candidate).
+  /// true: adaptive — a header may claim any free minimal legal output.
+  /// (Used by the Routing-based constructor; ignored when an explicit
+  /// VcRoutingPolicy is supplied.)
+  bool adaptive_routing = false;
+
+  /// Virtual channels per physical link (private buffers, shared 1
+  /// flit/cycle bandwidth). Duato fully-adaptive routing needs >= 2.
+  std::size_t virtual_channels = 1;
+
+  /// Cycles simulated before statistics collection starts.
+  std::size_t warmup_cycles = 10000;
+
+  /// Cycles of the measurement window.
+  std::size_t measure_cycles = 30000;
+
+  /// Injection-rate randomness and destination sampling seed.
+  std::uint64_t rng_seed = 1;
+
+  /// If no flit moves for this many consecutive cycles while flits are in
+  /// flight, declare deadlock and stop (safety net: up*/down* cannot
+  /// deadlock, unrestricted routing can).
+  std::size_t deadlock_threshold_cycles = 5000;
+
+  /// Record delivered flits per (source switch, destination switch) during
+  /// the measurement window (SimMetrics::switch_pair_flit_rate) — the
+  /// "measurement of communication requirements" the paper defers to future
+  /// work; feeds the weighted quality functions.
+  bool collect_traffic_matrix = false;
+};
+
+}  // namespace commsched::sim

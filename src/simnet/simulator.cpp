@@ -1,0 +1,402 @@
+#include "simnet/simulator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace commsched::sim {
+
+namespace {
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+}  // namespace
+
+NetworkSimulator::NetworkSimulator(const SwitchGraph& graph, const Routing& routing,
+                                   const TrafficPattern& pattern, const SimConfig& config)
+    : graph_(&graph),
+      pattern_(&pattern),
+      config_(config),
+      owned_policy_(std::make_unique<SingleClassVcPolicy>(routing, config.virtual_channels,
+                                                          config.adaptive_routing)),
+      policy_(owned_policy_.get()) {
+  CS_CHECK(&routing.graph() == &graph, "routing built for a different graph");
+  Init();
+}
+
+NetworkSimulator::NetworkSimulator(const SwitchGraph& graph, const VcRoutingPolicy& policy,
+                                   const TrafficPattern& pattern, const SimConfig& config)
+    : graph_(&graph), pattern_(&pattern), config_(config), policy_(&policy) {
+  CS_CHECK(&policy.graph() == &graph, "policy built for a different graph");
+  CS_CHECK(policy.vc_count() == config.virtual_channels,
+           "policy has ", policy.vc_count(), " VCs but config asks for ",
+           config.virtual_channels);
+  Init();
+}
+
+void NetworkSimulator::Init() {
+  CS_CHECK(pattern_->host_count() == graph_->host_count(), "traffic pattern / graph mismatch");
+  CS_CHECK(config_.message_length_flits >= 1, "messages need at least one flit");
+  CS_CHECK(config_.input_buffer_flits >= 1, "buffers need at least one slot");
+  CS_CHECK(config_.virtual_channels >= 1, "need at least one virtual channel");
+  vc_count_ = config_.virtual_channels;
+
+  const std::size_t n = graph_->switch_count();
+  inputs_at_switch_.assign(n, {});
+  for (std::size_t c = 0; c < ChannelCount(); ++c) {
+    for (std::size_t vc = 0; vc < vc_count_; ++vc) {
+      inputs_at_switch_[ChannelTo(c)].push_back(c * vc_count_ + vc);
+    }
+  }
+  for (std::size_t h = 0; h < graph_->host_count(); ++h) {
+    inputs_at_switch_[graph_->SwitchOfHost(h)].push_back(InjectionBuffer(h));
+  }
+}
+
+std::size_t NetworkSimulator::ChannelFrom(std::size_t channel) const {
+  const topo::Link& link = graph_->link(channel / 2);
+  return channel % 2 == 0 ? link.a : link.b;
+}
+
+std::size_t NetworkSimulator::ChannelTo(std::size_t channel) const {
+  const topo::Link& link = graph_->link(channel / 2);
+  return channel % 2 == 0 ? link.b : link.a;
+}
+
+std::size_t NetworkSimulator::InjectionBuffer(std::size_t host) const {
+  return LinkVcCount() + host;
+}
+
+std::size_t NetworkSimulator::DeliveryPort(std::size_t host) const {
+  return LinkVcCount() + host;
+}
+
+void NetworkSimulator::ResetState() {
+  const std::size_t buffer_count = LinkVcCount() + graph_->host_count();
+  buffers_.assign(buffer_count, Buffer{});
+  for (Buffer& buffer : buffers_) {
+    buffer.capacity = config_.input_buffer_flits;
+  }
+  outputs_.assign(LinkVcCount() + graph_->host_count(), OutputPort{});
+  messages_.clear();
+  source_queue_.assign(graph_->host_count(), {});
+  source_flits_pushed_.assign(graph_->host_count(), 0);
+  switch_rr_.assign(graph_->switch_count(), 0);
+  channel_rr_.assign(ChannelCount(), 0);
+  pair_flits_.assign(
+      config_.collect_traffic_matrix ? graph_->switch_count() * graph_->switch_count() : 0, 0);
+  app_messages_.assign(pattern_->app_count(), 0);
+  app_flits_.assign(pattern_->app_count(), 0);
+  app_latency_sum_.assign(pattern_->app_count(), 0.0);
+  rng_ = Rng(config_.rng_seed);
+  cycle_ = 0;
+  measuring_ = false;
+  any_movement_this_cycle_ = false;
+  idle_cycles_ = 0;
+  flits_in_network_ = 0;
+  generated_flits_measured_ = 0;
+  delivered_flits_measured_ = 0;
+  messages_generated_measured_ = 0;
+  messages_delivered_measured_ = 0;
+  latency_sum_ = 0.0;
+  total_latency_sum_ = 0.0;
+  latency_samples_.clear();
+  deadlock_ = false;
+}
+
+void NetworkSimulator::ArbitratePhase() {
+  std::vector<VcCandidate> candidates;
+  for (std::size_t s = 0; s < graph_->switch_count(); ++s) {
+    const auto& inputs = inputs_at_switch_[s];
+    if (inputs.empty()) continue;
+    // Rotate the input scan start each cycle for fairness.
+    const std::size_t start = switch_rr_[s]++ % inputs.size();
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      const std::size_t b = inputs[(start + i) % inputs.size()];
+      Buffer& buffer = buffers_[b];
+      if (!buffer.FrontReady() || buffer.granted_output != Buffer::kNone) continue;
+      const Flit& front = buffer.flits.front();
+      if (!front.head) continue;
+      const Message& m = messages_[front.msg];
+
+      if (m.current_switch == m.dst_switch) {
+        // Consume locally: claim the destination host's delivery port.
+        const std::size_t o = DeliveryPort(m.dst_host);
+        OutputPort& port = outputs_[o];
+        if (port.owner == OutputPort::kFree) {
+          port.owner = front.msg;
+          port.source_buffer = b;
+          buffer.granted_output = o;
+        }
+        continue;
+      }
+
+      candidates = policy_->Candidates(m.current_switch, m.dst_switch, m.phase, m.on_escape);
+      for (const VcCandidate& cand : candidates) {
+        const topo::Link& link = graph_->link(cand.link);
+        const std::size_t channel = 2 * cand.link + (link.a == m.current_switch ? 0 : 1);
+        CS_DCHECK(ChannelFrom(channel) == m.current_switch, "candidate not incident");
+        const std::size_t o = channel * vc_count_ + cand.vc;
+        OutputPort& port = outputs_[o];
+        if (port.owner != OutputPort::kFree) continue;
+        port.owner = front.msg;
+        port.source_buffer = b;
+        port.next_phase = cand.phase;
+        port.next_escape = cand.escape;
+        buffer.granted_output = o;
+        break;
+      }
+    }
+  }
+}
+
+bool NetworkSimulator::TryMoveThroughOutput(std::size_t o) {
+  OutputPort& port = outputs_[o];
+  if (port.owner == OutputPort::kFree) return false;
+  Buffer& src = buffers_[port.source_buffer];
+  if (!src.FrontReady()) return false;  // bubble: upstream stalled
+  const Flit flit = src.flits.front();
+  CS_DCHECK(flit.msg == port.owner, "foreign flit at the front of a held buffer");
+
+  const bool is_delivery = o >= LinkVcCount();
+  if (!is_delivery) {
+    Buffer& dst = buffers_[o];
+    if (!dst.HasSpace()) return false;  // no credit downstream
+    src.flits.pop_front();
+    --src.ready;
+    dst.flits.push_back(flit);  // becomes ready at end of cycle
+    any_movement_this_cycle_ = true;
+    if (measuring_) ++port.flits_moved_measured;
+    if (flit.head) {
+      Message& m = messages_[flit.msg];
+      m.current_switch = ChannelTo(o / vc_count_);
+      m.phase = port.next_phase;
+      m.on_escape = port.next_escape;
+    }
+  } else {
+    // Delivery port: the host consumes one flit per cycle.
+    src.flits.pop_front();
+    --src.ready;
+    --flits_in_network_;
+    any_movement_this_cycle_ = true;
+    if (measuring_) {
+      ++delivered_flits_measured_;
+      const Message& m = messages_[flit.msg];
+      ++app_flits_[pattern_->AppOfHost(m.src_host)];
+      if (!pair_flits_.empty()) {
+        ++pair_flits_[graph_->SwitchOfHost(m.src_host) * graph_->switch_count() +
+                      m.dst_switch];
+      }
+    }
+    if (flit.tail) {
+      const Message& m = messages_[flit.msg];
+      if (measuring_) {
+        ++messages_delivered_measured_;
+        latency_sum_ += static_cast<long double>(cycle_ - m.inject_cycle);
+        total_latency_sum_ += static_cast<long double>(cycle_ - m.gen_cycle);
+        latency_samples_.push_back(static_cast<std::uint32_t>(cycle_ - m.inject_cycle));
+        const std::size_t app = pattern_->AppOfHost(m.src_host);
+        ++app_messages_[app];
+        app_latency_sum_[app] += static_cast<long double>(cycle_ - m.inject_cycle);
+      }
+    }
+  }
+  if (flit.tail) {
+    src.granted_output = Buffer::kNone;
+    port.owner = OutputPort::kFree;
+    port.source_buffer = kNone;
+  }
+  return true;
+}
+
+void NetworkSimulator::TransferPhase() {
+  // Physical links: one flit per cycle, round-robin among the VCs.
+  for (std::size_t c = 0; c < ChannelCount(); ++c) {
+    const std::size_t start = channel_rr_[c];
+    for (std::size_t k = 0; k < vc_count_; ++k) {
+      const std::size_t vc = (start + k) % vc_count_;
+      if (TryMoveThroughOutput(c * vc_count_ + vc)) {
+        channel_rr_[c] = (vc + 1) % vc_count_;
+        break;
+      }
+    }
+  }
+  // Delivery ports: one flit per host per cycle.
+  for (std::size_t h = 0; h < graph_->host_count(); ++h) {
+    (void)TryMoveThroughOutput(DeliveryPort(h));
+  }
+}
+
+void NetworkSimulator::InjectPhase() {
+  for (std::size_t h = 0; h < source_queue_.size(); ++h) {
+    if (source_queue_[h].empty()) continue;
+    Buffer& buffer = buffers_[InjectionBuffer(h)];
+    if (!buffer.HasSpace()) continue;
+    const std::size_t msg = source_queue_[h].front();
+    Message& m = messages_[msg];
+    const std::size_t k = source_flits_pushed_[h];
+    Flit flit{static_cast<std::uint32_t>(msg), k == 0, k + 1 == m.length};
+    if (flit.head) {
+      m.inject_cycle = cycle_;
+      m.current_switch = graph_->SwitchOfHost(h);
+      m.phase = Phase::kUp;
+      m.on_escape = false;
+    }
+    buffer.flits.push_back(flit);
+    ++flits_in_network_;
+    any_movement_this_cycle_ = true;
+    if (flit.tail) {
+      source_queue_[h].pop_front();
+      source_flits_pushed_[h] = 0;
+    } else {
+      ++source_flits_pushed_[h];
+    }
+  }
+}
+
+void NetworkSimulator::GeneratePhase() {
+  for (std::size_t h = 0; h < inject_prob_.size(); ++h) {
+    const double p = inject_prob_[h];
+    if (p <= 0.0 || !rng_.NextBool(p)) continue;
+    Message m;
+    m.src_host = h;
+    m.dst_host = pattern_->SampleDestination(h, rng_);
+    m.dst_switch = graph_->SwitchOfHost(m.dst_host);
+    m.length = config_.message_length_flits;
+    m.gen_cycle = cycle_;
+    messages_.push_back(m);
+    source_queue_[h].push_back(messages_.size() - 1);
+    if (measuring_) {
+      ++messages_generated_measured_;
+      generated_flits_measured_ += m.length;
+    }
+  }
+}
+
+void NetworkSimulator::FinalizeCycle() {
+  for (Buffer& buffer : buffers_) {
+    buffer.ready = buffer.flits.size();
+  }
+  if (flits_in_network_ > 0 && !any_movement_this_cycle_) {
+    if (++idle_cycles_ >= config_.deadlock_threshold_cycles) {
+      deadlock_ = true;
+    }
+  } else {
+    idle_cycles_ = 0;
+  }
+}
+
+void NetworkSimulator::StepCycle() {
+  any_movement_this_cycle_ = false;
+  ArbitratePhase();
+  TransferPhase();
+  InjectPhase();
+  GeneratePhase();
+  FinalizeCycle();
+  ++cycle_;
+}
+
+SimMetrics NetworkSimulator::Run(double injection_flits_per_switch_cycle) {
+  CS_CHECK(injection_flits_per_switch_cycle >= 0.0, "negative injection rate");
+  ResetState();
+
+  // Per-host Bernoulli message probability: aggregate offered load is
+  // rate * switch_count flits/cycle, split across hosts by traffic weight.
+  const std::size_t hosts = graph_->host_count();
+  inject_prob_.assign(hosts, 0.0);
+  double weight_sum = 0.0;
+  for (std::size_t h = 0; h < hosts; ++h) weight_sum += pattern_->HostWeight(h);
+  if (weight_sum > 0.0) {
+    const double total_flits_per_cycle =
+        injection_flits_per_switch_cycle * static_cast<double>(graph_->switch_count());
+    for (std::size_t h = 0; h < hosts; ++h) {
+      const double p = total_flits_per_cycle * pattern_->HostWeight(h) /
+                       (weight_sum * static_cast<double>(config_.message_length_flits));
+      CS_CHECK(p <= 1.0, "offered load exceeds host injection bandwidth (p=", p, ")");
+      inject_prob_[h] = p;
+    }
+  }
+
+  const std::size_t horizon = config_.warmup_cycles + config_.measure_cycles;
+  std::size_t measured_cycles = 0;
+  while (cycle_ < horizon && !deadlock_) {
+    measuring_ = cycle_ >= config_.warmup_cycles;
+    if (measuring_) ++measured_cycles;
+    StepCycle();
+  }
+
+  // Source-queue backlog in flits (unsent messages + remainder of each
+  // host's partially injected head message).
+  auto backlog = [&]() -> double {
+    double flits = 0.0;
+    for (std::size_t h = 0; h < hosts; ++h) {
+      flits += static_cast<double>(source_queue_[h].size()) *
+               static_cast<double>(config_.message_length_flits);
+      flits -= static_cast<double>(source_flits_pushed_[h]);
+    }
+    return flits;
+  };
+
+  SimMetrics metrics;
+  const double s = static_cast<double>(graph_->switch_count());
+  const double mc = static_cast<double>(std::max<std::size_t>(measured_cycles, 1));
+  metrics.offered_flits_per_switch_cycle =
+      static_cast<double>(generated_flits_measured_) / (mc * s);
+  metrics.accepted_flits_per_switch_cycle =
+      static_cast<double>(delivered_flits_measured_) / (mc * s);
+  metrics.messages_generated = messages_generated_measured_;
+  metrics.messages_delivered = messages_delivered_measured_;
+  metrics.flits_delivered = delivered_flits_measured_;
+  if (messages_delivered_measured_ > 0) {
+    metrics.avg_latency_cycles =
+        static_cast<double>(latency_sum_ / messages_delivered_measured_);
+    metrics.avg_total_latency_cycles =
+        static_cast<double>(total_latency_sum_ / messages_delivered_measured_);
+    std::sort(latency_samples_.begin(), latency_samples_.end());
+    auto percentile = [&](double q) {
+      const std::size_t idx = static_cast<std::size_t>(
+          q * static_cast<double>(latency_samples_.size() - 1));
+      return static_cast<double>(latency_samples_[idx]);
+    };
+    metrics.p50_latency_cycles = percentile(0.50);
+    metrics.p95_latency_cycles = percentile(0.95);
+    metrics.p99_latency_cycles = percentile(0.99);
+    metrics.max_latency_cycles = static_cast<double>(latency_samples_.back());
+  }
+  metrics.source_queue_growth = backlog() / (mc * s);
+  // Physical link utilization: sum the VC outputs of each directed channel.
+  double util_sum = 0.0;
+  for (std::size_t c = 0; c < ChannelCount(); ++c) {
+    std::uint64_t moved = 0;
+    for (std::size_t vc = 0; vc < vc_count_; ++vc) {
+      moved += outputs_[c * vc_count_ + vc].flits_moved_measured;
+    }
+    const double util = static_cast<double>(moved) / mc;
+    util_sum += util;
+    metrics.max_link_utilization = std::max(metrics.max_link_utilization, util);
+  }
+  if (ChannelCount() > 0) {
+    metrics.avg_link_utilization = util_sum / static_cast<double>(ChannelCount());
+  }
+  metrics.deadlock_detected = deadlock_;
+  metrics.per_app.resize(pattern_->app_count());
+  for (std::size_t a = 0; a < pattern_->app_count(); ++a) {
+    metrics.per_app[a].messages_delivered = app_messages_[a];
+    metrics.per_app[a].flits_delivered = app_flits_[a];
+    if (app_messages_[a] > 0) {
+      metrics.per_app[a].avg_latency_cycles =
+          static_cast<double>(app_latency_sum_[a] / app_messages_[a]);
+    }
+  }
+  if (!pair_flits_.empty()) {
+    const std::size_t n = graph_->switch_count();
+    metrics.switch_pair_flit_rate.assign(n, std::vector<double>(n, 0.0));
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        metrics.switch_pair_flit_rate[i][j] =
+            static_cast<double>(pair_flits_[i * n + j]) / mc;
+      }
+    }
+  }
+  return metrics;
+}
+
+}  // namespace commsched::sim

@@ -1,0 +1,164 @@
+// Cycle-driven flit-level wormhole network simulator.
+//
+// Model (per the paper's §5 evaluation methodology, after [8]):
+//   * input-buffered switches; every inter-switch link is two unidirectional
+//     physical channels, each multiplexed into `virtual_channels` virtual
+//     channels with private input FIFOs of `input_buffer_flits` flits;
+//   * wormhole switching: a header flit claims one virtual channel of an
+//     output link (routing takes one cycle — the claim happens the cycle
+//     after arrival at the earliest); the VC is held until the tail passes;
+//   * credit flow control: a flit advances only when the downstream VC
+//     buffer has a free slot; physical link bandwidth is one flit per cycle,
+//     shared round-robin among its VCs;
+//   * hosts inject through per-host injection queues (one flit per cycle)
+//     and consume through per-host delivery ports (one flit per cycle);
+//   * message generation is a per-host Bernoulli process; destinations come
+//     from a TrafficPattern; which (link, VC) a header may claim comes from
+//     a VcRoutingPolicy (plain up*/down*, adaptive, or Duato fully-adaptive
+//     with an escape channel).
+//
+// Up*/down* routing is deadlock-free on a single virtual channel (see
+// routing/deadlock.h) and per-VC on many; a watchdog detects deadlock for
+// configurations that are not.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "routing/routing.h"
+#include "simnet/config.h"
+#include "simnet/metrics.h"
+#include "simnet/traffic.h"
+#include "simnet/vc_routing.h"
+
+namespace commsched::sim {
+
+using route::Phase;
+using route::Routing;
+
+class NetworkSimulator {
+ public:
+  /// Single-class convenience: all VCs route via `routing`
+  /// (config.adaptive_routing selects link adaptivity). graph/routing/
+  /// pattern must outlive the simulator.
+  NetworkSimulator(const SwitchGraph& graph, const Routing& routing,
+                   const TrafficPattern& pattern, const SimConfig& config);
+
+  /// Full control over VC usage; `policy` must be built for `graph` and
+  /// have vc_count == config.virtual_channels.
+  NetworkSimulator(const SwitchGraph& graph, const VcRoutingPolicy& policy,
+                   const TrafficPattern& pattern, const SimConfig& config);
+
+  /// Runs warmup + measurement at the given offered load (flits per switch
+  /// per cycle, aggregated over the switch's hosts) and returns the metrics.
+  /// Each call restarts the simulation from an empty network.
+  [[nodiscard]] SimMetrics Run(double injection_flits_per_switch_cycle);
+
+ private:
+  // ---- static structure -------------------------------------------------
+  struct Flit {
+    std::uint32_t msg = 0;
+    bool head = false;
+    bool tail = false;
+  };
+
+  struct Buffer {
+    static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+    std::deque<Flit> flits;
+    std::size_t ready = 0;  // prefix of `flits` visible to arbitration/transfer
+    std::size_t capacity = 0;
+    /// Output currently pulling from this buffer (wormhole hold), or kNone.
+    std::size_t granted_output = kNone;
+    [[nodiscard]] bool HasSpace() const { return flits.size() < capacity; }
+    [[nodiscard]] bool FrontReady() const { return ready > 0; }
+  };
+
+  struct OutputPort {
+    static constexpr std::size_t kFree = static_cast<std::size_t>(-1);
+    std::size_t owner = kFree;          // message holding this VC/port
+    std::size_t source_buffer = kFree;  // input buffer the owner streams from
+    Phase next_phase = Phase::kUp;      // message phase after crossing
+    bool next_escape = false;           // escape commitment after crossing
+    std::uint64_t flits_moved_measured = 0;
+  };
+
+  struct Message {
+    std::size_t src_host = 0;
+    std::size_t dst_host = 0;
+    std::size_t dst_switch = 0;
+    std::size_t length = 0;
+    std::size_t gen_cycle = 0;
+    std::size_t inject_cycle = static_cast<std::size_t>(-1);
+    std::size_t current_switch = 0;
+    Phase phase = Phase::kUp;
+    bool on_escape = false;
+  };
+
+  // Index layout (V = virtual channel count, L = link count, H = hosts):
+  //   directed physical channel c in [0, 2L): c = 2*link + dir (dir 0: a->b)
+  //   link VC buffer/output id: c * V + vc, in [0, 2L*V)
+  //   injection buffer of host h / delivery port of host h: 2L*V + h
+  [[nodiscard]] std::size_t ChannelCount() const { return 2 * graph_->link_count(); }
+  [[nodiscard]] std::size_t LinkVcCount() const { return ChannelCount() * vc_count_; }
+  [[nodiscard]] std::size_t ChannelFrom(std::size_t channel) const;
+  [[nodiscard]] std::size_t ChannelTo(std::size_t channel) const;
+  [[nodiscard]] std::size_t InjectionBuffer(std::size_t host) const;
+  [[nodiscard]] std::size_t DeliveryPort(std::size_t host) const;
+
+  void Init();
+  void ResetState();
+  void StepCycle();
+  void ArbitratePhase();
+  void TransferPhase();
+  void InjectPhase();
+  void GeneratePhase();
+  void FinalizeCycle();
+
+  /// Moves one flit through output `o` if possible; returns true on success.
+  bool TryMoveThroughOutput(std::size_t o);
+
+  // ---- wiring ------------------------------------------------------------
+  const SwitchGraph* graph_;
+  const TrafficPattern* pattern_;
+  SimConfig config_;
+  std::unique_ptr<VcRoutingPolicy> owned_policy_;  // set by the Routing ctor
+  const VcRoutingPolicy* policy_;
+  std::size_t vc_count_ = 1;
+
+  std::vector<std::vector<std::size_t>> inputs_at_switch_;
+
+  // ---- dynamic state -----------------------------------------------------
+  Rng rng_{1};
+  std::vector<Buffer> buffers_;
+  std::vector<OutputPort> outputs_;
+  std::vector<Message> messages_;
+  std::vector<std::deque<std::size_t>> source_queue_;  // message ids per host
+  std::vector<std::size_t> source_flits_pushed_;       // of each host's head message
+  std::vector<double> inject_prob_;                    // per host per cycle
+  std::vector<std::size_t> switch_rr_;                 // arbitration rotation per switch
+  std::vector<std::size_t> channel_rr_;                // VC rotation per physical channel
+
+  std::size_t cycle_ = 0;
+  bool measuring_ = false;
+  bool any_movement_this_cycle_ = false;
+  std::size_t idle_cycles_ = 0;
+  std::size_t flits_in_network_ = 0;
+
+  // ---- statistics ----------------------------------------------------------
+  std::vector<std::uint64_t> pair_flits_;  // (src switch, dst switch) counts
+  std::vector<std::uint64_t> app_messages_;
+  std::vector<std::uint64_t> app_flits_;
+  std::vector<long double> app_latency_sum_;
+  std::uint64_t generated_flits_measured_ = 0;
+  std::uint64_t delivered_flits_measured_ = 0;
+  std::uint64_t messages_generated_measured_ = 0;
+  std::uint64_t messages_delivered_measured_ = 0;
+  long double latency_sum_ = 0.0;
+  long double total_latency_sum_ = 0.0;
+  std::vector<std::uint32_t> latency_samples_;
+  bool deadlock_ = false;
+};
+
+}  // namespace commsched::sim

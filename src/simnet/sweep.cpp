@@ -1,0 +1,111 @@
+#include "simnet/sweep.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/parallel.h"
+
+namespace commsched::sim {
+
+double SweepResult::Throughput() const {
+  double best = 0.0;
+  for (const SweepPoint& point : points) {
+    best = std::max(best, point.metrics.accepted_flits_per_switch_cycle);
+  }
+  return best;
+}
+
+double SweepResult::LowLoadLatency() const {
+  CS_CHECK(!points.empty(), "empty sweep");
+  return points.front().metrics.avg_latency_cycles;
+}
+
+double SweepResult::SaturationRate() const {
+  for (const SweepPoint& point : points) {
+    if (point.metrics.Saturated()) {
+      return point.offered_rate;
+    }
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+std::vector<double> SweepRates(const SweepOptions& options) {
+  if (!options.rates.empty()) {
+    return options.rates;
+  }
+  CS_CHECK(options.points >= 2, "sweep needs at least 2 points");
+  CS_CHECK(options.min_rate > 0.0 && options.max_rate > options.min_rate,
+           "invalid sweep rate range");
+  std::vector<double> rates(options.points);
+  for (std::size_t k = 0; k < options.points; ++k) {
+    rates[k] = options.min_rate + (options.max_rate - options.min_rate) *
+                                      static_cast<double>(k) /
+                                      static_cast<double>(options.points - 1);
+  }
+  return rates;
+}
+
+namespace {
+
+/// Shared sweep driver; `make_simulator(config)` builds a fresh simulator.
+template <typename MakeSimulator>
+SweepResult RunSweepImpl(const SweepOptions& options, MakeSimulator&& make_simulator) {
+  const std::vector<double> rates = SweepRates(options);
+  SweepResult result;
+  result.points.resize(rates.size());
+
+  auto run_point = [&](std::size_t k) {
+    SimConfig config = options.config;
+    // Independent, deterministic stream per point.
+    std::uint64_t stream = config.rng_seed;
+    for (std::size_t i = 0; i <= k; ++i) SplitMix64(stream);
+    config.rng_seed = stream;
+    auto simulator = make_simulator(config);
+    result.points[k].offered_rate = rates[k];
+    result.points[k].metrics = simulator.Run(rates[k]);
+  };
+  if (options.parallel && rates.size() > 1) {
+    ParallelFor(rates.size(), run_point);
+  } else {
+    for (std::size_t k = 0; k < rates.size(); ++k) run_point(k);
+  }
+  return result;
+}
+
+}  // namespace
+
+SweepResult RunLoadSweep(const SwitchGraph& graph, const Routing& routing,
+                         const TrafficPattern& pattern, const SweepOptions& options) {
+  return RunSweepImpl(options, [&](const SimConfig& config) {
+    return NetworkSimulator(graph, routing, pattern, config);
+  });
+}
+
+SweepResult RunLoadSweep(const SwitchGraph& graph, const VcRoutingPolicy& policy,
+                         const TrafficPattern& pattern, const SweepOptions& options) {
+  return RunSweepImpl(options, [&](const SimConfig& config) {
+    return NetworkSimulator(graph, policy, pattern, config);
+  });
+}
+
+double FindSaturationLoad(const SwitchGraph& graph, const Routing& routing,
+                          const TrafficPattern& pattern, const SimConfig& config,
+                          double min_rate, double max_rate, double tolerance) {
+  CS_CHECK(min_rate > 0.0 && max_rate > min_rate, "invalid saturation search range");
+  CS_CHECK(tolerance > 0.0, "tolerance must be positive");
+  auto saturated_at = [&](double rate) {
+    NetworkSimulator simulator(graph, routing, pattern, config);
+    return simulator.Run(rate).Saturated();
+  };
+  if (saturated_at(min_rate)) return min_rate;
+  if (!saturated_at(max_rate)) return max_rate;
+  double lo = min_rate;  // known good
+  double hi = max_rate;  // known saturated
+  while (hi - lo > tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    (saturated_at(mid) ? hi : lo) = mid;
+  }
+  return lo;
+}
+
+}  // namespace commsched::sim

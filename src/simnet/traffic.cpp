@@ -1,0 +1,55 @@
+#include "simnet/traffic.h"
+
+#include "common/check.h"
+
+namespace commsched::sim {
+
+TrafficPattern::TrafficPattern(const SwitchGraph& graph, const Workload& workload,
+                               const ProcessMapping& mapping) {
+  CS_CHECK(mapping.host_count() == graph.host_count(), "mapping / graph size mismatch");
+  app_of_host_.resize(graph.host_count());
+  hosts_of_app_.assign(workload.application_count(), {});
+  for (std::size_t h = 0; h < graph.host_count(); ++h) {
+    app_of_host_[h] = mapping.AppOfHost(h);
+    hosts_of_app_[app_of_host_[h]].push_back(h);
+  }
+  weight_of_app_.reserve(workload.application_count());
+  intercluster_of_app_.reserve(workload.application_count());
+  for (const auto& app : workload.applications()) {
+    weight_of_app_.push_back(app.traffic_weight);
+    intercluster_of_app_.push_back(app.intercluster_fraction);
+  }
+}
+
+double TrafficPattern::HostWeight(std::size_t host) const {
+  CS_CHECK(host < app_of_host_.size(), "host out of range");
+  const std::size_t app = app_of_host_[host];
+  const bool has_peer = hosts_of_app_[app].size() > 1;
+  const bool sends_out = intercluster_of_app_[app] > 0.0 && app_of_host_.size() > 1;
+  if (!has_peer && !sends_out) return 0.0;
+  return weight_of_app_[app];
+}
+
+std::size_t TrafficPattern::SampleDestination(std::size_t src, Rng& rng) const {
+  CS_CHECK(src < app_of_host_.size(), "host out of range");
+  const std::size_t app = app_of_host_[src];
+  const bool intercluster =
+      intercluster_of_app_[app] > 0.0 && rng.NextBool(intercluster_of_app_[app]);
+  if (!intercluster) {
+    const auto& peers = hosts_of_app_[app];
+    CS_CHECK(peers.size() > 1, "host ", src, " has no intracluster peer");
+    for (;;) {
+      const std::size_t dest = peers[static_cast<std::size_t>(rng.NextIndex(peers.size()))];
+      if (dest != src) return dest;
+    }
+  }
+  // Intercluster: uniform over hosts of other applications.
+  CS_CHECK(hosts_of_app_.size() > 1, "intercluster traffic needs another application");
+  for (;;) {
+    const std::size_t dest =
+        static_cast<std::size_t>(rng.NextIndex(app_of_host_.size()));
+    if (app_of_host_[dest] != app) return dest;
+  }
+}
+
+}  // namespace commsched::sim

@@ -1,0 +1,48 @@
+// Traffic pattern: who talks to whom, derived from the workload and the
+// process mapping. Under the paper's assumptions every message goes to a
+// uniformly random process of the same application ("100 % intracluster
+// traffic"); the intercluster_fraction knob of ApplicationSpec relaxes this.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "topology/graph.h"
+#include "workload/workload.h"
+
+namespace commsched::sim {
+
+using topo::SwitchGraph;
+using work::ProcessMapping;
+using work::Workload;
+
+class TrafficPattern {
+ public:
+  /// Captures app membership per host; graph/workload/mapping may be
+  /// destroyed afterwards.
+  TrafficPattern(const SwitchGraph& graph, const Workload& workload,
+                 const ProcessMapping& mapping);
+
+  [[nodiscard]] std::size_t host_count() const { return app_of_host_.size(); }
+
+  /// Relative injection weight of a host (its application's traffic_weight;
+  /// 0 if the host has no valid destination).
+  [[nodiscard]] double HostWeight(std::size_t host) const;
+
+  /// Samples a destination host for a message from `src`: same application
+  /// with probability 1 - intercluster_fraction, any other application
+  /// otherwise; never src itself.
+  [[nodiscard]] std::size_t SampleDestination(std::size_t src, Rng& rng) const;
+
+  [[nodiscard]] std::size_t AppOfHost(std::size_t host) const { return app_of_host_[host]; }
+
+  [[nodiscard]] std::size_t app_count() const { return hosts_of_app_.size(); }
+
+ private:
+  std::vector<std::size_t> app_of_host_;
+  std::vector<std::vector<std::size_t>> hosts_of_app_;
+  std::vector<double> weight_of_app_;
+  std::vector<double> intercluster_of_app_;
+};
+
+}  // namespace commsched::sim

@@ -1,0 +1,106 @@
+#include "stats/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace commsched::stats {
+
+namespace {
+
+struct Moments {
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  double cov = 0.0;
+  double var_x = 0.0;
+  double var_y = 0.0;
+};
+
+Moments ComputeMoments(std::span<const double> x, std::span<const double> y) {
+  CS_CHECK(x.size() == y.size(), "sample size mismatch");
+  CS_CHECK(x.size() >= 2, "need at least two points");
+  Moments m;
+  const double n = static_cast<double>(x.size());
+  m.mean_x = std::accumulate(x.begin(), x.end(), 0.0) / n;
+  m.mean_y = std::accumulate(y.begin(), y.end(), 0.0) / n;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - m.mean_x;
+    const double dy = y[i] - m.mean_y;
+    m.cov += dx * dy;
+    m.var_x += dx * dx;
+    m.var_y += dy * dy;
+  }
+  return m;
+}
+
+std::vector<double> AverageRanks(std::span<const double> values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) {
+      ranks[order[k]] = avg_rank;
+    }
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double PearsonCorrelation(std::span<const double> x, std::span<const double> y) {
+  CS_CHECK(x.size() >= 3, "correlation needs at least 3 points");
+  const Moments m = ComputeMoments(x, y);
+  CS_CHECK(m.var_x > 0.0 && m.var_y > 0.0, "degenerate sample in correlation");
+  return m.cov / std::sqrt(m.var_x * m.var_y);
+}
+
+LinearFit FitLine(std::span<const double> x, std::span<const double> y) {
+  const Moments m = ComputeMoments(x, y);
+  CS_CHECK(m.var_x > 0.0, "degenerate x in linear fit");
+  LinearFit fit;
+  fit.slope = m.cov / m.var_x;
+  fit.intercept = m.mean_y - fit.slope * m.mean_x;
+  fit.r_squared = m.var_y > 0.0 ? (m.cov * m.cov) / (m.var_x * m.var_y) : 1.0;
+  return fit;
+}
+
+Summary Summarize(std::span<const double> values) {
+  CS_CHECK(!values.empty(), "cannot summarize an empty sample");
+  Summary s;
+  s.count = values.size();
+  s.mean = std::accumulate(values.begin(), values.end(), 0.0) / static_cast<double>(s.count);
+  double ss = 0.0;
+  s.min = values.front();
+  s.max = values.front();
+  for (double v : values) {
+    ss += (v - s.mean) * (v - s.mean);
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.stddev = s.count > 1 ? std::sqrt(ss / static_cast<double>(s.count - 1)) : 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.median = sorted.size() % 2 == 1
+                 ? sorted[sorted.size() / 2]
+                 : 0.5 * (sorted[sorted.size() / 2 - 1] + sorted[sorted.size() / 2]);
+  return s;
+}
+
+double SpearmanCorrelation(std::span<const double> x, std::span<const double> y) {
+  CS_CHECK(x.size() == y.size(), "sample size mismatch");
+  const std::vector<double> rx = AverageRanks(x);
+  const std::vector<double> ry = AverageRanks(y);
+  return PearsonCorrelation(rx, ry);
+}
+
+}  // namespace commsched::stats

@@ -1,0 +1,37 @@
+// Statistics helpers for the bench harnesses: Pearson correlation (Fig. 6),
+// linear fits, summaries.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace commsched::stats {
+
+/// Pearson correlation coefficient of two equal-length samples (>= 3 points,
+/// non-degenerate). Returns a value in [-1, 1].
+[[nodiscard]] double PearsonCorrelation(std::span<const double> x, std::span<const double> y);
+
+/// Least-squares line y = a + b x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+};
+[[nodiscard]] LinearFit FitLine(std::span<const double> x, std::span<const double> y);
+
+/// Order statistics / moments of one sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+[[nodiscard]] Summary Summarize(std::span<const double> values);
+
+/// Spearman rank correlation (ties get average ranks).
+[[nodiscard]] double SpearmanCorrelation(std::span<const double> x, std::span<const double> y);
+
+}  // namespace commsched::stats

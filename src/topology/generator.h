@@ -1,0 +1,40 @@
+// Random irregular topology generation with the paper's constraints (§5.1):
+//   * fixed number of workstations per switch (4 in the paper),
+//   * single link between neighbouring switches,
+//   * every switch uses the same number of ports for inter-switch links
+//     (8-port switches, 4 host ports, 3 inter-switch links, 1 port open),
+//   * connected.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "topology/graph.h"
+
+namespace commsched::topo {
+
+/// Parameters of the paper's random irregular network model.
+struct IrregularTopologyOptions {
+  std::size_t switch_count = 16;
+  std::size_t hosts_per_switch = 4;   // workstations per switch
+  std::size_t interswitch_degree = 3; // inter-switch links per switch
+  std::uint64_t seed = 1;
+  /// Generation restarts allowed before giving up (stuck pairings).
+  std::size_t max_attempts = 1000;
+};
+
+/// Generates a connected random topology where every switch has exactly
+/// `interswitch_degree` inter-switch links (one switch may end one short if
+/// switch_count * degree is odd — the paper's configurations are all even).
+/// Deterministic in `options.seed`. Throws ConfigError for infeasible
+/// parameters (degree >= switch_count, etc.).
+[[nodiscard]] SwitchGraph GenerateIrregularTopology(const IrregularTopologyOptions& options);
+
+/// Generates a uniformly random spanning tree skeleton with the given degree
+/// cap (used as the first stage of GenerateIrregularTopology; exposed for
+/// tests and for sparser-than-regular topologies).
+[[nodiscard]] SwitchGraph GenerateRandomTree(std::size_t switch_count,
+                                             std::size_t hosts_per_switch,
+                                             std::size_t max_degree, Rng& rng);
+
+}  // namespace commsched::topo

@@ -1,0 +1,108 @@
+#include "topology/graph.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace commsched::topo {
+
+SwitchGraph::SwitchGraph(std::size_t switch_count, std::size_t hosts_per_switch)
+    : hosts_per_switch_(hosts_per_switch), adjacency_(switch_count) {
+  CS_CHECK(switch_count >= 1, "graph needs at least one switch");
+}
+
+LinkId SwitchGraph::AddLink(SwitchId a, SwitchId b) {
+  CS_CHECK(a < switch_count() && b < switch_count(), "link endpoint out of range");
+  CS_CHECK(a != b, "self-loop links are not allowed");
+  CS_CHECK(!HasLink(a, b), "duplicate link ", a, "-", b);
+  const LinkId id = links_.size();
+  links_.push_back({std::min(a, b), std::max(a, b)});
+  adjacency_[a].push_back(id);
+  adjacency_[b].push_back(id);
+  return id;
+}
+
+std::vector<SwitchId> SwitchGraph::Neighbors(SwitchId s) const {
+  std::vector<SwitchId> result;
+  result.reserve(incident_links(s).size());
+  for (LinkId id : incident_links(s)) {
+    result.push_back(OtherEnd(id, s));
+  }
+  return result;
+}
+
+SwitchId SwitchGraph::OtherEnd(LinkId link_id, SwitchId from) const {
+  const Link& l = link(link_id);
+  CS_DCHECK(l.a == from || l.b == from, "switch ", from, " is not an endpoint of link ", link_id);
+  return l.a == from ? l.b : l.a;
+}
+
+std::optional<LinkId> SwitchGraph::FindLink(SwitchId a, SwitchId b) const {
+  CS_CHECK(a < switch_count() && b < switch_count(), "switch id out of range");
+  if (a == b) return std::nullopt;
+  // Scan the smaller adjacency list.
+  const SwitchId probe = adjacency_[a].size() <= adjacency_[b].size() ? a : b;
+  const SwitchId other = probe == a ? b : a;
+  for (LinkId id : adjacency_[probe]) {
+    if (OtherEnd(id, probe) == other) {
+      return id;
+    }
+  }
+  return std::nullopt;
+}
+
+bool SwitchGraph::IsConnected() const {
+  const auto dist = BfsDistances(0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::size_t d) { return d == static_cast<std::size_t>(-1); });
+}
+
+std::vector<std::size_t> SwitchGraph::BfsDistances(SwitchId source) const {
+  CS_CHECK(source < switch_count(), "BFS source out of range");
+  std::vector<std::size_t> dist(switch_count(), static_cast<std::size_t>(-1));
+  std::deque<SwitchId> queue{source};
+  dist[source] = 0;
+  while (!queue.empty()) {
+    const SwitchId u = queue.front();
+    queue.pop_front();
+    for (LinkId id : adjacency_[u]) {
+      const SwitchId v = OtherEnd(id, u);
+      if (dist[v] == static_cast<std::size_t>(-1)) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::vector<std::size_t>> SwitchGraph::AllPairsHopDistance() const {
+  std::vector<std::vector<std::size_t>> result;
+  result.reserve(switch_count());
+  for (SwitchId s = 0; s < switch_count(); ++s) {
+    result.push_back(BfsDistances(s));
+  }
+  return result;
+}
+
+SwitchId SwitchGraph::SwitchOfHost(std::size_t host) const {
+  CS_CHECK(host < host_count(), "host id out of range");
+  CS_CHECK(hosts_per_switch_ > 0, "graph has no hosts");
+  return host / hosts_per_switch_;
+}
+
+std::size_t SwitchGraph::FirstHostOfSwitch(SwitchId s) const {
+  CS_CHECK(s < switch_count(), "switch id out of range");
+  return s * hosts_per_switch_;
+}
+
+SwitchGraph SwitchGraph::WithoutLink(LinkId link) const {
+  CS_CHECK(link < links_.size(), "link id out of range");
+  SwitchGraph g(switch_count(), hosts_per_switch_);
+  for (LinkId l = 0; l < links_.size(); ++l) {
+    if (l == link) continue;
+    g.AddLink(links_[l].a, links_[l].b);
+  }
+  return g;
+}
+
+}  // namespace commsched::topo

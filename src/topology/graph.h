@@ -1,0 +1,97 @@
+// Switch-level network topology.
+//
+// Following the paper's network model (§5.1): the network is a set of
+// switches joined by bidirectional point-to-point links, with a fixed number
+// of workstations (hosts) attached to every switch.  A "node" in the paper
+// is a switch; processes run on the hosts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace commsched::topo {
+
+using SwitchId = std::size_t;
+using LinkId = std::size_t;
+
+/// An undirected link between two distinct switches.
+struct Link {
+  SwitchId a = 0;
+  SwitchId b = 0;
+
+  friend bool operator==(const Link&, const Link&) = default;
+};
+
+/// Immutable-after-build undirected simple graph of switches, each carrying
+/// `hosts_per_switch` workstations.
+class SwitchGraph {
+ public:
+  /// Graph with `switch_count` switches, no links yet.
+  SwitchGraph(std::size_t switch_count, std::size_t hosts_per_switch);
+
+  /// Adds an undirected link. Rejects self-loops, duplicate links, and
+  /// out-of-range endpoints. Returns the new link's id.
+  LinkId AddLink(SwitchId a, SwitchId b);
+
+  [[nodiscard]] std::size_t switch_count() const { return adjacency_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+  [[nodiscard]] std::size_t hosts_per_switch() const { return hosts_per_switch_; }
+  [[nodiscard]] std::size_t host_count() const { return switch_count() * hosts_per_switch_; }
+
+  [[nodiscard]] const Link& link(LinkId id) const {
+    CS_DCHECK(id < links_.size(), "link id out of range");
+    return links_[id];
+  }
+  [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+
+  /// Link ids incident to switch `s`.
+  [[nodiscard]] const std::vector<LinkId>& incident_links(SwitchId s) const {
+    CS_DCHECK(s < adjacency_.size(), "switch id out of range");
+    return adjacency_[s];
+  }
+
+  /// Switches adjacent to `s` (one entry per incident link).
+  [[nodiscard]] std::vector<SwitchId> Neighbors(SwitchId s) const;
+
+  /// The switch at the other end of `link` from `from`.
+  [[nodiscard]] SwitchId OtherEnd(LinkId link, SwitchId from) const;
+
+  /// Inter-switch degree of `s`.
+  [[nodiscard]] std::size_t Degree(SwitchId s) const { return incident_links(s).size(); }
+
+  /// Link id joining a and b, if present.
+  [[nodiscard]] std::optional<LinkId> FindLink(SwitchId a, SwitchId b) const;
+
+  [[nodiscard]] bool HasLink(SwitchId a, SwitchId b) const { return FindLink(a, b).has_value(); }
+
+  /// True if every switch can reach every other via links.
+  [[nodiscard]] bool IsConnected() const;
+
+  /// Hop distances from `source` to every switch by BFS.
+  /// Unreachable switches get SIZE_MAX.
+  [[nodiscard]] std::vector<std::size_t> BfsDistances(SwitchId source) const;
+
+  /// Hop-count shortest-path matrix (all pairs, BFS per source).
+  [[nodiscard]] std::vector<std::vector<std::size_t>> AllPairsHopDistance() const;
+
+  /// Host numbering: hosts are 0..host_count()-1, grouped by switch.
+  [[nodiscard]] SwitchId SwitchOfHost(std::size_t host) const;
+  [[nodiscard]] std::size_t FirstHostOfSwitch(SwitchId s) const;
+
+  /// Copy of this graph without link `link` (link ids above it shift down
+  /// by one). Models a link failure; the result may be disconnected —
+  /// check IsConnected() before building routing on it.
+  [[nodiscard]] SwitchGraph WithoutLink(LinkId link) const;
+
+ private:
+  std::size_t hosts_per_switch_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> adjacency_;
+};
+
+}  // namespace commsched::topo

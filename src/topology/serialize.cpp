@@ -1,0 +1,90 @@
+#include "topology/serialize.h"
+
+#include <array>
+#include <optional>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace commsched::topo {
+
+std::string ToText(const SwitchGraph& graph) {
+  std::ostringstream oss;
+  oss << "switches " << graph.switch_count() << '\n';
+  oss << "hosts_per_switch " << graph.hosts_per_switch() << '\n';
+  for (const Link& l : graph.links()) {
+    oss << "link " << l.a << ' ' << l.b << '\n';
+  }
+  return oss.str();
+}
+
+SwitchGraph FromText(const std::string& text) {
+  std::optional<std::size_t> switches;
+  std::size_t hosts = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> links;
+
+  std::istringstream iss(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(iss, line)) {
+    ++line_no;
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::istringstream ls(trimmed);
+    std::string keyword;
+    ls >> keyword;
+    auto fail = [&](const std::string& why) {
+      throw ConfigError("topology text line " + std::to_string(line_no) + ": " + why);
+    };
+    if (keyword == "switches") {
+      std::size_t n = 0;
+      if (!(ls >> n) || n == 0) fail("expected positive switch count");
+      switches = n;
+    } else if (keyword == "hosts_per_switch") {
+      if (!(ls >> hosts)) fail("expected host count");
+    } else if (keyword == "link") {
+      std::size_t a = 0;
+      std::size_t b = 0;
+      if (!(ls >> a >> b)) fail("expected two endpoints");
+      links.emplace_back(a, b);
+    } else {
+      fail("unknown keyword '" + keyword + "'");
+    }
+  }
+  if (!switches) {
+    throw ConfigError("topology text missing 'switches' line");
+  }
+  SwitchGraph graph(*switches, hosts);
+  for (auto [a, b] : links) {
+    if (a >= *switches || b >= *switches) {
+      throw ConfigError("topology text: link endpoint out of range");
+    }
+    graph.AddLink(a, b);
+  }
+  return graph;
+}
+
+std::string ToDot(const SwitchGraph& graph, const std::vector<std::size_t>& cluster_of_switch) {
+  CS_CHECK(cluster_of_switch.empty() || cluster_of_switch.size() == graph.switch_count(),
+           "cluster map must cover every switch");
+  static constexpr std::array<const char*, 8> kPalette = {
+      "#66c2a5", "#fc8d62", "#8da0cb", "#e78ac3", "#a6d854", "#ffd92f", "#e5c494", "#b3b3b3"};
+  std::ostringstream oss;
+  oss << "graph topology {\n  node [shape=circle, style=filled];\n";
+  for (SwitchId s = 0; s < graph.switch_count(); ++s) {
+    oss << "  n" << s << " [label=\"" << s << "\"";
+    if (!cluster_of_switch.empty()) {
+      oss << ", fillcolor=\"" << kPalette[cluster_of_switch[s] % kPalette.size()] << "\"";
+    } else {
+      oss << ", fillcolor=\"#dddddd\"";
+    }
+    oss << "];\n";
+  }
+  for (const Link& l : graph.links()) {
+    oss << "  n" << l.a << " -- n" << l.b << ";\n";
+  }
+  oss << "}\n";
+  return oss.str();
+}
+
+}  // namespace commsched::topo

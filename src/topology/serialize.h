@@ -1,0 +1,27 @@
+// Text and Graphviz serialization of topologies, so experiments can be
+// archived and inspected.
+//
+// Text format:
+//   switches <N>
+//   hosts_per_switch <H>
+//   link <a> <b>        (one line per link)
+#pragma once
+
+#include <string>
+
+#include "topology/graph.h"
+
+namespace commsched::topo {
+
+/// Serializes to the text format above.
+[[nodiscard]] std::string ToText(const SwitchGraph& graph);
+
+/// Parses the text format; throws ConfigError on malformed input.
+[[nodiscard]] SwitchGraph FromText(const std::string& text);
+
+/// Graphviz DOT rendering; if `cluster_of_switch` is non-empty it must have
+/// one entry per switch and switches are colored by cluster.
+[[nodiscard]] std::string ToDot(const SwitchGraph& graph,
+                                const std::vector<std::size_t>& cluster_of_switch = {});
+
+}  // namespace commsched::topo

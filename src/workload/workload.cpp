@@ -1,0 +1,143 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace commsched::work {
+
+Workload::Workload(std::vector<ApplicationSpec> applications) : apps_(std::move(applications)) {
+  CS_CHECK(!apps_.empty(), "workload needs at least one application");
+  for (const ApplicationSpec& app : apps_) {
+    CS_CHECK(app.process_count > 0, "application '", app.name, "' has no processes");
+    CS_CHECK(app.traffic_weight >= 0.0, "negative traffic weight");
+    CS_CHECK(app.intercluster_fraction >= 0.0 && app.intercluster_fraction <= 1.0,
+             "intercluster fraction out of [0,1]");
+    total_ += app.process_count;
+  }
+}
+
+Workload Workload::Uniform(std::size_t application_count, std::size_t processes_each) {
+  CS_CHECK(application_count > 0 && processes_each > 0, "empty uniform workload");
+  std::vector<ApplicationSpec> apps;
+  apps.reserve(application_count);
+  for (std::size_t a = 0; a < application_count; ++a) {
+    apps.push_back({"app" + std::to_string(a), processes_each, 1.0, 0.0});
+  }
+  return Workload(std::move(apps));
+}
+
+void Workload::ValidateFor(const SwitchGraph& graph) const {
+  if (total_ != graph.host_count()) {
+    throw ConfigError("workload has " + std::to_string(total_) + " processes but the network has " +
+                      std::to_string(graph.host_count()) + " hosts");
+  }
+  for (const ApplicationSpec& app : apps_) {
+    if (graph.hosts_per_switch() == 0 || app.process_count % graph.hosts_per_switch() != 0) {
+      throw ConfigError("application '" + app.name + "' process count " +
+                        std::to_string(app.process_count) +
+                        " is not a multiple of hosts per switch (" +
+                        std::to_string(graph.hosts_per_switch()) + ")");
+    }
+  }
+}
+
+std::vector<std::size_t> Workload::ClusterSwitchSizes(const SwitchGraph& graph) const {
+  ValidateFor(graph);
+  std::vector<std::size_t> sizes;
+  sizes.reserve(apps_.size());
+  for (const ApplicationSpec& app : apps_) {
+    sizes.push_back(app.process_count / graph.hosts_per_switch());
+  }
+  return sizes;
+}
+
+ProcessMapping::ProcessMapping(const SwitchGraph& graph, const Workload& workload,
+                               std::vector<std::size_t> app_of_host)
+    : app_of_host_(std::move(app_of_host)) {
+  CS_CHECK(app_of_host_.size() == graph.host_count(), "mapping must cover every host");
+  hosts_of_app_.assign(workload.application_count(), {});
+  for (std::size_t h = 0; h < app_of_host_.size(); ++h) {
+    CS_CHECK(app_of_host_[h] < workload.application_count(), "application id out of range");
+    hosts_of_app_[app_of_host_[h]].push_back(h);
+  }
+  for (std::size_t a = 0; a < workload.application_count(); ++a) {
+    CS_CHECK(hosts_of_app_[a].size() == workload.applications()[a].process_count,
+             "application '", workload.applications()[a].name, "' mapped to ",
+             hosts_of_app_[a].size(), " hosts but has ",
+             workload.applications()[a].process_count, " processes");
+  }
+}
+
+ProcessMapping ProcessMapping::FromPartition(const SwitchGraph& graph, const Workload& workload,
+                                             const Partition& partition) {
+  workload.ValidateFor(graph);
+  CS_CHECK(partition.switch_count() == graph.switch_count(), "partition / graph size mismatch");
+  CS_CHECK(partition.cluster_count() == workload.application_count(),
+           "partition has ", partition.cluster_count(), " clusters for ",
+           workload.application_count(), " applications");
+  const auto expected = workload.ClusterSwitchSizes(graph);
+  for (std::size_t a = 0; a < expected.size(); ++a) {
+    CS_CHECK(partition.ClusterSize(a) == expected[a], "cluster ", a, " has ",
+             partition.ClusterSize(a), " switches, expected ", expected[a]);
+  }
+  std::vector<std::size_t> app_of_host(graph.host_count());
+  for (std::size_t s = 0; s < graph.switch_count(); ++s) {
+    for (std::size_t k = 0; k < graph.hosts_per_switch(); ++k) {
+      app_of_host[graph.FirstHostOfSwitch(s) + k] = partition.ClusterOf(s);
+    }
+  }
+  return ProcessMapping(graph, workload, std::move(app_of_host));
+}
+
+ProcessMapping ProcessMapping::RandomAligned(const SwitchGraph& graph, const Workload& workload,
+                                             Rng& rng) {
+  const Partition partition = Partition::Random(workload.ClusterSwitchSizes(graph), rng);
+  return FromPartition(graph, workload, partition);
+}
+
+ProcessMapping ProcessMapping::RandomUnaligned(const SwitchGraph& graph, const Workload& workload,
+                                               Rng& rng) {
+  CS_CHECK(workload.total_processes() == graph.host_count(),
+           "unaligned mapping still needs one process per host");
+  std::vector<std::size_t> app_of_host;
+  app_of_host.reserve(graph.host_count());
+  for (std::size_t a = 0; a < workload.application_count(); ++a) {
+    for (std::size_t p = 0; p < workload.applications()[a].process_count; ++p) {
+      app_of_host.push_back(a);
+    }
+  }
+  rng.Shuffle(app_of_host);
+  return ProcessMapping(graph, workload, std::move(app_of_host));
+}
+
+std::size_t ProcessMapping::AppOfHost(std::size_t host) const {
+  CS_CHECK(host < app_of_host_.size(), "host out of range");
+  return app_of_host_[host];
+}
+
+const std::vector<std::size_t>& ProcessMapping::HostsOfApp(std::size_t app) const {
+  CS_CHECK(app < hosts_of_app_.size(), "application out of range");
+  return hosts_of_app_[app];
+}
+
+bool ProcessMapping::IsSwitchAligned(const SwitchGraph& graph) const {
+  for (std::size_t s = 0; s < graph.switch_count(); ++s) {
+    const std::size_t base = graph.FirstHostOfSwitch(s);
+    for (std::size_t k = 1; k < graph.hosts_per_switch(); ++k) {
+      if (app_of_host_[base + k] != app_of_host_[base]) return false;
+    }
+  }
+  return true;
+}
+
+Partition ProcessMapping::InducedPartition(const SwitchGraph& graph) const {
+  CS_CHECK(IsSwitchAligned(graph), "induced partition requires a switch-aligned mapping");
+  std::vector<std::size_t> cluster_of(graph.switch_count());
+  for (std::size_t s = 0; s < graph.switch_count(); ++s) {
+    cluster_of[s] = app_of_host_[graph.FirstHostOfSwitch(s)];
+  }
+  return Partition(std::move(cluster_of));
+}
+
+}  // namespace commsched::work

@@ -1,0 +1,102 @@
+// Workload model: a set of parallel applications ("logical clusters" of
+// processes, §4). Each application belongs to a different user; processes of
+// one application communicate intensively with each other and (in the
+// paper's base assumptions) not at all with other applications. The
+// `intercluster_fraction` knob relaxes that assumption — the paper lists it
+// as future work; we expose it for the extension benches.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "quality/partition.h"
+#include "topology/graph.h"
+
+namespace commsched::work {
+
+using qual::Partition;
+using topo::SwitchGraph;
+
+/// One parallel application (a logical cluster of processes).
+struct ApplicationSpec {
+  std::string name;
+  std::size_t process_count = 0;
+  /// Relative traffic intensity (1.0 = every process injects at the global
+  /// rate; the paper assumes all equal).
+  double traffic_weight = 1.0;
+  /// Fraction of a process's messages sent to *other* applications
+  /// (0.0 in the paper's base assumptions).
+  double intercluster_fraction = 0.0;
+};
+
+/// A set of applications filling a machine (one process per processor).
+class Workload {
+ public:
+  explicit Workload(std::vector<ApplicationSpec> applications);
+
+  /// The paper's standard workload: `application_count` identical
+  /// applications of `processes_each` processes.
+  [[nodiscard]] static Workload Uniform(std::size_t application_count,
+                                        std::size_t processes_each);
+
+  [[nodiscard]] const std::vector<ApplicationSpec>& applications() const { return apps_; }
+  [[nodiscard]] std::size_t application_count() const { return apps_.size(); }
+  [[nodiscard]] std::size_t total_processes() const { return total_; }
+
+  /// Checks the paper's assumptions against a topology: total processes fill
+  /// every host exactly once and every application's process count is an
+  /// integer multiple of hosts-per-switch. Throws ConfigError otherwise.
+  void ValidateFor(const SwitchGraph& graph) const;
+
+  /// Cluster sizes in switches (process_count / hosts_per_switch) — the
+  /// sizes of the induced network partition. Requires ValidateFor to hold.
+  [[nodiscard]] std::vector<std::size_t> ClusterSwitchSizes(const SwitchGraph& graph) const;
+
+ private:
+  std::vector<ApplicationSpec> apps_;
+  std::size_t total_ = 0;
+};
+
+/// Assignment of one process per host: host h runs a process of application
+/// app_of_host(h). (With the paper's "one process per processor" assumption
+/// the process identity is the host slot itself.)
+class ProcessMapping {
+ public:
+  ProcessMapping(const SwitchGraph& graph, const Workload& workload,
+                 std::vector<std::size_t> app_of_host);
+
+  /// Switch-aligned mapping from a network partition: application a's
+  /// processes occupy every host of the switches in partition cluster a.
+  [[nodiscard]] static ProcessMapping FromPartition(const SwitchGraph& graph,
+                                                    const Workload& workload,
+                                                    const Partition& partition);
+
+  /// Switch-aligned uniformly random mapping (the paper's random baseline).
+  [[nodiscard]] static ProcessMapping RandomAligned(const SwitchGraph& graph,
+                                                    const Workload& workload, Rng& rng);
+
+  /// Host-level random mapping, NOT switch aligned (extension: processes of
+  /// different applications may share a switch).
+  [[nodiscard]] static ProcessMapping RandomUnaligned(const SwitchGraph& graph,
+                                                      const Workload& workload, Rng& rng);
+
+  [[nodiscard]] std::size_t host_count() const { return app_of_host_.size(); }
+  [[nodiscard]] std::size_t AppOfHost(std::size_t host) const;
+
+  /// Hosts running application `app`, ascending.
+  [[nodiscard]] const std::vector<std::size_t>& HostsOfApp(std::size_t app) const;
+
+  /// True if every switch's hosts all run the same application.
+  [[nodiscard]] bool IsSwitchAligned(const SwitchGraph& graph) const;
+
+  /// The induced network partition (requires IsSwitchAligned).
+  [[nodiscard]] Partition InducedPartition(const SwitchGraph& graph) const;
+
+ private:
+  std::vector<std::size_t> app_of_host_;
+  std::vector<std::vector<std::size_t>> hosts_of_app_;
+};
+
+}  // namespace commsched::work

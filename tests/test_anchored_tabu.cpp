@@ -1,0 +1,115 @@
+// Migration-aware (anchored) Tabu search and link-failure re-scheduling.
+#include <gtest/gtest.h>
+
+#include "distance/distance_table.h"
+#include "routing/updown.h"
+#include "sched/tabu.h"
+#include "topology/generator.h"
+#include "topology/library.h"
+
+namespace commsched::sched {
+namespace {
+
+DistanceTable PaperTable(const topo::SwitchGraph& g) {
+  const route::UpDownRouting routing(g);
+  return DistanceTable::Build(routing);
+}
+
+TEST(AnchoredTabu, ZeroPenaltyMatchesPlainOptimum) {
+  const topo::SwitchGraph g = topo::GenerateIrregularTopology({16, 4, 3, 1, 1000});
+  const DistanceTable t = PaperTable(g);
+  const SearchResult plain = TabuSearch(t, {4, 4, 4, 4});
+  const qual::Partition anchor = qual::Partition::Blocked({4, 4, 4, 4});
+  TabuOptions options;
+  options.anchor = &anchor;
+  options.migration_penalty = 0.0;
+  const SearchResult anchored = TabuSearch(t, {4, 4, 4, 4}, options);
+  // Warm start can only help: the anchored run finds the same optimum here.
+  EXPECT_LE(anchored.best_fg, plain.best_fg + 1e-9);
+}
+
+TEST(AnchoredTabu, InfinitePenaltyStaysAtAnchor) {
+  const topo::SwitchGraph g = topo::GenerateIrregularTopology({16, 4, 3, 2, 1000});
+  const DistanceTable t = PaperTable(g);
+  const qual::Partition anchor = qual::Partition::Blocked({4, 4, 4, 4});
+  TabuOptions options;
+  options.anchor = &anchor;
+  options.migration_penalty = 1e9;
+  const SearchResult result = TabuSearch(t, {4, 4, 4, 4}, options);
+  EXPECT_EQ(result.moved_from_anchor, 0u);
+  EXPECT_TRUE(result.best == anchor);
+}
+
+TEST(AnchoredTabu, PenaltySweepIsMonotoneInMoves) {
+  const topo::SwitchGraph g = topo::GenerateIrregularTopology({16, 4, 3, 3, 1000});
+  const DistanceTable t = PaperTable(g);
+  Rng rng(42);
+  const qual::Partition anchor = qual::Partition::Random({4, 4, 4, 4}, rng);
+  std::size_t previous_moves = 16;
+  double previous_fg = 0.0;
+  bool first = true;
+  for (double penalty : {0.0, 0.05, 0.2, 1.0, 100.0}) {
+    TabuOptions options;
+    options.anchor = &anchor;
+    options.migration_penalty = penalty;
+    options.max_iterations_per_seed = 60;
+    const SearchResult result = TabuSearch(t, {4, 4, 4, 4}, options);
+    if (!first) {
+      // Higher penalty -> fewer (or equal) switches moved, at worse (or
+      // equal) F_G.
+      EXPECT_LE(result.moved_from_anchor, previous_moves) << "penalty " << penalty;
+      EXPECT_GE(result.best_fg, previous_fg - 1e-9) << "penalty " << penalty;
+    }
+    previous_moves = result.moved_from_anchor;
+    previous_fg = result.best_fg;
+    first = false;
+  }
+  EXPECT_EQ(previous_moves, 0u);  // the 100.0 run must not move anything
+}
+
+TEST(AnchoredTabu, AnchorSizeMismatchRejected) {
+  const topo::SwitchGraph g = topo::GenerateIrregularTopology({16, 4, 3, 1, 1000});
+  const DistanceTable t = PaperTable(g);
+  const qual::Partition wrong = qual::Partition::Blocked({8, 4, 4});
+  TabuOptions options;
+  options.anchor = &wrong;
+  EXPECT_THROW((void)TabuSearch(t, {4, 4, 4, 4}, options), commsched::ContractError);
+}
+
+TEST(LinkFailure, WithoutLinkRemovesExactlyOne) {
+  const topo::SwitchGraph g = topo::MakeFourRingsOfSix();
+  const auto link = g.FindLink(0, 1);
+  ASSERT_TRUE(link.has_value());
+  const topo::SwitchGraph degraded = g.WithoutLink(*link);
+  EXPECT_EQ(degraded.link_count(), g.link_count() - 1);
+  EXPECT_FALSE(degraded.HasLink(0, 1));
+  EXPECT_TRUE(degraded.HasLink(1, 2));
+  EXPECT_TRUE(degraded.IsConnected());  // a ring survives one cut
+}
+
+TEST(LinkFailure, ReschedulingAfterFailureImprovesOnStaleMapping) {
+  // Cut a ring link of the designed 24-switch network: the affected ring is
+  // now a path and its equivalent distances grow. Re-scheduling with a
+  // moderate migration penalty should improve F_G over the stale mapping
+  // while moving only a few switches.
+  const topo::SwitchGraph g = topo::MakeFourRingsOfSix();
+  const DistanceTable before = PaperTable(g);
+  TabuOptions base;
+  base.max_iterations_per_seed = 60;
+  const SearchResult original = TabuSearch(before, {6, 6, 6, 6}, base);
+
+  const topo::SwitchGraph degraded = g.WithoutLink(*g.FindLink(0, 1));
+  ASSERT_TRUE(degraded.IsConnected());
+  const DistanceTable after = PaperTable(degraded);
+
+  const double stale_fg = qual::GlobalSimilarity(after, original.best);
+  TabuOptions anchored = base;
+  anchored.anchor = &original.best;
+  anchored.migration_penalty = 0.02;
+  const SearchResult rescheduled = TabuSearch(after, {6, 6, 6, 6}, anchored);
+  EXPECT_LE(rescheduled.best_fg, stale_fg + 1e-9);
+  EXPECT_LE(rescheduled.moved_from_anchor, 24u);
+}
+
+}  // namespace
+}  // namespace commsched::sched

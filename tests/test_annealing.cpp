@@ -1,0 +1,119 @@
+#include "sched/annealing.h"
+
+#include <gtest/gtest.h>
+
+#include "distance/distance_table.h"
+#include "routing/updown.h"
+#include "sched/exhaustive.h"
+#include "topology/generator.h"
+
+namespace commsched::sched {
+namespace {
+
+DistanceTable PaperTable(std::size_t switches, std::uint64_t seed) {
+  topo::IrregularTopologyOptions options;
+  options.switch_count = switches;
+  options.seed = seed;
+  const topo::SwitchGraph g = topo::GenerateIrregularTopology(options);
+  const route::UpDownRouting routing(g);
+  return DistanceTable::Build(routing);
+}
+
+TEST(Annealing, FindsTwoIslands) {
+  DistanceTable t(4, 10.0);
+  t.Set(0, 1, 1.0);
+  t.Set(2, 3, 1.0);
+  AnnealingOptions options;
+  options.iterations = 2000;
+  const SearchResult result = SimulatedAnnealing(t, {2, 2}, options);
+  EXPECT_TRUE(result.best.SameGrouping(qual::Partition({0, 0, 1, 1})));
+}
+
+TEST(Annealing, Deterministic) {
+  const DistanceTable t = PaperTable(12, 3);
+  AnnealingOptions options;
+  options.rng_seed = 42;
+  options.iterations = 3000;
+  const SearchResult a = SimulatedAnnealing(t, {3, 3, 3, 3}, options);
+  const SearchResult b = SimulatedAnnealing(t, {3, 3, 3, 3}, options);
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_DOUBLE_EQ(a.best_fg, b.best_fg);
+}
+
+TEST(Annealing, ImprovesOnRandom) {
+  const DistanceTable t = PaperTable(16, 2);
+  AnnealingOptions options;
+  options.iterations = 20000;
+  const SearchResult result = SimulatedAnnealing(t, {4, 4, 4, 4}, options);
+  EXPECT_LT(result.best_fg, 0.95);
+}
+
+TEST(Annealing, NearOptimalOnSmallNetwork) {
+  const DistanceTable t = PaperTable(8, 5);
+  const SearchResult exact = ExhaustiveSearch(t, {2, 2, 2, 2});
+  AnnealingOptions options;
+  options.iterations = 20000;
+  const SearchResult sa = SimulatedAnnealing(t, {2, 2, 2, 2}, options);
+  EXPECT_LE(sa.best_fg, exact.best_fg * 1.05 + 1e-9);
+}
+
+TEST(Annealing, TraceRecordsAcceptedMoves) {
+  const DistanceTable t = PaperTable(12, 7);
+  AnnealingOptions options;
+  options.iterations = 500;
+  options.record_trace = true;
+  const SearchResult result = SimulatedAnnealing(t, {3, 3, 3, 3}, options);
+  ASSERT_FALSE(result.trace.empty());
+  EXPECT_TRUE(result.trace.front().is_restart);
+  EXPECT_EQ(result.trace.size(), result.iterations + 1);
+}
+
+TEST(GeneticAnnealing, FindsTwoIslands) {
+  DistanceTable t(4, 10.0);
+  t.Set(0, 1, 1.0);
+  t.Set(2, 3, 1.0);
+  GeneticAnnealingOptions options;
+  options.generations = 50;
+  const SearchResult result = GeneticSimulatedAnnealing(t, {2, 2}, options);
+  EXPECT_TRUE(result.best.SameGrouping(qual::Partition({0, 0, 1, 1})));
+}
+
+TEST(GeneticAnnealing, Deterministic) {
+  const DistanceTable t = PaperTable(12, 9);
+  GeneticAnnealingOptions options;
+  options.rng_seed = 5;
+  options.generations = 40;
+  const SearchResult a = GeneticSimulatedAnnealing(t, {3, 3, 3, 3}, options);
+  const SearchResult b = GeneticSimulatedAnnealing(t, {3, 3, 3, 3}, options);
+  EXPECT_EQ(a.best, b.best);
+}
+
+TEST(GeneticAnnealing, ImprovesOnRandom) {
+  const DistanceTable t = PaperTable(16, 11);
+  GeneticAnnealingOptions options;
+  options.generations = 150;
+  const SearchResult result = GeneticSimulatedAnnealing(t, {4, 4, 4, 4}, options);
+  EXPECT_LT(result.best_fg, 0.95);
+}
+
+TEST(GeneticAnnealing, PopulationTooSmallRejected) {
+  const DistanceTable t = PaperTable(8, 1);
+  GeneticAnnealingOptions options;
+  options.population = 1;
+  EXPECT_THROW((void)GeneticSimulatedAnnealing(t, {2, 2, 2, 2}, options),
+               commsched::ContractError);
+}
+
+TEST(GeneticAnnealing, ResultPartitionSizesPreserved) {
+  const DistanceTable t = PaperTable(12, 13);
+  GeneticAnnealingOptions options;
+  options.generations = 30;
+  options.crossover_probability = 1.0;  // stress the crossover path
+  const SearchResult result = GeneticSimulatedAnnealing(t, {6, 3, 3}, options);
+  EXPECT_EQ(result.best.ClusterSize(0), 6u);
+  EXPECT_EQ(result.best.ClusterSize(1), 3u);
+  EXPECT_EQ(result.best.ClusterSize(2), 3u);
+}
+
+}  // namespace
+}  // namespace commsched::sched

@@ -1,0 +1,56 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace commsched {
+namespace {
+
+TEST(Check, PassingCheckDoesNothing) {
+  EXPECT_NO_THROW(CS_CHECK(1 + 1 == 2, "math works"));
+}
+
+TEST(Check, FailingCheckThrowsContractError) {
+  EXPECT_THROW(CS_CHECK(false, "boom"), ContractError);
+}
+
+TEST(Check, MessageIncludesExpressionAndDetail) {
+  try {
+    CS_CHECK(2 > 3, "a=", 2, " b=", 3);
+    FAIL() << "expected ContractError";
+  } catch (const ContractError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 > 3"), std::string::npos);
+    EXPECT_NE(what.find("a=2 b=3"), std::string::npos);
+  }
+}
+
+TEST(Check, MessageIsOptional) {
+  try {
+    CS_CHECK(false);
+    FAIL() << "expected ContractError";
+  } catch (const ContractError& e) {
+    EXPECT_NE(std::string(e.what()).find("false"), std::string::npos);
+  }
+}
+
+TEST(Check, UnreachableThrows) {
+  EXPECT_THROW(CS_UNREACHABLE("should not happen"), ContractError);
+}
+
+TEST(Check, ContractErrorIsLogicError) {
+  EXPECT_THROW(CS_CHECK(false, "x"), std::logic_error);
+}
+
+TEST(Check, ConfigErrorIsInvalidArgument) {
+  EXPECT_THROW(throw ConfigError("bad"), std::invalid_argument);
+}
+
+TEST(Check, SideEffectsEvaluatedOnce) {
+  int calls = 0;
+  auto bump = [&calls] { return ++calls; };
+  CS_CHECK(bump() == 1, "once");
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace commsched

@@ -1,0 +1,171 @@
+#include "hetero/combined.h"
+
+#include <gtest/gtest.h>
+
+#include "distance/distance_table.h"
+#include "routing/updown.h"
+#include "topology/generator.h"
+#include "topology/library.h"
+
+namespace commsched::hetero {
+namespace {
+
+struct Fixture {
+  topo::SwitchGraph graph;
+  route::UpDownRouting routing;
+  dist::DistanceTable table;
+
+  Fixture() : graph(topo::MakeFourRingsOfSix()), routing(graph),
+              table(dist::DistanceTable::Build(routing)) {}
+
+  /// One ring of fast switches, the rest slow.
+  [[nodiscard]] HeteroSystem System(double fast = 4.0, double slow = 1.0) const {
+    HeteroSystem system;
+    system.graph = &graph;
+    system.table = &table;
+    system.switch_speed.assign(24, slow);
+    for (std::size_t s = 0; s < 6; ++s) system.switch_speed[s] = fast;
+    return system;
+  }
+
+  /// Fast switches scattered across the rings (every 4th switch), so a
+  /// speed-greedy grouping necessarily crosses ring boundaries while every
+  /// ring has the same aggregate speed.
+  [[nodiscard]] HeteroSystem AlternatingSystem(double fast = 8.0, double slow = 1.0) const {
+    HeteroSystem system;
+    system.graph = &graph;
+    system.table = &table;
+    system.switch_speed.assign(24, slow);
+    for (std::size_t s = 0; s < 24; s += 4) system.switch_speed[s] = fast;
+    return system;
+  }
+};
+
+std::vector<ApplicationDemand> UniformApps(double compute, double comm) {
+  return {{"a0", compute, comm, 6}, {"a1", compute, comm, 6},
+          {"a2", compute, comm, 6}, {"a3", compute, comm, 6}};
+}
+
+TEST(Combined, EstimatesAreConsistent) {
+  const Fixture f;
+  const HeteroSystem system = f.System();
+  const auto apps = UniformApps(10.0, 5.0);
+  const qual::Partition rings({0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1,
+                               2, 2, 2, 2, 2, 2, 3, 3, 3, 3, 3, 3});
+  const auto estimates = EstimateApps(system, apps, rings);
+  ASSERT_EQ(estimates.size(), 4u);
+  // App 0 sits on the fast ring: lowest compute time.
+  EXPECT_LT(estimates[0].compute_time, estimates[1].compute_time);
+  EXPECT_NEAR(estimates[0].compute_time, 10.0 / 24.0, 1e-12);
+  EXPECT_NEAR(estimates[1].compute_time, 10.0 / 6.0, 1e-12);
+  EXPECT_NEAR(EstimateMakespan(system, apps, rings),
+              std::max(estimates[1].compute_time,
+                       std::max({estimates[0].Time(), estimates[2].Time(),
+                                 estimates[3].Time()})),
+              1e-12);
+}
+
+TEST(Combined, SingleSwitchClustersHaveNoCommTime) {
+  topo::SwitchGraph g = topo::MakeRing(4);
+  const route::UpDownRouting routing(g, topo::SwitchId{0});
+  const dist::DistanceTable table = dist::DistanceTable::Build(routing);
+  HeteroSystem system{&g, &table, {1.0, 1.0, 1.0, 1.0}};
+  const std::vector<ApplicationDemand> apps = {
+      {"x", 1.0, 100.0, 1}, {"y", 1.0, 100.0, 1}, {"z", 2.0, 100.0, 2}};
+  const qual::Partition p({0, 1, 2, 2});
+  const auto estimates = EstimateApps(system, apps, p);
+  EXPECT_DOUBLE_EQ(estimates[0].comm_time, 0.0);
+  EXPECT_DOUBLE_EQ(estimates[1].comm_time, 0.0);
+  EXPECT_GT(estimates[2].comm_time, 0.0);
+}
+
+TEST(Combined, ValidationErrors) {
+  const Fixture f;
+  HeteroSystem system = f.System();
+  auto apps = UniformApps(1.0, 1.0);
+  apps[0].cluster_switches = 5;  // total 23 != 24
+  EXPECT_THROW((void)ScheduleHetero(system, apps, HeteroStrategy::kCombined), ContractError);
+  system.switch_speed[3] = 0.0;
+  EXPECT_THROW((void)ScheduleHetero(f.System(), {}, HeteroStrategy::kCombined), ContractError);
+}
+
+TEST(Combined, CommOnlyWinsWhenCommBound) {
+  const Fixture f;
+  // Speed-greedy grouping scatters clusters across rings here, so ignoring
+  // communication is strictly costly for a communication-bound workload.
+  const HeteroSystem system = f.AlternatingSystem();
+  const auto apps = UniformApps(0.1, 50.0);  // communication dominates
+  const HeteroOutcome comm =
+      ScheduleHetero(system, apps, HeteroStrategy::kCommunicationOnly);
+  const HeteroOutcome compute = ScheduleHetero(system, apps, HeteroStrategy::kComputeOnly);
+  EXPECT_LT(comm.makespan, compute.makespan);
+  for (const AppEstimate& e : comm.per_app) {
+    EXPECT_TRUE(e.CommBound());
+  }
+}
+
+TEST(Combined, ComputeOnlyWinsWhenComputeBound) {
+  const Fixture f;
+  // Every ring has the same aggregate speed, so a ring-aligned (comm-only)
+  // placement cannot give the heavy application extra compute; gathering
+  // the scattered fast switches can.
+  const HeteroSystem system = f.AlternatingSystem();
+  // Heavily skewed compute demands, negligible communication.
+  const std::vector<ApplicationDemand> apps = {{"heavy", 100.0, 0.01, 6},
+                                               {"l1", 1.0, 0.01, 6},
+                                               {"l2", 1.0, 0.01, 6},
+                                               {"l3", 1.0, 0.01, 6}};
+  const HeteroOutcome compute = ScheduleHetero(system, apps, HeteroStrategy::kComputeOnly);
+  const HeteroOutcome comm =
+      ScheduleHetero(system, apps, HeteroStrategy::kCommunicationOnly);
+  EXPECT_LT(compute.makespan, comm.makespan);
+}
+
+TEST(Combined, CombinedNeverWorseThanEitherSingleObjective) {
+  const Fixture f;
+  const HeteroSystem system = f.System();
+  for (const auto& [compute, comm] : std::vector<std::pair<double, double>>{
+           {0.1, 50.0}, {100.0, 0.01}, {20.0, 10.0}, {5.0, 5.0}}) {
+    const auto apps = UniformApps(compute, comm);
+    const double combined =
+        ScheduleHetero(system, apps, HeteroStrategy::kCombined).makespan;
+    const double compute_only =
+        ScheduleHetero(system, apps, HeteroStrategy::kComputeOnly).makespan;
+    const double comm_only =
+        ScheduleHetero(system, apps, HeteroStrategy::kCommunicationOnly).makespan;
+    EXPECT_LE(combined, compute_only + 1e-9) << compute << "/" << comm;
+    EXPECT_LE(combined, comm_only + 1e-9) << compute << "/" << comm;
+  }
+}
+
+TEST(Combined, OutcomeClusterSizesMatchDemands) {
+  const Fixture f;
+  const HeteroSystem system = f.System();
+  const std::vector<ApplicationDemand> apps = {
+      {"big", 10.0, 10.0, 12}, {"mid", 5.0, 5.0, 8}, {"small", 1.0, 1.0, 4}};
+  const HeteroOutcome outcome = ScheduleHetero(system, apps, HeteroStrategy::kCombined);
+  EXPECT_EQ(outcome.partition.ClusterSize(0), 12u);
+  EXPECT_EQ(outcome.partition.ClusterSize(1), 8u);
+  EXPECT_EQ(outcome.partition.ClusterSize(2), 4u);
+}
+
+TEST(Combined, Deterministic) {
+  const Fixture f;
+  const HeteroSystem system = f.System();
+  const auto apps = UniformApps(5.0, 5.0);
+  HeteroOptions options;
+  options.rng_seed = 9;
+  const HeteroOutcome a = ScheduleHetero(system, apps, HeteroStrategy::kCombined, options);
+  const HeteroOutcome b = ScheduleHetero(system, apps, HeteroStrategy::kCombined, options);
+  EXPECT_EQ(a.partition, b.partition);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+TEST(Combined, StrategyNames) {
+  EXPECT_EQ(ToString(HeteroStrategy::kComputeOnly), "compute-only");
+  EXPECT_EQ(ToString(HeteroStrategy::kCommunicationOnly), "communication-only");
+  EXPECT_EQ(ToString(HeteroStrategy::kCombined), "combined");
+}
+
+}  // namespace
+}  // namespace commsched::hetero

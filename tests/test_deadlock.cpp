@@ -1,0 +1,98 @@
+#include "routing/deadlock.h"
+
+#include <gtest/gtest.h>
+
+#include "routing/shortest_path.h"
+#include "routing/updown.h"
+#include "topology/generator.h"
+#include "topology/library.h"
+
+namespace commsched::route {
+namespace {
+
+TEST(Deadlock, DirectedChannelLayout) {
+  const topo::SwitchGraph ring = topo::MakeRing(4);
+  const auto channels = DirectedChannels(ring);
+  ASSERT_EQ(channels.size(), 8u);
+  for (topo::LinkId l = 0; l < 4; ++l) {
+    EXPECT_EQ(channels[2 * l].from, ring.link(l).a);
+    EXPECT_EQ(channels[2 * l].to, ring.link(l).b);
+    EXPECT_EQ(channels[2 * l + 1].from, ring.link(l).b);
+    EXPECT_EQ(channels[2 * l + 1].to, ring.link(l).a);
+  }
+}
+
+TEST(Deadlock, ChannelIndexRoundTrip) {
+  const topo::SwitchGraph ring = topo::MakeRing(4);
+  const auto channels = DirectedChannels(ring);
+  for (std::size_t c = 0; c < channels.size(); ++c) {
+    EXPECT_EQ(ChannelIndex(ring, channels[c].link, channels[c].from), c);
+  }
+}
+
+TEST(Deadlock, UpDownIsDeadlockFreeOnIrregularNetworks) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    topo::IrregularTopologyOptions options;
+    options.switch_count = 16;
+    options.seed = seed;
+    const topo::SwitchGraph g = topo::GenerateIrregularTopology(options);
+    const UpDownRouting routing(g);
+    EXPECT_TRUE(IsDeadlockFree(routing)) << "seed " << seed;
+  }
+}
+
+TEST(Deadlock, UpDownIsDeadlockFreeOnRingsAndTori) {
+  {
+    const topo::SwitchGraph g = topo::MakeRing(8);
+    const UpDownRouting routing(g, topo::SwitchId{0});
+    EXPECT_TRUE(IsDeadlockFree(routing));
+  }
+  {
+    const topo::SwitchGraph g = topo::MakeTorus2D(3, 3);
+    const UpDownRouting routing(g);
+    EXPECT_TRUE(IsDeadlockFree(routing));
+  }
+  {
+    const topo::SwitchGraph g = topo::MakeFourRingsOfSix();
+    const UpDownRouting routing(g);
+    EXPECT_TRUE(IsDeadlockFree(routing));
+  }
+}
+
+TEST(Deadlock, UnrestrictedShortestPathOnRingHasCycle) {
+  // Classic result: minimal adaptive routing on a ring (>= 5 switches so
+  // that every channel is on some minimal route in a fixed direction) has a
+  // cyclic channel dependency on one virtual channel.
+  const topo::SwitchGraph ring = topo::MakeRing(6);
+  const ShortestPathRouting routing(ring);
+  EXPECT_FALSE(IsDeadlockFree(routing));
+  const auto cycle = FindDependencyCycle(routing);
+  ASSERT_GE(cycle.size(), 3u);
+  // The reported cycle is a real cycle in the CDG.
+  const auto cdg = BuildChannelDependencyGraph(routing);
+  for (std::size_t k = 0; k < cycle.size(); ++k) {
+    const std::size_t from = cycle[k];
+    const std::size_t to = cycle[(k + 1) % cycle.size()];
+    EXPECT_NE(std::find(cdg[from].begin(), cdg[from].end(), to), cdg[from].end())
+        << "missing CDG edge " << from << " -> " << to;
+  }
+}
+
+TEST(Deadlock, ShortestPathOnTreeIsDeadlockFree) {
+  // A tree has no cycles at all, so even unrestricted routing is safe.
+  const topo::SwitchGraph star = topo::MakeStar(5);
+  const ShortestPathRouting routing(star);
+  EXPECT_TRUE(IsDeadlockFree(routing));
+}
+
+TEST(Deadlock, CdgHasNoSelfLoops) {
+  const topo::SwitchGraph g = topo::MakeFourRingsOfSix();
+  const UpDownRouting routing(g);
+  const auto cdg = BuildChannelDependencyGraph(routing);
+  for (std::size_t c = 0; c < cdg.size(); ++c) {
+    EXPECT_EQ(std::find(cdg[c].begin(), cdg[c].end(), c), cdg[c].end());
+  }
+}
+
+}  // namespace
+}  // namespace commsched::route

@@ -1,0 +1,140 @@
+// Failure-injection / edge-case coverage across modules.
+#include <gtest/gtest.h>
+
+#include "core/commsched.h"
+
+namespace commsched {
+namespace {
+
+TEST(EdgeCases, WithoutLinkValidatesId) {
+  const topo::SwitchGraph g = topo::MakeRing(4);
+  EXPECT_THROW((void)g.WithoutLink(99), ContractError);
+}
+
+TEST(EdgeCases, WithoutLinkCanDisconnect) {
+  topo::SwitchGraph g(3, 1);  // path 0-1-2
+  g.AddLink(0, 1);
+  g.AddLink(1, 2);
+  const topo::SwitchGraph cut = g.WithoutLink(0);
+  EXPECT_FALSE(cut.IsConnected());
+  EXPECT_THROW(route::UpDownRouting routing(cut), ContractError);
+}
+
+TEST(EdgeCases, UpDownExplicitRootOutOfRange) {
+  const topo::SwitchGraph g = topo::MakeRing(4);
+  EXPECT_THROW(route::UpDownRouting routing(g, topo::SwitchId{4}), ContractError);
+}
+
+TEST(EdgeCases, EnumerateMinimalPathsLimit) {
+  // A 4x4 mesh corner pair has C(6,3) = 20 monotone paths; a limit of 3
+  // must trip.
+  const topo::SwitchGraph mesh = topo::MakeMesh2D(4, 4);
+  const route::ShortestPathRouting routing(mesh);
+  EXPECT_THROW((void)route::EnumerateMinimalPaths(routing, 0, 15, 3), ContractError);
+}
+
+TEST(EdgeCases, SimulatorWithNoSendersDeliversNothing) {
+  // Every application's weight is zero: positive offered load produces no
+  // messages (weight sum is zero).
+  const topo::SwitchGraph g = topo::GenerateIrregularTopology({8, 4, 3, 1, 1000});
+  const route::UpDownRouting routing(g);
+  std::vector<work::ApplicationSpec> apps = work::Workload::Uniform(2, 16).applications();
+  for (auto& app : apps) app.traffic_weight = 0.0;
+  const work::Workload workload(apps);
+  Rng rng(1);
+  const auto mapping = work::ProcessMapping::RandomAligned(g, workload, rng);
+  const sim::TrafficPattern pattern(g, workload, mapping);
+  sim::SimConfig config;
+  config.warmup_cycles = 100;
+  config.measure_cycles = 500;
+  sim::NetworkSimulator simulator(g, routing, pattern, config);
+  const sim::SimMetrics m = simulator.Run(0.5);
+  EXPECT_EQ(m.messages_generated, 0u);
+  EXPECT_EQ(m.flits_delivered, 0u);
+  EXPECT_FALSE(m.deadlock_detected);
+}
+
+TEST(EdgeCases, SingleClusterWorkloadSimulates) {
+  // One application owning the whole machine: F_G/D_G are undefined, but
+  // the simulator must still run (pure uniform traffic).
+  const topo::SwitchGraph g = topo::GenerateIrregularTopology({8, 4, 3, 2, 1000});
+  const route::UpDownRouting routing(g);
+  const work::Workload workload = work::Workload::Uniform(1, 32);
+  Rng rng(1);
+  const auto mapping = work::ProcessMapping::RandomAligned(g, workload, rng);
+  const sim::TrafficPattern pattern(g, workload, mapping);
+  sim::SimConfig config;
+  config.warmup_cycles = 500;
+  config.measure_cycles = 2000;
+  sim::NetworkSimulator simulator(g, routing, pattern, config);
+  const sim::SimMetrics m = simulator.Run(0.2);
+  EXPECT_GT(m.messages_delivered, 0u);
+  ASSERT_EQ(m.per_app.size(), 1u);
+  EXPECT_EQ(m.per_app[0].messages_delivered, m.messages_delivered);
+}
+
+TEST(EdgeCases, TwoSwitchSchedulingPipeline) {
+  // The smallest machine the full pipeline supports: 2 switches, 2 apps of
+  // one switch each. F_G is undefined (all clusters singletons) — the
+  // scheduler must reject it cleanly rather than divide by zero.
+  topo::SwitchGraph g(2, 4);
+  g.AddLink(0, 1);
+  const route::UpDownRouting routing(g);
+  const sched::CommAwareScheduler scheduler(g, routing);
+  EXPECT_THROW((void)scheduler.Schedule(work::Workload::Uniform(2, 4)), ContractError);
+  // One app of 2 switches has intra pairs but no intercluster: also reject.
+  EXPECT_THROW((void)scheduler.Schedule(work::Workload::Uniform(1, 8)), ContractError);
+}
+
+TEST(EdgeCases, MessageLengthOneFlit) {
+  // Header == tail: single-flit messages exercise the release-on-head path.
+  const topo::SwitchGraph g = topo::GenerateIrregularTopology({8, 4, 3, 3, 1000});
+  const route::UpDownRouting routing(g);
+  const work::Workload workload = work::Workload::Uniform(2, 16);
+  Rng rng(2);
+  const auto mapping = work::ProcessMapping::RandomAligned(g, workload, rng);
+  const sim::TrafficPattern pattern(g, workload, mapping);
+  sim::SimConfig config;
+  config.message_length_flits = 1;
+  config.warmup_cycles = 500;
+  config.measure_cycles = 3000;
+  sim::NetworkSimulator simulator(g, routing, pattern, config);
+  const sim::SimMetrics m = simulator.Run(0.3);
+  EXPECT_GT(m.messages_delivered, 0u);
+  EXPECT_EQ(m.flits_delivered, m.messages_delivered);
+  EXPECT_FALSE(m.deadlock_detected);
+}
+
+TEST(EdgeCases, TinyBuffersStillDeliver) {
+  const topo::SwitchGraph g = topo::GenerateIrregularTopology({8, 4, 3, 4, 1000});
+  const route::UpDownRouting routing(g);
+  const work::Workload workload = work::Workload::Uniform(2, 16);
+  Rng rng(3);
+  const auto mapping = work::ProcessMapping::RandomAligned(g, workload, rng);
+  const sim::TrafficPattern pattern(g, workload, mapping);
+  sim::SimConfig config;
+  config.input_buffer_flits = 1;  // minimum legal
+  config.warmup_cycles = 1000;
+  config.measure_cycles = 4000;
+  sim::NetworkSimulator simulator(g, routing, pattern, config);
+  const sim::SimMetrics m = simulator.Run(0.1);
+  EXPECT_GT(m.messages_delivered, 0u);
+  EXPECT_FALSE(m.deadlock_detected);
+}
+
+TEST(EdgeCases, PartitionOfOneSwitchPerCluster) {
+  // Legal partition object, even though quality functions reject it.
+  const qual::Partition p({0, 1, 2, 3});
+  EXPECT_EQ(p.IntraPairCount(), 0u);
+  EXPECT_EQ(p.InterPairCountOrdered(), 12u);
+}
+
+TEST(EdgeCases, TabuOnTwoClustersOfOne) {
+  const dist::DistanceTable t(2, 1.0);
+  // No inter-cluster swap can change anything; evaluator construction must
+  // reject the degenerate (no intra pairs) space.
+  EXPECT_THROW((void)sched::TabuSearch(t, {1, 1}), ContractError);
+}
+
+}  // namespace
+}  // namespace commsched

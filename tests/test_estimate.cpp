@@ -1,0 +1,140 @@
+#include "simnet/estimate.h"
+
+#include <gtest/gtest.h>
+
+#include "routing/updown.h"
+#include "topology/generator.h"
+
+namespace commsched::sim {
+namespace {
+
+struct Fixture {
+  topo::SwitchGraph graph;
+  route::UpDownRouting routing;
+  work::Workload workload;
+  work::ProcessMapping mapping;
+  TrafficPattern pattern;
+
+  Fixture()
+      : graph(topo::GenerateIrregularTopology({16, 4, 3, 1, 1000})),
+        routing(graph),
+        workload(work::Workload::Uniform(4, 16)),
+        mapping(Make(graph, workload)),
+        pattern(graph, workload, mapping) {}
+
+  static work::ProcessMapping Make(const topo::SwitchGraph& g, const work::Workload& w) {
+    Rng rng(7);
+    return work::ProcessMapping::RandomAligned(g, w, rng);
+  }
+};
+
+TEST(Estimate, WeightsFromTrafficMatrixSymmetrizes) {
+  std::vector<std::vector<double>> rates{{0.0, 1.0, 0.0},
+                                         {3.0, 0.0, 2.0},
+                                         {0.0, 0.0, 5.0}};  // diagonal dropped
+  const qual::WeightMatrix w = WeightsFromTrafficMatrix(rates);
+  EXPECT_EQ(w.size(), 3u);
+  // Before normalization: w01 = 4, w12 = 2, w02 = 0. Ratios preserved.
+  EXPECT_NEAR(w(0, 1) / w(1, 2), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(w(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(w(0, 0), 0.0);
+}
+
+TEST(Estimate, AnalyticWeightsMatchIntraclusterStructure) {
+  const Fixture f;
+  const qual::WeightMatrix w = sim::AnalyticSwitchWeights(f.graph, f.workload, f.mapping);
+  const qual::Partition p = f.mapping.InducedPartition(f.graph);
+  // With pure intracluster traffic, weight is nonzero exactly for
+  // same-cluster switch pairs, and uniform across them.
+  double intra_value = -1.0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t j = i + 1; j < 16; ++j) {
+      if (p.ClusterOf(i) == p.ClusterOf(j)) {
+        if (intra_value < 0) intra_value = w(i, j);
+        EXPECT_NEAR(w(i, j), intra_value, 1e-9);
+        EXPECT_GT(w(i, j), 0.0);
+      } else {
+        EXPECT_DOUBLE_EQ(w(i, j), 0.0);
+      }
+    }
+  }
+}
+
+TEST(Estimate, AnalyticWeightsScaleWithAppIntensity) {
+  const Fixture f;
+  std::vector<work::ApplicationSpec> apps = f.workload.applications();
+  apps[0].traffic_weight = 5.0;
+  const work::Workload workload(apps);
+  const qual::WeightMatrix w = sim::AnalyticSwitchWeights(f.graph, workload, f.mapping);
+  const qual::Partition p = f.mapping.InducedPartition(f.graph);
+  // Pick one intra pair of app 0 and one of app 1: ratio must be 5.
+  double w0 = -1.0;
+  double w1 = -1.0;
+  for (std::size_t i = 0; i < 16 && (w0 < 0 || w1 < 0); ++i) {
+    for (std::size_t j = i + 1; j < 16; ++j) {
+      if (p.ClusterOf(i) != p.ClusterOf(j)) continue;
+      if (p.ClusterOf(i) == 0 && w0 < 0) w0 = w(i, j);
+      if (p.ClusterOf(i) == 1 && w1 < 0) w1 = w(i, j);
+    }
+  }
+  ASSERT_GT(w0, 0.0);
+  ASSERT_GT(w1, 0.0);
+  EXPECT_NEAR(w0 / w1, 5.0, 1e-9);
+}
+
+TEST(Estimate, MeasuredWeightsApproximateAnalytic) {
+  // The paper's future-work loop closed: simulate, measure, compare with
+  // the model. At low load the measured matrix converges to the analytic
+  // expectation.
+  const Fixture f;
+  SimConfig config;
+  config.warmup_cycles = 2000;
+  config.measure_cycles = 30000;
+  const qual::WeightMatrix measured =
+      MeasureSwitchWeights(f.graph, f.routing, f.pattern, config, 0.2);
+  const qual::WeightMatrix analytic =
+      AnalyticSwitchWeights(f.graph, f.workload, f.mapping);
+  // Compare normalized matrices entrywise with a generous statistical
+  // tolerance; also check zero-structure agreement.
+  double worst = 0.0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t j = i + 1; j < 16; ++j) {
+      if (analytic(i, j) == 0.0) {
+        EXPECT_NEAR(measured(i, j), 0.0, 1e-9) << i << "," << j;
+      } else {
+        worst = std::max(worst, std::abs(measured(i, j) - analytic(i, j)) / analytic(i, j));
+      }
+    }
+  }
+  EXPECT_LT(worst, 0.25);  // within 25 % relative on every hot pair
+}
+
+TEST(Estimate, InterclusterFractionShowsUpInAnalyticWeights) {
+  const Fixture f;
+  std::vector<work::ApplicationSpec> apps = f.workload.applications();
+  for (auto& app : apps) app.intercluster_fraction = 0.5;
+  const work::Workload workload(apps);
+  const qual::WeightMatrix w = sim::AnalyticSwitchWeights(f.graph, workload, f.mapping);
+  const qual::Partition p = f.mapping.InducedPartition(f.graph);
+  // Cross-cluster pairs now carry weight.
+  bool any_cross = false;
+  for (std::size_t i = 0; i < 16 && !any_cross; ++i) {
+    for (std::size_t j = i + 1; j < 16; ++j) {
+      if (p.ClusterOf(i) != p.ClusterOf(j) && w(i, j) > 0.0) {
+        any_cross = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_cross);
+}
+
+TEST(Estimate, RateMatrixValidation) {
+  std::vector<std::vector<double>> ragged{{0.0, 1.0}, {1.0}};
+  EXPECT_THROW((void)WeightsFromTrafficMatrix(ragged), commsched::ContractError);
+  std::vector<std::vector<double>> tiny{{0.0}};
+  EXPECT_THROW((void)WeightsFromTrafficMatrix(tiny), commsched::ContractError);
+}
+
+}  // namespace
+}  // namespace commsched::sim

@@ -1,0 +1,103 @@
+#include "hetero/etc.h"
+
+#include <gtest/gtest.h>
+
+namespace commsched::hetero {
+namespace {
+
+TEST(Etc, GenerateShapeAndPositivity) {
+  EtcOptions options;
+  options.tasks = 64;
+  options.machines = 8;
+  const EtcMatrix etc = EtcMatrix::Generate(options);
+  EXPECT_EQ(etc.task_count(), 64u);
+  EXPECT_EQ(etc.machine_count(), 8u);
+  for (std::size_t t = 0; t < 64; ++t) {
+    for (std::size_t m = 0; m < 8; ++m) {
+      EXPECT_GT(etc(t, m), 0.0);
+    }
+  }
+}
+
+TEST(Etc, DeterministicInSeed) {
+  EtcOptions options;
+  options.seed = 17;
+  const EtcMatrix a = EtcMatrix::Generate(options);
+  const EtcMatrix b = EtcMatrix::Generate(options);
+  for (std::size_t t = 0; t < a.task_count(); ++t) {
+    for (std::size_t m = 0; m < a.machine_count(); ++m) {
+      EXPECT_DOUBLE_EQ(a(t, m), b(t, m));
+    }
+  }
+}
+
+TEST(Etc, ConsistentMatrixIsConsistent) {
+  EtcOptions options;
+  options.consistency = EtcConsistency::kConsistent;
+  options.tasks = 32;
+  options.machines = 6;
+  const EtcMatrix etc = EtcMatrix::Generate(options);
+  EXPECT_TRUE(etc.IsConsistent());
+  // In a row-sorted matrix machine 0 is fastest for every task.
+  for (std::size_t t = 0; t < 32; ++t) {
+    EXPECT_EQ(etc.BestMachine(t), 0u);
+  }
+}
+
+TEST(Etc, InconsistentMatrixUsuallyIsNot) {
+  EtcOptions options;
+  options.consistency = EtcConsistency::kInconsistent;
+  options.tasks = 64;
+  options.machines = 8;
+  const EtcMatrix etc = EtcMatrix::Generate(options);
+  EXPECT_FALSE(etc.IsConsistent());
+}
+
+TEST(Etc, SemiConsistentEvenMachinesOrdered) {
+  EtcOptions options;
+  options.consistency = EtcConsistency::kSemiConsistent;
+  options.tasks = 32;
+  options.machines = 8;
+  const EtcMatrix etc = EtcMatrix::Generate(options);
+  for (std::size_t t = 0; t < 32; ++t) {
+    for (std::size_t m = 0; m + 2 < 8; m += 2) {
+      EXPECT_LE(etc(t, m), etc(t, m + 2));
+    }
+  }
+}
+
+TEST(Etc, HeterogeneityBoundsRespected) {
+  EtcOptions options;
+  options.task_heterogeneity = 4.0;
+  options.machine_heterogeneity = 2.0;
+  options.tasks = 200;
+  options.machines = 4;
+  const EtcMatrix etc = EtcMatrix::Generate(options);
+  for (std::size_t t = 0; t < 200; ++t) {
+    for (std::size_t m = 0; m < 4; ++m) {
+      EXPECT_GE(etc(t, m), 1.0);
+      EXPECT_LE(etc(t, m), 4.0 * 2.0);
+    }
+  }
+}
+
+TEST(Etc, ValidationErrors) {
+  EXPECT_THROW(EtcMatrix etc(0, 4), ContractError);
+  EtcMatrix etc(2, 2);
+  EXPECT_THROW(etc.Set(0, 0, 0.0), ContractError);
+  EXPECT_THROW(etc.Set(2, 0, 1.0), ContractError);
+  EtcOptions bad;
+  bad.task_heterogeneity = 0.5;
+  EXPECT_THROW((void)EtcMatrix::Generate(bad), ContractError);
+}
+
+TEST(Etc, BestMachineTieBreaksLow) {
+  EtcMatrix etc(1, 3, 0.0);
+  etc.Set(0, 0, 5.0);
+  etc.Set(0, 1, 3.0);
+  etc.Set(0, 2, 3.0);
+  EXPECT_EQ(etc.BestMachine(0), 1u);
+}
+
+}  // namespace
+}  // namespace commsched::hetero

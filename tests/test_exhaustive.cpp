@@ -1,0 +1,90 @@
+#include "sched/exhaustive.h"
+
+#include <gtest/gtest.h>
+
+#include "distance/distance_table.h"
+#include "routing/updown.h"
+#include "topology/generator.h"
+
+namespace commsched::sched {
+namespace {
+
+DistanceTable SmallTable(std::size_t switches, std::uint64_t seed) {
+  topo::IrregularTopologyOptions options;
+  options.switch_count = switches;
+  options.seed = seed;
+  const topo::SwitchGraph g = topo::GenerateIrregularTopology(options);
+  const route::UpDownRouting routing(g);
+  return DistanceTable::Build(routing);
+}
+
+TEST(CountPartitions, KnownValues) {
+  EXPECT_EQ(CountPartitions({2, 2}), 3u);         // 4!/(2!2!2!) = 3
+  EXPECT_EQ(CountPartitions({2, 2, 2, 2}), 105u); // 8!/(2!^4 4!)
+  EXPECT_EQ(CountPartitions({4, 4, 4, 4}), 2627625u);  // the paper's 16-switch space
+  EXPECT_EQ(CountPartitions({3, 1}), 4u);          // C(4,3)
+  EXPECT_EQ(CountPartitions({1, 1, 1}), 1u);       // all singletons, unlabeled
+  EXPECT_EQ(CountPartitions({5}), 1u);
+}
+
+TEST(CountPartitions, MixedMultiplicities) {
+  // 6 into sizes {2,2,1,1}: 6!/(2!2!1!1!) / (2! * 2!) = 180/4 = 45.
+  EXPECT_EQ(CountPartitions({2, 2, 1, 1}), 45u);
+}
+
+TEST(Exhaustive, VisitsExactlyTheUnlabeledSpaceWithoutPruning) {
+  const DistanceTable t = SmallTable(8, 1);
+  ExhaustiveOptions options;
+  options.prune = false;
+  const SearchResult result = ExhaustiveSearch(t, {2, 2, 2, 2}, options);
+  EXPECT_EQ(result.evaluations, CountPartitions({2, 2, 2, 2}));
+}
+
+TEST(Exhaustive, PruningPreservesTheOptimum) {
+  const DistanceTable t = SmallTable(10, 2);
+  ExhaustiveOptions pruned;
+  pruned.prune = true;
+  ExhaustiveOptions full;
+  full.prune = false;
+  const SearchResult a = ExhaustiveSearch(t, {5, 5}, pruned);
+  const SearchResult b = ExhaustiveSearch(t, {5, 5}, full);
+  EXPECT_NEAR(a.best_fg, b.best_fg, 1e-12);
+  EXPECT_TRUE(a.best.SameGrouping(b.best));
+  EXPECT_LE(a.evaluations, b.evaluations);
+}
+
+TEST(Exhaustive, FindsObviousOptimum) {
+  DistanceTable t(6, 10.0);
+  t.Set(0, 1, 1.0);
+  t.Set(0, 2, 1.0);
+  t.Set(1, 2, 1.0);
+  t.Set(3, 4, 1.0);
+  t.Set(3, 5, 1.0);
+  t.Set(4, 5, 1.0);
+  const SearchResult result = ExhaustiveSearch(t, {3, 3});
+  EXPECT_TRUE(result.best.SameGrouping(qual::Partition({0, 0, 0, 1, 1, 1})));
+}
+
+TEST(Exhaustive, UnequalClusterSizes) {
+  const DistanceTable t = SmallTable(8, 3);
+  const SearchResult result = ExhaustiveSearch(t, {6, 2});
+  EXPECT_EQ(result.best.ClusterSize(0), 6u);
+  EXPECT_EQ(result.best.ClusterSize(1), 2u);
+}
+
+TEST(Exhaustive, SizesMustCoverSwitches) {
+  const DistanceTable t = SmallTable(8, 1);
+  EXPECT_THROW((void)ExhaustiveSearch(t, {4, 2}), commsched::ContractError);
+  EXPECT_THROW((void)ExhaustiveSearch(t, {4, 4, 4}), commsched::ContractError);
+}
+
+TEST(Exhaustive, LeafLimitEnforced) {
+  const DistanceTable t = SmallTable(12, 1);
+  ExhaustiveOptions options;
+  options.prune = false;
+  options.max_leaves = 10;
+  EXPECT_THROW((void)ExhaustiveSearch(t, {3, 3, 3, 3}, options), commsched::ContractError);
+}
+
+}  // namespace
+}  // namespace commsched::sched

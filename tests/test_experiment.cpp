@@ -1,0 +1,69 @@
+// Integration test: the paper's end-to-end pipeline on a small scale.
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/generator.h"
+#include "topology/library.h"
+
+namespace commsched::core {
+namespace {
+
+ExperimentOptions FastOptions() {
+  ExperimentOptions options;
+  options.random_mappings = 2;
+  options.sweep.points = 4;
+  options.sweep.min_rate = 0.05;
+  options.sweep.max_rate = 0.8;
+  options.sweep.config.warmup_cycles = 1000;
+  options.sweep.config.measure_cycles = 3000;
+  options.tabu.seeds = 5;
+  return options;
+}
+
+TEST(Experiment, CoefficientOnlyModeSkipsSimulation) {
+  const topo::SwitchGraph g = topo::GenerateIrregularTopology({16, 4, 3, 1, 1000});
+  ExperimentOptions options = FastOptions();
+  options.run_simulation = false;
+  const ExperimentResult result = RunPaperExperiment(g, options);
+  ASSERT_EQ(result.mappings.size(), 3u);
+  EXPECT_EQ(result.mappings[0].label, "OP");
+  EXPECT_EQ(result.mappings[1].label, "R1");
+  EXPECT_TRUE(result.mappings[0].sweep.points.empty());
+  // OP's clustering coefficient beats every random mapping's.
+  for (std::size_t k = 1; k < result.mappings.size(); ++k) {
+    EXPECT_GE(result.mappings[0].cc, result.mappings[k].cc);
+  }
+}
+
+TEST(Experiment, ScheduledMappingWinsOnThroughput) {
+  // The paper's headline claim, miniaturized: OP throughput exceeds the
+  // best random mapping's on the clustered 24-switch topology.
+  const topo::SwitchGraph g = topo::MakeFourRingsOfSix();
+  const ExperimentResult result = RunPaperExperiment(g, FastOptions());
+  EXPECT_GT(result.Scheduled().Throughput(), 0.0);
+  EXPECT_GT(result.ThroughputImprovement(), 1.0);
+}
+
+TEST(Experiment, SwitchCountMustDivide) {
+  const topo::SwitchGraph g = topo::GenerateIrregularTopology({18, 4, 3, 1, 1000});
+  ExperimentOptions options = FastOptions();
+  options.applications = 4;  // 18 % 4 != 0
+  EXPECT_THROW((void)RunPaperExperiment(g, options), commsched::ContractError);
+}
+
+TEST(Experiment, DeterministicAcrossRuns) {
+  const topo::SwitchGraph g = topo::GenerateIrregularTopology({16, 4, 3, 5, 1000});
+  ExperimentOptions options = FastOptions();
+  options.run_simulation = false;
+  const ExperimentResult a = RunPaperExperiment(g, options);
+  const ExperimentResult b = RunPaperExperiment(g, options);
+  ASSERT_EQ(a.mappings.size(), b.mappings.size());
+  for (std::size_t k = 0; k < a.mappings.size(); ++k) {
+    EXPECT_EQ(a.mappings[k].partition, b.mappings[k].partition);
+    EXPECT_DOUBLE_EQ(a.mappings[k].cc, b.mappings[k].cc);
+  }
+}
+
+}  // namespace
+}  // namespace commsched::core

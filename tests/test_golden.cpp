@@ -1,0 +1,117 @@
+// Golden-value tests: results computed by hand on small designed networks,
+// pinning the exact semantics of up*/down* legality and the equivalent
+// distance. These catch regressions that property tests could miss.
+#include <gtest/gtest.h>
+
+#include "distance/distance_table.h"
+#include "quality/quality.h"
+#include "routing/updown.h"
+#include "topology/library.h"
+
+namespace commsched {
+namespace {
+
+// Ring of 4 switches rooted at 0: BFS levels are 0,1,2,1; link up-ends are
+//   (0,1)->0, (1,2)->1, (2,3)->3, (0,3)->0.
+struct Ring4 {
+  topo::SwitchGraph graph = topo::MakeRing(4);
+  route::UpDownRouting routing{graph, topo::SwitchId{0}};
+};
+
+TEST(GoldenRing4, Orientation) {
+  const Ring4 r;
+  EXPECT_EQ(r.routing.Level(0), 0u);
+  EXPECT_EQ(r.routing.Level(1), 1u);
+  EXPECT_EQ(r.routing.Level(2), 2u);
+  EXPECT_EQ(r.routing.Level(3), 1u);
+  const auto up_end = [&](topo::SwitchId a, topo::SwitchId b) {
+    return r.routing.UpEnd(*r.graph.FindLink(a, b));
+  };
+  EXPECT_EQ(up_end(0, 1), 0u);
+  EXPECT_EQ(up_end(1, 2), 1u);
+  EXPECT_EQ(up_end(2, 3), 3u);
+  EXPECT_EQ(up_end(0, 3), 0u);
+}
+
+TEST(GoldenRing4, LegalDistances) {
+  const Ring4 r;
+  // 0 -> 2: both two-hop descents (0-1-2 and 0-3-2) are legal.
+  EXPECT_EQ(r.routing.MinimalDistance(0, 2), 2u);
+  // 1 -> 3: via 0 is up-then-down (legal); via 2 is down-then-up (illegal).
+  EXPECT_EQ(r.routing.MinimalDistance(1, 3), 2u);
+  const auto paths_13 = route::EnumerateMinimalPaths(r.routing, 1, 3);
+  ASSERT_EQ(paths_13.size(), 1u);
+  EXPECT_EQ(paths_13.front(), (std::vector<topo::SwitchId>{1, 0, 3}));
+  const auto paths_02 = route::EnumerateMinimalPaths(r.routing, 0, 2);
+  EXPECT_EQ(paths_02.size(), 2u);
+}
+
+TEST(GoldenRing4, EquivalentDistanceTable) {
+  const Ring4 r;
+  const dist::DistanceTable t = dist::DistanceTable::Build(r.routing, false);
+  // Adjacent pairs: the single link is the only minimal legal path.
+  EXPECT_NEAR(t(0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(t(1, 2), 1.0, 1e-12);
+  EXPECT_NEAR(t(2, 3), 1.0, 1e-12);
+  EXPECT_NEAR(t(0, 3), 1.0, 1e-12);
+  // 0 <-> 2: both 2-hop paths are legal -> the full 4-cycle of resistors,
+  // effective resistance 2 || 2 = 1.
+  EXPECT_NEAR(t(0, 2), 1.0, 1e-12);
+  // 1 <-> 3: only the path through the root is legal -> two resistors in
+  // series = 2. The up*/down* restriction is visible in the table.
+  EXPECT_NEAR(t(1, 3), 2.0, 1e-12);
+}
+
+TEST(GoldenRing4, QualityFunctionsByHand) {
+  const Ring4 r;
+  const dist::DistanceTable t = dist::DistanceTable::Build(r.routing, false);
+  // Sum of squared distances: four 1s + 1 + 4 = 9; msd = 9/6 = 1.5.
+  EXPECT_NEAR(t.MeanSquaredDistance(), 1.5, 1e-12);
+  // Partition {0,1},{2,3}: intra = T(0,1)^2 + T(2,3)^2 = 2; pairs = 2.
+  const qual::Partition p({0, 0, 1, 1});
+  EXPECT_NEAR(qual::GlobalSimilarity(t, p), (2.0 / 2.0) / 1.5, 1e-12);
+  // Intercluster (ordered count 8): pairs (0,2)=1,(0,3)=1,(1,2)=1,(1,3)=4,
+  // sum of squares doubled = 14; D_G = (14/8)/1.5.
+  EXPECT_NEAR(qual::GlobalDissimilarity(t, p), (14.0 / 8.0) / 1.5, 1e-12);
+  EXPECT_NEAR(qual::ClusteringCoefficient(t, p), (14.0 / 8.0) / (2.0 / 2.0), 1e-12);
+}
+
+// Star with hub 0: every leaf pair communicates through the hub; the
+// equivalent distance between leaves is exactly 2 (series), to the hub 1.
+TEST(GoldenStar, DistancesAndClusters) {
+  const topo::SwitchGraph g = topo::MakeStar(4);
+  const route::UpDownRouting routing(g, topo::SwitchId{0});
+  const dist::DistanceTable t = dist::DistanceTable::Build(routing, false);
+  for (topo::SwitchId leaf = 1; leaf <= 4; ++leaf) {
+    EXPECT_NEAR(t(0, leaf), 1.0, 1e-12);
+    for (topo::SwitchId other = leaf + 1; other <= 4; ++other) {
+      EXPECT_NEAR(t(leaf, other), 2.0, 1e-12);
+    }
+  }
+}
+
+// Two-switch network: unique link, unique path, distance 1; and the
+// smallest legal quality computation.
+TEST(GoldenPair, MinimalNetwork) {
+  topo::SwitchGraph g(2, 4);
+  g.AddLink(0, 1);
+  const route::UpDownRouting routing(g, topo::SwitchId{0});
+  const dist::DistanceTable t = dist::DistanceTable::Build(routing, false);
+  EXPECT_NEAR(t(0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(t.MeanSquaredDistance(), 1.0, 1e-12);
+}
+
+// Hypercube(2) == 4-cycle, but rooted by max degree (all equal -> switch 0):
+// cross-check against the ring result with relabeled switches. Hypercube
+// links: (0,1),(0,2),(1,3),(2,3); levels 0,1,1,2; the "far" pair for the
+// up*/down* restriction is (1,2).
+TEST(GoldenHypercube2, MatchesRingStructure) {
+  const topo::SwitchGraph g = topo::MakeHypercube(2);
+  const route::UpDownRouting routing(g, topo::SwitchId{0});
+  const dist::DistanceTable t = dist::DistanceTable::Build(routing, false);
+  EXPECT_NEAR(t(0, 3), 1.0, 1e-12);  // two legal descents in parallel
+  EXPECT_NEAR(t(1, 2), 2.0, 1e-12);  // only via the root
+}
+
+}  // namespace
+}  // namespace commsched

@@ -1,0 +1,127 @@
+#include "topology/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace commsched::topo {
+namespace {
+
+SwitchGraph Triangle() {
+  SwitchGraph g(3, 4);
+  g.AddLink(0, 1);
+  g.AddLink(1, 2);
+  g.AddLink(2, 0);
+  return g;
+}
+
+TEST(SwitchGraph, BasicCounts) {
+  const SwitchGraph g = Triangle();
+  EXPECT_EQ(g.switch_count(), 3u);
+  EXPECT_EQ(g.link_count(), 3u);
+  EXPECT_EQ(g.hosts_per_switch(), 4u);
+  EXPECT_EQ(g.host_count(), 12u);
+}
+
+TEST(SwitchGraph, LinksAreNormalized) {
+  SwitchGraph g(3, 1);
+  g.AddLink(2, 0);
+  EXPECT_EQ(g.link(0).a, 0u);
+  EXPECT_EQ(g.link(0).b, 2u);
+}
+
+TEST(SwitchGraph, RejectsSelfLoopAndDuplicates) {
+  SwitchGraph g(3, 1);
+  g.AddLink(0, 1);
+  EXPECT_THROW(g.AddLink(1, 1), ContractError);
+  EXPECT_THROW(g.AddLink(0, 1), ContractError);
+  EXPECT_THROW(g.AddLink(1, 0), ContractError);
+  EXPECT_THROW(g.AddLink(0, 3), ContractError);
+}
+
+TEST(SwitchGraph, NeighborsAndDegree) {
+  const SwitchGraph g = Triangle();
+  EXPECT_EQ(g.Degree(0), 2u);
+  auto n = g.Neighbors(0);
+  std::sort(n.begin(), n.end());
+  EXPECT_EQ(n, (std::vector<SwitchId>{1, 2}));
+}
+
+TEST(SwitchGraph, OtherEnd) {
+  const SwitchGraph g = Triangle();
+  const auto link = g.FindLink(1, 2);
+  ASSERT_TRUE(link.has_value());
+  EXPECT_EQ(g.OtherEnd(*link, 1), 2u);
+  EXPECT_EQ(g.OtherEnd(*link, 2), 1u);
+}
+
+TEST(SwitchGraph, FindLink) {
+  const SwitchGraph g = Triangle();
+  EXPECT_TRUE(g.HasLink(0, 2));
+  EXPECT_TRUE(g.HasLink(2, 0));
+  EXPECT_FALSE(g.FindLink(0, 0).has_value());
+  SwitchGraph h(4, 1);
+  h.AddLink(0, 1);
+  EXPECT_FALSE(h.HasLink(2, 3));
+}
+
+TEST(SwitchGraph, Connectivity) {
+  EXPECT_TRUE(Triangle().IsConnected());
+  SwitchGraph g(4, 1);
+  g.AddLink(0, 1);
+  g.AddLink(2, 3);
+  EXPECT_FALSE(g.IsConnected());
+  g.AddLink(1, 2);
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(SwitchGraph, BfsDistances) {
+  SwitchGraph g(5, 1);  // path 0-1-2-3-4
+  for (std::size_t i = 0; i + 1 < 5; ++i) g.AddLink(i, i + 1);
+  const auto dist = g.BfsDistances(0);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(dist[i], i);
+  }
+}
+
+TEST(SwitchGraph, BfsUnreachableIsMax) {
+  SwitchGraph g(3, 1);
+  g.AddLink(0, 1);
+  const auto dist = g.BfsDistances(0);
+  EXPECT_EQ(dist[2], static_cast<std::size_t>(-1));
+}
+
+TEST(SwitchGraph, AllPairsHopDistanceSymmetric) {
+  const SwitchGraph g = Triangle();
+  const auto d = g.AllPairsHopDistance();
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(d[i][i], 0u);
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(d[i][j], d[j][i]);
+    }
+  }
+  EXPECT_EQ(d[0][1], 1u);
+}
+
+TEST(SwitchGraph, HostNumbering) {
+  const SwitchGraph g = Triangle();  // 4 hosts per switch
+  EXPECT_EQ(g.SwitchOfHost(0), 0u);
+  EXPECT_EQ(g.SwitchOfHost(3), 0u);
+  EXPECT_EQ(g.SwitchOfHost(4), 1u);
+  EXPECT_EQ(g.SwitchOfHost(11), 2u);
+  EXPECT_EQ(g.FirstHostOfSwitch(2), 8u);
+  EXPECT_THROW((void)g.SwitchOfHost(12), ContractError);
+}
+
+TEST(SwitchGraph, ZeroHostGraphHostQueriesFail) {
+  SwitchGraph g(2, 0);
+  g.AddLink(0, 1);
+  EXPECT_EQ(g.host_count(), 0u);
+  EXPECT_THROW((void)g.SwitchOfHost(0), ContractError);
+}
+
+TEST(SwitchGraph, SingleSwitchIsConnected) {
+  SwitchGraph g(1, 4);
+  EXPECT_TRUE(g.IsConnected());
+}
+
+}  // namespace
+}  // namespace commsched::topo

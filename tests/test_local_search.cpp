@@ -1,0 +1,97 @@
+#include "sched/local_search.h"
+
+#include <gtest/gtest.h>
+
+#include "distance/distance_table.h"
+#include "routing/updown.h"
+#include "sched/tabu.h"
+#include "topology/generator.h"
+
+namespace commsched::sched {
+namespace {
+
+DistanceTable PaperTable(std::size_t switches, std::uint64_t seed) {
+  topo::IrregularTopologyOptions options;
+  options.switch_count = switches;
+  options.seed = seed;
+  const topo::SwitchGraph g = topo::GenerateIrregularTopology(options);
+  const route::UpDownRouting routing(g);
+  return DistanceTable::Build(routing);
+}
+
+TEST(SteepestDescent, FindsTwoIslands) {
+  DistanceTable t(4, 10.0);
+  t.Set(0, 1, 1.0);
+  t.Set(2, 3, 1.0);
+  const SearchResult result = SteepestDescent(t, {2, 2});
+  EXPECT_TRUE(result.best.SameGrouping(qual::Partition({0, 0, 1, 1})));
+}
+
+TEST(SteepestDescent, ReachesALocalMinimum) {
+  const DistanceTable t = PaperTable(12, 3);
+  SteepestDescentOptions options;
+  options.restarts = 1;
+  const SearchResult result = SteepestDescent(t, {3, 3, 3, 3}, options);
+  // At a local minimum no inter-cluster swap decreases F_G.
+  qual::SwapEvaluator eval(t, result.best);
+  for (std::size_t a = 0; a < 12; ++a) {
+    for (std::size_t b = a + 1; b < 12; ++b) {
+      if (result.best.ClusterOf(a) == result.best.ClusterOf(b)) continue;
+      EXPECT_GE(eval.SwapDelta(a, b), -1e-9);
+    }
+  }
+}
+
+TEST(SteepestDescent, Deterministic) {
+  const DistanceTable t = PaperTable(12, 5);
+  SteepestDescentOptions options;
+  options.rng_seed = 11;
+  const SearchResult a = SteepestDescent(t, {3, 3, 3, 3}, options);
+  const SearchResult b = SteepestDescent(t, {3, 3, 3, 3}, options);
+  EXPECT_EQ(a.best, b.best);
+}
+
+TEST(SteepestDescent, NeverBeatsTabuWithSameSeeds) {
+  // Tabu = steepest descent + escape; with identical restarts it can only
+  // match or improve.
+  const DistanceTable t = PaperTable(16, 6);
+  SteepestDescentOptions sd;
+  sd.restarts = 10;
+  sd.rng_seed = 3;
+  TabuOptions tabu;
+  tabu.seeds = 10;
+  tabu.rng_seed = 3;
+  tabu.max_iterations_per_seed = 200;
+  EXPECT_LE(TabuSearch(t, {4, 4, 4, 4}, tabu).best_fg,
+            SteepestDescent(t, {4, 4, 4, 4}, sd).best_fg + 1e-9);
+}
+
+TEST(RandomSearch, BestOfSamplesImprovesWithMoreSamples) {
+  const DistanceTable t = PaperTable(16, 7);
+  RandomSearchOptions small;
+  small.samples = 5;
+  small.rng_seed = 1;
+  RandomSearchOptions large;
+  large.samples = 500;
+  large.rng_seed = 1;
+  EXPECT_LE(RandomSearch(t, {4, 4, 4, 4}, large).best_fg,
+            RandomSearch(t, {4, 4, 4, 4}, small).best_fg + 1e-12);
+}
+
+TEST(RandomSearch, CountsEvaluations) {
+  const DistanceTable t = PaperTable(8, 1);
+  RandomSearchOptions options;
+  options.samples = 123;
+  const SearchResult result = RandomSearch(t, {2, 2, 2, 2}, options);
+  EXPECT_EQ(result.evaluations, 123u);
+}
+
+TEST(RandomSearch, ZeroSamplesRejected) {
+  const DistanceTable t = PaperTable(8, 1);
+  RandomSearchOptions options;
+  options.samples = 0;
+  EXPECT_THROW((void)RandomSearch(t, {2, 2, 2, 2}, options), commsched::ContractError);
+}
+
+}  // namespace
+}  // namespace commsched::sched

@@ -1,0 +1,100 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace commsched::linalg {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 0) = 9.0;
+  EXPECT_DOUBLE_EQ(m(0, 0), 9.0);
+}
+
+TEST(Matrix, IdentityProperties) {
+  const Matrix id = Matrix::Identity(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(id(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, AdditionSubtraction) {
+  Matrix a(2, 2, 1.0);
+  Matrix b(2, 2, 2.0);
+  a += b;
+  EXPECT_DOUBLE_EQ(a(0, 0), 3.0);
+  a -= b;
+  EXPECT_DOUBLE_EQ(a(1, 1), 1.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 2);
+  Matrix b(3, 2);
+  EXPECT_THROW(a += b, commsched::ContractError);
+  EXPECT_THROW(a -= b, commsched::ContractError);
+  EXPECT_THROW((void)a.MaxAbsDiff(b), commsched::ContractError);
+}
+
+TEST(Matrix, ScalarMultiply) {
+  Matrix a(2, 2, 3.0);
+  a *= 2.0;
+  EXPECT_DOUBLE_EQ(a(0, 1), 6.0);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix a(2, 3);
+  a(0, 1) = 5.0;
+  a(1, 2) = -2.0;
+  const Matrix t = a.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(t(2, 1), -2.0);
+}
+
+TEST(Matrix, ProductMatchesHandComputation) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+  double va = 1.0;
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = va++;
+  double vb = 7.0;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 2; ++c) b(r, c) = vb++;
+  const Matrix p = a * b;
+  EXPECT_DOUBLE_EQ(p(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(p(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(p(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(p(1, 1), 154.0);
+}
+
+TEST(Matrix, ProductWithIdentityIsIdentityOp) {
+  Matrix a(3, 3);
+  double v = 0.5;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = v += 0.25;
+  const Matrix p = a * Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(p.MaxAbsDiff(a), 0.0);
+}
+
+TEST(Matrix, ProductShapeMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW((void)(a * b), commsched::ContractError);
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  Matrix a(2, 2, 1.0);
+  Matrix b(2, 2, 1.0);
+  b(1, 0) = 1.75;
+  EXPECT_DOUBLE_EQ(a.MaxAbsDiff(b), 0.75);
+}
+
+}  // namespace
+}  // namespace commsched::linalg

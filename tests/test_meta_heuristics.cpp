@@ -1,0 +1,151 @@
+#include "hetero/meta_heuristics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace commsched::hetero {
+namespace {
+
+/// 2 tasks, 2 machines with an obvious optimum.
+EtcMatrix Tiny() {
+  EtcMatrix etc(2, 2, 0.0);
+  etc.Set(0, 0, 1.0);
+  etc.Set(0, 1, 10.0);
+  etc.Set(1, 0, 10.0);
+  etc.Set(1, 1, 1.0);
+  return etc;
+}
+
+TEST(MetaSchedule, FromAssignmentComputesMakespan) {
+  const EtcMatrix etc = Tiny();
+  const MetaSchedule s = MetaSchedule::FromAssignment(etc, {0, 1});
+  EXPECT_DOUBLE_EQ(s.makespan, 1.0);
+  const MetaSchedule bad = MetaSchedule::FromAssignment(etc, {1, 0});
+  EXPECT_DOUBLE_EQ(bad.makespan, 10.0);
+}
+
+TEST(MetaSchedule, ValidatesInput) {
+  const EtcMatrix etc = Tiny();
+  EXPECT_THROW((void)MetaSchedule::FromAssignment(etc, {0}), ContractError);
+  EXPECT_THROW((void)MetaSchedule::FromAssignment(etc, {0, 5}), ContractError);
+}
+
+TEST(Heuristics, AllFindTheTinyOptimum) {
+  const EtcMatrix etc = Tiny();
+  for (const auto& [name, schedule] : RunAllHeuristics(etc)) {
+    EXPECT_DOUBLE_EQ(schedule.makespan, 1.0) << name;
+  }
+}
+
+TEST(Heuristics, MetIgnoresLoad) {
+  // All tasks fastest on machine 0: MET piles everything there.
+  EtcMatrix etc(4, 2, 0.0);
+  for (std::size_t t = 0; t < 4; ++t) {
+    etc.Set(t, 0, 1.0);
+    etc.Set(t, 1, 2.0);
+  }
+  const MetaSchedule s = Met(etc);
+  for (std::size_t t = 0; t < 4; ++t) {
+    EXPECT_EQ(s.machine_of_task[t], 0u);
+  }
+  EXPECT_DOUBLE_EQ(s.makespan, 4.0);
+  // MCT balances instead.
+  EXPECT_LT(Mct(etc).makespan, 4.0);
+}
+
+TEST(Heuristics, OlbIgnoresExecutionTime) {
+  // Machine 1 is terrible but idle: OLB still uses it.
+  EtcMatrix etc(2, 2, 0.0);
+  etc.Set(0, 0, 1.0);
+  etc.Set(0, 1, 100.0);
+  etc.Set(1, 0, 1.0);
+  etc.Set(1, 1, 100.0);
+  const MetaSchedule s = Olb(etc);
+  EXPECT_NE(s.machine_of_task[0], s.machine_of_task[1]);
+  EXPECT_DOUBLE_EQ(s.makespan, 100.0);
+}
+
+// Property sweep over random instances.
+class HeuristicProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HeuristicProperties, SchedulesAreWellFormed) {
+  EtcOptions options;
+  options.tasks = 60;
+  options.machines = 6;
+  options.seed = GetParam();
+  const EtcMatrix etc = EtcMatrix::Generate(options);
+  for (const auto& [name, schedule] : RunAllHeuristics(etc)) {
+    ASSERT_EQ(schedule.machine_of_task.size(), 60u) << name;
+    // Makespan is the max machine finish and is consistent with a
+    // recomputation from scratch.
+    const MetaSchedule recomputed =
+        MetaSchedule::FromAssignment(etc, schedule.machine_of_task);
+    EXPECT_NEAR(schedule.makespan, recomputed.makespan, 1e-9) << name;
+    EXPECT_GT(schedule.makespan, 0.0) << name;
+  }
+}
+
+TEST_P(HeuristicProperties, MinMinBeatsNaiveBaselinesUsually) {
+  EtcOptions options;
+  options.tasks = 100;
+  options.machines = 8;
+  options.seed = GetParam();
+  const EtcMatrix etc = EtcMatrix::Generate(options);
+  // The classic HCW result: Min-min is consistently among the best. We
+  // assert it is no worse than the *worst* naive baseline by a margin.
+  const double minmin = MinMin(etc).makespan;
+  const double worst_naive = std::max(Olb(etc).makespan, Met(etc).makespan);
+  EXPECT_LT(minmin, worst_naive);
+}
+
+TEST_P(HeuristicProperties, LocalSearchNeverHurts) {
+  EtcOptions options;
+  options.tasks = 40;
+  options.machines = 5;
+  options.seed = GetParam();
+  const EtcMatrix etc = EtcMatrix::Generate(options);
+  for (const auto& [name, schedule] : RunAllHeuristics(etc)) {
+    const MetaSchedule improved = ImproveByLocalSearch(etc, schedule);
+    EXPECT_LE(improved.makespan, schedule.makespan + 1e-9) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeuristicProperties, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Heuristics, SufferagePrefersHighSufferageTask) {
+  // Task 0 suffers hugely without machine 0; task 1 barely cares. With both
+  // competing for machine 0, sufferage gives it to task 0.
+  EtcMatrix etc(2, 2, 0.0);
+  etc.Set(0, 0, 1.0);
+  etc.Set(0, 1, 50.0);
+  etc.Set(1, 0, 1.0);
+  etc.Set(1, 1, 2.0);
+  const MetaSchedule s = Sufferage(etc);
+  EXPECT_EQ(s.machine_of_task[0], 0u);
+  // Task 1 then completes at 2.0 either way (m0: 1+1, m1: 2).
+  EXPECT_DOUBLE_EQ(s.makespan, 2.0);
+}
+
+TEST(Heuristics, MaxMinFrontLoadsBigTasks) {
+  // One huge task and many small ones on 2 identical machines: Max-min
+  // places the huge task first and packs small ones opposite.
+  EtcMatrix etc(5, 2, 0.0);
+  etc.Set(0, 0, 10.0);
+  etc.Set(0, 1, 10.0);
+  for (std::size_t t = 1; t < 5; ++t) {
+    etc.Set(t, 0, 2.0);
+    etc.Set(t, 1, 2.0);
+  }
+  const MetaSchedule s = MaxMin(etc);
+  const std::size_t big_machine = s.machine_of_task[0];
+  std::size_t small_with_big = 0;
+  for (std::size_t t = 1; t < 5; ++t) {
+    if (s.machine_of_task[t] == big_machine) ++small_with_big;
+  }
+  EXPECT_EQ(small_with_big, 0u);  // 10 vs 4*2: optimal, makespan 10
+  EXPECT_DOUBLE_EQ(s.makespan, 10.0);
+}
+
+}  // namespace
+}  // namespace commsched::hetero

@@ -1,0 +1,99 @@
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace commsched {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, PropagatesException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // Pool remains usable after an exception.
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, DefaultsToHardwareThreads) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(1000);
+  ParallelFor(pool, visits.size(), [&](std::size_t i) { visits[i].fetch_add(1); });
+  for (const auto& v : visits) {
+    EXPECT_EQ(v.load(), 1);
+  }
+}
+
+TEST(ParallelFor, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  ParallelFor(pool, 0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelFor, SingleIteration) {
+  std::atomic<int> count{0};
+  ParallelFor(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelFor, ConvenienceOverloadComputesCorrectSum) {
+  std::vector<long> squares(500);
+  ParallelFor(squares.size(), [&](std::size_t i) { squares[i] = static_cast<long>(i * i); });
+  long sum = std::accumulate(squares.begin(), squares.end(), 0L);
+  long expected = 0;
+  for (long i = 0; i < 500; ++i) expected += i * i;
+  EXPECT_EQ(sum, expected);
+}
+
+TEST(ParallelFor, ExceptionInBodyPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(ParallelFor(pool, 100,
+                           [](std::size_t i) {
+                             if (i == 57) throw std::logic_error("bad index");
+                           }),
+               std::logic_error);
+}
+
+TEST(ParallelFor, MoreTasksThanThreads) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  ParallelFor(pool, 10000, [&](std::size_t i) { sum.fetch_add(static_cast<long>(i)); });
+  EXPECT_EQ(sum.load(), 10000L * 9999L / 2);
+}
+
+}  // namespace
+}  // namespace commsched

@@ -1,0 +1,120 @@
+#include "quality/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.h"
+
+namespace commsched::qual {
+namespace {
+
+TEST(Partition, FromVectorBasics) {
+  const Partition p({0, 0, 1, 1, 2, 2});
+  EXPECT_EQ(p.switch_count(), 6u);
+  EXPECT_EQ(p.cluster_count(), 3u);
+  EXPECT_EQ(p.ClusterOf(3), 1u);
+  EXPECT_EQ(p.ClusterSize(2), 2u);
+}
+
+TEST(Partition, RejectsNonContiguousClusterIds) {
+  EXPECT_THROW(Partition p({0, 2}), ContractError);  // cluster 1 missing
+}
+
+TEST(Partition, FromClusters) {
+  const Partition p = Partition::FromClusters({{0, 3}, {1, 2}});
+  EXPECT_EQ(p.ClusterOf(0), 0u);
+  EXPECT_EQ(p.ClusterOf(3), 0u);
+  EXPECT_EQ(p.ClusterOf(1), 1u);
+}
+
+TEST(Partition, FromClustersValidation) {
+  EXPECT_THROW((void)Partition::FromClusters({{0, 1}, {1, 2}}), ContractError);  // dup
+  EXPECT_THROW((void)Partition::FromClusters({{0, 5}, {1, 2}}), ContractError);  // gap
+  EXPECT_THROW((void)Partition::FromClusters({{0, 1}, {}}), ContractError);      // empty
+}
+
+TEST(Partition, MembersSorted) {
+  const Partition p({1, 0, 1, 0});
+  EXPECT_EQ(p.Members(0), (std::vector<std::size_t>{1, 3}));
+  EXPECT_EQ(p.Members(1), (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(Partition, RandomHasRequestedSizes) {
+  Rng rng(5);
+  const Partition p = Partition::Random({4, 4, 4, 4}, rng);
+  EXPECT_EQ(p.switch_count(), 16u);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(p.ClusterSize(c), 4u);
+  }
+}
+
+TEST(Partition, RandomVariesWithRng) {
+  Rng rng(5);
+  std::set<std::string> seen;
+  for (int i = 0; i < 10; ++i) {
+    seen.insert(Partition::Random({4, 4, 4, 4}, rng).ToString());
+  }
+  EXPECT_GT(seen.size(), 5u);
+}
+
+TEST(Partition, BlockedLayout) {
+  const Partition p = Partition::Blocked({2, 3});
+  EXPECT_EQ(p.ClusterOf(0), 0u);
+  EXPECT_EQ(p.ClusterOf(1), 0u);
+  EXPECT_EQ(p.ClusterOf(2), 1u);
+  EXPECT_EQ(p.ClusterOf(4), 1u);
+}
+
+TEST(Partition, MoveUpdatesSizes) {
+  Partition p({0, 0, 1, 1});
+  p.Move(0, 1);
+  EXPECT_EQ(p.ClusterOf(0), 1u);
+  EXPECT_EQ(p.ClusterSize(0), 1u);
+  EXPECT_EQ(p.ClusterSize(1), 3u);
+  // Switch 1 is now cluster 0's only member; moving it away would empty it.
+  EXPECT_THROW(p.Move(1, 1), ContractError);
+}
+
+TEST(Partition, MoveCannotEmptyCluster) {
+  Partition p({0, 1, 1});
+  EXPECT_THROW(p.Move(0, 1), ContractError);
+}
+
+TEST(Partition, SwapPreservesSizes) {
+  Partition p({0, 0, 1, 1});
+  p.Swap(1, 2);
+  EXPECT_EQ(p.ClusterOf(1), 1u);
+  EXPECT_EQ(p.ClusterOf(2), 0u);
+  EXPECT_EQ(p.ClusterSize(0), 2u);
+  EXPECT_EQ(p.ClusterSize(1), 2u);
+}
+
+TEST(Partition, PairCountsMatchEquations) {
+  const Partition p({0, 0, 0, 1, 1, 2});  // sizes 3, 2, 1
+  EXPECT_EQ(p.IntraPairCount(), 3u + 1u + 0u);           // eq. (3)
+  EXPECT_EQ(p.InterPairCountOrdered(), 3u * 3 + 2u * 4 + 1u * 5);
+}
+
+TEST(Partition, ToStringMatchesPaperStyle) {
+  const Partition p = Partition::FromClusters({{5, 6, 8, 15}, {0, 1, 11, 12},
+                                               {3, 9, 10, 14}, {2, 4, 7, 13}});
+  EXPECT_EQ(p.ToString(), "(0,1,11,12) (2,4,7,13) (3,9,10,14) (5,6,8,15)");
+}
+
+TEST(Partition, SameGroupingIgnoresLabels) {
+  const Partition a({0, 0, 1, 1});
+  const Partition b({1, 1, 0, 0});
+  const Partition c({0, 1, 0, 1});
+  EXPECT_TRUE(a.SameGrouping(b));
+  EXPECT_FALSE(a.SameGrouping(c));
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Partition, CanonicalLabelsFirstAppearanceOrder) {
+  const Partition p({2, 2, 0, 1, 0});
+  EXPECT_EQ(p.CanonicalLabels(), (std::vector<std::size_t>{0, 0, 1, 2, 1}));
+}
+
+}  // namespace
+}  // namespace commsched::qual

@@ -1,0 +1,121 @@
+// Per-application simulator metrics and the saturation-load search.
+#include <gtest/gtest.h>
+
+#include "routing/updown.h"
+#include "simnet/simulator.h"
+#include "simnet/sweep.h"
+#include "topology/generator.h"
+
+namespace commsched::sim {
+namespace {
+
+struct Fixture {
+  topo::SwitchGraph graph;
+  route::UpDownRouting routing;
+  work::Workload workload;
+  work::ProcessMapping mapping;
+  TrafficPattern pattern;
+
+  explicit Fixture(work::Workload w)
+      : graph(topo::GenerateIrregularTopology({16, 4, 3, 1, 1000})),
+        routing(graph),
+        workload(std::move(w)),
+        mapping(Make(graph, workload)),
+        pattern(graph, workload, mapping) {}
+
+  static work::ProcessMapping Make(const topo::SwitchGraph& g, const work::Workload& w) {
+    Rng rng(5);
+    return work::ProcessMapping::RandomAligned(g, w, rng);
+  }
+};
+
+SimConfig FastConfig() {
+  SimConfig config;
+  config.warmup_cycles = 2000;
+  config.measure_cycles = 8000;
+  return config;
+}
+
+TEST(PerAppMetrics, SumsMatchTotals) {
+  const Fixture f(work::Workload::Uniform(4, 16));
+  NetworkSimulator sim(f.graph, f.routing, f.pattern, FastConfig());
+  const SimMetrics m = sim.Run(0.2);
+  ASSERT_EQ(m.per_app.size(), 4u);
+  std::size_t msgs = 0;
+  std::size_t flits = 0;
+  for (const auto& app : m.per_app) {
+    msgs += app.messages_delivered;
+    flits += app.flits_delivered;
+    EXPECT_GT(app.messages_delivered, 0u);
+    EXPECT_GE(app.avg_latency_cycles, 16.0);  // >= message length
+  }
+  EXPECT_EQ(msgs, m.messages_delivered);
+  EXPECT_EQ(flits, m.flits_delivered);
+}
+
+TEST(PerAppMetrics, HotAppDeliversProportionallyMore) {
+  std::vector<work::ApplicationSpec> apps = work::Workload::Uniform(4, 16).applications();
+  apps[0].traffic_weight = 5.0;
+  const Fixture f{work::Workload(apps)};
+  NetworkSimulator sim(f.graph, f.routing, f.pattern, FastConfig());
+  const SimMetrics m = sim.Run(0.2);
+  // App 0 injects 5x per host: at low load it delivers ~5x the flits.
+  const double ratio = static_cast<double>(m.per_app[0].flits_delivered) /
+                       static_cast<double>(m.per_app[1].flits_delivered);
+  EXPECT_GT(ratio, 3.5);
+  EXPECT_LT(ratio, 6.5);
+}
+
+TEST(PerAppMetrics, ZeroWeightAppDeliversNothing) {
+  std::vector<work::ApplicationSpec> apps = work::Workload::Uniform(4, 16).applications();
+  apps[2].traffic_weight = 0.0;
+  const Fixture f{work::Workload(apps)};
+  NetworkSimulator sim(f.graph, f.routing, f.pattern, FastConfig());
+  const SimMetrics m = sim.Run(0.2);
+  EXPECT_EQ(m.per_app[2].messages_delivered, 0u);
+  EXPECT_DOUBLE_EQ(m.per_app[2].avg_latency_cycles, 0.0);
+}
+
+TEST(SweepPolicyOverload, MatchesRoutingOverloadForSingleClass) {
+  const Fixture f(work::Workload::Uniform(4, 16));
+  SweepOptions options;
+  options.points = 3;
+  options.min_rate = 0.1;
+  options.max_rate = 0.5;
+  options.config = FastConfig();
+  const SweepResult via_routing = RunLoadSweep(f.graph, f.routing, f.pattern, options);
+  const SingleClassVcPolicy policy(f.routing, 1, false);
+  const SweepResult via_policy = RunLoadSweep(f.graph, policy, f.pattern, options);
+  ASSERT_EQ(via_routing.points.size(), via_policy.points.size());
+  for (std::size_t k = 0; k < via_routing.points.size(); ++k) {
+    EXPECT_EQ(via_routing.points[k].metrics.flits_delivered,
+              via_policy.points[k].metrics.flits_delivered);
+  }
+}
+
+TEST(SaturationSearch, FindsAPointNearTheKnee) {
+  const Fixture f(work::Workload::Uniform(4, 16));
+  const SimConfig config = FastConfig();
+  const double knee = FindSaturationLoad(f.graph, f.routing, f.pattern, config, 0.05, 2.0, 0.05);
+  EXPECT_GT(knee, 0.05);
+  EXPECT_LT(knee, 2.0);
+  // Just below the knee: not saturated. Well above: saturated.
+  NetworkSimulator below(f.graph, f.routing, f.pattern, config);
+  EXPECT_FALSE(below.Run(knee).Saturated());
+  NetworkSimulator above(f.graph, f.routing, f.pattern, config);
+  EXPECT_TRUE(above.Run(knee + 0.3).Saturated());
+}
+
+TEST(SaturationSearch, ValidatesRange) {
+  const Fixture f(work::Workload::Uniform(4, 16));
+  const SimConfig config = FastConfig();
+  EXPECT_THROW(
+      (void)FindSaturationLoad(f.graph, f.routing, f.pattern, config, 0.5, 0.4, 0.01),
+      commsched::ContractError);
+  EXPECT_THROW(
+      (void)FindSaturationLoad(f.graph, f.routing, f.pattern, config, 0.1, 2.0, 0.0),
+      commsched::ContractError);
+}
+
+}  // namespace
+}  // namespace commsched::sim

@@ -1,0 +1,81 @@
+#include "sched/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "routing/updown.h"
+#include "topology/generator.h"
+
+namespace commsched::sched {
+namespace {
+
+struct Fixture {
+  topo::SwitchGraph graph;
+  route::UpDownRouting routing;
+  explicit Fixture(std::uint64_t seed = 1)
+      : graph(topo::GenerateIrregularTopology({16, 4, 3, seed, 1000})), routing(graph) {}
+};
+
+TEST(Scheduler, BuildsTableFromRouting) {
+  const Fixture f;
+  const CommAwareScheduler scheduler(f.graph, f.routing);
+  EXPECT_EQ(scheduler.distance_table().size(), 16u);
+  EXPECT_GT(scheduler.distance_table()(0, 1), 0.0);
+}
+
+TEST(Scheduler, RejectsForeignRouting) {
+  const Fixture f(1);
+  const Fixture g(2);
+  EXPECT_THROW(CommAwareScheduler scheduler(f.graph, g.routing), commsched::ContractError);
+}
+
+TEST(Scheduler, PrecomputedTableSizeChecked) {
+  const Fixture f;
+  EXPECT_THROW(CommAwareScheduler scheduler(f.graph, dist::DistanceTable(8, 1.0)),
+               commsched::ContractError);
+}
+
+TEST(Scheduler, ScheduleProducesAlignedMappingWithGoodCc) {
+  const Fixture f;
+  const CommAwareScheduler scheduler(f.graph, f.routing);
+  const work::Workload workload = work::Workload::Uniform(4, 16);
+  const ScheduleOutcome outcome = scheduler.Schedule(workload);
+  EXPECT_TRUE(outcome.mapping.IsSwitchAligned(f.graph));
+  EXPECT_EQ(outcome.partition.cluster_count(), 4u);
+  EXPECT_LT(outcome.fg, 1.0);
+  EXPECT_GT(outcome.cc, 1.0);
+  EXPECT_NEAR(outcome.cc, outcome.dg / outcome.fg, 1e-12);
+  EXPECT_GT(outcome.search.iterations, 0u);
+}
+
+TEST(Scheduler, EvaluateScoresAnyAlignedMapping) {
+  const Fixture f;
+  const CommAwareScheduler scheduler(f.graph, f.routing);
+  const work::Workload workload = work::Workload::Uniform(4, 16);
+  Rng rng(5);
+  const work::ProcessMapping random =
+      work::ProcessMapping::RandomAligned(f.graph, workload, rng);
+  const ScheduleOutcome outcome = scheduler.Evaluate(workload, random);
+  EXPECT_GT(outcome.fg, 0.0);
+  // The scheduled mapping must be at least as good as a random one.
+  const ScheduleOutcome scheduled = scheduler.Schedule(workload);
+  EXPECT_LE(scheduled.fg, outcome.fg + 1e-9);
+}
+
+TEST(Scheduler, WorkloadValidationPropagates) {
+  const Fixture f;
+  const CommAwareScheduler scheduler(f.graph, f.routing);
+  EXPECT_THROW((void)scheduler.Schedule(work::Workload::Uniform(4, 8)), ConfigError);
+}
+
+TEST(Scheduler, UnevenApplicationsSupported) {
+  const Fixture f;
+  const CommAwareScheduler scheduler(f.graph, f.routing);
+  const work::Workload workload({{"big", 32}, {"mid", 16}, {"small", 16}});
+  const ScheduleOutcome outcome = scheduler.Schedule(workload);
+  EXPECT_EQ(outcome.partition.ClusterSize(0), 8u);
+  EXPECT_EQ(outcome.partition.ClusterSize(1), 4u);
+  EXPECT_EQ(outcome.partition.ClusterSize(2), 4u);
+}
+
+}  // namespace
+}  // namespace commsched::sched

@@ -1,0 +1,72 @@
+#include "topology/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/generator.h"
+#include "topology/library.h"
+
+namespace commsched::topo {
+namespace {
+
+TEST(Serialize, RoundTrip) {
+  IrregularTopologyOptions options;
+  options.switch_count = 16;
+  options.seed = 3;
+  const SwitchGraph g = GenerateIrregularTopology(options);
+  const SwitchGraph back = FromText(ToText(g));
+  EXPECT_EQ(back.switch_count(), g.switch_count());
+  EXPECT_EQ(back.hosts_per_switch(), g.hosts_per_switch());
+  ASSERT_EQ(back.link_count(), g.link_count());
+  for (LinkId l = 0; l < g.link_count(); ++l) {
+    EXPECT_TRUE(back.link(l) == g.link(l));
+  }
+}
+
+TEST(Serialize, TextFormatShape) {
+  SwitchGraph g(2, 4);
+  g.AddLink(0, 1);
+  EXPECT_EQ(ToText(g), "switches 2\nhosts_per_switch 4\nlink 0 1\n");
+}
+
+TEST(Serialize, ParserSkipsCommentsAndBlanks) {
+  const SwitchGraph g = FromText(
+      "# a comment\n"
+      "switches 3\n"
+      "\n"
+      "hosts_per_switch 2\n"
+      "link 0 1\n"
+      "  # indented comment\n"
+      "link 1 2\n");
+  EXPECT_EQ(g.switch_count(), 3u);
+  EXPECT_EQ(g.link_count(), 2u);
+}
+
+TEST(Serialize, ParserRejectsMalformedInput) {
+  EXPECT_THROW((void)FromText("link 0 1\n"), ConfigError);             // missing switches
+  EXPECT_THROW((void)FromText("switches 0\n"), ConfigError);           // zero switches
+  EXPECT_THROW((void)FromText("switches 2\nlink 0\n"), ConfigError);   // one endpoint
+  EXPECT_THROW((void)FromText("switches 2\nlink 0 5\n"), ConfigError); // out of range
+  EXPECT_THROW((void)FromText("switches 2\nfrobnicate\n"), ConfigError);
+}
+
+TEST(Serialize, DotContainsNodesAndEdges) {
+  const SwitchGraph g = MakeRing(4);
+  const std::string dot = ToDot(g);
+  EXPECT_NE(dot.find("graph topology"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(dot.find("n3"), std::string::npos);
+}
+
+TEST(Serialize, DotColorsClusters) {
+  const SwitchGraph g = MakeRing(4);
+  const std::string dot = ToDot(g, {0, 0, 1, 1});
+  EXPECT_NE(dot.find("fillcolor"), std::string::npos);
+}
+
+TEST(Serialize, DotClusterMapSizeChecked) {
+  const SwitchGraph g = MakeRing(4);
+  EXPECT_THROW((void)ToDot(g, {0, 1}), ContractError);
+}
+
+}  // namespace
+}  // namespace commsched::topo

@@ -1,0 +1,97 @@
+#include "routing/shortest_path.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "routing/updown.h"
+#include "topology/generator.h"
+#include "topology/library.h"
+
+namespace commsched::route {
+namespace {
+
+using topo::MakeMesh2D;
+using topo::MakeRing;
+
+TEST(ShortestPath, DistancesMatchBfs) {
+  const topo::SwitchGraph mesh = MakeMesh2D(3, 3);
+  const ShortestPathRouting routing(mesh);
+  const auto hops = mesh.AllPairsHopDistance();
+  for (topo::SwitchId s = 0; s < 9; ++s) {
+    for (topo::SwitchId t = 0; t < 9; ++t) {
+      EXPECT_EQ(routing.MinimalDistance(s, t), hops[s][t]);
+    }
+  }
+}
+
+TEST(ShortestPath, PhaseIsAlwaysUp) {
+  const topo::SwitchGraph ring = MakeRing(5);
+  const ShortestPathRouting routing(ring);
+  for (topo::LinkId l = 0; l < ring.link_count(); ++l) {
+    EXPECT_EQ(routing.ArrivalPhase(l, ring.link(l).a), Phase::kUp);
+    EXPECT_EQ(routing.ArrivalPhase(l, ring.link(l).b), Phase::kUp);
+  }
+}
+
+TEST(ShortestPath, NextHopsDecreaseDistance) {
+  const topo::SwitchGraph mesh = MakeMesh2D(4, 4);
+  const ShortestPathRouting routing(mesh);
+  for (topo::SwitchId s = 0; s < 16; ++s) {
+    for (topo::SwitchId t = 0; t < 16; ++t) {
+      if (s == t) continue;
+      for (const NextHop& hop : routing.NextHops(s, t, Phase::kUp)) {
+        EXPECT_EQ(routing.MinimalDistance(hop.next, t) + 1, routing.MinimalDistance(s, t));
+      }
+    }
+  }
+}
+
+TEST(ShortestPath, MeshOffersMultipleMinimalRoutes) {
+  const topo::SwitchGraph mesh = MakeMesh2D(3, 3);
+  const ShortestPathRouting routing(mesh);
+  // From corner (0) to opposite corner (8): two first hops exist.
+  EXPECT_EQ(routing.NextHops(0, 8, Phase::kUp).size(), 2u);
+}
+
+TEST(ShortestPath, EnumerateMinimalPathsCountOnMesh) {
+  const topo::SwitchGraph mesh = MakeMesh2D(3, 3);
+  const ShortestPathRouting routing(mesh);
+  // Corner to corner on a 2x2-step grid: C(4,2) = 6 monotone paths.
+  const auto paths = EnumerateMinimalPaths(routing, 0, 8);
+  EXPECT_EQ(paths.size(), 6u);
+}
+
+TEST(ShortestPath, LinksOnMinimalPathsOnMesh) {
+  const topo::SwitchGraph mesh = MakeMesh2D(3, 3);
+  const ShortestPathRouting routing(mesh);
+  // 0 -> 8 monotone region covers every link between the 9 switches that
+  // moves right or down: that is all 12 links of the mesh.
+  const auto links = routing.LinksOnMinimalPaths(0, 8);
+  EXPECT_EQ(links.size(), 12u);
+  // 0 -> 1 is a single link.
+  EXPECT_EQ(routing.LinksOnMinimalPaths(0, 1).size(), 1u);
+}
+
+TEST(ShortestPath, NeverLongerThanUpDown) {
+  topo::IrregularTopologyOptions options;
+  options.switch_count = 16;
+  options.seed = 13;
+  const topo::SwitchGraph g = topo::GenerateIrregularTopology(options);
+  const ShortestPathRouting sp(g);
+  const UpDownRouting ud(g);
+  for (topo::SwitchId s = 0; s < 16; ++s) {
+    for (topo::SwitchId t = 0; t < 16; ++t) {
+      EXPECT_LE(sp.MinimalDistance(s, t), ud.MinimalDistance(s, t));
+    }
+  }
+}
+
+TEST(ShortestPath, DisconnectedRejected) {
+  topo::SwitchGraph g(3, 1);
+  g.AddLink(0, 1);
+  EXPECT_THROW(ShortestPathRouting routing(g), commsched::ContractError);
+}
+
+}  // namespace
+}  // namespace commsched::route

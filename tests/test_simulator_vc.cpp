@@ -1,0 +1,145 @@
+// Simulator behaviour with multiple virtual channels and the Duato
+// fully-adaptive policy.
+#include <gtest/gtest.h>
+
+#include "routing/shortest_path.h"
+#include "routing/updown.h"
+#include "simnet/simulator.h"
+#include "simnet/sweep.h"
+#include "topology/generator.h"
+#include "topology/library.h"
+
+namespace commsched::sim {
+namespace {
+
+struct Fixture {
+  topo::SwitchGraph graph;
+  route::UpDownRouting routing;
+  work::Workload workload;
+  work::ProcessMapping mapping;
+  TrafficPattern pattern;
+
+  explicit Fixture(std::uint64_t seed = 1, std::size_t switches = 16)
+      : graph(topo::GenerateIrregularTopology({switches, 4, 3, seed, 1000})),
+        routing(graph),
+        workload(work::Workload::Uniform(4, switches)),
+        mapping(Make(graph, workload, seed)),
+        pattern(graph, workload, mapping) {}
+
+  static work::ProcessMapping Make(const topo::SwitchGraph& g, const work::Workload& w,
+                                   std::uint64_t seed) {
+    Rng rng(seed);
+    return work::ProcessMapping::RandomAligned(g, w, rng);
+  }
+};
+
+SimConfig FastConfig(std::size_t vcs) {
+  SimConfig config;
+  config.warmup_cycles = 2000;
+  config.measure_cycles = 6000;
+  config.virtual_channels = vcs;
+  return config;
+}
+
+TEST(SimulatorVc, MultiVcDeliversAtLowLoad) {
+  const Fixture f;
+  NetworkSimulator sim(f.graph, f.routing, f.pattern, FastConfig(2));
+  const SimMetrics m = sim.Run(0.1);
+  EXPECT_GT(m.messages_delivered, 100u);
+  EXPECT_NEAR(m.accepted_flits_per_switch_cycle, m.offered_flits_per_switch_cycle, 0.01);
+  EXPECT_FALSE(m.deadlock_detected);
+}
+
+TEST(SimulatorVc, PolicyVcCountMustMatchConfig) {
+  const Fixture f;
+  const SingleClassVcPolicy policy(f.routing, 2, false);
+  SimConfig config = FastConfig(3);  // mismatch
+  EXPECT_THROW(NetworkSimulator sim(f.graph, policy, f.pattern, config),
+               commsched::ContractError);
+}
+
+TEST(SimulatorVc, MoreVcsNeverHurtThroughputMuch) {
+  // VCs relieve head-of-line blocking; throughput with 4 VCs should be at
+  // least that of 1 VC (within noise) on the same mapping.
+  const Fixture f;
+  NetworkSimulator sim1(f.graph, f.routing, f.pattern, FastConfig(1));
+  NetworkSimulator sim4(f.graph, f.routing, f.pattern, FastConfig(4));
+  const double t1 = sim1.Run(1.2).accepted_flits_per_switch_cycle;
+  const double t4 = sim4.Run(1.2).accepted_flits_per_switch_cycle;
+  EXPECT_GE(t4, 0.95 * t1);
+}
+
+TEST(SimulatorVc, DuatoPolicyRunsWithoutDeadlockOnIrregular) {
+  const Fixture f;
+  const DuatoFullyAdaptivePolicy policy(f.graph, 2);
+  SimConfig config = FastConfig(2);
+  NetworkSimulator sim(f.graph, policy, f.pattern, config);
+  const SimMetrics m = sim.Run(1.2);
+  EXPECT_FALSE(m.deadlock_detected);
+  EXPECT_GT(m.messages_delivered, 0u);
+}
+
+TEST(SimulatorVc, DuatoBeatsPlainUpDownOnSaturatedIrregularNet) {
+  // The classic result that motivated adaptive routing for NOWs: minimal
+  // adaptive routing with an up*/down* escape outperforms pure up*/down*
+  // under saturation (it avoids the root bottleneck).
+  const Fixture f;
+  NetworkSimulator updown(f.graph, f.routing, f.pattern, FastConfig(2));
+  const DuatoFullyAdaptivePolicy policy(f.graph, 2);
+  NetworkSimulator duato(f.graph, policy, f.pattern, FastConfig(2));
+  const double t_ud = updown.Run(1.4).accepted_flits_per_switch_cycle;
+  const double t_duato = duato.Run(1.4).accepted_flits_per_switch_cycle;
+  EXPECT_GE(t_duato, t_ud * 0.95);  // never collapses; usually clearly better
+}
+
+TEST(SimulatorVc, DuatoSolvesTheRingDeadlock) {
+  // Unrestricted minimal routing on a ring deadlocks on one VC (see
+  // test_simulator); with the escape channel it must not.
+  const topo::SwitchGraph ring = topo::MakeRing(6, 4);
+  const work::Workload workload = work::Workload::Uniform(2, 12);
+  Rng rng(3);
+  const auto mapping = work::ProcessMapping::RandomAligned(ring, workload, rng);
+  const TrafficPattern pattern(ring, workload, mapping);
+  const DuatoFullyAdaptivePolicy policy(ring, 2);
+  SimConfig config;
+  config.warmup_cycles = 4000;
+  config.measure_cycles = 12000;
+  config.virtual_channels = 2;
+  config.deadlock_threshold_cycles = 1000;
+  config.input_buffer_flits = 2;
+  config.message_length_flits = 32;
+  NetworkSimulator sim(ring, policy, pattern, config);
+  const SimMetrics m = sim.Run(1.6);
+  EXPECT_FALSE(m.deadlock_detected);
+  EXPECT_GT(m.flits_delivered, 0u);
+}
+
+TEST(SimulatorVc, DeterministicForSameSeedAcrossPolicies) {
+  const Fixture f;
+  const DuatoFullyAdaptivePolicy policy(f.graph, 3);
+  SimConfig config = FastConfig(3);
+  NetworkSimulator a(f.graph, policy, f.pattern, config);
+  NetworkSimulator b(f.graph, policy, f.pattern, config);
+  const SimMetrics ma = a.Run(0.4);
+  const SimMetrics mb = b.Run(0.4);
+  EXPECT_EQ(ma.flits_delivered, mb.flits_delivered);
+  EXPECT_DOUBLE_EQ(ma.avg_latency_cycles, mb.avg_latency_cycles);
+}
+
+TEST(SimulatorVc, SweepWorksWithExplicitPolicy) {
+  const Fixture f;
+  const DuatoFullyAdaptivePolicy policy(f.graph, 2);
+  // RunLoadSweep takes a Routing; for policies, drive the simulator
+  // manually across rates.
+  SimConfig config = FastConfig(2);
+  double last_accepted = 0.0;
+  for (double rate : {0.1, 0.5}) {
+    NetworkSimulator sim(f.graph, policy, f.pattern, config);
+    const SimMetrics m = sim.Run(rate);
+    EXPECT_GE(m.accepted_flits_per_switch_cycle, last_accepted);
+    last_accepted = m.accepted_flits_per_switch_cycle;
+  }
+}
+
+}  // namespace
+}  // namespace commsched::sim

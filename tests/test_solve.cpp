@@ -1,0 +1,159 @@
+#include "linalg/solve.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace commsched::linalg {
+namespace {
+
+Matrix RandomSpd(std::size_t n, commsched::Rng& rng) {
+  // A^T A + n I is SPD.
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      a(r, c) = rng.NextDouble() * 2.0 - 1.0;
+    }
+  }
+  Matrix spd = a.Transposed() * a;
+  for (std::size_t i = 0; i < n; ++i) {
+    spd(i, i) += static_cast<double>(n);
+  }
+  return spd;
+}
+
+std::vector<double> MatVec(const Matrix& m, const std::vector<double>& x) {
+  std::vector<double> y(m.rows(), 0.0);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      y[r] += m(r, c) * x[c];
+    }
+  }
+  return y;
+}
+
+TEST(Lu, SolvesSmallSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 3.0;
+  const auto lu = LuFactorization::Compute(a);
+  ASSERT_TRUE(lu.has_value());
+  const auto x = lu->Solve({5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, SingularMatrixReturnsNullopt) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;  // rank 1
+  EXPECT_FALSE(LuFactorization::Compute(a).has_value());
+}
+
+TEST(Lu, RequiresSquare) {
+  Matrix a(2, 3);
+  EXPECT_THROW((void)LuFactorization::Compute(a), commsched::ContractError);
+}
+
+TEST(Lu, PivotingHandlesZeroDiagonal) {
+  Matrix a(2, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  const auto lu = LuFactorization::Compute(a);
+  ASSERT_TRUE(lu.has_value());
+  const auto x = lu->Solve({3.0, 4.0});
+  EXPECT_NEAR(x[0], 4.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, DeterminantKnownValues) {
+  Matrix a(2, 2);
+  a(0, 0) = 3.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  const auto lu = LuFactorization::Compute(a);
+  ASSERT_TRUE(lu.has_value());
+  EXPECT_NEAR(lu->Determinant(), 10.0, 1e-12);
+  EXPECT_NEAR(LuFactorization::Compute(Matrix::Identity(5))->Determinant(), 1.0, 1e-12);
+}
+
+TEST(Lu, RandomRoundTrip) {
+  commsched::Rng rng(99);
+  for (std::size_t n : {3u, 7u, 15u}) {
+    const Matrix a = RandomSpd(n, rng);  // well-conditioned
+    std::vector<double> x_true(n);
+    for (auto& v : x_true) v = rng.NextDouble() * 4.0 - 2.0;
+    const auto b = MatVec(a, x_true);
+    const auto lu = LuFactorization::Compute(a);
+    ASSERT_TRUE(lu.has_value());
+    const auto x = lu->Solve(b);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(x[i], x_true[i], 1e-9) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(Lu, RhsSizeMismatchThrows) {
+  const auto lu = LuFactorization::Compute(Matrix::Identity(3));
+  ASSERT_TRUE(lu.has_value());
+  EXPECT_THROW((void)lu->Solve({1.0, 2.0}), commsched::ContractError);
+}
+
+TEST(Cholesky, SolvesSpdSystem) {
+  commsched::Rng rng(7);
+  const Matrix a = RandomSpd(8, rng);
+  std::vector<double> x_true(8);
+  for (auto& v : x_true) v = rng.NextDouble();
+  const auto b = MatVec(a, x_true);
+  const auto chol = CholeskyFactorization::Compute(a);
+  ASSERT_TRUE(chol.has_value());
+  const auto x = chol->Solve(b);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(x[i], x_true[i], 1e-9);
+  }
+}
+
+TEST(Cholesky, RejectsIndefiniteMatrix) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 1.0;  // eigenvalues 3, -1
+  EXPECT_FALSE(CholeskyFactorization::Compute(a).has_value());
+}
+
+TEST(Cholesky, AgreesWithLu) {
+  commsched::Rng rng(55);
+  const Matrix a = RandomSpd(10, rng);
+  std::vector<double> b(10);
+  for (auto& v : b) v = rng.NextDouble();
+  const auto x_lu = LuFactorization::Compute(a)->Solve(b);
+  const auto x_chol = CholeskyFactorization::Compute(a)->Solve(b);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(x_lu[i], x_chol[i], 1e-9);
+  }
+}
+
+TEST(SolveLinearSystem, ThrowsOnSingular) {
+  Matrix a(2, 2);  // zero matrix
+  EXPECT_THROW((void)SolveLinearSystem(a, {1.0, 1.0}), commsched::ContractError);
+}
+
+TEST(SolveLinearSystem, OneShot) {
+  Matrix a = Matrix::Identity(3);
+  a *= 2.0;
+  const auto x = SolveLinearSystem(a, {2.0, 4.0, 6.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+  EXPECT_NEAR(x[2], 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace commsched::linalg

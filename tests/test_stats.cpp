@@ -1,0 +1,95 @@
+#include "stats/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace commsched::stats {
+namespace {
+
+TEST(Stats, PerfectPositiveCorrelation) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(Stats, PerfectNegativeCorrelation) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, y), -1.0, 1e-12);
+}
+
+TEST(Stats, KnownCorrelationValue) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> y{1, 3, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 0.5, 1e-12);
+}
+
+TEST(Stats, CorrelationValidation) {
+  const std::vector<double> x{1, 2};
+  const std::vector<double> y{1, 2};
+  EXPECT_THROW((void)PearsonCorrelation(x, y), ContractError);  // too short
+  const std::vector<double> c{3, 3, 3};
+  const std::vector<double> v{1, 2, 3};
+  EXPECT_THROW((void)PearsonCorrelation(c, v), ContractError);  // degenerate
+  const std::vector<double> mismatched{1, 2, 3, 4};
+  EXPECT_THROW((void)PearsonCorrelation(v, mismatched), ContractError);
+}
+
+TEST(Stats, FitLineRecoversExactLine) {
+  const std::vector<double> x{0, 1, 2, 3};
+  const std::vector<double> y{5, 7, 9, 11};  // y = 5 + 2x
+  const LinearFit fit = FitLine(x, y);
+  EXPECT_NEAR(fit.intercept, 5.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Stats, FitLineNoisy) {
+  const std::vector<double> x{0, 1, 2, 3, 4};
+  const std::vector<double> y{0.1, 0.9, 2.1, 2.9, 4.1};
+  const LinearFit fit = FitLine(x, y);
+  EXPECT_NEAR(fit.slope, 1.0, 0.05);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(Stats, SummaryBasics) {
+  const std::vector<double> v{4, 1, 3, 2};
+  const Summary s = Summarize(v);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_NEAR(s.mean, 2.5, 1e-12);
+  EXPECT_NEAR(s.min, 1.0, 1e-12);
+  EXPECT_NEAR(s.max, 4.0, 1e-12);
+  EXPECT_NEAR(s.median, 2.5, 1e-12);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, SummaryOddMedianAndSingleton) {
+  EXPECT_NEAR(Summarize(std::vector<double>{3, 1, 2}).median, 2.0, 1e-12);
+  const Summary s = Summarize(std::vector<double>{7});
+  EXPECT_NEAR(s.median, 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev, 0.0, 1e-12);
+}
+
+TEST(Stats, SummarizeEmptyThrows) {
+  EXPECT_THROW((void)Summarize(std::vector<double>{}), ContractError);
+}
+
+TEST(Stats, SpearmanMonotoneNonlinear) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{1, 8, 27, 64, 125};  // monotone, nonlinear
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+  EXPECT_LT(PearsonCorrelation(x, y), 1.0);
+}
+
+TEST(Stats, SpearmanHandlesTies) {
+  const std::vector<double> x{1, 2, 2, 3};
+  const std::vector<double> y{10, 20, 20, 30};
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace commsched::stats

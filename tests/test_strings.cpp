@@ -1,0 +1,59 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace commsched {
+namespace {
+
+TEST(Strings, JoinBasic) {
+  std::vector<int> v{1, 2, 3};
+  EXPECT_EQ(Join(v, ", "), "1, 2, 3");
+}
+
+TEST(Strings, JoinEmpty) {
+  std::vector<int> v;
+  EXPECT_EQ(Join(v, ","), "");
+}
+
+TEST(Strings, JoinSingle) {
+  std::vector<std::string> v{"only"};
+  EXPECT_EQ(Join(v, "-"), "only");
+}
+
+TEST(Strings, SplitBasic) {
+  const auto parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = Split(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Strings, SplitEmptyString) {
+  const auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim("nochange"), "nochange");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(StartsWith("switches 16", "switches"));
+  EXPECT_FALSE(StartsWith("sw", "switches"));
+  EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+}  // namespace
+}  // namespace commsched

@@ -1,0 +1,80 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace commsched {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable table({"name", "value"});
+  table.AddRow({std::string("alpha"), 42LL});
+  table.AddRow({std::string("beta"), 7LL});
+  const std::string text = table.ToText();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TextTable, DoublePrecisionControl) {
+  TextTable table({"x"});
+  table.set_precision(2);
+  table.AddRow({3.14159});
+  EXPECT_NE(table.ToText().find("3.14"), std::string::npos);
+  EXPECT_EQ(table.ToText().find("3.142"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.AddRow({1LL}), ContractError);
+  EXPECT_THROW(table.AddRow({1LL, 2LL, 3LL}), ContractError);
+}
+
+TEST(TextTable, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable table({}), ContractError);
+}
+
+TEST(TextTable, CsvBasic) {
+  TextTable table({"a", "b"});
+  table.AddRow({std::string("x"), 1LL});
+  EXPECT_EQ(table.ToCsv(), "a,b\nx,1\n");
+}
+
+TEST(TextTable, CsvEscapesSpecialCharacters) {
+  TextTable table({"field"});
+  table.AddRow({std::string("has,comma")});
+  table.AddRow({std::string("has\"quote")});
+  const std::string csv = table.ToCsv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAlignAcrossRows) {
+  TextTable table({"k", "long_header"});
+  table.AddRow({std::string("a"), 1LL});
+  table.AddRow({std::string("bbbbbbb"), 22LL});
+  const std::string text = table.ToText();
+  // Every data line has the same length as the header line.
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t end = text.find('\n', start);
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  ASSERT_GE(lines.size(), 4u);
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    EXPECT_EQ(lines[i].size(), lines[0].size()) << "line " << i;
+  }
+}
+
+TEST(TextTable, PrecisionOutOfRangeThrows) {
+  TextTable table({"x"});
+  EXPECT_THROW(table.set_precision(-1), ContractError);
+  EXPECT_THROW(table.set_precision(18), ContractError);
+}
+
+}  // namespace
+}  // namespace commsched

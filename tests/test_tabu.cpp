@@ -1,0 +1,171 @@
+#include "sched/tabu.h"
+
+#include <gtest/gtest.h>
+
+#include "distance/distance_table.h"
+#include "routing/updown.h"
+#include "sched/exhaustive.h"
+#include "topology/generator.h"
+#include "topology/library.h"
+
+namespace commsched::sched {
+namespace {
+
+DistanceTable PaperTable(std::size_t switches, std::uint64_t seed) {
+  topo::IrregularTopologyOptions options;
+  options.switch_count = switches;
+  options.seed = seed;
+  const topo::SwitchGraph g = topo::GenerateIrregularTopology(options);
+  const route::UpDownRouting routing(g);
+  return DistanceTable::Build(routing);
+}
+
+TEST(Tabu, FindsTwoIslands) {
+  // Two obvious clusters: Tabu must find the (0,1)(2,3) grouping.
+  DistanceTable t(4, 10.0);
+  t.Set(0, 1, 1.0);
+  t.Set(2, 3, 1.0);
+  TabuOptions options;
+  options.seeds = 3;
+  const SearchResult result = TabuSearch(t, {2, 2}, options);
+  EXPECT_TRUE(result.best.SameGrouping(qual::Partition({0, 0, 1, 1})));
+}
+
+TEST(Tabu, DeterministicForFixedSeed) {
+  const DistanceTable t = PaperTable(16, 4);
+  TabuOptions options;
+  options.rng_seed = 99;
+  const SearchResult a = TabuSearch(t, {4, 4, 4, 4}, options);
+  const SearchResult b = TabuSearch(t, {4, 4, 4, 4}, options);
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_DOUBLE_EQ(a.best_fg, b.best_fg);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(Tabu, ParallelSeedsMatchSequential) {
+  const DistanceTable t = PaperTable(16, 4);
+  TabuOptions options;
+  options.rng_seed = 7;
+  options.parallel_seeds = false;
+  const SearchResult seq = TabuSearch(t, {4, 4, 4, 4}, options);
+  options.parallel_seeds = true;
+  const SearchResult par = TabuSearch(t, {4, 4, 4, 4}, options);
+  EXPECT_EQ(seq.best, par.best);
+  EXPECT_EQ(seq.iterations, par.iterations);
+}
+
+TEST(Tabu, BeatsAverageRandomMapping) {
+  const DistanceTable t = PaperTable(16, 1);
+  const SearchResult result = TabuSearch(t, {4, 4, 4, 4});
+  // Expected F_G of a random mapping is 1; the optimized one must be far
+  // below.
+  EXPECT_LT(result.best_fg, 0.9);
+  EXPECT_GT(result.best_cc, 1.0);
+}
+
+TEST(Tabu, MatchesExhaustiveOnSmallNetworks) {
+  // The paper's validation (§4.2): Tabu == exhaustive for small networks.
+  for (std::uint64_t seed : {1, 2, 3}) {
+    const DistanceTable t = PaperTable(8, seed);
+    const SearchResult tabu = TabuSearch(t, {2, 2, 2, 2});
+    const SearchResult exact = ExhaustiveSearch(t, {2, 2, 2, 2});
+    EXPECT_NEAR(tabu.best_fg, exact.best_fg, 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(Tabu, SingleSeedFromExplicitStart) {
+  const DistanceTable t = PaperTable(12, 2);
+  const qual::Partition start = qual::Partition::Blocked({3, 3, 3, 3});
+  TabuOptions options;
+  options.record_trace = true;
+  const SearchResult result = TabuSearchFrom(t, start, options);
+  EXPECT_LE(result.best_fg, qual::GlobalSimilarity(t, start) + 1e-12);
+  ASSERT_FALSE(result.trace.empty());
+  EXPECT_TRUE(result.trace.front().is_restart);
+}
+
+TEST(Tabu, TraceShapeMatchesFigureOne) {
+  const DistanceTable t = PaperTable(16, 5);
+  TabuOptions options;
+  options.record_trace = true;
+  options.seeds = 10;
+  const SearchResult result = TabuSearch(t, {4, 4, 4, 4}, options);
+  // 10 restart markers, iteration numbers strictly increasing.
+  std::size_t restarts = 0;
+  for (std::size_t k = 0; k < result.trace.size(); ++k) {
+    if (result.trace[k].is_restart) ++restarts;
+    if (k > 0) {
+      EXPECT_GT(result.trace[k].iteration, result.trace[k - 1].iteration);
+    }
+  }
+  EXPECT_EQ(restarts, 10u);
+  // The best value in the trace matches the reported minimum.
+  double min_fg = result.trace.front().fg;
+  for (const TracePoint& p : result.trace) min_fg = std::min(min_fg, p.fg);
+  EXPECT_NEAR(min_fg, result.best_fg, 1e-9);
+  // F decreases rapidly after each restart: the first move after a restart
+  // never increases F (steepest descent step).
+  for (std::size_t k = 0; k + 1 < result.trace.size(); ++k) {
+    if (result.trace[k].is_restart && !result.trace[k + 1].is_restart) {
+      EXPECT_LE(result.trace[k + 1].fg, result.trace[k].fg + 1e-12);
+    }
+  }
+}
+
+TEST(Tabu, RespectsIterationBudget) {
+  const DistanceTable t = PaperTable(16, 6);
+  TabuOptions options;
+  options.seeds = 1;
+  options.max_iterations_per_seed = 5;
+  const SearchResult result = TabuSearch(t, {4, 4, 4, 4}, options);
+  EXPECT_LE(result.iterations, 5u);
+}
+
+TEST(Tabu, MoreSeedsNeverWorse) {
+  const DistanceTable t = PaperTable(16, 7);
+  TabuOptions one;
+  one.seeds = 1;
+  TabuOptions ten;
+  ten.seeds = 10;
+  // Same rng_seed: the 10-seed run explores a superset of starts.
+  const double fg1 = TabuSearch(t, {4, 4, 4, 4}, one).best_fg;
+  const double fg10 = TabuSearch(t, {4, 4, 4, 4}, ten).best_fg;
+  EXPECT_LE(fg10, fg1 + 1e-12);
+}
+
+TEST(Tabu, ClusterSizesRespected) {
+  const DistanceTable t = PaperTable(16, 8);
+  const SearchResult result = TabuSearch(t, {8, 4, 4});
+  EXPECT_EQ(result.best.ClusterSize(0), 8u);
+  EXPECT_EQ(result.best.ClusterSize(1), 4u);
+  EXPECT_EQ(result.best.ClusterSize(2), 4u);
+}
+
+TEST(Tabu, ResultCoefficientsConsistent) {
+  const DistanceTable t = PaperTable(16, 9);
+  const SearchResult r = TabuSearch(t, {4, 4, 4, 4});
+  EXPECT_NEAR(r.best_fg, qual::GlobalSimilarity(t, r.best), 1e-12);
+  EXPECT_NEAR(r.best_dg, qual::GlobalDissimilarity(t, r.best), 1e-12);
+  EXPECT_NEAR(r.best_cc, r.best_dg / r.best_fg, 1e-12);
+}
+
+TEST(Tabu, EscapeMovesEventuallyLeaveLocalMinimum) {
+  // With a tiny per-seed budget the walk must still record escape moves
+  // (smallest-increase swaps) once a local minimum is hit; the trace then
+  // contains at least one increase.
+  const DistanceTable t = PaperTable(12, 3);
+  TabuOptions options;
+  options.seeds = 1;
+  options.max_iterations_per_seed = 40;
+  options.local_min_repeats = 100;  // effectively disabled
+  options.record_trace = true;
+  const SearchResult result = TabuSearchFrom(t, qual::Partition::Blocked({3, 3, 3, 3}), options);
+  bool any_increase = false;
+  for (std::size_t k = 1; k < result.trace.size(); ++k) {
+    if (result.trace[k].fg > result.trace[k - 1].fg + 1e-12) any_increase = true;
+  }
+  EXPECT_TRUE(any_increase);
+}
+
+}  // namespace
+}  // namespace commsched::sched

@@ -1,0 +1,146 @@
+#include "topology/library.h"
+
+#include <gtest/gtest.h>
+
+namespace commsched::topo {
+namespace {
+
+TEST(Library, Ring) {
+  const SwitchGraph g = MakeRing(6);
+  EXPECT_EQ(g.switch_count(), 6u);
+  EXPECT_EQ(g.link_count(), 6u);
+  EXPECT_TRUE(g.IsConnected());
+  for (SwitchId s = 0; s < 6; ++s) {
+    EXPECT_EQ(g.Degree(s), 2u);
+  }
+  EXPECT_THROW((void)MakeRing(2), ContractError);
+}
+
+TEST(Library, Mesh2D) {
+  const SwitchGraph g = MakeMesh2D(3, 4);
+  EXPECT_EQ(g.switch_count(), 12u);
+  EXPECT_EQ(g.link_count(), 3u * 3 + 4u * 2);  // rows*(cols-1) + cols*(rows-1)
+  EXPECT_TRUE(g.IsConnected());
+  // Corner has degree 2, center degree 4.
+  EXPECT_EQ(g.Degree(0), 2u);
+  EXPECT_EQ(g.Degree(5), 4u);  // (1,1)
+}
+
+TEST(Library, Torus2D) {
+  const SwitchGraph g = MakeTorus2D(3, 3);
+  EXPECT_EQ(g.switch_count(), 9u);
+  EXPECT_EQ(g.link_count(), 18u);
+  for (SwitchId s = 0; s < 9; ++s) {
+    EXPECT_EQ(g.Degree(s), 4u);
+  }
+  EXPECT_THROW((void)MakeTorus2D(2, 3), ContractError);
+}
+
+TEST(Library, Hypercube) {
+  const SwitchGraph g = MakeHypercube(3);
+  EXPECT_EQ(g.switch_count(), 8u);
+  EXPECT_EQ(g.link_count(), 12u);
+  for (SwitchId s = 0; s < 8; ++s) {
+    EXPECT_EQ(g.Degree(s), 3u);
+  }
+  const auto dist = g.BfsDistances(0);
+  EXPECT_EQ(dist[7], 3u);  // antipode
+}
+
+TEST(Library, Star) {
+  const SwitchGraph g = MakeStar(5);
+  EXPECT_EQ(g.switch_count(), 6u);
+  EXPECT_EQ(g.Degree(0), 5u);
+  for (SwitchId s = 1; s <= 5; ++s) {
+    EXPECT_EQ(g.Degree(s), 1u);
+  }
+}
+
+TEST(Library, Complete) {
+  const SwitchGraph g = MakeComplete(5);
+  EXPECT_EQ(g.link_count(), 10u);
+  for (SwitchId s = 0; s < 5; ++s) {
+    EXPECT_EQ(g.Degree(s), 4u);
+  }
+}
+
+TEST(Library, FourRingsOfSixMatchesPaperShape) {
+  const SwitchGraph g = MakeFourRingsOfSix();
+  EXPECT_EQ(g.switch_count(), 24u);
+  EXPECT_EQ(g.hosts_per_switch(), 4u);
+  EXPECT_TRUE(g.IsConnected());
+  // 4 rings x 6 links + 4 bridges.
+  EXPECT_EQ(g.link_count(), 24u + 4u);
+  // Ring r owns switches [6r, 6r+5]: consecutive in-ring links exist.
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t p = 0; p < 6; ++p) {
+      EXPECT_TRUE(g.HasLink(6 * r + p, 6 * r + (p + 1) % 6));
+    }
+  }
+  // No switch exceeds the 4 inter-switch ports of an 8-port switch.
+  for (SwitchId s = 0; s < 24; ++s) {
+    EXPECT_LE(g.Degree(s), 4u);
+  }
+}
+
+TEST(Library, RingsOfRingsBridgeCount) {
+  const SwitchGraph g = MakeRingsOfRings(3, 5, 2);
+  EXPECT_EQ(g.switch_count(), 15u);
+  EXPECT_EQ(g.link_count(), 15u + 3u * 2u);
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(Library, RingsOfRingsTwoRingsNoDoubledPair) {
+  const SwitchGraph g = MakeRingsOfRings(2, 4, 1);
+  EXPECT_EQ(g.link_count(), 8u + 1u);
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(Library, RingsOfRingsValidation) {
+  EXPECT_THROW((void)MakeRingsOfRings(1, 6), ContractError);
+  EXPECT_THROW((void)MakeRingsOfRings(3, 2), ContractError);
+  EXPECT_THROW((void)MakeRingsOfRings(3, 4, 0), ContractError);
+  EXPECT_THROW((void)MakeRingsOfRings(3, 4, 5), ContractError);
+}
+
+TEST(Library, MixedDensity16) {
+  const SwitchGraph g = MakeMixedDensity16();
+  EXPECT_EQ(g.switch_count(), 16u);
+  EXPECT_TRUE(g.IsConnected());
+  // 6 (K4) + 3 groups * 3 (paths) + 4 bridges.
+  EXPECT_EQ(g.link_count(), 6u + 9u + 4u);
+  // K4 internal links all present.
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i + 1; j < 4; ++j) {
+      EXPECT_TRUE(g.HasLink(i, j));
+    }
+  }
+  // Sparse groups are paths.
+  EXPECT_TRUE(g.HasLink(4, 5));
+  EXPECT_FALSE(g.HasLink(4, 6));
+  // Every switch fits an 8-port switch (<= 4 inter-switch links).
+  for (SwitchId s = 0; s < 16; ++s) {
+    EXPECT_LE(g.Degree(s), 4u);
+  }
+}
+
+TEST(Library, ClusteredRandom) {
+  Rng rng(31);
+  const SwitchGraph g = MakeClusteredRandom(4, 6, 3, 2, rng);
+  EXPECT_EQ(g.switch_count(), 24u);
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(Library, ClusteredRandomDeterministicInRng) {
+  Rng rng1(9);
+  Rng rng2(9);
+  const SwitchGraph a = MakeClusteredRandom(3, 5, 3, 1, rng1);
+  const SwitchGraph b = MakeClusteredRandom(3, 5, 3, 1, rng2);
+  ASSERT_EQ(a.link_count(), b.link_count());
+  for (LinkId l = 0; l < a.link_count(); ++l) {
+    EXPECT_TRUE(a.link(l) == b.link(l));
+  }
+}
+
+}  // namespace
+}  // namespace commsched::topo

@@ -1,0 +1,109 @@
+#include "simnet/traffic.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "topology/generator.h"
+
+namespace commsched::sim {
+namespace {
+
+struct Fixture {
+  topo::SwitchGraph graph;
+  work::Workload workload;
+  Fixture() : graph(topo::GenerateIrregularTopology({16, 4, 3, 1, 1000})),
+              workload(work::Workload::Uniform(4, 16)) {}
+};
+
+TEST(Traffic, IntraclusterOnlyByDefault) {
+  const Fixture f;
+  Rng rng(1);
+  const auto mapping = work::ProcessMapping::RandomAligned(f.graph, f.workload, rng);
+  const TrafficPattern pattern(f.graph, f.workload, mapping);
+  Rng sample_rng(2);
+  for (std::size_t src = 0; src < 64; src += 7) {
+    for (int k = 0; k < 50; ++k) {
+      const std::size_t dest = pattern.SampleDestination(src, sample_rng);
+      EXPECT_NE(dest, src);
+      EXPECT_EQ(pattern.AppOfHost(dest), pattern.AppOfHost(src));
+    }
+  }
+}
+
+TEST(Traffic, DestinationsCoverTheWholeCluster) {
+  const Fixture f;
+  Rng rng(3);
+  const auto mapping = work::ProcessMapping::RandomAligned(f.graph, f.workload, rng);
+  const TrafficPattern pattern(f.graph, f.workload, mapping);
+  Rng sample_rng(4);
+  std::map<std::size_t, int> hits;
+  for (int k = 0; k < 3000; ++k) {
+    ++hits[pattern.SampleDestination(0, sample_rng)];
+  }
+  EXPECT_EQ(hits.size(), 15u);  // all peers of app(host 0), minus self
+  for (const auto& [dest, count] : hits) {
+    EXPECT_GT(count, 100);  // roughly uniform (expected 200)
+    EXPECT_LT(count, 320);
+    (void)dest;
+  }
+}
+
+TEST(Traffic, InterclusterFractionRespected) {
+  const Fixture f;
+  std::vector<work::ApplicationSpec> apps = f.workload.applications();
+  for (auto& app : apps) app.intercluster_fraction = 0.25;
+  const work::Workload workload(apps);
+  Rng rng(5);
+  const auto mapping = work::ProcessMapping::RandomAligned(f.graph, workload, rng);
+  const TrafficPattern pattern(f.graph, workload, mapping);
+  Rng sample_rng(6);
+  int cross = 0;
+  const int n = 20000;
+  for (int k = 0; k < n; ++k) {
+    if (pattern.AppOfHost(pattern.SampleDestination(5, sample_rng)) != pattern.AppOfHost(5)) {
+      ++cross;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(cross) / n, 0.25, 0.02);
+}
+
+TEST(Traffic, HostWeightsFollowApplications) {
+  const Fixture f;
+  std::vector<work::ApplicationSpec> apps = f.workload.applications();
+  apps[0].traffic_weight = 2.0;
+  apps[1].traffic_weight = 0.0;
+  const work::Workload workload(apps);
+  const qual::Partition p = qual::Partition::Blocked({4, 4, 4, 4});
+  const auto mapping = work::ProcessMapping::FromPartition(f.graph, workload, p);
+  const TrafficPattern pattern(f.graph, workload, mapping);
+  EXPECT_DOUBLE_EQ(pattern.HostWeight(0), 2.0);    // app0 host
+  EXPECT_DOUBLE_EQ(pattern.HostWeight(16), 0.0);   // app1 host
+  EXPECT_DOUBLE_EQ(pattern.HostWeight(32), 1.0);   // app2 host
+}
+
+TEST(Traffic, SingleProcessAppHasZeroWeight) {
+  // 1-process app with no intercluster traffic cannot send: weight 0.
+  topo::SwitchGraph g(2, 1);
+  g.AddLink(0, 1);
+  const work::Workload workload({{"solo", 1}, {"pair", 1}});
+  // Manual mapping: host 0 -> app 0, host 1 -> app 1.
+  const work::ProcessMapping mapping(g, workload, {0, 1});
+  const TrafficPattern pattern(g, workload, mapping);
+  EXPECT_DOUBLE_EQ(pattern.HostWeight(0), 0.0);
+  EXPECT_DOUBLE_EQ(pattern.HostWeight(1), 0.0);
+}
+
+TEST(Traffic, SoloAppWithInterclusterCanSend) {
+  topo::SwitchGraph g(2, 1);
+  g.AddLink(0, 1);
+  const work::Workload workload({{"solo", 1, 1.0, 1.0}, {"other", 1, 1.0, 0.0}});
+  const work::ProcessMapping mapping(g, workload, {0, 1});
+  const TrafficPattern pattern(g, workload, mapping);
+  EXPECT_GT(pattern.HostWeight(0), 0.0);
+  Rng rng(1);
+  EXPECT_EQ(pattern.SampleDestination(0, rng), 1u);
+}
+
+}  // namespace
+}  // namespace commsched::sim

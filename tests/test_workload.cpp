@@ -1,0 +1,121 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/generator.h"
+
+namespace commsched::work {
+namespace {
+
+topo::SwitchGraph PaperGraph(std::uint64_t seed = 1) {
+  topo::IrregularTopologyOptions options;
+  options.switch_count = 16;
+  options.seed = seed;
+  return topo::GenerateIrregularTopology(options);
+}
+
+TEST(Workload, UniformConstruction) {
+  const Workload w = Workload::Uniform(4, 16);
+  EXPECT_EQ(w.application_count(), 4u);
+  EXPECT_EQ(w.total_processes(), 64u);
+  EXPECT_EQ(w.applications()[2].name, "app2");
+  EXPECT_DOUBLE_EQ(w.applications()[0].traffic_weight, 1.0);
+}
+
+TEST(Workload, ValidationAgainstGraph) {
+  const topo::SwitchGraph g = PaperGraph();
+  Workload::Uniform(4, 16).ValidateFor(g);          // 64 processes on 64 hosts
+  EXPECT_THROW(Workload::Uniform(4, 8).ValidateFor(g), ConfigError);   // too few
+  EXPECT_THROW(Workload::Uniform(2, 30).ValidateFor(g), ConfigError);  // not multiple of 4... and wrong total
+}
+
+TEST(Workload, NonMultipleOfHostsPerSwitchRejected) {
+  const topo::SwitchGraph g = PaperGraph();
+  // 62 + 2 = 64 hosts but 62 and 2 are not multiples of 4.
+  const Workload w({{"big", 62}, {"small", 2}});
+  EXPECT_THROW(w.ValidateFor(g), ConfigError);
+}
+
+TEST(Workload, ClusterSwitchSizes) {
+  const topo::SwitchGraph g = PaperGraph();
+  const Workload w = Workload::Uniform(4, 16);
+  EXPECT_EQ(w.ClusterSwitchSizes(g), (std::vector<std::size_t>{4, 4, 4, 4}));
+  const Workload uneven({{"a", 32}, {"b", 16}, {"c", 16}});
+  EXPECT_EQ(uneven.ClusterSwitchSizes(g), (std::vector<std::size_t>{8, 4, 4}));
+}
+
+TEST(Workload, InvalidSpecsRejected) {
+  EXPECT_THROW(Workload w({}), ContractError);
+  EXPECT_THROW(Workload w({{"x", 0}}), ContractError);
+  EXPECT_THROW(Workload w({{"x", 4, -1.0}}), ContractError);
+  EXPECT_THROW(Workload w({{"x", 4, 1.0, 1.5}}), ContractError);
+}
+
+TEST(ProcessMapping, FromPartitionAssignsWholeSwitches) {
+  const topo::SwitchGraph g = PaperGraph();
+  const Workload w = Workload::Uniform(4, 16);
+  const qual::Partition p = qual::Partition::Blocked({4, 4, 4, 4});
+  const ProcessMapping m = ProcessMapping::FromPartition(g, w, p);
+  EXPECT_TRUE(m.IsSwitchAligned(g));
+  for (std::size_t h = 0; h < 16; ++h) {
+    EXPECT_EQ(m.AppOfHost(h), 0u);  // first 4 switches = app 0
+  }
+  EXPECT_EQ(m.AppOfHost(63), 3u);
+  EXPECT_EQ(m.HostsOfApp(0).size(), 16u);
+}
+
+TEST(ProcessMapping, InducedPartitionRoundTrips) {
+  const topo::SwitchGraph g = PaperGraph();
+  const Workload w = Workload::Uniform(4, 16);
+  Rng rng(3);
+  const qual::Partition p = qual::Partition::Random({4, 4, 4, 4}, rng);
+  const ProcessMapping m = ProcessMapping::FromPartition(g, w, p);
+  EXPECT_TRUE(m.InducedPartition(g) == p);
+}
+
+TEST(ProcessMapping, FromPartitionSizeMismatchRejected) {
+  const topo::SwitchGraph g = PaperGraph();
+  const Workload w = Workload::Uniform(4, 16);
+  const qual::Partition wrong = qual::Partition::Blocked({8, 4, 2, 2});
+  EXPECT_THROW((void)ProcessMapping::FromPartition(g, w, wrong), ContractError);
+}
+
+TEST(ProcessMapping, RandomAlignedIsAlignedAndComplete) {
+  const topo::SwitchGraph g = PaperGraph();
+  const Workload w = Workload::Uniform(4, 16);
+  Rng rng(7);
+  const ProcessMapping m = ProcessMapping::RandomAligned(g, w, rng);
+  EXPECT_TRUE(m.IsSwitchAligned(g));
+  for (std::size_t a = 0; a < 4; ++a) {
+    EXPECT_EQ(m.HostsOfApp(a).size(), 16u);
+  }
+}
+
+TEST(ProcessMapping, RandomUnalignedUsuallyBreaksAlignment) {
+  const topo::SwitchGraph g = PaperGraph();
+  const Workload w = Workload::Uniform(4, 16);
+  Rng rng(7);
+  int aligned = 0;
+  for (int k = 0; k < 5; ++k) {
+    if (ProcessMapping::RandomUnaligned(g, w, rng).IsSwitchAligned(g)) ++aligned;
+  }
+  EXPECT_EQ(aligned, 0);  // astronomically unlikely to align
+}
+
+TEST(ProcessMapping, UnalignedInducedPartitionRejected) {
+  const topo::SwitchGraph g = PaperGraph();
+  const Workload w = Workload::Uniform(4, 16);
+  Rng rng(9);
+  const ProcessMapping m = ProcessMapping::RandomUnaligned(g, w, rng);
+  EXPECT_THROW((void)m.InducedPartition(g), ContractError);
+}
+
+TEST(ProcessMapping, ExplicitVectorValidated) {
+  const topo::SwitchGraph g = PaperGraph();
+  const Workload w = Workload::Uniform(4, 16);
+  std::vector<std::size_t> bad(64, 0);  // all hosts app 0: counts wrong
+  EXPECT_THROW(ProcessMapping m(g, w, bad), ContractError);
+}
+
+}  // namespace
+}  // namespace commsched::work

@@ -1,0 +1,264 @@
+// commsched command-line interface.
+//
+//   commsched_cli topo     --kind random --switches 16 --seed 1 [--dot]
+//   commsched_cli distance --kind rings [--hops]
+//   commsched_cli schedule --kind random --switches 16 --apps 4 [--seeds 10]
+//   commsched_cli simulate --kind rings --apps 4 --mapping op|random|blocked
+//                          [--points 9] [--max-rate 1.4] [--vcs 1] [--duato]
+//   commsched_cli experiment --kind random --switches 16 [--randoms 9]
+//
+// Topology kinds: random (paper's irregular model), rings (the designed
+// 24-switch net), mixed (dense/sparse 16-switch), mesh RxC, torus RxC,
+// hypercube D, file <path> (text format of topology/serialize.h).
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "core/commsched.h"
+
+namespace {
+
+using namespace commsched;
+
+/// Minimal --flag/--flag value argument parser.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        throw ConfigError("expected --flag, got '" + key + "'");
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";  // boolean flag
+      }
+    }
+  }
+
+  [[nodiscard]] bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  [[nodiscard]] std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  [[nodiscard]] std::size_t GetSize(const std::string& key, std::size_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoull(it->second);
+  }
+
+  [[nodiscard]] double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+topo::SwitchGraph BuildTopology(const Args& args) {
+  const std::string kind = args.Get("kind", "random");
+  if (kind == "random") {
+    topo::IrregularTopologyOptions options;
+    options.switch_count = args.GetSize("switches", 16);
+    options.hosts_per_switch = args.GetSize("hosts", 4);
+    options.interswitch_degree = args.GetSize("degree", 3);
+    options.seed = args.GetSize("seed", 1);
+    return topo::GenerateIrregularTopology(options);
+  }
+  if (kind == "rings") return topo::MakeFourRingsOfSix(args.GetSize("hosts", 4));
+  if (kind == "mixed") return topo::MakeMixedDensity16(args.GetSize("hosts", 4));
+  if (kind == "mesh") {
+    return topo::MakeMesh2D(args.GetSize("rows", 4), args.GetSize("cols", 4),
+                            args.GetSize("hosts", 4));
+  }
+  if (kind == "torus") {
+    return topo::MakeTorus2D(args.GetSize("rows", 4), args.GetSize("cols", 4),
+                             args.GetSize("hosts", 4));
+  }
+  if (kind == "hypercube") {
+    return topo::MakeHypercube(args.GetSize("dim", 4), args.GetSize("hosts", 4));
+  }
+  if (kind == "file") {
+    const std::string path = args.Get("path", "");
+    if (path.empty()) throw ConfigError("--kind file requires --path");
+    std::ifstream in(path);
+    if (!in) throw ConfigError("cannot open '" + path + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    return topo::FromText(text.str());
+  }
+  throw ConfigError("unknown topology kind '" + kind + "'");
+}
+
+int CmdTopo(const Args& args) {
+  const topo::SwitchGraph graph = BuildTopology(args);
+  if (args.Has("dot")) {
+    std::cout << topo::ToDot(graph);
+    return 0;
+  }
+  std::cout << topo::ToText(graph);
+  const route::UpDownRouting routing(graph);
+  std::cout << "# connected: yes, up*/down* root: " << routing.root()
+            << ", deadlock-free: " << (route::IsDeadlockFree(routing) ? "yes" : "no") << "\n";
+  return 0;
+}
+
+int CmdDistance(const Args& args) {
+  const topo::SwitchGraph graph = BuildTopology(args);
+  const route::UpDownRouting routing(graph);
+  const dist::DistanceTable table = args.Has("hops")
+                                        ? dist::DistanceTable::BuildHopCount(routing)
+                                        : dist::DistanceTable::Build(routing);
+  std::cout << table.ToCsv();
+  return 0;
+}
+
+std::vector<std::size_t> ClusterSizes(const topo::SwitchGraph& graph, std::size_t apps) {
+  if (graph.switch_count() % apps != 0) {
+    throw ConfigError("switch count " + std::to_string(graph.switch_count()) +
+                      " not divisible by " + std::to_string(apps) + " applications");
+  }
+  return std::vector<std::size_t>(apps, graph.switch_count() / apps);
+}
+
+int CmdSchedule(const Args& args) {
+  const topo::SwitchGraph graph = BuildTopology(args);
+  const route::UpDownRouting routing(graph);
+  const dist::DistanceTable table = dist::DistanceTable::Build(routing);
+  const std::size_t apps = args.GetSize("apps", 4);
+  sched::TabuOptions options;
+  options.seeds = args.GetSize("seeds", 10);
+  options.max_iterations_per_seed = args.GetSize("iters", graph.switch_count() >= 20 ? 60 : 20);
+  options.rng_seed = args.GetSize("search-seed", 1);
+  const sched::SearchResult result =
+      sched::TabuSearch(table, ClusterSizes(graph, apps), options);
+  std::cout << "partition: " << result.best.ToString() << "\n";
+  std::cout << "F_G = " << result.best_fg << ", D_G = " << result.best_dg
+            << ", C_c = " << result.best_cc << "\n";
+  std::cout << "moves: " << result.iterations << ", evaluations: " << result.evaluations
+            << "\n";
+  if (args.Has("dot")) {
+    std::cout << topo::ToDot(graph, result.best.cluster_of_switch());
+  }
+  return 0;
+}
+
+int CmdSimulate(const Args& args) {
+  const topo::SwitchGraph graph = BuildTopology(args);
+  const route::UpDownRouting routing(graph);
+  const std::size_t apps = args.GetSize("apps", 4);
+  const work::Workload workload = work::Workload::Uniform(apps, graph.host_count() / apps);
+
+  const std::string mapping_kind = args.Get("mapping", "op");
+  qual::Partition partition = [&] {
+    if (mapping_kind == "op") {
+      const dist::DistanceTable table = dist::DistanceTable::Build(routing);
+      sched::TabuOptions options;
+      options.max_iterations_per_seed = graph.switch_count() >= 20 ? 60 : 20;
+      return sched::TabuSearch(table, ClusterSizes(graph, apps), options).best;
+    }
+    if (mapping_kind == "random") {
+      Rng rng(args.GetSize("mapping-seed", 2000));
+      return qual::Partition::Random(ClusterSizes(graph, apps), rng);
+    }
+    if (mapping_kind == "blocked") {
+      return qual::Partition::Blocked(ClusterSizes(graph, apps));
+    }
+    throw ConfigError("unknown --mapping '" + mapping_kind + "' (op|random|blocked)");
+  }();
+  const auto mapping = work::ProcessMapping::FromPartition(graph, workload, partition);
+  const sim::TrafficPattern pattern(graph, workload, mapping);
+
+  sim::SweepOptions sweep;
+  sweep.points = args.GetSize("points", 9);
+  sweep.min_rate = args.GetDouble("min-rate", 0.08);
+  sweep.max_rate = args.GetDouble("max-rate", 1.4);
+  sweep.config.virtual_channels = args.GetSize("vcs", 1);
+  sweep.config.adaptive_routing = args.Has("adaptive");
+  sweep.config.warmup_cycles = args.GetSize("warmup", 5000);
+  sweep.config.measure_cycles = args.GetSize("measure", 15000);
+
+  sim::SweepResult result;
+  if (args.Has("duato")) {
+    const std::size_t vcs = std::max<std::size_t>(2, sweep.config.virtual_channels);
+    sweep.config.virtual_channels = vcs;
+    const sim::DuatoFullyAdaptivePolicy policy(graph, vcs);
+    result = sim::RunLoadSweep(graph, policy, pattern, sweep);
+  } else {
+    result = sim::RunLoadSweep(graph, routing, pattern, sweep);
+  }
+
+  std::cout << "mapping: " << partition.ToString() << "\n";
+  TextTable table({"offered", "accepted", "latency", "saturated"});
+  table.set_precision(4);
+  for (const sim::SweepPoint& p : result.points) {
+    table.AddRow({p.offered_rate, p.metrics.accepted_flits_per_switch_cycle,
+                  p.metrics.avg_latency_cycles,
+                  std::string(p.metrics.Saturated() ? "yes" : "no")});
+  }
+  std::cout << table;
+  std::cout << "throughput: " << result.Throughput() << " flits/switch/cycle\n";
+  return 0;
+}
+
+int CmdExperiment(const Args& args) {
+  const topo::SwitchGraph graph = BuildTopology(args);
+  core::ExperimentOptions options;
+  options.applications = args.GetSize("apps", 4);
+  options.random_mappings = args.GetSize("randoms", 9);
+  options.sweep.points = args.GetSize("points", 9);
+  options.sweep.min_rate = args.GetDouble("min-rate", 0.08);
+  options.sweep.max_rate = args.GetDouble("max-rate", 1.4);
+  options.sweep.config.warmup_cycles = args.GetSize("warmup", 5000);
+  options.sweep.config.measure_cycles = args.GetSize("measure", 15000);
+  options.tabu.max_iterations_per_seed = graph.switch_count() >= 20 ? 60 : 20;
+  const core::ExperimentResult result = core::RunPaperExperiment(graph, options);
+
+  TextTable table({"mapping", "C_c", "throughput", "partition"});
+  table.set_precision(4);
+  for (const core::MappingEvaluation& eval : result.mappings) {
+    table.AddRow({eval.label, eval.cc, eval.Throughput(), eval.partition.ToString()});
+  }
+  std::cout << table;
+  std::cout << "OP / best random throughput: " << result.ThroughputImprovement() << "x\n";
+  return 0;
+}
+
+int Usage() {
+  std::cerr <<
+      "usage: commsched_cli <topo|distance|schedule|simulate|experiment> [--flags]\n"
+      "  topo       generate/describe a topology (--kind random|rings|mixed|mesh|torus|\n"
+      "             hypercube|file, --switches N, --seed S, --dot)\n"
+      "  distance   equivalent-distance table as CSV (--hops for hop counts)\n"
+      "  schedule   Tabu mapping + quality coefficients (--apps K, --seeds N, --dot)\n"
+      "  simulate   load sweep for a mapping (--mapping op|random|blocked, --vcs V,\n"
+      "             --adaptive, --duato, --points P, --max-rate R)\n"
+      "  experiment full paper experiment: OP vs random mappings (--randoms K)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  try {
+    const Args args(argc, argv);
+    if (command == "topo") return CmdTopo(args);
+    if (command == "distance") return CmdDistance(args);
+    if (command == "schedule") return CmdSchedule(args);
+    if (command == "simulate") return CmdSimulate(args);
+    if (command == "experiment") return CmdExperiment(args);
+    return Usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
