@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_assumptions"
+  "../bench/abl_assumptions.pdb"
+  "CMakeFiles/abl_assumptions.dir/abl_assumptions.cpp.o"
+  "CMakeFiles/abl_assumptions.dir/abl_assumptions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_assumptions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

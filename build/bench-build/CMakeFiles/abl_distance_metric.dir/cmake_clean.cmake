@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_distance_metric"
+  "../bench/abl_distance_metric.pdb"
+  "CMakeFiles/abl_distance_metric.dir/abl_distance_metric.cpp.o"
+  "CMakeFiles/abl_distance_metric.dir/abl_distance_metric.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_distance_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

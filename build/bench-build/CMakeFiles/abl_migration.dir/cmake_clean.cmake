@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_migration"
+  "../bench/abl_migration.pdb"
+  "CMakeFiles/abl_migration.dir/abl_migration.cpp.o"
+  "CMakeFiles/abl_migration.dir/abl_migration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

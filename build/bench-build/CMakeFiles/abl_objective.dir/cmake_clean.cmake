@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_objective"
+  "../bench/abl_objective.pdb"
+  "CMakeFiles/abl_objective.dir/abl_objective.cpp.o"
+  "CMakeFiles/abl_objective.dir/abl_objective.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_objective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

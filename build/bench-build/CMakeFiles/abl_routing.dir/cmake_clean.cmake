@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_routing"
+  "../bench/abl_routing.pdb"
+  "CMakeFiles/abl_routing.dir/abl_routing.cpp.o"
+  "CMakeFiles/abl_routing.dir/abl_routing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

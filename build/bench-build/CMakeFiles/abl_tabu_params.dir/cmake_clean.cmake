@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_tabu_params"
+  "../bench/abl_tabu_params.pdb"
+  "CMakeFiles/abl_tabu_params.dir/abl_tabu_params.cpp.o"
+  "CMakeFiles/abl_tabu_params.dir/abl_tabu_params.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_tabu_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_virtual_channels"
+  "../bench/abl_virtual_channels.pdb"
+  "CMakeFiles/abl_virtual_channels.dir/abl_virtual_channels.cpp.o"
+  "CMakeFiles/abl_virtual_channels.dir/abl_virtual_channels.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_virtual_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_weighted_quality"
+  "../bench/abl_weighted_quality.pdb"
+  "CMakeFiles/abl_weighted_quality.dir/abl_weighted_quality.cpp.o"
+  "CMakeFiles/abl_weighted_quality.dir/abl_weighted_quality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_weighted_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_tabu_trace"
+  "../bench/fig1_tabu_trace.pdb"
+  "CMakeFiles/fig1_tabu_trace.dir/fig1_tabu_trace.cpp.o"
+  "CMakeFiles/fig1_tabu_trace.dir/fig1_tabu_trace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_tabu_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_partition16"
+  "../bench/fig2_partition16.pdb"
+  "CMakeFiles/fig2_partition16.dir/fig2_partition16.cpp.o"
+  "CMakeFiles/fig2_partition16.dir/fig2_partition16.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_partition16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_partition24"
+  "../bench/fig4_partition24.pdb"
+  "CMakeFiles/fig4_partition24.dir/fig4_partition24.cpp.o"
+  "CMakeFiles/fig4_partition24.dir/fig4_partition24.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_partition24.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_perf24"
+  "../bench/fig5_perf24.pdb"
+  "CMakeFiles/fig5_perf24.dir/fig5_perf24.cpp.o"
+  "CMakeFiles/fig5_perf24.dir/fig5_perf24.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_perf24.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_distance"
+  "../bench/micro_distance.pdb"
+  "CMakeFiles/micro_distance.dir/micro_distance.cpp.o"
+  "CMakeFiles/micro_distance.dir/micro_distance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

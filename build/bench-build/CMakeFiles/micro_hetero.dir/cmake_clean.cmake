@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_hetero"
+  "../bench/micro_hetero.pdb"
+  "CMakeFiles/micro_hetero.dir/micro_hetero.cpp.o"
+  "CMakeFiles/micro_hetero.dir/micro_hetero.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

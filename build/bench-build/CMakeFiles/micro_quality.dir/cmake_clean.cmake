@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_quality"
+  "../bench/micro_quality.pdb"
+  "CMakeFiles/micro_quality.dir/micro_quality.cpp.o"
+  "CMakeFiles/micro_quality.dir/micro_quality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_tabu"
+  "../bench/micro_tabu.pdb"
+  "CMakeFiles/micro_tabu.dir/micro_tabu.cpp.o"
+  "CMakeFiles/micro_tabu.dir/micro_tabu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_tabu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_combined_strategy"
+  "../bench/tab_combined_strategy.pdb"
+  "CMakeFiles/tab_combined_strategy.dir/tab_combined_strategy.cpp.o"
+  "CMakeFiles/tab_combined_strategy.dir/tab_combined_strategy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_combined_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

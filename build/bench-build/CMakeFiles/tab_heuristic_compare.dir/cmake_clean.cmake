@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_heuristic_compare"
+  "../bench/tab_heuristic_compare.pdb"
+  "CMakeFiles/tab_heuristic_compare.dir/tab_heuristic_compare.cpp.o"
+  "CMakeFiles/tab_heuristic_compare.dir/tab_heuristic_compare.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_heuristic_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

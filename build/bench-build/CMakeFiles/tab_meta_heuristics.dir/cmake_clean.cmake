@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_meta_heuristics"
+  "../bench/tab_meta_heuristics.pdb"
+  "CMakeFiles/tab_meta_heuristics.dir/tab_meta_heuristics.cpp.o"
+  "CMakeFiles/tab_meta_heuristics.dir/tab_meta_heuristics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_meta_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

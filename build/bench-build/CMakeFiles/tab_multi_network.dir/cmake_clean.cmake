@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_multi_network"
+  "../bench/tab_multi_network.pdb"
+  "CMakeFiles/tab_multi_network.dir/tab_multi_network.cpp.o"
+  "CMakeFiles/tab_multi_network.dir/tab_multi_network.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_multi_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_online_sched"
+  "../bench/tab_online_sched.pdb"
+  "CMakeFiles/tab_online_sched.dir/tab_online_sched.cpp.o"
+  "CMakeFiles/tab_online_sched.dir/tab_online_sched.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_online_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

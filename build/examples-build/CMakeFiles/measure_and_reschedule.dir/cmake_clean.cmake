@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/measure_and_reschedule"
+  "../examples/measure_and_reschedule.pdb"
+  "CMakeFiles/measure_and_reschedule.dir/measure_and_reschedule.cpp.o"
+  "CMakeFiles/measure_and_reschedule.dir/measure_and_reschedule.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_and_reschedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

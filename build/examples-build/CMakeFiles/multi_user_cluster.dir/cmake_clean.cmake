@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/multi_user_cluster"
+  "../examples/multi_user_cluster.pdb"
+  "CMakeFiles/multi_user_cluster.dir/multi_user_cluster.cpp.o"
+  "CMakeFiles/multi_user_cluster.dir/multi_user_cluster.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_user_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/topology_explorer"
+  "../examples/topology_explorer.pdb"
+  "CMakeFiles/topology_explorer.dir/topology_explorer.cpp.o"
+  "CMakeFiles/topology_explorer.dir/topology_explorer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("linalg")
+subdirs("topology")
+subdirs("routing")
+subdirs("distance")
+subdirs("quality")
+subdirs("workload")
+subdirs("sched")
+subdirs("hetero")
+subdirs("simnet")
+subdirs("stats")
+subdirs("core")

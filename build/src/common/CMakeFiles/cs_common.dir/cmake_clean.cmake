@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_common.dir/check.cpp.o"
+  "CMakeFiles/cs_common.dir/check.cpp.o.d"
+  "CMakeFiles/cs_common.dir/parallel.cpp.o"
+  "CMakeFiles/cs_common.dir/parallel.cpp.o.d"
+  "CMakeFiles/cs_common.dir/rng.cpp.o"
+  "CMakeFiles/cs_common.dir/rng.cpp.o.d"
+  "CMakeFiles/cs_common.dir/strings.cpp.o"
+  "CMakeFiles/cs_common.dir/strings.cpp.o.d"
+  "CMakeFiles/cs_common.dir/table.cpp.o"
+  "CMakeFiles/cs_common.dir/table.cpp.o.d"
+  "libcs_common.a"
+  "libcs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

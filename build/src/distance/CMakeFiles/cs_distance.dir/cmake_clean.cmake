@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_distance.dir/distance_table.cpp.o"
+  "CMakeFiles/cs_distance.dir/distance_table.cpp.o.d"
+  "libcs_distance.a"
+  "libcs_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_hetero.dir/combined.cpp.o"
+  "CMakeFiles/cs_hetero.dir/combined.cpp.o.d"
+  "CMakeFiles/cs_hetero.dir/etc.cpp.o"
+  "CMakeFiles/cs_hetero.dir/etc.cpp.o.d"
+  "CMakeFiles/cs_hetero.dir/meta_heuristics.cpp.o"
+  "CMakeFiles/cs_hetero.dir/meta_heuristics.cpp.o.d"
+  "libcs_hetero.a"
+  "libcs_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

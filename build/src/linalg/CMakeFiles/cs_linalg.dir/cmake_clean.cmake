@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/cs_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/cs_linalg.dir/resistance.cpp.o"
+  "CMakeFiles/cs_linalg.dir/resistance.cpp.o.d"
+  "CMakeFiles/cs_linalg.dir/solve.cpp.o"
+  "CMakeFiles/cs_linalg.dir/solve.cpp.o.d"
+  "libcs_linalg.a"
+  "libcs_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

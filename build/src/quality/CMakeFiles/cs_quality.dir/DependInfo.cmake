@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quality/partition.cpp" "src/quality/CMakeFiles/cs_quality.dir/partition.cpp.o" "gcc" "src/quality/CMakeFiles/cs_quality.dir/partition.cpp.o.d"
+  "/root/repo/src/quality/quality.cpp" "src/quality/CMakeFiles/cs_quality.dir/quality.cpp.o" "gcc" "src/quality/CMakeFiles/cs_quality.dir/quality.cpp.o.d"
+  "/root/repo/src/quality/weighted.cpp" "src/quality/CMakeFiles/cs_quality.dir/weighted.cpp.o" "gcc" "src/quality/CMakeFiles/cs_quality.dir/weighted.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/distance/CMakeFiles/cs_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/cs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/cs_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/cs_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_quality.dir/partition.cpp.o"
+  "CMakeFiles/cs_quality.dir/partition.cpp.o.d"
+  "CMakeFiles/cs_quality.dir/quality.cpp.o"
+  "CMakeFiles/cs_quality.dir/quality.cpp.o.d"
+  "CMakeFiles/cs_quality.dir/weighted.cpp.o"
+  "CMakeFiles/cs_quality.dir/weighted.cpp.o.d"
+  "libcs_quality.a"
+  "libcs_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

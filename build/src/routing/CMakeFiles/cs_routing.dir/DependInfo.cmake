@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/deadlock.cpp" "src/routing/CMakeFiles/cs_routing.dir/deadlock.cpp.o" "gcc" "src/routing/CMakeFiles/cs_routing.dir/deadlock.cpp.o.d"
+  "/root/repo/src/routing/routing.cpp" "src/routing/CMakeFiles/cs_routing.dir/routing.cpp.o" "gcc" "src/routing/CMakeFiles/cs_routing.dir/routing.cpp.o.d"
+  "/root/repo/src/routing/shortest_path.cpp" "src/routing/CMakeFiles/cs_routing.dir/shortest_path.cpp.o" "gcc" "src/routing/CMakeFiles/cs_routing.dir/shortest_path.cpp.o.d"
+  "/root/repo/src/routing/updown.cpp" "src/routing/CMakeFiles/cs_routing.dir/updown.cpp.o" "gcc" "src/routing/CMakeFiles/cs_routing.dir/updown.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/cs_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_routing.dir/deadlock.cpp.o"
+  "CMakeFiles/cs_routing.dir/deadlock.cpp.o.d"
+  "CMakeFiles/cs_routing.dir/routing.cpp.o"
+  "CMakeFiles/cs_routing.dir/routing.cpp.o.d"
+  "CMakeFiles/cs_routing.dir/shortest_path.cpp.o"
+  "CMakeFiles/cs_routing.dir/shortest_path.cpp.o.d"
+  "CMakeFiles/cs_routing.dir/updown.cpp.o"
+  "CMakeFiles/cs_routing.dir/updown.cpp.o.d"
+  "libcs_routing.a"
+  "libcs_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/annealing.cpp" "src/sched/CMakeFiles/cs_sched.dir/annealing.cpp.o" "gcc" "src/sched/CMakeFiles/cs_sched.dir/annealing.cpp.o.d"
+  "/root/repo/src/sched/astar.cpp" "src/sched/CMakeFiles/cs_sched.dir/astar.cpp.o" "gcc" "src/sched/CMakeFiles/cs_sched.dir/astar.cpp.o.d"
+  "/root/repo/src/sched/exhaustive.cpp" "src/sched/CMakeFiles/cs_sched.dir/exhaustive.cpp.o" "gcc" "src/sched/CMakeFiles/cs_sched.dir/exhaustive.cpp.o.d"
+  "/root/repo/src/sched/local_search.cpp" "src/sched/CMakeFiles/cs_sched.dir/local_search.cpp.o" "gcc" "src/sched/CMakeFiles/cs_sched.dir/local_search.cpp.o.d"
+  "/root/repo/src/sched/online.cpp" "src/sched/CMakeFiles/cs_sched.dir/online.cpp.o" "gcc" "src/sched/CMakeFiles/cs_sched.dir/online.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/sched/CMakeFiles/cs_sched.dir/scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/cs_sched.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sched/search.cpp" "src/sched/CMakeFiles/cs_sched.dir/search.cpp.o" "gcc" "src/sched/CMakeFiles/cs_sched.dir/search.cpp.o.d"
+  "/root/repo/src/sched/tabu.cpp" "src/sched/CMakeFiles/cs_sched.dir/tabu.cpp.o" "gcc" "src/sched/CMakeFiles/cs_sched.dir/tabu.cpp.o.d"
+  "/root/repo/src/sched/weighted_tabu.cpp" "src/sched/CMakeFiles/cs_sched.dir/weighted_tabu.cpp.o" "gcc" "src/sched/CMakeFiles/cs_sched.dir/weighted_tabu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/distance/CMakeFiles/cs_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/quality/CMakeFiles/cs_quality.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/cs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/cs_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/cs_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

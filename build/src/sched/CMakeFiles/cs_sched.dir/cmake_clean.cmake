@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_sched.dir/annealing.cpp.o"
+  "CMakeFiles/cs_sched.dir/annealing.cpp.o.d"
+  "CMakeFiles/cs_sched.dir/astar.cpp.o"
+  "CMakeFiles/cs_sched.dir/astar.cpp.o.d"
+  "CMakeFiles/cs_sched.dir/exhaustive.cpp.o"
+  "CMakeFiles/cs_sched.dir/exhaustive.cpp.o.d"
+  "CMakeFiles/cs_sched.dir/local_search.cpp.o"
+  "CMakeFiles/cs_sched.dir/local_search.cpp.o.d"
+  "CMakeFiles/cs_sched.dir/online.cpp.o"
+  "CMakeFiles/cs_sched.dir/online.cpp.o.d"
+  "CMakeFiles/cs_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/cs_sched.dir/scheduler.cpp.o.d"
+  "CMakeFiles/cs_sched.dir/search.cpp.o"
+  "CMakeFiles/cs_sched.dir/search.cpp.o.d"
+  "CMakeFiles/cs_sched.dir/tabu.cpp.o"
+  "CMakeFiles/cs_sched.dir/tabu.cpp.o.d"
+  "CMakeFiles/cs_sched.dir/weighted_tabu.cpp.o"
+  "CMakeFiles/cs_sched.dir/weighted_tabu.cpp.o.d"
+  "libcs_sched.a"
+  "libcs_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

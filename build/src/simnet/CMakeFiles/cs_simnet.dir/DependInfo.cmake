@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnet/estimate.cpp" "src/simnet/CMakeFiles/cs_simnet.dir/estimate.cpp.o" "gcc" "src/simnet/CMakeFiles/cs_simnet.dir/estimate.cpp.o.d"
+  "/root/repo/src/simnet/simulator.cpp" "src/simnet/CMakeFiles/cs_simnet.dir/simulator.cpp.o" "gcc" "src/simnet/CMakeFiles/cs_simnet.dir/simulator.cpp.o.d"
+  "/root/repo/src/simnet/sweep.cpp" "src/simnet/CMakeFiles/cs_simnet.dir/sweep.cpp.o" "gcc" "src/simnet/CMakeFiles/cs_simnet.dir/sweep.cpp.o.d"
+  "/root/repo/src/simnet/traffic.cpp" "src/simnet/CMakeFiles/cs_simnet.dir/traffic.cpp.o" "gcc" "src/simnet/CMakeFiles/cs_simnet.dir/traffic.cpp.o.d"
+  "/root/repo/src/simnet/vc_routing.cpp" "src/simnet/CMakeFiles/cs_simnet.dir/vc_routing.cpp.o" "gcc" "src/simnet/CMakeFiles/cs_simnet.dir/vc_routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/cs_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/cs_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/quality/CMakeFiles/cs_quality.dir/DependInfo.cmake"
+  "/root/repo/build/src/distance/CMakeFiles/cs_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/cs_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

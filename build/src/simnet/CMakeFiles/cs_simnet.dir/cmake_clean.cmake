@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_simnet.dir/estimate.cpp.o"
+  "CMakeFiles/cs_simnet.dir/estimate.cpp.o.d"
+  "CMakeFiles/cs_simnet.dir/simulator.cpp.o"
+  "CMakeFiles/cs_simnet.dir/simulator.cpp.o.d"
+  "CMakeFiles/cs_simnet.dir/sweep.cpp.o"
+  "CMakeFiles/cs_simnet.dir/sweep.cpp.o.d"
+  "CMakeFiles/cs_simnet.dir/traffic.cpp.o"
+  "CMakeFiles/cs_simnet.dir/traffic.cpp.o.d"
+  "CMakeFiles/cs_simnet.dir/vc_routing.cpp.o"
+  "CMakeFiles/cs_simnet.dir/vc_routing.cpp.o.d"
+  "libcs_simnet.a"
+  "libcs_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

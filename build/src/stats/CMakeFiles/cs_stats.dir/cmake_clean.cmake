@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_stats.dir/stats.cpp.o"
+  "CMakeFiles/cs_stats.dir/stats.cpp.o.d"
+  "libcs_stats.a"
+  "libcs_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_topology.dir/generator.cpp.o"
+  "CMakeFiles/cs_topology.dir/generator.cpp.o.d"
+  "CMakeFiles/cs_topology.dir/graph.cpp.o"
+  "CMakeFiles/cs_topology.dir/graph.cpp.o.d"
+  "CMakeFiles/cs_topology.dir/library.cpp.o"
+  "CMakeFiles/cs_topology.dir/library.cpp.o.d"
+  "CMakeFiles/cs_topology.dir/serialize.cpp.o"
+  "CMakeFiles/cs_topology.dir/serialize.cpp.o.d"
+  "libcs_topology.a"
+  "libcs_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

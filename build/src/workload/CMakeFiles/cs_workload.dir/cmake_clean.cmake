@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_workload.dir/workload.cpp.o"
+  "CMakeFiles/cs_workload.dir/workload.cpp.o.d"
+  "libcs_workload.a"
+  "libcs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

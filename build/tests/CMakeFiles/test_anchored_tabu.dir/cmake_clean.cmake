@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_anchored_tabu.dir/test_anchored_tabu.cpp.o"
+  "CMakeFiles/test_anchored_tabu.dir/test_anchored_tabu.cpp.o.d"
+  "test_anchored_tabu"
+  "test_anchored_tabu.pdb"
+  "test_anchored_tabu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_anchored_tabu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deadlock.dir/test_deadlock.cpp.o"
+  "CMakeFiles/test_deadlock.dir/test_deadlock.cpp.o.d"
+  "test_deadlock"
+  "test_deadlock.pdb"
+  "test_deadlock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deadlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

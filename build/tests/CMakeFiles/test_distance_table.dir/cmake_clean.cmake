@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distance_table.dir/test_distance_table.cpp.o"
+  "CMakeFiles/test_distance_table.dir/test_distance_table.cpp.o.d"
+  "test_distance_table"
+  "test_distance_table.pdb"
+  "test_distance_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distance_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

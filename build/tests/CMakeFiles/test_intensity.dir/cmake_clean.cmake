@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_intensity.dir/test_intensity.cpp.o"
+  "CMakeFiles/test_intensity.dir/test_intensity.cpp.o.d"
+  "test_intensity"
+  "test_intensity.pdb"
+  "test_intensity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_intensity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_per_app_metrics.dir/test_per_app_metrics.cpp.o"
+  "CMakeFiles/test_per_app_metrics.dir/test_per_app_metrics.cpp.o.d"
+  "test_per_app_metrics"
+  "test_per_app_metrics.pdb"
+  "test_per_app_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_per_app_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simulator_vc.dir/test_simulator_vc.cpp.o"
+  "CMakeFiles/test_simulator_vc.dir/test_simulator_vc.cpp.o.d"
+  "test_simulator_vc"
+  "test_simulator_vc.pdb"
+  "test_simulator_vc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simulator_vc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tabu.dir/test_tabu.cpp.o"
+  "CMakeFiles/test_tabu.dir/test_tabu.cpp.o.d"
+  "test_tabu"
+  "test_tabu.pdb"
+  "test_tabu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tabu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

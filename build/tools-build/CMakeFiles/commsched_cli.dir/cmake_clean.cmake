@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/commsched_cli"
+  "../tools/commsched_cli.pdb"
+  "CMakeFiles/commsched_cli.dir/commsched_cli.cpp.o"
+  "CMakeFiles/commsched_cli.dir/commsched_cli.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commsched_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools-build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_usage "/root/repo/build/tools/commsched_cli")
+set_tests_properties(cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_topo "/root/repo/build/tools/commsched_cli" "topo" "--kind" "rings")
+set_tests_properties(cli_topo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_topo_dot "/root/repo/build/tools/commsched_cli" "topo" "--kind" "mixed" "--dot")
+set_tests_properties(cli_topo_dot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_distance "/root/repo/build/tools/commsched_cli" "distance" "--kind" "random" "--switches" "8" "--seed" "2")
+set_tests_properties(cli_distance PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_distance_hops "/root/repo/build/tools/commsched_cli" "distance" "--kind" "mixed" "--hops")
+set_tests_properties(cli_distance_hops PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_schedule "/root/repo/build/tools/commsched_cli" "schedule" "--kind" "mixed" "--apps" "4")
+set_tests_properties(cli_schedule PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_simulate "/root/repo/build/tools/commsched_cli" "simulate" "--kind" "random" "--switches" "12" "--apps" "4" "--mapping" "random" "--points" "2" "--max-rate" "0.4" "--warmup" "500" "--measure" "1500")
+set_tests_properties(cli_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_simulate_duato "/root/repo/build/tools/commsched_cli" "simulate" "--kind" "random" "--switches" "12" "--apps" "4" "--mapping" "blocked" "--points" "2" "--max-rate" "0.4" "--duato" "--warmup" "500" "--measure" "1500")
+set_tests_properties(cli_simulate_duato PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_experiment "/root/repo/build/tools/commsched_cli" "experiment" "--kind" "random" "--switches" "12" "--apps" "4" "--randoms" "1" "--points" "2" "--max-rate" "0.5" "--warmup" "500" "--measure" "1500")
+set_tests_properties(cli_experiment PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_kind "/root/repo/build/tools/commsched_cli" "topo" "--kind" "bogus")
+set_tests_properties(cli_bad_kind PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_indivisible "/root/repo/build/tools/commsched_cli" "schedule" "--kind" "random" "--switches" "14" "--apps" "4")
+set_tests_properties(cli_indivisible PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
