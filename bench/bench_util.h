@@ -1,12 +1,46 @@
-// Shared helpers for the figure/table reproduction harnesses.
+// Shared helpers for the figure/table reproduction harnesses and the
+// google-benchmark micro benches.
 #pragma once
 
+#include <cstdint>
 #include <iostream>
+#include <map>
 #include <string>
 
 #include "core/commsched.h"
 
 namespace commsched::bench {
+
+/// Snapshot-delta reader over the global obs::Registry: construct before the
+/// measured region, then ask for per-counter deltas afterwards. Benches use
+/// this to report work counters (swap evaluations, flits, cycles) next to
+/// wall-clock numbers — e.g. as google-benchmark custom counters, which land
+/// in the perf JSON as swaps/sec or flits/cycle columns.
+class ObsDelta {
+ public:
+  ObsDelta() : start_(obs::Registry::Global().CounterValues()) {}
+
+  /// Counter increase since construction (0 for never-registered names).
+  [[nodiscard]] std::uint64_t Delta(const std::string& name) const {
+    const auto now = obs::Registry::Global().CounterValues();
+    const auto it = now.find(name);
+    if (it == now.end()) return 0;
+    const auto base = start_.find(name);
+    return it->second - (base == start_.end() ? 0 : base->second);
+  }
+
+  /// Ratio of two counter deltas (e.g. flits delivered / cycles simulated);
+  /// 0 when the denominator has not moved.
+  [[nodiscard]] double Rate(const std::string& numerator,
+                            const std::string& denominator) const {
+    const std::uint64_t denom = Delta(denominator);
+    if (denom == 0) return 0.0;
+    return static_cast<double>(Delta(numerator)) / static_cast<double>(denom);
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> start_;
+};
 
 /// The random irregular 16-switch network used throughout §5 (seeded so the
 /// repo's numbers are reproducible; the paper's own instance is unpublished).

@@ -1,6 +1,8 @@
-// Micro-benchmarks: flit-level simulator cycle throughput.
+// Micro-benchmarks: flit-level simulator cycle throughput. The obs-registry
+// deltas add flits_per_cycle / cycles_per_sec columns to the perf JSON.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "core/commsched.h"
 
 namespace {
@@ -33,11 +35,16 @@ void BM_SimulateModerateLoad(benchmark::State& state) {
   config.warmup_cycles = 1000;
   config.measure_cycles = 4000;
   sim::NetworkSimulator simulator(f.graph, f.routing, f.pattern, config);
+  const bench::ObsDelta obs_delta;
   for (auto _ : state) {
     benchmark::DoNotOptimize(simulator.Run(0.3));
   }
   state.SetItemsProcessed(static_cast<long>(state.iterations()) *
                           static_cast<long>(config.warmup_cycles + config.measure_cycles));
+  state.counters["flits_per_cycle"] =
+      benchmark::Counter(obs_delta.Rate("sim.flits_delivered", "sim.measured_cycles"));
+  state.counters["cycles_per_sec"] = benchmark::Counter(
+      static_cast<double>(obs_delta.Delta("sim.cycles")), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SimulateModerateLoad)->Arg(16)->Arg(24)->Unit(benchmark::kMillisecond);
 
@@ -47,9 +54,12 @@ void BM_SimulateSaturation(benchmark::State& state) {
   config.warmup_cycles = 1000;
   config.measure_cycles = 4000;
   sim::NetworkSimulator simulator(f.graph, f.routing, f.pattern, config);
+  const bench::ObsDelta obs_delta;
   for (auto _ : state) {
     benchmark::DoNotOptimize(simulator.Run(1.4));
   }
+  state.counters["flits_per_cycle"] =
+      benchmark::Counter(obs_delta.Rate("sim.flits_delivered", "sim.measured_cycles"));
 }
 BENCHMARK(BM_SimulateSaturation)->Unit(benchmark::kMillisecond);
 

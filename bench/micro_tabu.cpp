@@ -1,6 +1,9 @@
 // Micro-benchmarks: full searcher runs (the paper's scheduling cost).
+// Work counters come from the obs registry, so the perf JSON carries
+// swaps_per_sec (candidate evaluations / s) next to the wall-clock columns.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "core/commsched.h"
 
 namespace {
@@ -20,11 +23,15 @@ void BM_TabuSearchPaperSchedule(benchmark::State& state) {
   const dist::DistanceTable table = Table(static_cast<std::size_t>(state.range(0)));
   const std::vector<std::size_t> sizes(4, table.size() / 4);
   std::uint64_t seed = 0;
+  const bench::ObsDelta obs_delta;
   for (auto _ : state) {
     sched::TabuOptions options;
     options.rng_seed = ++seed;
     benchmark::DoNotOptimize(sched::TabuSearch(table, sizes, options));
   }
+  state.counters["swaps_per_sec"] =
+      benchmark::Counter(static_cast<double>(obs_delta.Delta("search.tabu.evaluations")),
+                         benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_TabuSearchPaperSchedule)->Arg(16)->Arg(24)->Unit(benchmark::kMillisecond);
 
@@ -32,12 +39,16 @@ void BM_TabuSearchParallelSeeds(benchmark::State& state) {
   const dist::DistanceTable table = Table(24);
   const std::vector<std::size_t> sizes(4, 6);
   std::uint64_t seed = 0;
+  const bench::ObsDelta obs_delta;
   for (auto _ : state) {
     sched::TabuOptions options;
     options.rng_seed = ++seed;
     options.parallel_seeds = true;
     benchmark::DoNotOptimize(sched::TabuSearch(table, sizes, options));
   }
+  state.counters["swaps_per_sec"] =
+      benchmark::Counter(static_cast<double>(obs_delta.Delta("search.tabu.evaluations")),
+                         benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_TabuSearchParallelSeeds)->Unit(benchmark::kMillisecond);
 

@@ -17,6 +17,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/cs_core.dir/DependInfo.cmake"
   "/root/repo/build/src/sched/CMakeFiles/cs_sched.dir/DependInfo.cmake"
   "/root/repo/build/src/simnet/CMakeFiles/cs_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/cs_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/cs_workload.dir/DependInfo.cmake"
   "/root/repo/build/src/quality/CMakeFiles/cs_quality.dir/DependInfo.cmake"
   "/root/repo/build/src/distance/CMakeFiles/cs_distance.dir/DependInfo.cmake"

@@ -1,6 +1,6 @@
 bench-build/CMakeFiles/fig3_perf16.dir/fig3_perf16.cpp.o: \
  /root/repo/bench/fig3_perf16.cpp /usr/include/stdc-predef.h \
- /root/repo/bench/bench_util.h /usr/include/c++/12/iostream \
+ /root/repo/bench/bench_util.h /usr/include/c++/12/cstdint \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/os_defines.h \
  /usr/include/features.h /usr/include/features-time64.h \
@@ -11,17 +11,24 @@ bench-build/CMakeFiles/fig3_perf16.dir/fig3_perf16.cpp.o: \
  /usr/include/x86_64-linux-gnu/gnu/stubs.h \
  /usr/include/x86_64-linux-gnu/gnu/stubs-64.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/cpu_defines.h \
- /usr/include/c++/12/pstl/pstl_config.h /usr/include/c++/12/ostream \
+ /usr/include/c++/12/pstl/pstl_config.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/stdint.h /usr/include/stdint.h \
+ /usr/include/x86_64-linux-gnu/bits/libc-header-start.h \
+ /usr/include/x86_64-linux-gnu/bits/types.h \
+ /usr/include/x86_64-linux-gnu/bits/typesizes.h \
+ /usr/include/x86_64-linux-gnu/bits/time64.h \
+ /usr/include/x86_64-linux-gnu/bits/wchar.h \
+ /usr/include/x86_64-linux-gnu/bits/stdint-intn.h \
+ /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
+ /usr/include/c++/12/iostream /usr/include/c++/12/ostream \
  /usr/include/c++/12/ios /usr/include/c++/12/iosfwd \
  /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/memoryfwd.h /usr/include/c++/12/bits/postypes.h \
  /usr/include/c++/12/cwchar /usr/include/wchar.h \
- /usr/include/x86_64-linux-gnu/bits/libc-header-start.h \
  /usr/include/x86_64-linux-gnu/bits/floatn.h \
  /usr/include/x86_64-linux-gnu/bits/floatn-common.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stddef.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stdarg.h \
- /usr/include/x86_64-linux-gnu/bits/wchar.h \
  /usr/include/x86_64-linux-gnu/bits/types/wint_t.h \
  /usr/include/x86_64-linux-gnu/bits/types/mbstate_t.h \
  /usr/include/x86_64-linux-gnu/bits/types/__mbstate_t.h \
@@ -45,13 +52,7 @@ bench-build/CMakeFiles/fig3_perf16.dir/fig3_perf16.cpp.o: \
  /usr/include/c++/12/bits/ranges_cmp.h \
  /usr/include/c++/12/bits/stl_iterator_base_funcs.h \
  /usr/include/c++/12/bits/concept_check.h \
- /usr/include/c++/12/debug/assertions.h /usr/include/c++/12/cstdint \
- /usr/lib/gcc/x86_64-linux-gnu/12/include/stdint.h /usr/include/stdint.h \
- /usr/include/x86_64-linux-gnu/bits/types.h \
- /usr/include/x86_64-linux-gnu/bits/typesizes.h \
- /usr/include/x86_64-linux-gnu/bits/time64.h \
- /usr/include/x86_64-linux-gnu/bits/stdint-intn.h \
- /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
+ /usr/include/c++/12/debug/assertions.h \
  /usr/include/c++/12/bits/localefwd.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++locale.h \
  /usr/include/c++/12/clocale /usr/include/locale.h \
@@ -153,7 +154,14 @@ bench-build/CMakeFiles/fig3_perf16.dir/fig3_perf16.cpp.o: \
  /usr/include/c++/12/bits/locale_facets.tcc \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc /root/repo/src/core/commsched.h \
+ /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/ext/aligned_buffer.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/core/commsched.h \
  /root/repo/src/common/check.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/parallel.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
@@ -164,9 +172,7 @@ bench-build/CMakeFiles/fig3_perf16.dir/fig3_perf16.cpp.o: \
  /usr/include/c++/12/bits/shared_ptr.h \
  /usr/include/c++/12/bits/shared_ptr_base.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
- /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/tuple \
- /usr/include/c++/12/bits/uses_allocator.h \
- /usr/include/c++/12/ext/aligned_buffer.h \
+ /usr/include/c++/12/bits/unique_ptr.h \
  /usr/include/c++/12/ext/concurrence.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/align.h \
  /usr/include/c++/12/bits/stl_uninitialized.h \
@@ -205,9 +211,7 @@ bench-build/CMakeFiles/fig3_perf16.dir/fig3_perf16.cpp.o: \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /usr/include/c++/12/array \
@@ -239,14 +243,16 @@ bench-build/CMakeFiles/fig3_perf16.dir/fig3_perf16.cpp.o: \
  /root/repo/src/simnet/vc_routing.h \
  /root/repo/src/routing/shortest_path.h /root/repo/src/hetero/combined.h \
  /root/repo/src/hetero/etc.h /root/repo/src/hetero/meta_heuristics.h \
- /root/repo/src/linalg/matrix.h /root/repo/src/linalg/resistance.h \
+ /root/repo/src/linalg/matrix.h /root/repo/src/obs/obs.h \
+ /usr/include/c++/12/chrono /root/repo/src/obs/trace.h \
+ /usr/include/c++/12/fstream /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/linalg/resistance.h \
  /root/repo/src/linalg/solve.h /root/repo/src/quality/weighted.h \
  /root/repo/src/routing/deadlock.h /root/repo/src/sched/annealing.h \
  /root/repo/src/sched/astar.h /root/repo/src/sched/exhaustive.h \
  /root/repo/src/sched/local_search.h /root/repo/src/sched/online.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/sched/weighted_tabu.h /root/repo/src/simnet/estimate.h \
  /root/repo/src/stats/stats.h /usr/include/c++/12/span \
  /root/repo/src/topology/generator.h /root/repo/src/topology/library.h \

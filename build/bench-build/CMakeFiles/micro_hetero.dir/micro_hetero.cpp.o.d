@@ -247,7 +247,12 @@ bench-build/CMakeFiles/micro_hetero.dir/micro_hetero.cpp.o: \
  /root/repo/src/simnet/vc_routing.h \
  /root/repo/src/routing/shortest_path.h /root/repo/src/hetero/combined.h \
  /root/repo/src/hetero/etc.h /root/repo/src/hetero/meta_heuristics.h \
- /root/repo/src/linalg/matrix.h /root/repo/src/linalg/resistance.h \
+ /root/repo/src/linalg/matrix.h /root/repo/src/obs/obs.h \
+ /usr/include/c++/12/chrono /root/repo/src/obs/trace.h \
+ /usr/include/c++/12/fstream /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/linalg/resistance.h \
  /root/repo/src/linalg/solve.h /root/repo/src/quality/weighted.h \
  /root/repo/src/routing/deadlock.h /root/repo/src/sched/annealing.h \
  /root/repo/src/sched/astar.h /root/repo/src/sched/exhaustive.h \

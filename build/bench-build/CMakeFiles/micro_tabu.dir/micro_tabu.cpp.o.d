@@ -183,10 +183,9 @@ bench-build/CMakeFiles/micro_tabu.dir/micro_tabu.cpp.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/core/commsched.h /root/repo/src/common/check.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
- /usr/include/c++/12/ext/atomicity.h \
+ /root/repo/bench/bench_util.h /usr/include/c++/12/iostream \
+ /usr/include/c++/12/ostream /usr/include/c++/12/ios \
+ /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/atomic_word.h \
  /usr/include/x86_64-linux-gnu/sys/single_threaded.h \
  /usr/include/c++/12/bits/locale_classes.h \
@@ -199,9 +198,10 @@ bench-build/CMakeFiles/micro_tabu.dir/micro_tabu.cpp.o: \
  /usr/include/c++/12/bits/streambuf_iterator.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_inline.h \
  /usr/include/c++/12/bits/locale_facets.tcc \
- /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
- /usr/include/c++/12/bits/ostream.tcc \
- /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/basic_ios.tcc \
+ /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc /root/repo/src/core/commsched.h \
+ /root/repo/src/common/check.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/parallel.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
@@ -247,7 +247,12 @@ bench-build/CMakeFiles/micro_tabu.dir/micro_tabu.cpp.o: \
  /root/repo/src/simnet/vc_routing.h \
  /root/repo/src/routing/shortest_path.h /root/repo/src/hetero/combined.h \
  /root/repo/src/hetero/etc.h /root/repo/src/hetero/meta_heuristics.h \
- /root/repo/src/linalg/matrix.h /root/repo/src/linalg/resistance.h \
+ /root/repo/src/linalg/matrix.h /root/repo/src/obs/obs.h \
+ /usr/include/c++/12/chrono /root/repo/src/obs/trace.h \
+ /usr/include/c++/12/fstream /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/linalg/resistance.h \
  /root/repo/src/linalg/solve.h /root/repo/src/quality/weighted.h \
  /root/repo/src/routing/deadlock.h /root/repo/src/sched/annealing.h \
  /root/repo/src/sched/astar.h /root/repo/src/sched/exhaustive.h \

@@ -159,7 +159,14 @@ bench-build/CMakeFiles/tab_heuristic_compare.dir/tab_heuristic_compare.cpp.o: \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/bench/bench_util.h \
- /usr/include/c++/12/iostream /root/repo/src/core/commsched.h \
+ /usr/include/c++/12/iostream /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/ext/aligned_buffer.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/core/commsched.h \
  /root/repo/src/common/check.h /root/repo/src/common/parallel.h \
  /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/std_mutex.h \
@@ -167,9 +174,7 @@ bench-build/CMakeFiles/tab_heuristic_compare.dir/tab_heuristic_compare.cpp.o: \
  /usr/include/c++/12/bits/shared_ptr.h \
  /usr/include/c++/12/bits/shared_ptr_base.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
- /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/tuple \
- /usr/include/c++/12/bits/uses_allocator.h \
- /usr/include/c++/12/ext/aligned_buffer.h \
+ /usr/include/c++/12/bits/unique_ptr.h \
  /usr/include/c++/12/ext/concurrence.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/align.h \
  /usr/include/c++/12/bits/stl_uninitialized.h \
@@ -208,9 +213,7 @@ bench-build/CMakeFiles/tab_heuristic_compare.dir/tab_heuristic_compare.cpp.o: \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /usr/include/c++/12/array \
@@ -242,14 +245,16 @@ bench-build/CMakeFiles/tab_heuristic_compare.dir/tab_heuristic_compare.cpp.o: \
  /root/repo/src/simnet/vc_routing.h \
  /root/repo/src/routing/shortest_path.h /root/repo/src/hetero/combined.h \
  /root/repo/src/hetero/etc.h /root/repo/src/hetero/meta_heuristics.h \
- /root/repo/src/linalg/matrix.h /root/repo/src/linalg/resistance.h \
+ /root/repo/src/linalg/matrix.h /root/repo/src/obs/obs.h \
+ /root/repo/src/obs/trace.h /usr/include/c++/12/fstream \
+ /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/linalg/resistance.h \
  /root/repo/src/linalg/solve.h /root/repo/src/quality/weighted.h \
  /root/repo/src/routing/deadlock.h /root/repo/src/sched/annealing.h \
  /root/repo/src/sched/astar.h /root/repo/src/sched/exhaustive.h \
  /root/repo/src/sched/local_search.h /root/repo/src/sched/online.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/sched/weighted_tabu.h /root/repo/src/simnet/estimate.h \
  /root/repo/src/stats/stats.h /usr/include/c++/12/span \
  /root/repo/src/topology/generator.h /root/repo/src/topology/library.h \

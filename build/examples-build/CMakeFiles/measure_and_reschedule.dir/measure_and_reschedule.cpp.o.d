@@ -239,14 +239,18 @@ examples-build/CMakeFiles/measure_and_reschedule.dir/measure_and_reschedule.cpp.
  /root/repo/src/simnet/vc_routing.h \
  /root/repo/src/routing/shortest_path.h /root/repo/src/hetero/combined.h \
  /root/repo/src/hetero/etc.h /root/repo/src/hetero/meta_heuristics.h \
- /root/repo/src/linalg/matrix.h /root/repo/src/linalg/resistance.h \
+ /root/repo/src/linalg/matrix.h /root/repo/src/obs/obs.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/obs/trace.h \
+ /usr/include/c++/12/fstream /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/linalg/resistance.h \
  /root/repo/src/linalg/solve.h /root/repo/src/quality/weighted.h \
  /root/repo/src/routing/deadlock.h /root/repo/src/sched/annealing.h \
  /root/repo/src/sched/astar.h /root/repo/src/sched/exhaustive.h \
  /root/repo/src/sched/local_search.h /root/repo/src/sched/online.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/sched/weighted_tabu.h /root/repo/src/simnet/estimate.h \
  /root/repo/src/stats/stats.h /usr/include/c++/12/span \
  /root/repo/src/topology/generator.h /root/repo/src/topology/library.h \

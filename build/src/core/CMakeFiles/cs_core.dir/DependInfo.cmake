@@ -23,6 +23,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/simnet/CMakeFiles/cs_simnet.dir/DependInfo.cmake"
   "/root/repo/build/src/stats/CMakeFiles/cs_stats.dir/DependInfo.cmake"
   "/root/repo/build/src/linalg/CMakeFiles/cs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/cs_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_obs.dir/obs.cpp.o"
+  "CMakeFiles/cs_obs.dir/obs.cpp.o.d"
+  "CMakeFiles/cs_obs.dir/trace.cpp.o"
+  "CMakeFiles/cs_obs.dir/trace.cpp.o.d"
+  "libcs_obs.a"
+  "libcs_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -22,6 +22,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/cs_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/distance/CMakeFiles/cs_distance.dir/DependInfo.cmake"
   "/root/repo/build/src/quality/CMakeFiles/cs_quality.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/cs_workload.dir/DependInfo.cmake"

@@ -257,4 +257,9 @@ src/sched/CMakeFiles/cs_sched.dir/tabu.cpp.o: \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/thread
+ /usr/include/c++/12/thread /root/repo/src/obs/obs.h \
+ /usr/include/c++/12/chrono /root/repo/src/obs/trace.h \
+ /usr/include/c++/12/fstream /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc

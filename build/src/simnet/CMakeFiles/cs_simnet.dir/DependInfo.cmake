@@ -18,6 +18,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/cs_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/topology/CMakeFiles/cs_topology.dir/DependInfo.cmake"
   "/root/repo/build/src/routing/CMakeFiles/cs_routing.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/cs_workload.dir/DependInfo.cmake"

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cli_trace.dir/test_cli_trace.cpp.o"
+  "CMakeFiles/test_cli_trace.dir/test_cli_trace.cpp.o.d"
+  "test_cli_trace"
+  "test_cli_trace.pdb"
+  "test_cli_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cli_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_metamorphic.cpp" "tests/CMakeFiles/test_metamorphic.dir/test_metamorphic.cpp.o" "gcc" "tests/CMakeFiles/test_metamorphic.dir/test_metamorphic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hetero/CMakeFiles/cs_hetero.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/cs_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/cs_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/cs_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/quality/CMakeFiles/cs_quality.dir/DependInfo.cmake"
+  "/root/repo/build/src/distance/CMakeFiles/cs_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/cs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/cs_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/cs_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

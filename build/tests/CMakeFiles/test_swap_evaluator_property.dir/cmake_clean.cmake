@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swap_evaluator_property.dir/test_swap_evaluator_property.cpp.o"
+  "CMakeFiles/test_swap_evaluator_property.dir/test_swap_evaluator_property.cpp.o.d"
+  "test_swap_evaluator_property"
+  "test_swap_evaluator_property.pdb"
+  "test_swap_evaluator_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swap_evaluator_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

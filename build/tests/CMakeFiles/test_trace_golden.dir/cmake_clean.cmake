@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_golden.dir/test_trace_golden.cpp.o"
+  "CMakeFiles/test_trace_golden.dir/test_trace_golden.cpp.o.d"
+  "test_trace_golden"
+  "test_trace_golden.pdb"
+  "test_trace_golden[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

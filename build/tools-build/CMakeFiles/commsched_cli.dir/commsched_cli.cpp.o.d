@@ -163,24 +163,17 @@ tools-build/CMakeFiles/commsched_cli.dir/commsched_cli.cpp.o: \
  /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
- /root/repo/src/core/commsched.h /root/repo/src/common/check.h \
- /root/repo/src/common/parallel.h /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/limits /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/std_mutex.h \
- /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/bits/stl_raw_storage_iter.h \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/unique_ptr.h \
  /usr/include/c++/12/bits/shared_ptr.h \
  /usr/include/c++/12/bits/shared_ptr_base.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
- /usr/include/c++/12/bits/unique_ptr.h \
- /usr/include/c++/12/ext/concurrence.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/align.h \
- /usr/include/c++/12/bits/stl_uninitialized.h \
- /usr/include/c++/12/stop_token /usr/include/c++/12/atomic \
+ /usr/include/c++/12/ext/concurrence.h \
+ /usr/include/c++/12/bits/shared_ptr_atomic.h \
  /usr/include/c++/12/bits/atomic_base.h \
  /usr/include/c++/12/bits/atomic_lockfree_defines.h \
  /usr/include/c++/12/bits/atomic_wait.h /usr/include/c++/12/climits \
@@ -203,8 +196,23 @@ tools-build/CMakeFiles/commsched_cli.dir/commsched_cli.cpp.o: \
  /usr/include/x86_64-linux-gnu/asm/unistd.h \
  /usr/include/x86_64-linux-gnu/asm/unistd_64.h \
  /usr/include/x86_64-linux-gnu/bits/syscall.h \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/std_mutex.h \
+ /usr/include/c++/12/backward/auto_ptr.h \
+ /usr/include/c++/12/bits/ranges_uninitialized.h \
+ /usr/include/c++/12/bits/ranges_algobase.h \
+ /usr/include/c++/12/bits/uses_allocator_args.h \
+ /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/core/commsched.h /root/repo/src/common/check.h \
+ /root/repo/src/common/parallel.h /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
@@ -221,22 +229,13 @@ tools-build/CMakeFiles/commsched_cli.dir/commsched_cli.cpp.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/thread /root/repo/src/common/rng.h \
  /root/repo/src/common/strings.h /root/repo/src/common/table.h \
  /usr/include/c++/12/variant /root/repo/src/core/experiment.h \
  /root/repo/src/quality/partition.h /root/repo/src/routing/updown.h \
- /root/repo/src/routing/routing.h /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_raw_storage_iter.h \
- /usr/include/c++/12/bits/shared_ptr_atomic.h \
- /usr/include/c++/12/backward/auto_ptr.h \
- /usr/include/c++/12/bits/ranges_uninitialized.h \
- /usr/include/c++/12/bits/ranges_algobase.h \
- /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/topology/graph.h /root/repo/src/sched/scheduler.h \
+ /root/repo/src/routing/routing.h /root/repo/src/topology/graph.h \
+ /root/repo/src/sched/scheduler.h \
  /root/repo/src/distance/distance_table.h /root/repo/src/sched/tabu.h \
  /root/repo/src/sched/search.h /root/repo/src/quality/quality.h \
  /root/repo/src/workload/workload.h /root/repo/src/simnet/sweep.h \
@@ -245,12 +244,13 @@ tools-build/CMakeFiles/commsched_cli.dir/commsched_cli.cpp.o: \
  /root/repo/src/simnet/vc_routing.h \
  /root/repo/src/routing/shortest_path.h /root/repo/src/hetero/combined.h \
  /root/repo/src/hetero/etc.h /root/repo/src/hetero/meta_heuristics.h \
- /root/repo/src/linalg/matrix.h /root/repo/src/linalg/resistance.h \
- /root/repo/src/linalg/solve.h /root/repo/src/quality/weighted.h \
- /root/repo/src/routing/deadlock.h /root/repo/src/sched/annealing.h \
- /root/repo/src/sched/astar.h /root/repo/src/sched/exhaustive.h \
- /root/repo/src/sched/local_search.h /root/repo/src/sched/online.h \
- /root/repo/src/sched/weighted_tabu.h /root/repo/src/simnet/estimate.h \
- /root/repo/src/stats/stats.h /usr/include/c++/12/span \
- /root/repo/src/topology/generator.h /root/repo/src/topology/library.h \
- /root/repo/src/topology/serialize.h
+ /root/repo/src/linalg/matrix.h /root/repo/src/obs/obs.h \
+ /usr/include/c++/12/chrono /root/repo/src/obs/trace.h \
+ /root/repo/src/linalg/resistance.h /root/repo/src/linalg/solve.h \
+ /root/repo/src/quality/weighted.h /root/repo/src/routing/deadlock.h \
+ /root/repo/src/sched/annealing.h /root/repo/src/sched/astar.h \
+ /root/repo/src/sched/exhaustive.h /root/repo/src/sched/local_search.h \
+ /root/repo/src/sched/online.h /root/repo/src/sched/weighted_tabu.h \
+ /root/repo/src/simnet/estimate.h /root/repo/src/stats/stats.h \
+ /usr/include/c++/12/span /root/repo/src/topology/generator.h \
+ /root/repo/src/topology/library.h /root/repo/src/topology/serialize.h

@@ -1,0 +1,68 @@
+#include "obs/obs.h"
+
+#include <sstream>
+
+namespace commsched::obs {
+
+Registry& Registry::Global() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::GetCounter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return counters_[name];
+}
+
+Timer& Registry::GetTimer(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return timers_[name];
+}
+
+std::map<std::string, std::uint64_t> Registry::CounterValues() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, std::uint64_t> values;
+  for (const auto& [name, counter] : counters_) {
+    values[name] = counter.value();
+  }
+  return values;
+}
+
+std::map<std::string, TimerSnapshot> Registry::TimerValues() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, TimerSnapshot> values;
+  for (const auto& [name, timer] : timers_) {
+    values[name] = TimerSnapshot{timer.total_ns(), timer.count()};
+  }
+  return values;
+}
+
+void Registry::ResetAll() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter.Reset();
+  for (auto& [name, timer] : timers_) timer.Reset();
+}
+
+std::string Registry::ToJson() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":" << counter.value();
+  }
+  out << "},\"timers\":{";
+  first = true;
+  for (const auto& [name, timer] : timers_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":{\"total_ns\":" << timer.total_ns()
+        << ",\"count\":" << timer.count() << "}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace commsched::obs

@@ -1,0 +1,134 @@
+// Observability primitives: counters, wall-clock timers and the Registry
+// that aggregates them.
+//
+// Design constraints (these run inside the Tabu swap loop and the flit-level
+// simulator, possibly under common/parallel.h's ThreadPool):
+//   * Counter/Timer updates are lock-free relaxed atomics — safe to call
+//     concurrently from pool workers, and cheap enough that hot loops batch
+//     into a local integer and flush once per run anyway.
+//   * Registry lookups take a mutex (name -> slot), so code paths resolve a
+//     Counter& once (per run / per scope) and hold the reference; std::map
+//     nodes give the references stable addresses for the Registry's lifetime.
+//   * Nothing here allocates on the update path.
+//
+// Reading: Registry::CounterValues()/TimerValues() snapshot everything, and
+// ToJson() renders the single-line metrics dump the CLI's --metrics flag and
+// the bench harness consume (see DESIGN.md §"Observability").
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace commsched::obs {
+
+/// Monotonic event counter. Relaxed atomics: totals are exact, ordering
+/// between different counters is not guaranteed mid-run.
+class Counter {
+ public:
+  void Add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  void Reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Accumulated wall-clock time plus a sample count (mean = total / count).
+class Timer {
+ public:
+  void RecordNanos(std::uint64_t ns) noexcept {
+    total_ns_.fetch_add(ns, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t total_ns() const noexcept {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  void Reset() noexcept {
+    total_ns_.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> total_ns_{0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// RAII scope that records its lifetime into a Timer.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer& timer)
+      : timer_(&timer), start_(std::chrono::steady_clock::now()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    timer_->RecordNanos(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
+  }
+
+ private:
+  Timer* timer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Read-side snapshot of one Timer.
+struct TimerSnapshot {
+  std::uint64_t total_ns = 0;
+  std::uint64_t count = 0;
+};
+
+/// Named counters and timers. Lookup creates on demand; returned references
+/// stay valid for the Registry's lifetime. All methods are thread-safe.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry every instrumented subsystem reports into.
+  static Registry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Timer& GetTimer(const std::string& name);
+
+  /// Snapshot of every counter (name -> value).
+  [[nodiscard]] std::map<std::string, std::uint64_t> CounterValues() const;
+
+  /// Snapshot of every timer (name -> total/count).
+  [[nodiscard]] std::map<std::string, TimerSnapshot> TimerValues() const;
+
+  /// Zeroes every counter and timer (names stay registered).
+  void ResetAll();
+
+  /// Single-line JSON dump:
+  ///   {"counters":{"name":N,...},"timers":{"name":{"total_ns":N,"count":N},...}}
+  /// Keys are sorted, so output is deterministic given equal values.
+  [[nodiscard]] std::string ToJson() const;
+
+ private:
+  mutable std::mutex mutex_;
+  // std::map: node-based, so Counter/Timer addresses are stable across
+  // inserts (required — callers hold references while others register).
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Timer> timers_;
+};
+
+}  // namespace commsched::obs

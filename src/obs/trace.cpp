@@ -1,0 +1,148 @@
+#include "obs/trace.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <system_error>
+
+namespace commsched::obs {
+
+namespace {
+
+void AppendEscaped(std::string& out, std::string_view value) {
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Shortest round-trip rendering; JSON has no NaN/Inf, those become null.
+void AppendDouble(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec != std::errc{}) {
+    out += "null";
+    return;
+  }
+  out.append(buf, ptr);
+}
+
+}  // namespace
+
+TraceEvent::TraceEvent(std::string_view type) {
+  body_ += "\"type\":\"";
+  AppendEscaped(body_, type);
+  body_ += "\"";
+}
+
+TraceEvent& TraceEvent::AppendUint(std::string_view key, std::uint64_t value) {
+  body_ += ",\"";
+  body_.append(key);
+  body_ += "\":";
+  body_ += std::to_string(value);
+  return *this;
+}
+
+TraceEvent& TraceEvent::AppendInt(std::string_view key, std::int64_t value) {
+  body_ += ",\"";
+  body_.append(key);
+  body_ += "\":";
+  body_ += std::to_string(value);
+  return *this;
+}
+
+TraceEvent& TraceEvent::F(std::string_view key, double value) {
+  body_ += ",\"";
+  body_.append(key);
+  body_ += "\":";
+  AppendDouble(body_, value);
+  return *this;
+}
+
+TraceEvent& TraceEvent::F(std::string_view key, bool value) {
+  body_ += ",\"";
+  body_.append(key);
+  body_ += "\":";
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+TraceEvent& TraceEvent::F(std::string_view key, std::string_view value) {
+  body_ += ",\"";
+  body_.append(key);
+  body_ += "\":\"";
+  AppendEscaped(body_, value);
+  body_ += "\"";
+  return *this;
+}
+
+TraceEvent& TraceEvent::F(std::string_view key, const char* value) {
+  return F(key, std::string_view(value));
+}
+
+Tracer::Tracer(std::ostream& out) : out_(&out) {}
+
+std::unique_ptr<Tracer> Tracer::OpenFile(const std::string& path) {
+  std::unique_ptr<Tracer> tracer(new Tracer());
+  tracer->owned_.open(path, std::ios::out | std::ios::trunc);
+  if (!tracer->owned_) {
+    throw std::runtime_error("cannot open trace file '" + path + "'");
+  }
+  tracer->out_ = &tracer->owned_;
+  return tracer;
+}
+
+void Tracer::Emit(const TraceEvent& event) {
+  std::string line;
+  line.reserve(event.body().size() + 24);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  line += "{\"seq\":";
+  line += std::to_string(sequence_.fetch_add(1, std::memory_order_relaxed));
+  line += ",";
+  line += event.body();
+  line += "}\n";
+  *out_ << line;
+}
+
+void Tracer::Flush() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  out_->flush();
+}
+
+namespace internal {
+std::atomic<Tracer*> g_tracer{nullptr};
+}  // namespace internal
+
+void SetTracer(Tracer* tracer) {
+  internal::g_tracer.store(tracer, std::memory_order_release);
+}
+
+}  // namespace commsched::obs

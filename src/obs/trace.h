@@ -1,0 +1,130 @@
+// Structured event tracing: JSON-Lines emission with a near-zero-cost
+// disabled path.
+//
+// One Tracer writes one JSONL stream; every event is a single line
+//   {"seq":12,"type":"search.move","seed":0,"iter":3,"a":2,"b":9,...}
+// with a process-assigned monotone sequence number. Events carry no
+// wall-clock timestamps, so a trace of a seeded run is byte-reproducible —
+// the golden-trace test relies on this (timings belong in Registry timers).
+//
+// Instrumented code guards every emission on the *installed* tracer:
+//
+//   if (obs::Tracer* t = obs::ActiveTracer()) {
+//     t->Emit(obs::TraceEvent("search.move").F("iter", i).F("fg", fg));
+//   }
+//
+// With no tracer installed the guard is a single relaxed atomic load and a
+// predictable branch; no TraceEvent is built. Emit() itself serializes under
+// a mutex, so concurrent emitters (ThreadPool workers) never interleave
+// partial lines; cross-thread event order is arbitrary, which is why events
+// identify their stream (e.g. the tabu seed index) instead of relying on
+// sequence order.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace commsched::obs {
+
+/// One trace event under construction: a type tag plus typed fields,
+/// rendered straight into a JSON object body. Field order is insertion
+/// order. Keys must be plain identifiers (no escaping is applied to keys);
+/// string values are escaped.
+class TraceEvent {
+ public:
+  explicit TraceEvent(std::string_view type);
+
+  /// Any integer type except bool (size_t, uint64_t, int, ... — kept a
+  /// template so the overload set is platform-independent).
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+  TraceEvent& F(std::string_view key, T value) {
+    if constexpr (std::is_signed_v<T>) {
+      return AppendInt(key, static_cast<std::int64_t>(value));
+    } else {
+      return AppendUint(key, static_cast<std::uint64_t>(value));
+    }
+  }
+
+  TraceEvent& F(std::string_view key, double value);
+  TraceEvent& F(std::string_view key, bool value);
+  TraceEvent& F(std::string_view key, std::string_view value);
+  TraceEvent& F(std::string_view key, const char* value);
+
+  /// The partial body: `"type":"...",...` (no braces, no seq).
+  [[nodiscard]] const std::string& body() const { return body_; }
+
+ private:
+  TraceEvent& AppendUint(std::string_view key, std::uint64_t value);
+  TraceEvent& AppendInt(std::string_view key, std::int64_t value);
+
+  std::string body_;
+};
+
+/// Serializes TraceEvents to an output stream, one JSON object per line.
+class Tracer {
+ public:
+  /// Writes to a caller-owned stream (must outlive the tracer).
+  explicit Tracer(std::ostream& out);
+
+  /// Opens `path` for writing; throws ConfigError-compatible
+  /// std::runtime_error if the file cannot be created.
+  [[nodiscard]] static std::unique_ptr<Tracer> OpenFile(const std::string& path);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Writes the event as one line; thread-safe, lines never interleave.
+  void Emit(const TraceEvent& event);
+
+  /// Events emitted so far.
+  [[nodiscard]] std::uint64_t emitted() const {
+    return sequence_.load(std::memory_order_relaxed);
+  }
+
+  /// Flushes the underlying stream.
+  void Flush();
+
+ private:
+  Tracer() = default;
+
+  std::mutex mutex_;
+  std::ofstream owned_;    // used by OpenFile
+  std::ostream* out_ = nullptr;
+  std::atomic<std::uint64_t> sequence_{0};
+};
+
+namespace internal {
+extern std::atomic<Tracer*> g_tracer;
+}  // namespace internal
+
+/// Installs `tracer` as the process-wide tracer (nullptr disables tracing).
+/// The tracer must outlive its installation; not synchronized with in-flight
+/// Emit calls — install before starting work, uninstall after joining it.
+void SetTracer(Tracer* tracer);
+
+/// The installed tracer, or nullptr when tracing is disabled. This is the
+/// hot-path guard: one relaxed load.
+[[nodiscard]] inline Tracer* ActiveTracer() {
+  return internal::g_tracer.load(std::memory_order_acquire);
+}
+
+[[nodiscard]] inline bool TraceEnabled() { return ActiveTracer() != nullptr; }
+
+/// RAII installation for scoped tracing (tests, CLI commands).
+class ScopedTracer {
+ public:
+  explicit ScopedTracer(Tracer& tracer) { SetTracer(&tracer); }
+  ScopedTracer(const ScopedTracer&) = delete;
+  ScopedTracer& operator=(const ScopedTracer&) = delete;
+  ~ScopedTracer() { SetTracer(nullptr); }
+};
+
+}  // namespace commsched::obs

@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "common/rng.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 
 namespace commsched::sched {
 
@@ -58,17 +60,32 @@ SearchResult SimulatedAnnealing(const DistanceTable& table,
   if (options.record_trace) {
     result.trace.push_back({0, eval.Fg(), true});
   }
+  if (obs::Tracer* tracer = obs::ActiveTracer()) {
+    tracer->Emit(obs::TraceEvent("search.restart")
+                     .F("algo", "sa")
+                     .F("fg", eval.Fg())
+                     .F("temperature", temperature));
+  }
+  std::uint64_t uphill_accepts = 0;  // flushed to the Registry after the loop
   for (std::size_t it = 0; it < options.iterations; ++it) {
     const auto [a, b] = RandomInterClusterPair(eval.partition(), rng);
     const double delta = eval.SwapDelta(a, b);
     ++result.evaluations;
     const bool accept = delta < kEps || rng.NextDouble() < std::exp(-delta / temperature);
     if (accept) {
+      if (delta > kEps) ++uphill_accepts;
       eval.ApplySwap(a, b);
       ++result.iterations;
       if (eval.IntraSum() < best_sum - kEps) {
         best_sum = eval.IntraSum();
         result.best = eval.partition();
+        if (obs::Tracer* tracer = obs::ActiveTracer()) {
+          tracer->Emit(obs::TraceEvent("search.improved")
+                           .F("algo", "sa")
+                           .F("iter", it + 1)
+                           .F("fg", eval.Fg())
+                           .F("temperature", temperature));
+        }
       }
       if (options.record_trace) {
         result.trace.push_back({it + 1, eval.Fg(), false});
@@ -77,6 +94,18 @@ SearchResult SimulatedAnnealing(const DistanceTable& table,
     temperature = std::max(temperature * options.cooling, floor);
   }
   FinalizeResult(table, result);
+  obs::Registry& registry = obs::Registry::Global();
+  registry.GetCounter("search.sa.runs").Add(1);
+  registry.GetCounter("search.sa.evaluations").Add(result.evaluations);
+  registry.GetCounter("search.sa.accepts").Add(result.iterations);
+  registry.GetCounter("search.sa.uphill_accepts").Add(uphill_accepts);
+  if (obs::Tracer* tracer = obs::ActiveTracer()) {
+    tracer->Emit(obs::TraceEvent("search.done")
+                     .F("algo", "sa")
+                     .F("iters", result.iterations)
+                     .F("evals", result.evaluations)
+                     .F("best_fg", result.best_fg));
+  }
   return result;
 }
 
@@ -198,6 +227,17 @@ SearchResult GeneticSimulatedAnnealing(const DistanceTable& table,
     temperature *= options.cooling;
   }
   FinalizeResult(table, result);
+  obs::Registry& registry = obs::Registry::Global();
+  registry.GetCounter("search.gsa.runs").Add(1);
+  registry.GetCounter("search.gsa.evaluations").Add(result.evaluations);
+  registry.GetCounter("search.gsa.accepts").Add(result.iterations);
+  if (obs::Tracer* tracer = obs::ActiveTracer()) {
+    tracer->Emit(obs::TraceEvent("search.done")
+                     .F("algo", "gsa")
+                     .F("iters", result.iterations)
+                     .F("evals", result.evaluations)
+                     .F("best_fg", result.best_fg));
+  }
   return result;
 }
 

@@ -3,6 +3,8 @@
 #include <limits>
 
 #include "common/rng.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 
 namespace commsched::sched {
 
@@ -20,6 +22,12 @@ SearchResult SteepestDescent(const DistanceTable& table,
   for (std::size_t restart = 0; restart < options.restarts; ++restart) {
     qual::SwapEvaluator eval(table, Partition::Random(cluster_sizes, rng));
     const std::size_t n = eval.partition().switch_count();
+    if (obs::Tracer* tracer = obs::ActiveTracer()) {
+      tracer->Emit(obs::TraceEvent("search.restart")
+                       .F("algo", "sd")
+                       .F("seed", restart)
+                       .F("fg", eval.Fg()));
+    }
     for (std::size_t it = 0; it < options.max_iterations_per_restart; ++it) {
       double best_delta = -kEps;
       std::pair<std::size_t, std::size_t> best_move{n, n};
@@ -44,6 +52,17 @@ SearchResult SteepestDescent(const DistanceTable& table,
     }
   }
   FinalizeResult(table, result);
+  obs::Registry& registry = obs::Registry::Global();
+  registry.GetCounter("search.sd.restarts").Add(options.restarts);
+  registry.GetCounter("search.sd.moves").Add(result.iterations);
+  registry.GetCounter("search.sd.evaluations").Add(result.evaluations);
+  if (obs::Tracer* tracer = obs::ActiveTracer()) {
+    tracer->Emit(obs::TraceEvent("search.done")
+                     .F("algo", "sd")
+                     .F("iters", result.iterations)
+                     .F("evals", result.evaluations)
+                     .F("best_fg", result.best_fg));
+  }
   return result;
 }
 
@@ -64,6 +83,14 @@ SearchResult RandomSearch(const DistanceTable& table,
   }
   result.iterations = options.samples;
   FinalizeResult(table, result);
+  obs::Registry::Global().GetCounter("search.random.samples").Add(options.samples);
+  if (obs::Tracer* tracer = obs::ActiveTracer()) {
+    tracer->Emit(obs::TraceEvent("search.done")
+                     .F("algo", "random")
+                     .F("iters", result.iterations)
+                     .F("evals", result.evaluations)
+                     .F("best_fg", result.best_fg));
+  }
   return result;
 }
 

@@ -7,6 +7,8 @@
 
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 
 namespace commsched::sched {
 
@@ -36,7 +38,9 @@ std::size_t CountMoved(const Partition& partition, const Partition& anchor) {
 /// term migration_penalty * moved / N. With no anchor the extra machinery
 /// reduces to plain F_G minimization (migration deltas are all zero).
 SeedRun RunSeed(const DistanceTable& table, const Partition& start, const TabuOptions& options,
-                std::size_t iteration_base) {
+                std::size_t iteration_base, std::size_t seed_index = 0) {
+  obs::Registry& registry = obs::Registry::Global();
+  const obs::ScopedTimer seed_timer(registry.GetTimer("search.tabu.seed"));
   qual::SwapEvaluator eval(table, start);
   const std::size_t n = start.switch_count();
   const Partition* anchor = options.anchor;
@@ -69,6 +73,19 @@ SeedRun RunSeed(const DistanceTable& table, const Partition& start, const TabuOp
     run.trace.push_back({iteration_base, eval.Fg(), /*is_restart=*/true});
   }
 
+  // Batched observability: hot-loop events accumulate into locals and flush
+  // into the global Registry once per seed, so the disabled path costs
+  // nothing inside the neighbourhood scan.
+  std::uint64_t tabu_hits = 0;    // candidate swaps rejected by the tabu list
+  std::uint64_t aspirations = 0;  // tabu swaps admitted by aspiration
+  std::uint64_t escapes = 0;      // uphill moves out of local minima
+  if (obs::Tracer* tracer = obs::ActiveTracer()) {
+    tracer->Emit(obs::TraceEvent("search.restart")
+                     .F("algo", "tabu")
+                     .F("seed", seed_index)
+                     .F("fg", eval.Fg()));
+  }
+
   // tabu_until[a][b]: iteration before which swapping (a,b) is forbidden.
   std::vector<std::vector<std::size_t>> tabu_until(n, std::vector<std::size_t>(n, 0));
 
@@ -98,7 +115,10 @@ SeedRun RunSeed(const DistanceTable& table, const Partition& start, const TabuOp
         if (tabu) {
           // Aspiration: a tabu move may still be taken if it would beat the
           // best mapping this seed has seen.
-          if (!(options.aspiration && current_obj + obj_delta < best_obj - kEps)) {
+          if (options.aspiration && current_obj + obj_delta < best_obj - kEps) {
+            ++aspirations;
+          } else {
+            ++tabu_hits;
             continue;
           }
         }
@@ -122,6 +142,14 @@ SeedRun RunSeed(const DistanceTable& table, const Partition& start, const TabuOp
       if (!any_decrease_exists) {
         const long long key = quantize(current_obj);
         const std::size_t hits = ++local_min_hits[key];
+        if (obs::Tracer* tracer = obs::ActiveTracer()) {
+          tracer->Emit(obs::TraceEvent("search.local_min")
+                           .F("algo", "tabu")
+                           .F("seed", seed_index)
+                           .F("iter", iteration)
+                           .F("fg", eval.Fg())
+                           .F("hits", hits));
+        }
         if (hits >= options.local_min_repeats) {
           break;  // same local minimum reached `local_min_repeats` times
         }
@@ -140,11 +168,22 @@ SeedRun RunSeed(const DistanceTable& table, const Partition& start, const TabuOp
     ++iteration;
     ++run.result.iterations;
     if (escaping) {
+      ++escapes;
       // Forbid the inverse permutation for `tenure` iterations.
       tabu_until[move.first][move.second] = iteration + options.tenure;
     }
     if (options.record_trace) {
       run.trace.push_back({iteration_base + iteration, eval.Fg(), false});
+    }
+    if (obs::Tracer* tracer = obs::ActiveTracer()) {
+      tracer->Emit(obs::TraceEvent("search.move")
+                       .F("algo", "tabu")
+                       .F("seed", seed_index)
+                       .F("iter", iteration)
+                       .F("a", move.first)
+                       .F("b", move.second)
+                       .F("fg", eval.Fg())
+                       .F("escape", escaping));
     }
     if (current_obj < best_obj - kEps) {
       best_obj = current_obj;
@@ -155,6 +194,21 @@ SeedRun RunSeed(const DistanceTable& table, const Partition& start, const TabuOp
   FinalizeResult(table, run.result);
   if (anchor != nullptr) {
     run.result.moved_from_anchor = CountMoved(run.result.best, *anchor);
+  }
+
+  registry.GetCounter("search.tabu.seeds").Add(1);
+  registry.GetCounter("search.tabu.moves").Add(run.result.iterations);
+  registry.GetCounter("search.tabu.evaluations").Add(run.result.evaluations);
+  registry.GetCounter("search.tabu.tabu_hits").Add(tabu_hits);
+  registry.GetCounter("search.tabu.aspirations").Add(aspirations);
+  registry.GetCounter("search.tabu.escapes").Add(escapes);
+  if (obs::Tracer* tracer = obs::ActiveTracer()) {
+    tracer->Emit(obs::TraceEvent("search.seed_done")
+                     .F("algo", "tabu")
+                     .F("seed", seed_index)
+                     .F("iters", run.result.iterations)
+                     .F("evals", run.result.evaluations)
+                     .F("best_fg", run.result.best_fg));
   }
   return run;
 }
@@ -194,7 +248,7 @@ SearchResult TabuSearch(const DistanceTable& table, const std::vector<std::size_
   std::vector<SeedRun> runs(options.seeds);
   // The walk itself is deterministic given the start, so no per-seed RNG is
   // needed; iteration bases are patched afterwards for the combined trace.
-  auto run_one = [&](std::size_t s) { runs[s] = RunSeed(table, starts[s], options, 0); };
+  auto run_one = [&](std::size_t s) { runs[s] = RunSeed(table, starts[s], options, 0, s); };
   if (options.parallel_seeds && options.seeds > 1) {
     ParallelFor(options.seeds, run_one);
   } else {
@@ -235,6 +289,14 @@ SearchResult TabuSearch(const DistanceTable& table, const std::vector<std::size_
     }
   }
   FinalizeResult(table, combined);
+  if (obs::Tracer* tracer = obs::ActiveTracer()) {
+    tracer->Emit(obs::TraceEvent("search.done")
+                     .F("algo", "tabu")
+                     .F("seeds", options.seeds)
+                     .F("iters", combined.iterations)
+                     .F("evals", combined.evaluations)
+                     .F("best_fg", combined.best_fg));
+  }
   return combined;
 }
 

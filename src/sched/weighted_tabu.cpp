@@ -4,8 +4,11 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <string>
 
 #include "common/rng.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 
 namespace commsched::sched {
 
@@ -13,8 +16,31 @@ namespace {
 
 constexpr double kEps = 1e-12;
 
+/// Per-seed observability flush shared by the weighted and intensity
+/// variants: one Registry update per seed keeps the scan loops clean.
+void FlushSeedObservability(const char* algo, std::size_t seed_index,
+                            const SearchResult& result, std::uint64_t tabu_hits,
+                            std::uint64_t escapes) {
+  obs::Registry& registry = obs::Registry::Global();
+  const std::string family = std::string("search.") + algo + ".";
+  registry.GetCounter(family + "seeds").Add(1);
+  registry.GetCounter(family + "moves").Add(result.iterations);
+  registry.GetCounter(family + "evaluations").Add(result.evaluations);
+  registry.GetCounter(family + "tabu_hits").Add(tabu_hits);
+  registry.GetCounter(family + "escapes").Add(escapes);
+  if (obs::Tracer* tracer = obs::ActiveTracer()) {
+    tracer->Emit(obs::TraceEvent("search.seed_done")
+                     .F("algo", algo)
+                     .F("seed", seed_index)
+                     .F("iters", result.iterations)
+                     .F("evals", result.evaluations)
+                     .F("best_fg", result.best_fg));
+  }
+}
+
 SearchResult RunWeightedSeed(const DistanceTable& table, const qual::WeightMatrix& weights,
-                             const Partition& start, const TabuOptions& options) {
+                             const Partition& start, const TabuOptions& options,
+                             std::size_t seed_index) {
   qual::WeightedSwapEvaluator eval(table, weights, start);
   const std::size_t n = start.switch_count();
 
@@ -22,9 +48,17 @@ SearchResult RunWeightedSeed(const DistanceTable& table, const qual::WeightMatri
   result.best = start;
   double best_fg = eval.Fg();
   double current_fg = best_fg;
+  std::uint64_t tabu_hits = 0;
+  std::uint64_t escapes = 0;
 
   if (options.record_trace) {
     result.trace.push_back({0, current_fg, true});
+  }
+  if (obs::Tracer* tracer = obs::ActiveTracer()) {
+    tracer->Emit(obs::TraceEvent("search.restart")
+                     .F("algo", "wtabu")
+                     .F("seed", seed_index)
+                     .F("fg", current_fg));
   }
 
   std::vector<std::vector<std::size_t>> tabu_until(n, std::vector<std::size_t>(n, 0));
@@ -46,7 +80,10 @@ SearchResult RunWeightedSeed(const DistanceTable& table, const qual::WeightMatri
         ++result.evaluations;
         if (after < current_fg - kEps) any_decrease_exists = true;
         const bool tabu = tabu_until[a][b] > iteration;
-        if (tabu && !(options.aspiration && after < best_fg - kEps)) continue;
+        if (tabu && !(options.aspiration && after < best_fg - kEps)) {
+          ++tabu_hits;
+          continue;
+        }
         if (after < best_down) {
           best_down = after;
           down_move = {a, b};
@@ -76,10 +113,21 @@ SearchResult RunWeightedSeed(const DistanceTable& table, const qual::WeightMatri
     ++iteration;
     ++result.iterations;
     if (escaping) {
+      ++escapes;
       tabu_until[move.first][move.second] = iteration + options.tenure;
     }
     if (options.record_trace) {
       result.trace.push_back({iteration, current_fg, false});
+    }
+    if (obs::Tracer* tracer = obs::ActiveTracer()) {
+      tracer->Emit(obs::TraceEvent("search.move")
+                       .F("algo", "wtabu")
+                       .F("seed", seed_index)
+                       .F("iter", iteration)
+                       .F("a", move.first)
+                       .F("b", move.second)
+                       .F("fg", current_fg)
+                       .F("escape", escaping));
     }
     if (current_fg < best_fg - kEps) {
       best_fg = current_fg;
@@ -90,12 +138,13 @@ SearchResult RunWeightedSeed(const DistanceTable& table, const qual::WeightMatri
   result.best_fg = qual::WeightedGlobalSimilarity(table, weights, result.best);
   result.best_dg = qual::WeightedGlobalDissimilarity(table, weights, result.best);
   result.best_cc = result.best_dg / result.best_fg;
+  FlushSeedObservability("wtabu", seed_index, result, tabu_hits, escapes);
   return result;
 }
 
 SearchResult RunIntensitySeed(const DistanceTable& table,
                               const std::vector<double>& intensity, const Partition& start,
-                              const TabuOptions& options) {
+                              const TabuOptions& options, std::size_t seed_index) {
   qual::IntensitySwapEvaluator eval(table, start, intensity);
   const std::size_t n = start.switch_count();
 
@@ -103,8 +152,16 @@ SearchResult RunIntensitySeed(const DistanceTable& table,
   result.best = start;
   double best_fg = eval.Fg();
   double current_fg = best_fg;
+  std::uint64_t tabu_hits = 0;
+  std::uint64_t escapes = 0;
   if (options.record_trace) {
     result.trace.push_back({0, current_fg, true});
+  }
+  if (obs::Tracer* tracer = obs::ActiveTracer()) {
+    tracer->Emit(obs::TraceEvent("search.restart")
+                     .F("algo", "itabu")
+                     .F("seed", seed_index)
+                     .F("fg", current_fg));
   }
 
   std::vector<std::vector<std::size_t>> tabu_until(n, std::vector<std::size_t>(n, 0));
@@ -127,6 +184,7 @@ SearchResult RunIntensitySeed(const DistanceTable& table,
         if (delta < -kEps) any_decrease_exists = true;
         const bool tabu = tabu_until[a][b] > iteration;
         if (tabu && !(options.aspiration && eval.FgAfterDelta(delta) < best_fg - kEps)) {
+          ++tabu_hits;
           continue;
         }
         if (delta < best_delta_down - kEps) {
@@ -158,10 +216,21 @@ SearchResult RunIntensitySeed(const DistanceTable& table,
     ++iteration;
     ++result.iterations;
     if (escaping) {
+      ++escapes;
       tabu_until[move.first][move.second] = iteration + options.tenure;
     }
     if (options.record_trace) {
       result.trace.push_back({iteration, current_fg, false});
+    }
+    if (obs::Tracer* tracer = obs::ActiveTracer()) {
+      tracer->Emit(obs::TraceEvent("search.move")
+                       .F("algo", "itabu")
+                       .F("seed", seed_index)
+                       .F("iter", iteration)
+                       .F("a", move.first)
+                       .F("b", move.second)
+                       .F("fg", current_fg)
+                       .F("escape", escaping));
     }
     if (current_fg < best_fg - kEps) {
       best_fg = current_fg;
@@ -172,6 +241,7 @@ SearchResult RunIntensitySeed(const DistanceTable& table,
   result.best_fg = qual::IntensityGlobalSimilarity(table, result.best, intensity);
   result.best_dg = qual::GlobalDissimilarity(table, result.best);
   result.best_cc = result.best_dg / qual::GlobalSimilarity(table, result.best);
+  FlushSeedObservability("itabu", seed_index, result, tabu_hits, escapes);
   return result;
 }
 
@@ -190,7 +260,7 @@ SearchResult IntensityTabuSearch(const DistanceTable& table,
   std::size_t iteration_base = 0;
   for (std::size_t s = 0; s < options.seeds; ++s) {
     const Partition start = Partition::Random(cluster_sizes, rng);
-    SearchResult run = RunIntensitySeed(table, cluster_intensity, start, options);
+    SearchResult run = RunIntensitySeed(table, cluster_intensity, start, options, s);
     combined.iterations += run.iterations;
     combined.evaluations += run.evaluations;
     if (options.record_trace) {
@@ -222,7 +292,7 @@ SearchResult WeightedTabuSearch(const DistanceTable& table, const qual::WeightMa
   std::size_t iteration_base = 0;
   for (std::size_t s = 0; s < options.seeds; ++s) {
     const Partition start = Partition::Random(cluster_sizes, rng);
-    SearchResult run = RunWeightedSeed(table, weights, start, options);
+    SearchResult run = RunWeightedSeed(table, weights, start, options, s);
     combined.iterations += run.iterations;
     combined.evaluations += run.evaluations;
     if (options.record_trace) {

@@ -42,6 +42,11 @@ struct SimConfig {
   /// deadlock, unrestricted routing can).
   std::size_t deadlock_threshold_cycles = 5000;
 
+  /// When structured tracing is enabled (obs::SetTracer), emit a
+  /// "sim.milestone" event every this many cycles (0 disables milestones).
+  /// Has no cost while tracing is off.
+  std::size_t trace_milestone_cycles = 5000;
+
   /// Record delivered flits per (source switch, destination switch) during
   /// the measurement window (SimMetrics::switch_pair_flit_rate) — the
   /// "measurement of communication requirements" the paper defers to future

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 
 namespace commsched::sim {
 
@@ -296,6 +298,8 @@ void NetworkSimulator::StepCycle() {
 
 SimMetrics NetworkSimulator::Run(double injection_flits_per_switch_cycle) {
   CS_CHECK(injection_flits_per_switch_cycle >= 0.0, "negative injection rate");
+  obs::Registry& registry = obs::Registry::Global();
+  const obs::ScopedTimer run_timer(registry.GetTimer("sim.run"));
   ResetState();
 
   // Per-host Bernoulli message probability: aggregate offered load is
@@ -315,12 +319,29 @@ SimMetrics NetworkSimulator::Run(double injection_flits_per_switch_cycle) {
     }
   }
 
+  if (obs::Tracer* tracer = obs::ActiveTracer()) {
+    tracer->Emit(obs::TraceEvent("sim.start")
+                     .F("rate", injection_flits_per_switch_cycle)
+                     .F("warmup", config_.warmup_cycles)
+                     .F("measure", config_.measure_cycles)
+                     .F("vcs", vc_count_));
+  }
+
   const std::size_t horizon = config_.warmup_cycles + config_.measure_cycles;
   std::size_t measured_cycles = 0;
   while (cycle_ < horizon && !deadlock_) {
     measuring_ = cycle_ >= config_.warmup_cycles;
     if (measuring_) ++measured_cycles;
     StepCycle();
+    if (obs::Tracer* tracer = obs::ActiveTracer();
+        tracer != nullptr && config_.trace_milestone_cycles > 0 &&
+        cycle_ % config_.trace_milestone_cycles == 0) {
+      tracer->Emit(obs::TraceEvent("sim.milestone")
+                       .F("cycle", cycle_)
+                       .F("in_flight_flits", flits_in_network_)
+                       .F("delivered_flits", delivered_flits_measured_)
+                       .F("generated_flits", generated_flits_measured_));
+    }
   }
 
   // Source-queue backlog in flits (unsent messages + remainder of each
@@ -395,6 +416,25 @@ SimMetrics NetworkSimulator::Run(double injection_flits_per_switch_cycle) {
             static_cast<double>(pair_flits_[i * n + j]) / mc;
       }
     }
+  }
+
+  registry.GetCounter("sim.runs").Add(1);
+  registry.GetCounter("sim.cycles").Add(cycle_);
+  registry.GetCounter("sim.measured_cycles").Add(measured_cycles);
+  registry.GetCounter("sim.flits_generated").Add(generated_flits_measured_);
+  registry.GetCounter("sim.flits_delivered").Add(delivered_flits_measured_);
+  registry.GetCounter("sim.messages_generated").Add(messages_generated_measured_);
+  registry.GetCounter("sim.messages_delivered").Add(messages_delivered_measured_);
+  if (deadlock_) registry.GetCounter("sim.deadlocks").Add(1);
+  if (obs::Tracer* tracer = obs::ActiveTracer()) {
+    tracer->Emit(obs::TraceEvent("sim.done")
+                     .F("rate", injection_flits_per_switch_cycle)
+                     .F("cycles", cycle_)
+                     .F("delivered_flits", delivered_flits_measured_)
+                     .F("delivered_messages", messages_delivered_measured_)
+                     .F("accepted", metrics.accepted_flits_per_switch_cycle)
+                     .F("avg_latency", metrics.avg_latency_cycles)
+                     .F("deadlock", deadlock_));
   }
   return metrics;
 }

@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "common/parallel.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 
 namespace commsched::sim {
 
@@ -50,6 +52,8 @@ namespace {
 /// Shared sweep driver; `make_simulator(config)` builds a fresh simulator.
 template <typename MakeSimulator>
 SweepResult RunSweepImpl(const SweepOptions& options, MakeSimulator&& make_simulator) {
+  obs::Registry& registry = obs::Registry::Global();
+  const obs::ScopedTimer sweep_timer(registry.GetTimer("sweep.run"));
   const std::vector<double> rates = SweepRates(options);
   SweepResult result;
   result.points.resize(rates.size());
@@ -58,16 +62,32 @@ SweepResult RunSweepImpl(const SweepOptions& options, MakeSimulator&& make_simul
     SimConfig config = options.config;
     // Independent, deterministic stream per point.
     std::uint64_t stream = config.rng_seed;
-    for (std::size_t i = 0; i <= k; ++i) SplitMix64(stream);
+    for (std::size_t i = 0; i <= k; ++i) (void)SplitMix64(stream);
     config.rng_seed = stream;
     auto simulator = make_simulator(config);
     result.points[k].offered_rate = rates[k];
     result.points[k].metrics = simulator.Run(rates[k]);
+    if (obs::Tracer* tracer = obs::ActiveTracer()) {
+      const SimMetrics& m = result.points[k].metrics;
+      tracer->Emit(obs::TraceEvent("sweep.point")
+                       .F("point", k)
+                       .F("rate", rates[k])
+                       .F("accepted", m.accepted_flits_per_switch_cycle)
+                       .F("avg_latency", m.avg_latency_cycles)
+                       .F("saturated", m.Saturated()));
+    }
   };
   if (options.parallel && rates.size() > 1) {
     ParallelFor(rates.size(), run_point);
   } else {
     for (std::size_t k = 0; k < rates.size(); ++k) run_point(k);
+  }
+  registry.GetCounter("sweep.runs").Add(1);
+  registry.GetCounter("sweep.points").Add(rates.size());
+  if (obs::Tracer* tracer = obs::ActiveTracer()) {
+    tracer->Emit(obs::TraceEvent("sweep.done")
+                     .F("points", rates.size())
+                     .F("throughput", result.Throughput()));
   }
   return result;
 }

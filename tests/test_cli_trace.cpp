@@ -1,0 +1,143 @@
+// End-to-end observability acceptance test: drives the installed
+// commsched_cli binary (path injected by CMake as COMMSCHED_CLI_PATH) and
+// validates that --trace produces parseable JSONL and --metrics dumps the
+// registry with the swap-evaluation and tabu-hit counters populated.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "jsonl_test_util.h"
+
+namespace commsched {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::vector<std::string> NonEmptyLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+/// Runs the CLI with `args`, stdout redirected to `stdout_path`.
+int RunCli(const std::string& args, const std::string& stdout_path) {
+  const std::string command =
+      std::string(COMMSCHED_CLI_PATH) + " " + args + " > " + stdout_path;
+  return std::system(command.c_str());
+}
+
+/// Every line of a trace file must parse as a JSON object with seq + type;
+/// returns the set of event types seen.
+std::set<std::string> ValidateTrace(const std::string& trace_path) {
+  const std::vector<std::string> lines = NonEmptyLines(ReadFile(trace_path));
+  EXPECT_FALSE(lines.empty()) << "empty trace " << trace_path;
+  std::set<std::string> types;
+  for (std::size_t k = 0; k < lines.size(); ++k) {
+    const auto fields = testutil::ParseJsonObject(lines[k]);
+    if (!fields.has_value()) {
+      ADD_FAILURE() << "unparseable trace line: " << lines[k];
+      continue;
+    }
+    EXPECT_EQ(testutil::JsonUint(*fields, "seq", lines.size()), k) << lines[k];
+    const std::string type = testutil::JsonString(*fields, "type");
+    EXPECT_NE(type, "") << lines[k];
+    types.insert(type);
+  }
+  return types;
+}
+
+/// The --metrics dump is the last stdout line; parse its counters object.
+std::map<std::string, std::string> MetricsCounters(const std::string& stdout_path) {
+  const std::vector<std::string> lines = NonEmptyLines(ReadFile(stdout_path));
+  if (lines.empty() || lines.back().front() != '{') {
+    ADD_FAILURE() << "no metrics line in " << stdout_path;
+    return {};
+  }
+  const auto fields = testutil::ParseJsonObject(lines.back());
+  if (!fields.has_value()) {
+    ADD_FAILURE() << "unparseable metrics line: " << lines.back();
+    return {};
+  }
+  const auto counters = testutil::ParseJsonObject(testutil::JsonRaw(*fields, "counters"));
+  if (!counters.has_value()) {
+    ADD_FAILURE() << "metrics line has no counters object: " << lines.back();
+    return {};
+  }
+  return *counters;
+}
+
+// The ISSUE acceptance scenario: schedule on a 16-switch random topology
+// with --trace and --metrics; the trace parses line-by-line and the metrics
+// dump carries swap-evaluation and tabu-hit counters.
+TEST(CliTrace, ScheduleEmitsTraceAndMetrics) {
+  const std::string dir = ::testing::TempDir();
+  const std::string trace_path = dir + "cli_sched_trace.jsonl";
+  const std::string stdout_path = dir + "cli_sched_stdout.txt";
+  ASSERT_EQ(RunCli("schedule --kind random --switches 16 --apps 4 --seeds 3 --trace " +
+                       trace_path + " --metrics",
+                   stdout_path),
+            0);
+
+  const std::set<std::string> types = ValidateTrace(trace_path);
+  EXPECT_TRUE(types.count("search.restart")) << "no restart events";
+  EXPECT_TRUE(types.count("search.move")) << "no move events";
+  EXPECT_TRUE(types.count("search.done")) << "no done event";
+
+  const auto counters = MetricsCounters(stdout_path);
+  EXPECT_GT(testutil::JsonUint(counters, "search.tabu.evaluations"), 0u);
+  EXPECT_TRUE(counters.count("search.tabu.tabu_hits")) << "tabu-hit counter missing";
+  EXPECT_EQ(testutil::JsonUint(counters, "search.tabu.seeds"), 3u);
+}
+
+// A short simulate run: the trace carries simulator and sweep lifecycle
+// events and the metrics dump has flit/cycle counters.
+TEST(CliTrace, SimulateEmitsSimAndSweepEvents) {
+  const std::string dir = ::testing::TempDir();
+  const std::string trace_path = dir + "cli_sim_trace.jsonl";
+  const std::string stdout_path = dir + "cli_sim_stdout.txt";
+  ASSERT_EQ(RunCli("simulate --kind random --switches 8 --apps 2 --mapping blocked "
+                   "--points 2 --min-rate 0.1 --max-rate 0.2 --warmup 200 --measure 400 "
+                   "--trace " +
+                       trace_path + " --metrics",
+                   stdout_path),
+            0);
+
+  const std::set<std::string> types = ValidateTrace(trace_path);
+  EXPECT_TRUE(types.count("sim.start"));
+  EXPECT_TRUE(types.count("sim.done"));
+  EXPECT_TRUE(types.count("sweep.point"));
+  EXPECT_TRUE(types.count("sweep.done"));
+
+  const auto counters = MetricsCounters(stdout_path);
+  EXPECT_EQ(testutil::JsonUint(counters, "sim.runs"), 2u);
+  EXPECT_GT(testutil::JsonUint(counters, "sim.flits_delivered"), 0u);
+  EXPECT_GT(testutil::JsonUint(counters, "sim.cycles"), 0u);
+}
+
+// --metrics without --trace still works (counters only, no tracer).
+TEST(CliTrace, MetricsWithoutTrace) {
+  const std::string dir = ::testing::TempDir();
+  const std::string stdout_path = dir + "cli_metrics_stdout.txt";
+  ASSERT_EQ(RunCli("schedule --kind random --switches 8 --apps 2 --seeds 2 --metrics",
+                   stdout_path),
+            0);
+  const auto counters = MetricsCounters(stdout_path);
+  EXPECT_GT(testutil::JsonUint(counters, "search.tabu.evaluations"), 0u);
+}
+
+}  // namespace
+}  // namespace commsched

@@ -1,0 +1,116 @@
+// Metamorphic tests for the quality functions (§4.1): F_G, D_G, and C_c are
+// functions of the *grouping*, not of how switches are numbered or clusters
+// labeled. Relabeling clusters and permuting switch indices consistently —
+// table and partition together — must leave all three invariant.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "distance/distance_table.h"
+#include "quality/partition.h"
+#include "quality/quality.h"
+#include "routing/updown.h"
+#include "topology/generator.h"
+
+namespace commsched {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+dist::DistanceTable RandomTable(std::size_t n, Rng& rng) {
+  dist::DistanceTable table(n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      table.Set(i, j, 0.25 + 4.0 * rng.NextDouble());
+    }
+  }
+  return table;
+}
+
+/// T'(p(i), p(j)) = T(i, j): the same network with switches renumbered.
+dist::DistanceTable PermuteTable(const dist::DistanceTable& table,
+                                 const std::vector<std::size_t>& perm) {
+  dist::DistanceTable permuted(table.size(), 0.0);
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    for (std::size_t j = i + 1; j < table.size(); ++j) {
+      permuted.Set(perm[i], perm[j], table(i, j));
+    }
+  }
+  return permuted;
+}
+
+/// cluster_of'[p(s)] = relabel[cluster_of[s]]: the same grouping under the
+/// renumbering, with cluster ids shuffled too.
+qual::Partition PermutePartition(const qual::Partition& partition,
+                                 const std::vector<std::size_t>& perm,
+                                 const std::vector<std::size_t>& relabel) {
+  std::vector<std::size_t> cluster_of(partition.switch_count());
+  for (std::size_t s = 0; s < partition.switch_count(); ++s) {
+    cluster_of[perm[s]] = relabel[partition.ClusterOf(s)];
+  }
+  return qual::Partition(cluster_of);
+}
+
+void ExpectInvariant(const dist::DistanceTable& table, const qual::Partition& partition,
+                     const dist::DistanceTable& permuted_table,
+                     const qual::Partition& permuted_partition, std::uint64_t seed) {
+  EXPECT_NEAR(qual::GlobalSimilarity(table, partition),
+              qual::GlobalSimilarity(permuted_table, permuted_partition), kTol)
+      << "seed=" << seed;
+  EXPECT_NEAR(qual::GlobalDissimilarity(table, partition),
+              qual::GlobalDissimilarity(permuted_table, permuted_partition), kTol)
+      << "seed=" << seed;
+  EXPECT_NEAR(qual::ClusteringCoefficient(table, partition),
+              qual::ClusteringCoefficient(permuted_table, permuted_partition), kTol)
+      << "seed=" << seed;
+}
+
+TEST(MetamorphicQuality, InvariantUnderRelabelingAndPermutationRandomTables) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng rng(seed);
+    const std::size_t clusters = 2 + rng.NextIndex(3);            // 2..4
+    const std::size_t n = 2 * clusters + rng.NextIndex(15);       // >= 2 per cluster possible
+    const dist::DistanceTable table = RandomTable(n, rng);
+
+    // Random cluster sizes with every cluster >= 2 so F_Ai is defined for all.
+    std::vector<std::size_t> sizes(clusters, 2);
+    for (std::size_t extra = n - 2 * clusters; extra > 0; --extra) {
+      ++sizes[rng.NextIndex(clusters)];
+    }
+    const qual::Partition partition = qual::Partition::Random(sizes, rng);
+
+    const std::vector<std::size_t> perm = RandomPermutation(n, rng);
+    const std::vector<std::size_t> relabel = RandomPermutation(clusters, rng);
+    ExpectInvariant(table, partition, PermuteTable(table, perm),
+                    PermutePartition(partition, perm, relabel), seed);
+  }
+}
+
+// Pure cluster relabeling (identity switch permutation) — the weaker relation
+// on its own, on a real equivalent-distance table.
+TEST(MetamorphicQuality, InvariantOnRealTopologyTable) {
+  topo::IrregularTopologyOptions options;
+  options.switch_count = 16;
+  const topo::SwitchGraph graph = topo::GenerateIrregularTopology(options);
+  const route::UpDownRouting routing(graph);
+  const dist::DistanceTable table = dist::DistanceTable::Build(routing);
+
+  Rng rng(7);
+  const qual::Partition partition = qual::Partition::Random({4, 4, 4, 4}, rng);
+  std::vector<std::size_t> identity(table.size());
+  for (std::size_t i = 0; i < identity.size(); ++i) identity[i] = i;
+
+  for (std::uint64_t trial = 0; trial < 10; ++trial) {
+    const std::vector<std::size_t> relabel = RandomPermutation(4, rng);
+    ExpectInvariant(table, partition, table, PermutePartition(partition, identity, relabel),
+                    trial);
+    // And the full relation with a non-trivial switch permutation.
+    const std::vector<std::size_t> perm = RandomPermutation(table.size(), rng);
+    ExpectInvariant(table, partition, PermuteTable(table, perm),
+                    PermutePartition(partition, perm, relabel), trial);
+  }
+}
+
+}  // namespace
+}  // namespace commsched

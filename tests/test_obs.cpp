@@ -1,0 +1,193 @@
+// The obs layer: counters/timers/Registry semantics, JSONL tracer output,
+// and — the part that must not be taken on faith — exact totals when the
+// primitives are hammered from ThreadPool workers concurrently.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "jsonl_test_util.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+
+namespace commsched {
+namespace {
+
+using obs::Counter;
+using obs::Registry;
+using obs::TimerSnapshot;
+using obs::TraceEvent;
+using obs::Tracer;
+
+TEST(Counter, AddAndReset) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(Timer, RecordsTotalsAndCount) {
+  obs::Timer timer;
+  timer.RecordNanos(100);
+  timer.RecordNanos(250);
+  EXPECT_EQ(timer.total_ns(), 350u);
+  EXPECT_EQ(timer.count(), 2u);
+}
+
+TEST(ScopedTimer, RecordsOneSample) {
+  obs::Timer timer;
+  { const obs::ScopedTimer scope(timer); }
+  EXPECT_EQ(timer.count(), 1u);
+}
+
+TEST(RegistryTest, LookupCreatesAndReusesSlots) {
+  Registry registry;
+  Counter& a = registry.GetCounter("a");
+  a.Add(3);
+  EXPECT_EQ(&registry.GetCounter("a"), &a);
+  EXPECT_EQ(registry.CounterValues().at("a"), 3u);
+  registry.ResetAll();
+  EXPECT_EQ(registry.CounterValues().at("a"), 0u);
+}
+
+TEST(RegistryTest, ToJsonIsParseable) {
+  Registry registry;
+  registry.GetCounter("x.count").Add(7);
+  registry.GetTimer("x.time").RecordNanos(123);
+  const auto fields = testutil::ParseJsonObject(registry.ToJson());
+  ASSERT_TRUE(fields.has_value());
+  const auto counters = testutil::ParseJsonObject(testutil::JsonRaw(*fields, "counters"));
+  ASSERT_TRUE(counters.has_value());
+  EXPECT_EQ(testutil::JsonUint(*counters, "x.count"), 7u);
+  const auto timers = testutil::ParseJsonObject(testutil::JsonRaw(*fields, "timers"));
+  ASSERT_TRUE(timers.has_value());
+  const auto x_time = testutil::ParseJsonObject(testutil::JsonRaw(*timers, "x.time"));
+  ASSERT_TRUE(x_time.has_value());
+  EXPECT_EQ(testutil::JsonUint(*x_time, "total_ns"), 123u);
+  EXPECT_EQ(testutil::JsonUint(*x_time, "count"), 1u);
+}
+
+// The satellite concurrency requirement: pool workers increment shared
+// counters (racing on first-touch registration too) and every increment
+// must land — no lost updates.
+TEST(RegistryTest, ConcurrentCountersAreExact) {
+  Registry registry;
+  constexpr std::size_t kTasks = 64;
+  constexpr std::size_t kIncrementsPerTask = 10000;
+  ThreadPool pool(8);
+  for (std::size_t t = 0; t < kTasks; ++t) {
+    pool.Submit([&registry, t] {
+      // Resolve through the registry every time for half the tasks (lookup
+      // contention) and once for the other half (the hot-loop idiom).
+      if (t % 2 == 0) {
+        for (std::size_t i = 0; i < kIncrementsPerTask; ++i) {
+          registry.GetCounter("shared").Add();
+        }
+      } else {
+        Counter& shared = registry.GetCounter("shared");
+        Counter& mine = registry.GetCounter("task." + std::to_string(t));
+        for (std::size_t i = 0; i < kIncrementsPerTask; ++i) {
+          shared.Add();
+          mine.Add();
+        }
+      }
+    });
+  }
+  pool.Wait();
+  const auto values = registry.CounterValues();
+  EXPECT_EQ(values.at("shared"), kTasks * kIncrementsPerTask);
+  for (std::size_t t = 1; t < kTasks; t += 2) {
+    EXPECT_EQ(values.at("task." + std::to_string(t)), kIncrementsPerTask);
+  }
+}
+
+TEST(RegistryTest, ConcurrentTimersCountEverySample) {
+  Registry registry;
+  constexpr std::size_t kTasks = 32;
+  constexpr std::size_t kSamplesPerTask = 2000;
+  ThreadPool pool(8);
+  for (std::size_t t = 0; t < kTasks; ++t) {
+    pool.Submit([&registry] {
+      obs::Timer& timer = registry.GetTimer("work");
+      for (std::size_t i = 0; i < kSamplesPerTask; ++i) {
+        timer.RecordNanos(3);
+      }
+    });
+  }
+  pool.Wait();
+  const TimerSnapshot snapshot = registry.TimerValues().at("work");
+  EXPECT_EQ(snapshot.count, kTasks * kSamplesPerTask);
+  EXPECT_EQ(snapshot.total_ns, 3u * kTasks * kSamplesPerTask);
+}
+
+TEST(TracerTest, EmitsOneValidJsonObjectPerLine) {
+  std::ostringstream out;
+  Tracer tracer(out);
+  tracer.Emit(TraceEvent("unit.test").F("n", 3).F("x", 1.5).F("ok", true).F("s", "a\"b"));
+  tracer.Emit(TraceEvent("unit.test").F("n", 4));
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    const auto fields = testutil::ParseJsonObject(line);
+    ASSERT_TRUE(fields.has_value()) << line;
+    EXPECT_EQ(testutil::JsonUint(*fields, "seq", 99), count);
+    EXPECT_EQ(testutil::JsonString(*fields, "type"), "unit.test");
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(tracer.emitted(), 2u);
+  // The escaped string survives round-tripping.
+  EXPECT_NE(out.str().find("\"s\":\"a\\\"b\""), std::string::npos);
+}
+
+TEST(TracerTest, DisabledByDefaultAndScopedInstall) {
+  EXPECT_EQ(obs::ActiveTracer(), nullptr);
+  std::ostringstream out;
+  Tracer tracer(out);
+  {
+    const obs::ScopedTracer scope(tracer);
+    EXPECT_EQ(obs::ActiveTracer(), &tracer);
+  }
+  EXPECT_EQ(obs::ActiveTracer(), nullptr);
+}
+
+// Concurrent emitters: every event becomes exactly one intact line (no
+// interleaving, no loss) and sequence numbers are a permutation of 0..N-1.
+TEST(TracerTest, ConcurrentEmitsNeverInterleave) {
+  std::ostringstream out;
+  Tracer tracer(out);
+  constexpr std::size_t kTasks = 16;
+  constexpr std::size_t kEventsPerTask = 500;
+  ThreadPool pool(8);
+  for (std::size_t t = 0; t < kTasks; ++t) {
+    pool.Submit([&tracer, t] {
+      for (std::size_t i = 0; i < kEventsPerTask; ++i) {
+        tracer.Emit(TraceEvent("concurrent").F("task", t).F("i", i));
+      }
+    });
+  }
+  pool.Wait();
+  std::istringstream lines(out.str());
+  std::string line;
+  std::vector<bool> seen(kTasks * kEventsPerTask, false);
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    const auto fields = testutil::ParseJsonObject(line);
+    ASSERT_TRUE(fields.has_value()) << line;
+    const std::uint64_t seq = testutil::JsonUint(*fields, "seq", seen.size());
+    ASSERT_LT(seq, seen.size());
+    EXPECT_FALSE(seen[seq]);
+    seen[seq] = true;
+    ++count;
+  }
+  EXPECT_EQ(count, kTasks * kEventsPerTask);
+}
+
+}  // namespace
+}  // namespace commsched

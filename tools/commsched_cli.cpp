@@ -7,12 +7,18 @@
 //                          [--points 9] [--max-rate 1.4] [--vcs 1] [--duato]
 //   commsched_cli experiment --kind random --switches 16 [--randoms 9]
 //
+// Observability (any command): --trace <file> streams structured JSONL
+// events (search moves/restarts, simulator milestones, sweep points) to the
+// file; --metrics prints the global counter/timer registry as one JSON line
+// after the command output.
+//
 // Topology kinds: random (paper's irregular model), rings (the designed
 // 24-switch net), mixed (dense/sparse 16-switch), mesh RxC, torus RxC,
 // hypercube D, file <path> (text format of topology/serialize.h).
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -240,8 +246,20 @@ int Usage() {
       "  schedule   Tabu mapping + quality coefficients (--apps K, --seeds N, --dot)\n"
       "  simulate   load sweep for a mapping (--mapping op|random|blocked, --vcs V,\n"
       "             --adaptive, --duato, --points P, --max-rate R)\n"
-      "  experiment full paper experiment: OP vs random mappings (--randoms K)\n";
+      "  experiment full paper experiment: OP vs random mappings (--randoms K)\n"
+      "observability flags (any command):\n"
+      "  --trace F  write a JSONL event trace (search moves, sim milestones) to F\n"
+      "  --metrics  print the counter/timer registry as one JSON line at the end\n";
   return 2;
+}
+
+int Dispatch(const std::string& command, const Args& args) {
+  if (command == "topo") return CmdTopo(args);
+  if (command == "distance") return CmdDistance(args);
+  if (command == "schedule") return CmdSchedule(args);
+  if (command == "simulate") return CmdSimulate(args);
+  if (command == "experiment") return CmdExperiment(args);
+  return Usage();
 }
 
 }  // namespace
@@ -251,12 +269,21 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     const Args args(argc, argv);
-    if (command == "topo") return CmdTopo(args);
-    if (command == "distance") return CmdDistance(args);
-    if (command == "schedule") return CmdSchedule(args);
-    if (command == "simulate") return CmdSimulate(args);
-    if (command == "experiment") return CmdExperiment(args);
-    return Usage();
+    std::unique_ptr<obs::Tracer> tracer;
+    std::optional<obs::ScopedTracer> scoped_tracer;
+    if (args.Has("trace")) {
+      const std::string path = args.Get("trace", "");
+      if (path.empty()) throw ConfigError("--trace requires a file path");
+      tracer = obs::Tracer::OpenFile(path);
+      scoped_tracer.emplace(*tracer);
+    }
+    const int rc = Dispatch(command, args);
+    scoped_tracer.reset();  // uninstall before the file closes
+    if (tracer != nullptr) tracer->Flush();
+    if (rc == 0 && args.Has("metrics")) {
+      std::cout << obs::Registry::Global().ToJson() << "\n";
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
