@@ -42,6 +42,17 @@ class ObsDelta {
   std::map<std::string, std::uint64_t> start_;
 };
 
+/// Percentile estimate from a global-registry histogram (0 when absent or
+/// empty). Histograms accumulate across bench iterations, so this reports
+/// the distribution over the whole measured region — which is what a p50/p99
+/// column should mean.
+inline double HistogramPercentile(const std::string& name, double q) {
+  const auto histograms = obs::Registry::Global().HistogramValues();
+  const auto it = histograms.find(name);
+  if (it == histograms.end() || it->second.count == 0) return 0.0;
+  return it->second.Percentile(q);
+}
+
 /// The random irregular 16-switch network used throughout §5 (seeded so the
 /// repo's numbers are reproducible; the paper's own instance is unpublished).
 inline topo::SwitchGraph PaperNetwork16(std::uint64_t seed = 1) {

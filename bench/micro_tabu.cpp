@@ -32,6 +32,10 @@ void BM_TabuSearchPaperSchedule(benchmark::State& state) {
   state.counters["swaps_per_sec"] =
       benchmark::Counter(static_cast<double>(obs_delta.Delta("search.tabu.evaluations")),
                          benchmark::Counter::kIsRate);
+  state.counters["seed_iters_p50"] =
+      benchmark::Counter(bench::HistogramPercentile("search.tabu.seed_iters", 0.50));
+  state.counters["seed_iters_p99"] =
+      benchmark::Counter(bench::HistogramPercentile("search.tabu.seed_iters", 0.99));
 }
 BENCHMARK(BM_TabuSearchPaperSchedule)->Arg(16)->Arg(24)->Unit(benchmark::kMillisecond);
 

@@ -1,8 +1,56 @@
 #include "obs/obs.h"
 
+#include <algorithm>
+#include <charconv>
+#include <cmath>
 #include <sstream>
 
 namespace commsched::obs {
+
+namespace {
+
+/// Shortest round-trip rendering for JSON number output (no NaN/Inf input
+/// here: percentiles and means of uint64 samples are always finite).
+void AppendJsonDouble(std::ostream& out, double value) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec != std::errc{}) {
+    out << "null";
+    return;
+  }
+  out.write(buf, ptr - buf);
+}
+
+/// Inclusive value range of histogram bucket `b` (see HistogramSnapshot).
+std::pair<double, double> BucketRange(std::size_t b) {
+  if (b == 0) return {0.0, 0.0};
+  const double lo = std::ldexp(1.0, static_cast<int>(b) - 1);  // 2^(b-1)
+  return {lo, 2.0 * lo - 1.0};
+}
+
+}  // namespace
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested sample, 1-based: q = 0 -> first, q = 1 -> last.
+  const double rank = 1.0 + q * static_cast<double>(count - 1);
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const double in_bucket = static_cast<double>(buckets[b]);
+    if (rank <= cumulative + in_bucket) {
+      const auto [lo, hi] = BucketRange(b);
+      // Linear interpolation inside the bucket, clamped to the observed
+      // extremes (makes single-valued and boundary cases exact).
+      const double frac = std::clamp((rank - cumulative) / in_bucket, 0.0, 1.0);
+      const double estimate = lo + frac * (hi - lo);
+      return std::clamp(estimate, static_cast<double>(min), static_cast<double>(max));
+    }
+    cumulative += in_bucket;
+  }
+  return static_cast<double>(max);
+}
 
 Registry& Registry::Global() {
   static Registry registry;
@@ -17,6 +65,11 @@ Counter& Registry::GetCounter(const std::string& name) {
 Timer& Registry::GetTimer(const std::string& name) {
   const std::lock_guard<std::mutex> lock(mutex_);
   return timers_[name];
+}
+
+Histogram& Registry::GetHistogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return histograms_[name];
 }
 
 std::map<std::string, std::uint64_t> Registry::CounterValues() const {
@@ -37,10 +90,20 @@ std::map<std::string, TimerSnapshot> Registry::TimerValues() const {
   return values;
 }
 
+std::map<std::string, HistogramSnapshot> Registry::HistogramValues() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, HistogramSnapshot> values;
+  for (const auto& [name, histogram] : histograms_) {
+    values[name] = histogram.Snapshot();
+  }
+  return values;
+}
+
 void Registry::ResetAll() {
   const std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, counter] : counters_) counter.Reset();
   for (auto& [name, timer] : timers_) timer.Reset();
+  for (auto& [name, histogram] : histograms_) histogram.Reset();
 }
 
 std::string Registry::ToJson() const {
@@ -60,6 +123,31 @@ std::string Registry::ToJson() const {
     first = false;
     out << "\"" << name << "\":{\"total_ns\":" << timer.total_ns()
         << ",\"count\":" << timer.count() << "}";
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    const HistogramSnapshot snap = histogram.Snapshot();
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":{\"count\":" << snap.count << ",\"sum\":" << snap.sum
+        << ",\"min\":" << snap.min << ",\"max\":" << snap.max << ",\"mean\":";
+    AppendJsonDouble(out, snap.Mean());
+    out << ",\"p50\":";
+    AppendJsonDouble(out, snap.Percentile(0.50));
+    out << ",\"p90\":";
+    AppendJsonDouble(out, snap.Percentile(0.90));
+    out << ",\"p99\":";
+    AppendJsonDouble(out, snap.Percentile(0.99));
+    out << ",\"buckets\":{";
+    bool first_bucket = true;
+    for (std::size_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+      if (snap.buckets[b] == 0) continue;
+      if (!first_bucket) out << ",";
+      first_bucket = false;
+      out << "\"" << b << "\":" << snap.buckets[b];
+    }
+    out << "}}";
   }
   out << "}}";
   return out.str();

@@ -1,0 +1,337 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "common/table.h"
+
+namespace commsched::obs {
+
+namespace {
+
+/// Flat JSON-object scan: key -> raw value text (nested objects keep their
+/// braces, strings keep their quotes). Mirrors the shape Registry::ToJson
+/// and Tracer emit; returns nullopt on malformed input. Raw nested values
+/// re-parse with the same function, which is how the metrics dump's
+/// counters/histograms sections are read.
+std::optional<std::map<std::string, std::string>> ParseObject(const std::string& text) {
+  std::map<std::string, std::string> fields;
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+  };
+  skip_ws();
+  if (i >= text.size() || text[i] != '{') return std::nullopt;
+  ++i;
+  skip_ws();
+  if (i < text.size() && text[i] == '}') return fields;
+  for (;;) {
+    skip_ws();
+    if (i >= text.size() || text[i] != '"') return std::nullopt;
+    const std::size_t key_start = ++i;
+    while (i < text.size() && text[i] != '"') ++i;
+    if (i >= text.size()) return std::nullopt;
+    const std::string key = text.substr(key_start, i - key_start);
+    ++i;
+    skip_ws();
+    if (i >= text.size() || text[i] != ':') return std::nullopt;
+    ++i;
+    skip_ws();
+    const std::size_t value_start = i;
+    int depth = 0;
+    bool in_string = false;
+    for (; i < text.size(); ++i) {
+      const char c = text[i];
+      if (in_string) {
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          in_string = false;
+        }
+        continue;
+      }
+      if (c == '"') {
+        in_string = true;
+      } else if (c == '{' || c == '[') {
+        ++depth;
+      } else if (c == '}' || c == ']') {
+        if (depth == 0) break;
+        --depth;
+      } else if (c == ',' && depth == 0) {
+        break;
+      }
+    }
+    if (i >= text.size() || depth != 0 || in_string) return std::nullopt;
+    std::string value = text.substr(value_start, i - value_start);
+    while (!value.empty() && std::isspace(static_cast<unsigned char>(value.back()))) {
+      value.pop_back();
+    }
+    if (value.empty()) return std::nullopt;
+    fields[key] = std::move(value);
+    if (text[i] == '}') return fields;
+    ++i;  // consume ','
+  }
+}
+
+using Fields = std::map<std::string, std::string>;
+
+std::string Raw(const Fields& fields, const std::string& key) {
+  const auto it = fields.find(key);
+  return it == fields.end() ? std::string() : it->second;
+}
+
+std::string Str(const Fields& fields, const std::string& key) {
+  const std::string raw = Raw(fields, key);
+  if (raw.size() < 2 || raw.front() != '"' || raw.back() != '"') return "";
+  return raw.substr(1, raw.size() - 2);
+}
+
+double Num(const Fields& fields, const std::string& key, double fallback = 0.0) {
+  const std::string raw = Raw(fields, key);
+  if (raw.empty()) return fallback;
+  double value = fallback;
+  const auto [ptr, ec] = std::from_chars(raw.data(), raw.data() + raw.size(), value);
+  if (ec != std::errc{} || ptr != raw.data() + raw.size()) return fallback;
+  return value;
+}
+
+std::uint64_t Uint(const Fields& fields, const std::string& key, std::uint64_t fallback = 0) {
+  const std::string raw = Raw(fields, key);
+  if (raw.empty() || raw.find_first_not_of("0123456789") != std::string::npos) {
+    return fallback;
+  }
+  std::uint64_t value = fallback;
+  const auto [ptr, ec] = std::from_chars(raw.data(), raw.data() + raw.size(), value);
+  return ec == std::errc{} ? value : fallback;
+}
+
+bool Bool(const Fields& fields, const std::string& key) {
+  return Raw(fields, key) == "true";
+}
+
+/// Seed summaries are keyed by (algo, seed); restart and seed_done events
+/// for the same walk merge into one row.
+TraceSummary::SeedSummary& SeedRow(TraceSummary& summary, const std::string& algo,
+                                   std::uint64_t seed) {
+  for (auto& row : summary.seeds) {
+    if (row.algo == algo && row.seed == seed) return row;
+  }
+  summary.seeds.push_back({});
+  summary.seeds.back().algo = algo;
+  summary.seeds.back().seed = seed;
+  return summary.seeds.back();
+}
+
+void FoldTraceEvent(TraceSummary& summary, const Fields& fields) {
+  const std::string type = Str(fields, "type");
+  ++summary.events;
+  ++summary.events_by_type[type.empty() ? "(untyped)" : type];
+  if (type == "search.restart") {
+    TraceSummary::SeedSummary& row =
+        SeedRow(summary, Str(fields, "algo"), Uint(fields, "seed"));
+    row.start_fg = Num(fields, "fg");
+    row.has_start = true;
+  } else if (type == "search.seed_done") {
+    TraceSummary::SeedSummary& row =
+        SeedRow(summary, Str(fields, "algo"), Uint(fields, "seed"));
+    row.iters = Uint(fields, "iters");
+    row.evals = Uint(fields, "evals");
+    row.best_fg = Num(fields, "best_fg");
+    row.best_cc = Num(fields, "best_cc");
+    row.has_done = true;
+  } else if (type == "sweep.point") {
+    TraceSummary::SweepPointSummary point;
+    point.point = Uint(fields, "point");
+    point.rate = Num(fields, "rate");
+    point.accepted = Num(fields, "accepted");
+    point.avg_latency = Num(fields, "avg_latency");
+    point.saturated = Bool(fields, "saturated");
+    summary.sweep.push_back(point);
+  } else if (type == "net.sample") {
+    ++summary.net_samples;
+  }
+}
+
+void SortSummary(TraceSummary& summary) {
+  std::sort(summary.seeds.begin(), summary.seeds.end(),
+            [](const TraceSummary::SeedSummary& a, const TraceSummary::SeedSummary& b) {
+              if (a.algo != b.algo) return a.algo < b.algo;
+              return a.seed < b.seed;
+            });
+  std::sort(summary.sweep.begin(), summary.sweep.end(),
+            [](const TraceSummary::SweepPointSummary& a,
+               const TraceSummary::SweepPointSummary& b) { return a.point < b.point; });
+}
+
+/// Parses "link.util.<from>.<to>" into its endpoints.
+std::optional<std::pair<std::size_t, std::size_t>> ParseLinkKey(const std::string& name) {
+  if (!StartsWith(name, "link.util.")) return std::nullopt;
+  const std::vector<std::string> parts = Split(name.substr(10), '.');
+  if (parts.size() != 2 || parts[0].empty() || parts[1].empty()) return std::nullopt;
+  for (const std::string& part : parts) {
+    if (part.find_first_not_of("0123456789") != std::string::npos) return std::nullopt;
+  }
+  return std::make_pair(static_cast<std::size_t>(std::stoull(parts[0])),
+                        static_cast<std::size_t>(std::stoull(parts[1])));
+}
+
+void FoldMetrics(TraceSummary& summary, const Fields& fields) {
+  summary.has_metrics = true;
+  if (const auto counters = ParseObject(Raw(fields, "counters")); counters.has_value()) {
+    for (const auto& [name, raw] : *counters) {
+      const std::uint64_t value = Uint(*counters, name);
+      summary.counters[name] = value;
+      if (const auto link = ParseLinkKey(name); link.has_value()) {
+        summary.links.push_back({link->first, link->second, value});
+      }
+    }
+  }
+  if (const auto hists = ParseObject(Raw(fields, "histograms")); hists.has_value()) {
+    for (const auto& [name, raw] : *hists) {
+      const auto hist = ParseObject(raw);
+      if (!hist.has_value()) continue;
+      TraceSummary::HistogramSummary& row = summary.histograms[name];
+      row.count = Uint(*hist, "count");
+      row.max = Uint(*hist, "max");
+      row.mean = Num(*hist, "mean");
+      row.p50 = Num(*hist, "p50");
+      row.p90 = Num(*hist, "p90");
+      row.p99 = Num(*hist, "p99");
+    }
+  }
+  std::stable_sort(summary.links.begin(), summary.links.end(),
+                   [](const TraceSummary::LinkTraffic& a, const TraceSummary::LinkTraffic& b) {
+                     return a.flits > b.flits;
+                   });
+}
+
+}  // namespace
+
+TraceSummary SummarizeTrace(std::istream& trace) {
+  TraceSummary summary;
+  std::string line;
+  while (std::getline(trace, line)) {
+    if (Trim(line).empty()) continue;
+    const auto fields = ParseObject(line);
+    if (!fields.has_value()) {
+      ++summary.events;
+      ++summary.events_by_type["(unparseable)"];
+      continue;
+    }
+    if (fields->count("type") == 0 && fields->count("counters") > 0) {
+      FoldMetrics(summary, *fields);  // appended metrics dump
+      continue;
+    }
+    FoldTraceEvent(summary, *fields);
+  }
+  SortSummary(summary);
+  return summary;
+}
+
+bool LoadMetrics(const std::string& metrics_json, TraceSummary& summary) {
+  const auto fields = ParseObject(metrics_json);
+  if (!fields.has_value() || fields->count("counters") == 0) return false;
+  FoldMetrics(summary, *fields);
+  return true;
+}
+
+void RenderReport(const TraceSummary& summary, std::ostream& out, std::size_t top_links) {
+  out << "== commsched report ==\n";
+  out << "events: " << summary.events << " across " << summary.events_by_type.size()
+      << " types\n";
+  for (const auto& [type, count] : summary.events_by_type) {
+    out << "  " << type << ": " << count << "\n";
+  }
+
+  if (!summary.seeds.empty()) {
+    out << "\nSearch convergence (" << summary.seeds.size() << " seeds):\n";
+    TextTable table({"algo", "seed", "iters", "evals", "start F_G", "final F_G", "C_c"});
+    table.set_precision(4);
+    const TraceSummary::SeedSummary* best = nullptr;
+    for (const TraceSummary::SeedSummary& row : summary.seeds) {
+      table.AddRow({row.algo, static_cast<long long>(row.seed),
+                    static_cast<long long>(row.iters), static_cast<long long>(row.evals),
+                    row.has_start ? TableCell(row.start_fg) : TableCell(std::string("-")),
+                    row.has_done ? TableCell(row.best_fg) : TableCell(std::string("-")),
+                    row.has_done ? TableCell(row.best_cc) : TableCell(std::string("-"))});
+      if (row.has_done && (best == nullptr || row.best_fg < best->best_fg)) {
+        best = &row;
+      }
+    }
+    out << table;
+    if (best != nullptr) {
+      out << "best F_G: " << best->best_fg << " (C_c " << best->best_cc << ", seed "
+          << best->seed << ")\n";
+    }
+  }
+
+  const auto latency = summary.histograms.find("net.latency");
+  if (latency != summary.histograms.end() && latency->second.count > 0) {
+    const TraceSummary::HistogramSummary& h = latency->second;
+    out << "\nPacket latency (cycles, " << h.count << " messages): p50=" << h.p50
+        << " p90=" << h.p90 << " p99=" << h.p99 << " max=" << h.max << " mean=" << h.mean
+        << "\n";
+  }
+  const auto occupancy = summary.histograms.find("net.vc.occupancy");
+  if (occupancy != summary.histograms.end() && occupancy->second.count > 0) {
+    const TraceSummary::HistogramSummary& h = occupancy->second;
+    out << "VC buffer occupancy (flits, " << h.count << " samples): p50=" << h.p50
+        << " p99=" << h.p99 << " max=" << h.max << "\n";
+  }
+
+  if (!summary.links.empty()) {
+    std::uint64_t total = 0;
+    for (const TraceSummary::LinkTraffic& link : summary.links) total += link.flits;
+    const std::size_t shown = std::min(top_links, summary.links.size());
+    out << "\nTop-" << shown << " hottest links (of " << summary.links.size()
+        << " directed links):\n";
+    TextTable table({"link", "flits", "share"});
+    table.set_precision(1);
+    for (std::size_t k = 0; k < shown; ++k) {
+      const TraceSummary::LinkTraffic& link = summary.links[k];
+      const double share =
+          total == 0 ? 0.0
+                     : 100.0 * static_cast<double>(link.flits) / static_cast<double>(total);
+      table.AddRow({std::to_string(link.from) + " -> " + std::to_string(link.to),
+                    static_cast<long long>(link.flits), share});
+    }
+    out << table;
+  }
+
+  if (!summary.sweep.empty()) {
+    out << "\nLoad sweep (" << summary.sweep.size() << " points):\n";
+    TextTable table({"offered", "accepted", "avg_latency", "saturated"});
+    table.set_precision(4);
+    double throughput = 0.0;
+    for (const TraceSummary::SweepPointSummary& point : summary.sweep) {
+      table.AddRow({point.rate, point.accepted, point.avg_latency,
+                    std::string(point.saturated ? "yes" : "no")});
+      throughput = std::max(throughput, point.accepted);
+    }
+    out << table;
+    out << "throughput: " << throughput << " flits/switch/cycle\n";
+  }
+
+  if (summary.net_samples > 0) {
+    out << "\nnet.sample telemetry events: " << summary.net_samples << "\n";
+  }
+  if (!summary.has_metrics) {
+    out << "\n(no metrics dump loaded: pass --metrics-file, or append the --metrics line "
+           "to the trace; latency percentiles and link tables need it)\n";
+  }
+}
+
+void WriteSweepCsv(const TraceSummary& summary, std::ostream& out) {
+  out << "offered,accepted,avg_latency,saturated\n";
+  for (const TraceSummary::SweepPointSummary& point : summary.sweep) {
+    out << point.rate << "," << point.accepted << "," << point.avg_latency << ","
+        << (point.saturated ? 1 : 0) << "\n";
+  }
+}
+
+}  // namespace commsched::obs

@@ -3,8 +3,9 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
-#include <stdexcept>
 #include <system_error>
+
+#include "common/check.h"
 
 namespace commsched::obs {
 
@@ -114,7 +115,7 @@ std::unique_ptr<Tracer> Tracer::OpenFile(const std::string& path) {
   std::unique_ptr<Tracer> tracer(new Tracer());
   tracer->owned_.open(path, std::ios::out | std::ios::trunc);
   if (!tracer->owned_) {
-    throw std::runtime_error("cannot open trace file '" + path + "'");
+    throw ConfigError("cannot open trace file '" + path + "'");
   }
   tracer->out_ = &tracer->owned_;
   return tracer;

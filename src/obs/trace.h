@@ -74,8 +74,8 @@ class Tracer {
   /// Writes to a caller-owned stream (must outlive the tracer).
   explicit Tracer(std::ostream& out);
 
-  /// Opens `path` for writing; throws ConfigError-compatible
-  /// std::runtime_error if the file cannot be created.
+  /// Opens `path` for writing; throws ConfigError (common/check.h) if the
+  /// file cannot be created.
   [[nodiscard]] static std::unique_ptr<Tracer> OpenFile(const std::string& path);
 
   Tracer(const Tracer&) = delete;
@@ -118,13 +118,17 @@ void SetTracer(Tracer* tracer);
 
 [[nodiscard]] inline bool TraceEnabled() { return ActiveTracer() != nullptr; }
 
-/// RAII installation for scoped tracing (tests, CLI commands).
+/// RAII installation for scoped tracing (tests, CLI commands). Restores the
+/// previously installed tracer on destruction, so scopes nest.
 class ScopedTracer {
  public:
-  explicit ScopedTracer(Tracer& tracer) { SetTracer(&tracer); }
+  explicit ScopedTracer(Tracer& tracer) : previous_(ActiveTracer()) { SetTracer(&tracer); }
   ScopedTracer(const ScopedTracer&) = delete;
   ScopedTracer& operator=(const ScopedTracer&) = delete;
-  ~ScopedTracer() { SetTracer(nullptr); }
+  ~ScopedTracer() { SetTracer(previous_); }
+
+ private:
+  Tracer* previous_;
 };
 
 }  // namespace commsched::obs

@@ -8,6 +8,7 @@
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "obs/obs.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace commsched::sched {
@@ -41,6 +42,7 @@ SeedRun RunSeed(const DistanceTable& table, const Partition& start, const TabuOp
                 std::size_t iteration_base, std::size_t seed_index = 0) {
   obs::Registry& registry = obs::Registry::Global();
   const obs::ScopedTimer seed_timer(registry.GetTimer("search.tabu.seed"));
+  const obs::Span seed_span("tabu.seed", "seed", seed_index);
   qual::SwapEvaluator eval(table, start);
   const std::size_t n = start.switch_count();
   const Partition* anchor = options.anchor;
@@ -96,6 +98,9 @@ SeedRun RunSeed(const DistanceTable& table, const Partition& start, const TabuOp
 
   std::size_t iteration = 0;
   while (iteration < options.max_iterations_per_seed) {
+    // Escape iterations are re-labelled before the span closes, so the
+    // profile separates uphill moves from ordinary descent.
+    obs::Span iter_span("tabu.iter", "iter", iteration);
     // Evaluate the whole inter-cluster swap neighbourhood.
     double best_delta_down = 0.0;  // most negative objective delta
     std::pair<std::size_t, std::size_t> best_down{n, n};
@@ -169,6 +174,7 @@ SeedRun RunSeed(const DistanceTable& table, const Partition& start, const TabuOp
     ++run.result.iterations;
     if (escaping) {
       ++escapes;
+      iter_span.SetArg("escape_iter", iteration - 1);
       // Forbid the inverse permutation for `tenure` iterations.
       tabu_until[move.first][move.second] = iteration + options.tenure;
     }
@@ -202,13 +208,17 @@ SeedRun RunSeed(const DistanceTable& table, const Partition& start, const TabuOp
   registry.GetCounter("search.tabu.tabu_hits").Add(tabu_hits);
   registry.GetCounter("search.tabu.aspirations").Add(aspirations);
   registry.GetCounter("search.tabu.escapes").Add(escapes);
+  // Distribution of per-seed walk lengths: one histogram sample per seed
+  // (batched like the counters — nothing lands mid-walk).
+  registry.GetHistogram("search.tabu.seed_iters").Record(run.result.iterations);
   if (obs::Tracer* tracer = obs::ActiveTracer()) {
     tracer->Emit(obs::TraceEvent("search.seed_done")
                      .F("algo", "tabu")
                      .F("seed", seed_index)
                      .F("iters", run.result.iterations)
                      .F("evals", run.result.evaluations)
-                     .F("best_fg", run.result.best_fg));
+                     .F("best_fg", run.result.best_fg)
+                     .F("best_cc", run.result.best_cc));
   }
   return run;
 }

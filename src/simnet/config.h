@@ -47,6 +47,14 @@ struct SimConfig {
   /// Has no cost while tracing is off.
   std::size_t trace_milestone_cycles = 5000;
 
+  /// When structured tracing is enabled, sample deep network telemetry
+  /// every this many *measured* cycles (0 disables): per-virtual-channel
+  /// buffer occupancies are recorded (flushed into the `net.vc.occupancy`
+  /// registry histogram after the run) and a `net.sample` trace event is
+  /// emitted carrying the windowed per-link flit utilization and delivery
+  /// counts. Has no cost while tracing is off.
+  std::size_t telemetry_sample_cycles = 0;
+
   /// Record delivered flits per (source switch, destination switch) during
   /// the measurement window (SimMetrics::switch_pair_flit_rate) — the
   /// "measurement of communication requirements" the paper defers to future

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "obs/obs.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace commsched::sim {
@@ -102,6 +103,90 @@ void NetworkSimulator::ResetState() {
   total_latency_sum_ = 0.0;
   latency_samples_.clear();
   deadlock_ = false;
+  telemetry_prev_moved_.assign(ChannelCount(), 0);
+  telemetry_prev_delivered_ = 0;
+  telemetry_last_cycle_ = 0;
+  vc_occupancy_counts_.assign(config_.input_buffer_flits + 1, 0);
+}
+
+void NetworkSimulator::SampleTelemetry() {
+  obs::Tracer* tracer = obs::ActiveTracer();
+  if (tracer == nullptr) return;
+
+  // Per-VC input-buffer occupancy, counted exactly (values are tiny: 0 ..
+  // input_buffer_flits); flushed into the net.vc.occupancy histogram after
+  // the run.
+  for (std::size_t b = 0; b < LinkVcCount(); ++b) {
+    const std::size_t occupancy =
+        std::min(buffers_[b].flits.size(), config_.input_buffer_flits);
+    ++vc_occupancy_counts_[occupancy];
+  }
+
+  // Windowed per-link utilization since the previous sample: flits moved on
+  // each directed physical channel (all its VCs) per elapsed cycle.
+  const std::size_t window = cycle_ - telemetry_last_cycle_;
+  double max_util = 0.0;
+  double util_sum = 0.0;
+  std::size_t busiest = 0;
+  for (std::size_t c = 0; c < ChannelCount(); ++c) {
+    std::uint64_t moved = 0;
+    for (std::size_t vc = 0; vc < vc_count_; ++vc) {
+      moved += outputs_[c * vc_count_ + vc].flits_moved_measured;
+    }
+    const std::uint64_t delta = moved - telemetry_prev_moved_[c];
+    telemetry_prev_moved_[c] = moved;
+    const double util =
+        window == 0 ? 0.0 : static_cast<double>(delta) / static_cast<double>(window);
+    util_sum += util;
+    if (util > max_util) {
+      max_util = util;
+      busiest = c;
+    }
+  }
+  const std::uint64_t win_flits = delivered_flits_measured_ - telemetry_prev_delivered_;
+  telemetry_prev_delivered_ = delivered_flits_measured_;
+  telemetry_last_cycle_ = cycle_;
+
+  obs::TraceEvent event("net.sample");
+  event.F("cycle", cycle_)
+      .F("in_flight", flits_in_network_)
+      .F("win_flits", win_flits)
+      .F("max_link_util", max_util);
+  if (ChannelCount() > 0) {
+    event.F("avg_link_util", util_sum / static_cast<double>(ChannelCount()))
+        .F("link_from", ChannelFrom(busiest))
+        .F("link_to", ChannelTo(busiest));
+  }
+  tracer->Emit(event);
+}
+
+void NetworkSimulator::FlushDistributionMetrics() {
+  obs::Registry& registry = obs::Registry::Global();
+  obs::Histogram& latency = registry.GetHistogram("net.latency");
+  for (const std::uint32_t sample : latency_samples_) {
+    latency.Record(sample);
+  }
+  std::uint64_t occupancy_samples = 0;
+  for (const std::uint64_t count : vc_occupancy_counts_) occupancy_samples += count;
+  if (occupancy_samples > 0) {
+    obs::Histogram& occupancy = registry.GetHistogram("net.vc.occupancy");
+    for (std::size_t value = 0; value < vc_occupancy_counts_.size(); ++value) {
+      if (vc_occupancy_counts_[value] > 0) {
+        occupancy.Record(value, vc_occupancy_counts_[value]);
+      }
+    }
+  }
+  for (std::size_t c = 0; c < ChannelCount(); ++c) {
+    std::uint64_t moved = 0;
+    for (std::size_t vc = 0; vc < vc_count_; ++vc) {
+      moved += outputs_[c * vc_count_ + vc].flits_moved_measured;
+    }
+    if (moved == 0) continue;  // keep the metrics dump free of idle links
+    registry
+        .GetCounter("link.util." + std::to_string(ChannelFrom(c)) + "." +
+                    std::to_string(ChannelTo(c)))
+        .Add(moved);
+  }
 }
 
 void NetworkSimulator::ArbitratePhase() {
@@ -300,6 +385,8 @@ SimMetrics NetworkSimulator::Run(double injection_flits_per_switch_cycle) {
   CS_CHECK(injection_flits_per_switch_cycle >= 0.0, "negative injection rate");
   obs::Registry& registry = obs::Registry::Global();
   const obs::ScopedTimer run_timer(registry.GetTimer("sim.run"));
+  const obs::Span run_span("sim.run", "horizon",
+                           config_.warmup_cycles + config_.measure_cycles);
   ResetState();
 
   // Per-host Bernoulli message probability: aggregate offered load is
@@ -329,10 +416,7 @@ SimMetrics NetworkSimulator::Run(double injection_flits_per_switch_cycle) {
 
   const std::size_t horizon = config_.warmup_cycles + config_.measure_cycles;
   std::size_t measured_cycles = 0;
-  while (cycle_ < horizon && !deadlock_) {
-    measuring_ = cycle_ >= config_.warmup_cycles;
-    if (measuring_) ++measured_cycles;
-    StepCycle();
+  const auto maybe_milestone = [&] {
     if (obs::Tracer* tracer = obs::ActiveTracer();
         tracer != nullptr && config_.trace_milestone_cycles > 0 &&
         cycle_ % config_.trace_milestone_cycles == 0) {
@@ -341,6 +425,28 @@ SimMetrics NetworkSimulator::Run(double injection_flits_per_switch_cycle) {
                        .F("in_flight_flits", flits_in_network_)
                        .F("delivered_flits", delivered_flits_measured_)
                        .F("generated_flits", generated_flits_measured_));
+    }
+  };
+  {
+    const obs::Span warmup_span("sim.warmup", "cycles", config_.warmup_cycles);
+    while (cycle_ < config_.warmup_cycles && !deadlock_) {
+      measuring_ = false;
+      StepCycle();
+      maybe_milestone();
+    }
+  }
+  {
+    const obs::Span measure_span("sim.measure", "cycles", config_.measure_cycles);
+    telemetry_last_cycle_ = cycle_;  // utilization windows exclude warmup
+    while (cycle_ < horizon && !deadlock_) {
+      measuring_ = true;
+      ++measured_cycles;
+      StepCycle();
+      maybe_milestone();
+      if (config_.telemetry_sample_cycles > 0 &&
+          measured_cycles % config_.telemetry_sample_cycles == 0) {
+        SampleTelemetry();
+      }
     }
   }
 
@@ -426,6 +532,7 @@ SimMetrics NetworkSimulator::Run(double injection_flits_per_switch_cycle) {
   registry.GetCounter("sim.messages_generated").Add(messages_generated_measured_);
   registry.GetCounter("sim.messages_delivered").Add(messages_delivered_measured_);
   if (deadlock_) registry.GetCounter("sim.deadlocks").Add(1);
+  FlushDistributionMetrics();
   if (obs::Tracer* tracer = obs::ActiveTracer()) {
     tracer->Emit(obs::TraceEvent("sim.done")
                      .F("rate", injection_flits_per_switch_cycle)
@@ -434,6 +541,8 @@ SimMetrics NetworkSimulator::Run(double injection_flits_per_switch_cycle) {
                      .F("delivered_messages", messages_delivered_measured_)
                      .F("accepted", metrics.accepted_flits_per_switch_cycle)
                      .F("avg_latency", metrics.avg_latency_cycles)
+                     .F("p50_latency", metrics.p50_latency_cycles)
+                     .F("p99_latency", metrics.p99_latency_cycles)
                      .F("deadlock", deadlock_));
   }
   return metrics;

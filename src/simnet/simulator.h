@@ -116,6 +116,17 @@ class NetworkSimulator {
   void GeneratePhase();
   void FinalizeCycle();
 
+  /// One telemetry sample (active tracer + telemetry_sample_cycles only):
+  /// records per-VC buffer occupancies and emits a net.sample trace event
+  /// with the windowed per-link utilization.
+  void SampleTelemetry();
+
+  /// Once-per-run flush of distribution metrics into the global registry:
+  /// the net.latency histogram (from the collected latency samples), the
+  /// net.vc.occupancy histogram (when telemetry sampled), and the
+  /// link.util.<from>.<to> per-directed-link flit counters.
+  void FlushDistributionMetrics();
+
   /// Moves one flit through output `o` if possible; returns true on success.
   bool TryMoveThroughOutput(std::size_t o);
 
@@ -159,6 +170,12 @@ class NetworkSimulator {
   long double total_latency_sum_ = 0.0;
   std::vector<std::uint32_t> latency_samples_;
   bool deadlock_ = false;
+
+  // ---- telemetry (touched only while a tracer is installed) ---------------
+  std::vector<std::uint64_t> telemetry_prev_moved_;  // per directed channel
+  std::uint64_t telemetry_prev_delivered_ = 0;
+  std::size_t telemetry_last_cycle_ = 0;
+  std::vector<std::uint64_t> vc_occupancy_counts_;  // index = flits buffered
 };
 
 }  // namespace commsched::sim

@@ -5,6 +5,7 @@
 
 #include "common/parallel.h"
 #include "obs/obs.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace commsched::sim {
@@ -55,10 +56,12 @@ SweepResult RunSweepImpl(const SweepOptions& options, MakeSimulator&& make_simul
   obs::Registry& registry = obs::Registry::Global();
   const obs::ScopedTimer sweep_timer(registry.GetTimer("sweep.run"));
   const std::vector<double> rates = SweepRates(options);
+  const obs::Span sweep_span("sweep.run", "points", rates.size());
   SweepResult result;
   result.points.resize(rates.size());
 
   auto run_point = [&](std::size_t k) {
+    const obs::Span point_span("sweep.point", "point", k);
     SimConfig config = options.config;
     // Independent, deterministic stream per point.
     std::uint64_t stream = config.rng_seed;

@@ -128,6 +128,74 @@ TEST(CliTrace, SimulateEmitsSimAndSweepEvents) {
   EXPECT_GT(testutil::JsonUint(counters, "sim.cycles"), 0u);
 }
 
+// The full observability round-trip on the ISSUE acceptance scenario: a
+// seeded 16-switch simulate run producing a JSONL trace + metrics dump +
+// Chrome trace, then `report` consuming the first two. The report must show
+// packet-latency percentiles, the hottest-links table and per-seed F_G/C_c;
+// the Chrome trace must be a valid array of complete events.
+TEST(CliTrace, ReportRoundTrip) {
+  const std::string dir = ::testing::TempDir();
+  const std::string trace_path = dir + "cli_report_trace.jsonl";
+  const std::string metrics_path = dir + "cli_report_metrics.json";
+  const std::string chrome_path = dir + "cli_report_chrome.json";
+  const std::string csv_path = dir + "cli_report_sweep.csv";
+  const std::string stdout_path = dir + "cli_report_stdout.txt";
+  ASSERT_EQ(RunCli("simulate --kind random --switches 16 --apps 4 --mapping op "
+                   "--points 3 --min-rate 0.1 --max-rate 0.6 --warmup 500 --measure 2000 "
+                   "--telemetry 500 --trace " +
+                       trace_path + " --metrics-out " + metrics_path + " --chrome-trace " +
+                       chrome_path,
+                   stdout_path),
+            0);
+
+  // The trace carries the deep-telemetry samples; the metrics dump exists.
+  const std::set<std::string> types = ValidateTrace(trace_path);
+  EXPECT_TRUE(types.count("net.sample")) << "no telemetry samples";
+  EXPECT_TRUE(types.count("search.seed_done"));
+  ASSERT_FALSE(ReadFile(metrics_path).empty());
+
+  // The Chrome trace is a JSON array of complete ("ph":"X") events covering
+  // the search seeds and the simulator phases.
+  const std::vector<std::string> chrome_lines = NonEmptyLines(ReadFile(chrome_path));
+  ASSERT_GE(chrome_lines.size(), 3u);
+  EXPECT_EQ(chrome_lines.front(), "[");
+  EXPECT_EQ(chrome_lines.back(), "]");
+  std::set<std::string> span_names;
+  for (std::size_t k = 1; k + 1 < chrome_lines.size(); ++k) {
+    std::string line = chrome_lines[k];
+    if (line.back() == ',') line.pop_back();
+    const auto event = testutil::ParseJsonObject(line);
+    ASSERT_TRUE(event.has_value()) << line;
+    EXPECT_EQ(testutil::JsonString(*event, "ph"), "X") << line;
+    span_names.insert(testutil::JsonString(*event, "name"));
+  }
+  EXPECT_TRUE(span_names.count("tabu.seed"));
+  EXPECT_TRUE(span_names.count("sim.warmup"));
+  EXPECT_TRUE(span_names.count("sim.measure"));
+  EXPECT_TRUE(span_names.count("sweep.point"));
+
+  // `report` renders the percentiles, the link table, per-seed C_c and the
+  // sweep CSV.
+  const std::string report_stdout = dir + "cli_report_report.txt";
+  ASSERT_EQ(RunCli("report --trace " + trace_path + " --metrics-file " + metrics_path +
+                       " --csv " + csv_path + " --top 5",
+                   report_stdout),
+            0);
+  const std::string text = ReadFile(report_stdout);
+  EXPECT_NE(text.find("Packet latency"), std::string::npos);
+  EXPECT_NE(text.find("p50="), std::string::npos);
+  EXPECT_NE(text.find("p90="), std::string::npos);
+  EXPECT_NE(text.find("p99="), std::string::npos);
+  EXPECT_NE(text.find("hottest links"), std::string::npos);
+  EXPECT_NE(text.find("Search convergence"), std::string::npos);
+  EXPECT_NE(text.find("C_c"), std::string::npos);
+  EXPECT_NE(text.find("net.sample telemetry events:"), std::string::npos);
+
+  const std::vector<std::string> csv_lines = NonEmptyLines(ReadFile(csv_path));
+  ASSERT_EQ(csv_lines.size(), 4u);  // header + 3 sweep points
+  EXPECT_EQ(csv_lines[0], "offered,accepted,avg_latency,saturated");
+}
+
 // --metrics without --trace still works (counters only, no tracer).
 TEST(CliTrace, MetricsWithoutTrace) {
   const std::string dir = ::testing::TempDir();

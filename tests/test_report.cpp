@@ -1,0 +1,149 @@
+// The report analysis layer (obs/report.h): folding a JSONL trace plus a
+// metrics dump into a TraceSummary, rendering it, and the sweep CSV.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/report.h"
+
+namespace commsched {
+namespace {
+
+using obs::LoadMetrics;
+using obs::RenderReport;
+using obs::SummarizeTrace;
+using obs::TraceSummary;
+using obs::WriteSweepCsv;
+
+constexpr const char* kTrace =
+    R"({"seq":0,"type":"search.restart","algo":"tabu","seed":0,"fg":1.25}
+{"seq":1,"type":"search.move","algo":"tabu","seed":0,"a":1,"b":2}
+{"seq":2,"type":"search.seed_done","algo":"tabu","seed":0,"iters":12,"evals":1248,"best_fg":0.115,"best_cc":10.58}
+{"seq":3,"type":"search.restart","algo":"tabu","seed":1,"fg":0.91}
+{"seq":4,"type":"search.seed_done","algo":"tabu","seed":1,"iters":10,"evals":1056,"best_fg":0.128,"best_cc":9.5}
+{"seq":5,"type":"sweep.point","point":1,"rate":0.5,"accepted":0.49,"avg_latency":21.5,"saturated":false}
+{"seq":6,"type":"sweep.point","point":0,"rate":0.1,"accepted":0.1,"avg_latency":18.0,"saturated":false}
+{"seq":7,"type":"sweep.point","point":2,"rate":1.2,"accepted":0.86,"avg_latency":70.25,"saturated":true}
+{"seq":8,"type":"net.sample","cycle":1000,"in_flight":42}
+{"seq":9,"type":"net.sample","cycle":2000,"in_flight":40}
+)";
+
+constexpr const char* kMetrics =
+    R"({"counters":{"link.util.0.1":500,"link.util.1.0":800,"link.util.3.2":200,"sim.cycles":20000},"timers":{"sweep.run":{"total_ns":5,"count":1}},"histograms":{"net.latency":{"count":1000,"sum":30000,"min":8,"max":500,"mean":30,"p50":25.5,"p90":110,"p99":480,"buckets":{"4":100,"5":900}}}})";
+
+TraceSummary Summarize(const std::string& trace_text) {
+  std::istringstream in(trace_text);
+  return SummarizeTrace(in);
+}
+
+TEST(ReportTest, FoldsSeedEventsIntoConvergenceRows) {
+  const TraceSummary summary = Summarize(kTrace);
+  EXPECT_EQ(summary.events, 10u);
+  EXPECT_EQ(summary.events_by_type.at("search.seed_done"), 2u);
+  EXPECT_EQ(summary.net_samples, 2u);
+  ASSERT_EQ(summary.seeds.size(), 2u);
+  EXPECT_EQ(summary.seeds[0].seed, 0u);
+  EXPECT_EQ(summary.seeds[0].algo, "tabu");
+  EXPECT_EQ(summary.seeds[0].iters, 12u);
+  EXPECT_EQ(summary.seeds[0].evals, 1248u);
+  EXPECT_DOUBLE_EQ(summary.seeds[0].start_fg, 1.25);
+  EXPECT_DOUBLE_EQ(summary.seeds[0].best_fg, 0.115);
+  EXPECT_DOUBLE_EQ(summary.seeds[0].best_cc, 10.58);
+  EXPECT_TRUE(summary.seeds[0].has_start);
+  EXPECT_TRUE(summary.seeds[0].has_done);
+  EXPECT_EQ(summary.seeds[1].seed, 1u);
+}
+
+TEST(ReportTest, SweepPointsAreSortedByPointIndex) {
+  const TraceSummary summary = Summarize(kTrace);
+  ASSERT_EQ(summary.sweep.size(), 3u);
+  EXPECT_EQ(summary.sweep[0].point, 0u);
+  EXPECT_DOUBLE_EQ(summary.sweep[0].rate, 0.1);
+  EXPECT_EQ(summary.sweep[2].point, 2u);
+  EXPECT_TRUE(summary.sweep[2].saturated);
+  EXPECT_FALSE(summary.sweep[0].saturated);
+}
+
+TEST(ReportTest, UnparseableLinesAreCountedNotFatal) {
+  const TraceSummary summary = Summarize("not json\n{\"type\":\"x\"}\n\n{broken\n");
+  EXPECT_EQ(summary.events, 3u);
+  EXPECT_EQ(summary.events_by_type.at("(unparseable)"), 2u);
+  EXPECT_EQ(summary.events_by_type.at("x"), 1u);
+}
+
+TEST(ReportTest, LoadMetricsRanksLinksByTraffic) {
+  TraceSummary summary;
+  ASSERT_TRUE(LoadMetrics(kMetrics, summary));
+  EXPECT_TRUE(summary.has_metrics);
+  ASSERT_EQ(summary.links.size(), 3u);
+  // Descending by flits: 1->0 (800), 0->1 (500), 3->2 (200).
+  EXPECT_EQ(summary.links[0].from, 1u);
+  EXPECT_EQ(summary.links[0].to, 0u);
+  EXPECT_EQ(summary.links[0].flits, 800u);
+  EXPECT_EQ(summary.links[2].flits, 200u);
+  // Non-link counters load but do not pollute the link ranking.
+  EXPECT_EQ(summary.counters.at("sim.cycles"), 20000u);
+
+  const TraceSummary::HistogramSummary& latency = summary.histograms.at("net.latency");
+  EXPECT_EQ(latency.count, 1000u);
+  EXPECT_EQ(latency.max, 500u);
+  EXPECT_DOUBLE_EQ(latency.mean, 30.0);
+  EXPECT_DOUBLE_EQ(latency.p50, 25.5);
+  EXPECT_DOUBLE_EQ(latency.p90, 110.0);
+  EXPECT_DOUBLE_EQ(latency.p99, 480.0);
+}
+
+TEST(ReportTest, LoadMetricsRejectsNonMetricsText) {
+  TraceSummary summary;
+  EXPECT_FALSE(LoadMetrics("", summary));
+  EXPECT_FALSE(LoadMetrics("{\"type\":\"search.move\"}", summary));
+  EXPECT_FALSE(summary.has_metrics);
+}
+
+TEST(ReportTest, MetricsLineInsideTheTraceIsFoldedIn) {
+  const TraceSummary summary = Summarize(std::string(kTrace) + kMetrics + "\n");
+  EXPECT_TRUE(summary.has_metrics);
+  EXPECT_EQ(summary.links.size(), 3u);
+  EXPECT_EQ(summary.events, 10u);  // the metrics line is not an event
+}
+
+TEST(ReportTest, RenderReportShowsTheHeadlineNumbers) {
+  TraceSummary summary = Summarize(kTrace);
+  ASSERT_TRUE(LoadMetrics(kMetrics, summary));
+  std::ostringstream out;
+  RenderReport(summary, out, 2);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("Search convergence (2 seeds)"), std::string::npos);
+  EXPECT_NE(text.find("best F_G: 0.115"), std::string::npos);
+  EXPECT_NE(text.find("C_c 10.58"), std::string::npos);
+  EXPECT_NE(text.find("p50=25.5"), std::string::npos);
+  EXPECT_NE(text.find("p99=480"), std::string::npos);
+  EXPECT_NE(text.find("Top-2 hottest links (of 3 directed links)"), std::string::npos);
+  EXPECT_NE(text.find("1 -> 0"), std::string::npos);
+  // Only the top 2 links render.
+  EXPECT_EQ(text.find("3 -> 2"), std::string::npos);
+  EXPECT_NE(text.find("Load sweep (3 points)"), std::string::npos);
+  EXPECT_NE(text.find("throughput: 0.86"), std::string::npos);
+  // Metrics were supplied, so the hint must not appear.
+  EXPECT_EQ(text.find("no metrics dump loaded"), std::string::npos);
+}
+
+TEST(ReportTest, RenderReportHintsWhenMetricsAreMissing) {
+  std::ostringstream out;
+  RenderReport(Summarize(kTrace), out);
+  EXPECT_NE(out.str().find("no metrics dump loaded"), std::string::npos);
+}
+
+TEST(ReportTest, WriteSweepCsvEmitsOneRowPerPoint) {
+  std::ostringstream out;
+  WriteSweepCsv(Summarize(kTrace), out);
+  EXPECT_EQ(out.str(),
+            "offered,accepted,avg_latency,saturated\n"
+            "0.1,0.1,18,0\n"
+            "0.5,0.49,21.5,0\n"
+            "1.2,0.86,70.25,1\n");
+}
+
+}  // namespace
+}  // namespace commsched

@@ -5,12 +5,17 @@
 //   commsched_cli schedule --kind random --switches 16 --apps 4 [--seeds 10]
 //   commsched_cli simulate --kind rings --apps 4 --mapping op|random|blocked
 //                          [--points 9] [--max-rate 1.4] [--vcs 1] [--duato]
+//                          [--telemetry N]
 //   commsched_cli experiment --kind random --switches 16 [--randoms 9]
+//   commsched_cli report   --trace run.jsonl [--metrics-file m.json]
+//                          [--csv sweep.csv] [--top 5]
 //
 // Observability (any command): --trace <file> streams structured JSONL
 // events (search moves/restarts, simulator milestones, sweep points) to the
 // file; --metrics prints the global counter/timer registry as one JSON line
-// after the command output.
+// after the command output; --metrics-out <file> writes the same JSON to a
+// file; --chrome-trace <file> writes a Chrome trace-event profile of the
+// run's spans (load in Perfetto / chrome://tracing).
 //
 // Topology kinds: random (paper's irregular model), rings (the designed
 // 24-switch net), mixed (dense/sparse 16-switch), mesh RxC, torus RxC,
@@ -190,6 +195,7 @@ int CmdSimulate(const Args& args) {
   sweep.config.adaptive_routing = args.Has("adaptive");
   sweep.config.warmup_cycles = args.GetSize("warmup", 5000);
   sweep.config.measure_cycles = args.GetSize("measure", 15000);
+  sweep.config.telemetry_sample_cycles = args.GetSize("telemetry", 0);
 
   sim::SweepResult result;
   if (args.Has("duato")) {
@@ -237,19 +243,54 @@ int CmdExperiment(const Args& args) {
   return 0;
 }
 
+int CmdReport(const Args& args) {
+  const std::string trace_path = args.Get("trace", "");
+  if (trace_path.empty()) throw ConfigError("report requires --trace <file>");
+  std::ifstream in(trace_path);
+  if (!in) throw ConfigError("cannot open trace file '" + trace_path + "'");
+  obs::TraceSummary summary = obs::SummarizeTrace(in);
+  const std::string metrics_path = args.Get("metrics-file", "");
+  if (!metrics_path.empty()) {
+    std::ifstream metrics_in(metrics_path);
+    if (!metrics_in) throw ConfigError("cannot open metrics file '" + metrics_path + "'");
+    std::ostringstream metrics_text;
+    metrics_text << metrics_in.rdbuf();
+    if (!obs::LoadMetrics(metrics_text.str(), summary)) {
+      throw ConfigError("metrics file '" + metrics_path + "' is not a registry dump");
+    }
+  }
+  obs::RenderReport(summary, std::cout, args.GetSize("top", 5));
+  const std::string csv_path = args.Get("csv", "");
+  if (!csv_path.empty()) {
+    std::ofstream csv(csv_path);
+    if (!csv) throw ConfigError("cannot open csv file '" + csv_path + "'");
+    obs::WriteSweepCsv(summary, csv);
+    std::cout << "sweep csv: " << csv_path << "\n";
+  }
+  return 0;
+}
+
 int Usage() {
   std::cerr <<
-      "usage: commsched_cli <topo|distance|schedule|simulate|experiment> [--flags]\n"
+      "usage: commsched_cli <topo|distance|schedule|simulate|experiment|report> [--flags]\n"
       "  topo       generate/describe a topology (--kind random|rings|mixed|mesh|torus|\n"
       "             hypercube|file, --switches N, --seed S, --dot)\n"
       "  distance   equivalent-distance table as CSV (--hops for hop counts)\n"
       "  schedule   Tabu mapping + quality coefficients (--apps K, --seeds N, --dot)\n"
       "  simulate   load sweep for a mapping (--mapping op|random|blocked, --vcs V,\n"
-      "             --adaptive, --duato, --points P, --max-rate R)\n"
+      "             --adaptive, --duato, --points P, --max-rate R, --telemetry N\n"
+      "             to sample deep network telemetry every N measured cycles)\n"
       "  experiment full paper experiment: OP vs random mappings (--randoms K)\n"
+      "  report     analyse a JSONL trace: latency percentiles, hottest links,\n"
+      "             per-seed convergence (--trace F, --metrics-file F, --csv F,\n"
+      "             --top K)\n"
       "observability flags (any command):\n"
-      "  --trace F  write a JSONL event trace (search moves, sim milestones) to F\n"
-      "  --metrics  print the counter/timer registry as one JSON line at the end\n";
+      "  --trace F        write a JSONL event trace (search moves, sim milestones,\n"
+      "                   net.sample telemetry) to F\n"
+      "  --metrics        print the counter/timer/histogram registry as one JSON\n"
+      "                   line at the end\n"
+      "  --metrics-out F  write the registry JSON to F (readable by report)\n"
+      "  --chrome-trace F write a Chrome trace-event span profile to F\n";
   return 2;
 }
 
@@ -259,6 +300,7 @@ int Dispatch(const std::string& command, const Args& args) {
   if (command == "schedule") return CmdSchedule(args);
   if (command == "simulate") return CmdSimulate(args);
   if (command == "experiment") return CmdExperiment(args);
+  if (command == "report") return CmdReport(args);
   return Usage();
 }
 
@@ -271,15 +313,37 @@ int main(int argc, char** argv) {
     const Args args(argc, argv);
     std::unique_ptr<obs::Tracer> tracer;
     std::optional<obs::ScopedTracer> scoped_tracer;
-    if (args.Has("trace")) {
+    if (args.Has("trace") && command != "report") {
       const std::string path = args.Get("trace", "");
       if (path.empty()) throw ConfigError("--trace requires a file path");
       tracer = obs::Tracer::OpenFile(path);
       scoped_tracer.emplace(*tracer);
     }
+    obs::SpanCollector spans;
+    std::optional<obs::ScopedSpanCollector> scoped_spans;
+    if (args.Has("chrome-trace")) {
+      if (args.Get("chrome-trace", "").empty()) {
+        throw ConfigError("--chrome-trace requires a file path");
+      }
+      scoped_spans.emplace(spans);
+    }
     const int rc = Dispatch(command, args);
     scoped_tracer.reset();  // uninstall before the file closes
     if (tracer != nullptr) tracer->Flush();
+    scoped_spans.reset();
+    if (rc == 0 && args.Has("chrome-trace")) {
+      const std::string path = args.Get("chrome-trace", "");
+      std::ofstream out(path);
+      if (!out) throw ConfigError("cannot open chrome trace file '" + path + "'");
+      spans.WriteChromeTrace(out);
+    }
+    if (rc == 0 && args.Has("metrics-out")) {
+      const std::string path = args.Get("metrics-out", "");
+      if (path.empty()) throw ConfigError("--metrics-out requires a file path");
+      std::ofstream out(path);
+      if (!out) throw ConfigError("cannot open metrics file '" + path + "'");
+      out << obs::Registry::Global().ToJson() << "\n";
+    }
     if (rc == 0 && args.Has("metrics")) {
       std::cout << obs::Registry::Global().ToJson() << "\n";
     }
