@@ -1,0 +1,237 @@
+#include "faults/fault_plan.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace commsched::faults {
+namespace {
+
+// Minimal recursive-descent parser for the subset of JSON a fault plan
+// uses: objects, arrays, strings, and unsigned integers.  Anything else
+// (floats, nesting surprises, trailing garbage) is a ConfigError with a
+// byte offset, which is all a hand-written chaos plan needs for debugging.
+class PlanParser {
+ public:
+  explicit PlanParser(const std::string& text) : text_(text) {}
+
+  std::vector<FaultEvent> Parse() {
+    SkipSpace();
+    Expect('{');
+    ExpectKey("events");
+    std::vector<FaultEvent> events = ParseEvents();
+    SkipSpace();
+    Expect('}');
+    SkipSpace();
+    if (pos_ != text_.size()) Fail("trailing characters after fault plan");
+    return events;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& why) const {
+    throw ConfigError("fault plan: " + why + " (at byte " + std::to_string(pos_) + ")");
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  void Expect(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      Fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      const char c = text_[pos_++];
+      if (c == '\\') Fail("escape sequences are not supported in fault plans");
+      out.push_back(c);
+    }
+    if (pos_ >= text_.size()) Fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  void ExpectKey(const std::string& key) {
+    const std::string got = ParseString();
+    if (got != key) Fail("expected key \"" + key + "\", got \"" + got + "\"");
+    Expect(':');
+  }
+
+  std::size_t ParseUnsigned() {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      Fail("negative numbers are not valid cycle counts or ids");
+    }
+    if (pos_ >= text_.size() ||
+        std::isdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+      Fail("expected a non-negative integer");
+    }
+    std::size_t value = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+      const std::size_t digit = static_cast<std::size_t>(text_[pos_] - '0');
+      if (value > (SIZE_MAX - digit) / 10) Fail("integer overflows");
+      value = value * 10 + digit;
+      ++pos_;
+    }
+    return value;
+  }
+
+  std::vector<FaultEvent> ParseEvents() {
+    Expect('[');
+    std::vector<FaultEvent> events;
+    if (Peek(']')) {
+      ++pos_;
+      return events;
+    }
+    while (true) {
+      events.push_back(ParseEvent());
+      SkipSpace();
+      if (Peek(',')) {
+        ++pos_;
+        continue;
+      }
+      Expect(']');
+      return events;
+    }
+  }
+
+  FaultEvent ParseEvent() {
+    Expect('{');
+    FaultEvent event;
+    bool saw_at = false, saw_kind = false, saw_a = false, saw_b = false, saw_switch = false;
+    while (true) {
+      const std::string key = ParseString();
+      Expect(':');
+      if (key == "at") {
+        event.at_cycle = ParseUnsigned();
+        saw_at = true;
+      } else if (key == "kind") {
+        event.kind = ParseKind(ParseString());
+        saw_kind = true;
+      } else if (key == "a") {
+        event.a = ParseUnsigned();
+        saw_a = true;
+      } else if (key == "b") {
+        event.b = ParseUnsigned();
+        saw_b = true;
+      } else if (key == "switch") {
+        event.switch_id = ParseUnsigned();
+        saw_switch = true;
+      } else {
+        Fail("unknown event key \"" + key + "\"");
+      }
+      if (Peek(',')) {
+        ++pos_;
+        continue;
+      }
+      Expect('}');
+      break;
+    }
+    if (!saw_at) Fail("event is missing \"at\"");
+    if (!saw_kind) Fail("event is missing \"kind\"");
+    const bool link_kind =
+        event.kind == FaultKind::kLinkDown || event.kind == FaultKind::kLinkUp;
+    if (link_kind) {
+      if (!saw_a || !saw_b) Fail("link event needs both \"a\" and \"b\"");
+      if (saw_switch) Fail("link event must not name a \"switch\"");
+      if (event.a == event.b) Fail("link event endpoints must differ");
+    } else {
+      if (!saw_switch) Fail("switch event needs \"switch\"");
+      if (saw_a || saw_b) Fail("switch event must not name \"a\"/\"b\"");
+    }
+    return event;
+  }
+
+  FaultKind ParseKind(const std::string& name) const {
+    if (name == "link_down") return FaultKind::kLinkDown;
+    if (name == "link_up") return FaultKind::kLinkUp;
+    if (name == "switch_down") return FaultKind::kSwitchDown;
+    if (name == "switch_up") return FaultKind::kSwitchUp;
+    Fail("unknown event kind \"" + name + "\"");
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+FaultPlan FaultPlan::FromEvents(std::vector<FaultEvent> events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& x, const FaultEvent& y) {
+                     return x.at_cycle < y.at_cycle;
+                   });
+  FaultPlan plan;
+  plan.events_ = std::move(events);
+  return plan;
+}
+
+FaultPlan FaultPlan::FromJson(const std::string& text) {
+  return FromEvents(PlanParser(text).Parse());
+}
+
+std::string FaultPlan::ToJson() const {
+  std::ostringstream out;
+  out << "{\"events\": [";
+  for (std::size_t k = 0; k < events_.size(); ++k) {
+    const FaultEvent& e = events_[k];
+    if (k > 0) out << ", ";
+    out << "{\"at\": " << e.at_cycle << ", \"kind\": \"" << KindName(e.kind) << "\"";
+    if (e.kind == FaultKind::kLinkDown || e.kind == FaultKind::kLinkUp) {
+      out << ", \"a\": " << e.a << ", \"b\": " << e.b;
+    } else {
+      out << ", \"switch\": " << e.switch_id;
+    }
+    out << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+void FaultPlan::ValidateFor(const topo::SwitchGraph& graph) const {
+  for (std::size_t k = 0; k < events_.size(); ++k) {
+    const FaultEvent& e = events_[k];
+    const std::string where = "fault plan event " + std::to_string(k) + ": ";
+    if (e.kind == FaultKind::kLinkDown || e.kind == FaultKind::kLinkUp) {
+      if (e.a >= graph.switch_count() || e.b >= graph.switch_count()) {
+        throw ConfigError(where + "link endpoint out of range (topology has " +
+                          std::to_string(graph.switch_count()) + " switches)");
+      }
+      if (!graph.HasLink(e.a, e.b)) {
+        throw ConfigError(where + "no link " + std::to_string(e.a) + "--" +
+                          std::to_string(e.b) + " in the topology");
+      }
+    } else if (e.switch_id >= graph.switch_count()) {
+      throw ConfigError(where + "switch " + std::to_string(e.switch_id) +
+                        " out of range (topology has " +
+                        std::to_string(graph.switch_count()) + " switches)");
+    }
+  }
+}
+
+const char* FaultPlan::KindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkDown: return "link_down";
+    case FaultKind::kLinkUp: return "link_up";
+    case FaultKind::kSwitchDown: return "switch_down";
+    case FaultKind::kSwitchUp: return "switch_up";
+  }
+  CS_UNREACHABLE("bad FaultKind");
+}
+
+}  // namespace commsched::faults

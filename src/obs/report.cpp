@@ -154,6 +154,38 @@ void FoldTraceEvent(TraceSummary& summary, const Fields& fields) {
     summary.sweep.push_back(point);
   } else if (type == "net.sample") {
     ++summary.net_samples;
+    summary.samples.push_back({Uint(fields, "cycle"), Uint(fields, "win_flits")});
+  } else if (type == "sim.start") {
+    summary.measure_start_cycle = Uint(fields, "warmup");
+  } else if (type == "sched.remap") {
+    ++summary.remap_actions[Str(fields, "action")];
+  } else if (type == "fault.reconfig_start") {
+    TraceSummary::ReconfigSummary window;
+    window.start_cycle = Uint(fields, "cycle");
+    summary.reconfigs.push_back(window);
+  } else if (type == "fault.reconfig_done") {
+    if (summary.reconfigs.empty() || summary.reconfigs.back().has_done) {
+      summary.reconfigs.push_back({});
+      summary.reconfigs.back().start_cycle = Uint(fields, "cycle");
+    }
+    TraceSummary::ReconfigSummary& window = summary.reconfigs.back();
+    window.done_cycle = Uint(fields, "cycle");
+    window.surviving_switches = Uint(fields, "surviving_switches");
+    window.dead_switches = Uint(fields, "dead_switches");
+    window.evicted_switches = Uint(fields, "evicted_switches");
+    window.dropped_flits = Uint(fields, "dropped_flits");
+    window.messages_lost = Uint(fields, "messages_lost");
+    window.has_done = true;
+  } else if (StartsWith(type, "fault.")) {
+    TraceSummary::FaultEventSummary fault;
+    fault.kind = type.substr(6);
+    fault.cycle = Uint(fields, "cycle");
+    if (fields.count("switch") > 0) {
+      fault.target = "switch " + Raw(fields, "switch");
+    } else {
+      fault.target = Raw(fields, "a") + "--" + Raw(fields, "b");
+    }
+    summary.faults.push_back(fault);
   }
 }
 
@@ -315,6 +347,91 @@ void RenderReport(const TraceSummary& summary, std::ostream& out, std::size_t to
     }
     out << table;
     out << "throughput: " << throughput << " flits/switch/cycle\n";
+  }
+
+  if (!summary.faults.empty() || !summary.reconfigs.empty()) {
+    out << "\nFault & reconfiguration:\n";
+    for (const TraceSummary::FaultEventSummary& fault : summary.faults) {
+      out << "  cycle " << fault.cycle << ": " << fault.kind << " " << fault.target << "\n";
+    }
+    if (!summary.reconfigs.empty()) {
+      TextTable table({"start", "done", "downtime", "alive", "dead", "evicted",
+                       "dropped flits", "msgs lost"});
+      for (const TraceSummary::ReconfigSummary& window : summary.reconfigs) {
+        table.AddRow(
+            {static_cast<long long>(window.start_cycle),
+             window.has_done ? TableCell(static_cast<long long>(window.done_cycle))
+                             : TableCell(std::string("-")),
+             window.has_done
+                 ? TableCell(static_cast<long long>(window.done_cycle - window.start_cycle))
+                 : TableCell(std::string("-")),
+             static_cast<long long>(window.surviving_switches),
+             static_cast<long long>(window.dead_switches),
+             static_cast<long long>(window.evicted_switches),
+             static_cast<long long>(window.dropped_flits),
+             static_cast<long long>(window.messages_lost)});
+      }
+      out << table;
+    }
+    if (!summary.remap_actions.empty()) {
+      out << "  sched.remap actions:";
+      for (const auto& [action, count] : summary.remap_actions) {
+        out << " " << action << "=" << count;
+      }
+      out << "\n";
+    }
+
+    // Delivery rate before / during / after the degradation window, from
+    // the net.sample telemetry windows. The degradation window spans the
+    // first fault event to the last completed reconfiguration.
+    if (summary.samples.size() >= 2 || summary.measure_start_cycle.has_value()) {
+      std::uint64_t fault_begin = UINT64_MAX;
+      for (const TraceSummary::FaultEventSummary& fault : summary.faults) {
+        fault_begin = std::min(fault_begin, fault.cycle);
+      }
+      for (const TraceSummary::ReconfigSummary& window : summary.reconfigs) {
+        fault_begin = std::min(fault_begin, window.start_cycle);
+      }
+      std::uint64_t fault_end = 0;
+      bool any_done = false;
+      for (const TraceSummary::ReconfigSummary& window : summary.reconfigs) {
+        if (window.has_done) {
+          fault_end = std::max(fault_end, window.done_cycle);
+          any_done = true;
+        }
+      }
+      std::uint64_t flits[3] = {0, 0, 0};   // before, during, after
+      std::uint64_t cycles[3] = {0, 0, 0};
+      std::uint64_t prev = summary.measure_start_cycle.value_or(0);
+      bool have_prev = summary.measure_start_cycle.has_value();
+      for (const TraceSummary::NetSample& sample : summary.samples) {
+        if (have_prev && sample.cycle > prev) {
+          std::size_t phase = 1;  // during
+          if (sample.cycle <= fault_begin) {
+            phase = 0;  // window ended before the first fault
+          } else if (any_done && prev >= fault_end) {
+            phase = 2;  // window started after the last reconfiguration
+          }
+          flits[phase] += sample.win_flits;
+          cycles[phase] += sample.cycle - prev;
+        }
+        prev = sample.cycle;
+        have_prev = true;
+      }
+      const auto rate = [&](std::size_t phase) -> double {
+        return cycles[phase] == 0 ? 0.0
+                                  : static_cast<double>(flits[phase]) /
+                                        static_cast<double>(cycles[phase]);
+      };
+      if (cycles[0] + cycles[1] + cycles[2] > 0) {
+        out << "  delivered flits/cycle: before=" << rate(0) << " during=" << rate(1)
+            << " after=" << rate(2) << "\n";
+        if (cycles[0] > 0 && cycles[2] > 0 && rate(0) > 0.0) {
+          out << "  recovery: " << 100.0 * rate(2) / rate(0)
+              << "% of pre-fault delivery rate\n";
+        }
+      }
+    }
   }
 
   if (summary.net_samples > 0) {

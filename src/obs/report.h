@@ -56,6 +56,39 @@ struct TraceSummary {
 
   std::size_t net_samples = 0;  // net.sample telemetry events seen
 
+  /// One fault-plan event observed in the trace (fault.link_down, ...).
+  struct FaultEventSummary {
+    std::string kind;     // "link_down", "switch_up", ...
+    std::uint64_t cycle = 0;
+    std::string target;   // "0--1" for links, "switch 3" for switches
+  };
+  std::vector<FaultEventSummary> faults;  // in stream order
+
+  /// One reconfiguration window (fault.reconfig_start .. reconfig_done).
+  struct ReconfigSummary {
+    std::uint64_t start_cycle = 0;
+    std::uint64_t done_cycle = 0;
+    std::uint64_t surviving_switches = 0;
+    std::uint64_t dead_switches = 0;
+    std::uint64_t evicted_switches = 0;
+    std::uint64_t dropped_flits = 0;   // cumulative at completion
+    std::uint64_t messages_lost = 0;   // cumulative at completion
+    bool has_done = false;
+  };
+  std::vector<ReconfigSummary> reconfigs;
+
+  /// Raw net.sample points (cycle + windowed delivered flits), kept so the
+  /// renderer can split delivery into before/during/after-degradation
+  /// phases.
+  struct NetSample {
+    std::uint64_t cycle = 0;
+    std::uint64_t win_flits = 0;
+  };
+  std::vector<NetSample> samples;
+
+  std::map<std::string, std::size_t> remap_actions;  // sched.remap, by action
+  std::optional<std::uint64_t> measure_start_cycle;  // sim.start's warmup
+
   // ---- from the metrics dump ---------------------------------------------
   bool has_metrics = false;
 

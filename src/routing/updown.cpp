@@ -8,6 +8,27 @@ namespace commsched::route {
 
 namespace {
 constexpr std::size_t kUnreachable = std::numeric_limits<std::size_t>::max();
+
+// Throws DisconnectedGraphError when some switch cannot be reached from
+// `source`, listing the stranded switch ids in the message.
+void RequireConnectedFrom(const SwitchGraph& graph, SwitchId source) {
+  const auto dist = graph.BfsDistances(source);
+  std::vector<SwitchId> unreachable;
+  for (SwitchId s = 0; s < dist.size(); ++s) {
+    if (dist[s] == kUnreachable) unreachable.push_back(s);
+  }
+  if (unreachable.empty()) return;
+  std::string names;
+  for (std::size_t k = 0; k < unreachable.size(); ++k) {
+    if (k > 0) names += ", ";
+    names += std::to_string(unreachable[k]);
+  }
+  throw DisconnectedGraphError(
+      "up*/down* requires a connected graph: switches {" + names +
+          "} are unreachable from switch " + std::to_string(source),
+      std::move(unreachable));
+}
+
 }  // namespace
 
 SwitchId SelectRoot(const SwitchGraph& graph, RootPolicy policy) {
@@ -25,13 +46,11 @@ SwitchId SelectRoot(const SwitchGraph& graph, RootPolicy policy) {
     case RootPolicy::kMinEccentricity: {
       SwitchId best = 0;
       std::size_t best_ecc = kUnreachable;
+      RequireConnectedFrom(graph, 0);
       for (SwitchId s = 0; s < n; ++s) {
         const auto dist = graph.BfsDistances(s);
         std::size_t ecc = 0;
-        for (std::size_t d : dist) {
-          CS_CHECK(d != kUnreachable, "up*/down* requires a connected graph");
-          ecc = std::max(ecc, d);
-        }
+        for (std::size_t d : dist) ecc = std::max(ecc, d);
         if (ecc < best_ecc) {
           best_ecc = ecc;
           best = s;
@@ -49,7 +68,7 @@ UpDownRouting::UpDownRouting(const SwitchGraph& graph, RootPolicy policy)
 UpDownRouting::UpDownRouting(const SwitchGraph& graph, SwitchId root)
     : graph_(&graph), root_(root) {
   CS_CHECK(root < graph.switch_count(), "root out of range");
-  CS_CHECK(graph.IsConnected(), "up*/down* requires a connected graph");
+  RequireConnectedFrom(graph, root);
   Build();
 }
 

@@ -11,10 +11,27 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "routing/routing.h"
 
 namespace commsched::route {
+
+/// Thrown when up*/down* routing is asked to cover a disconnected graph.
+/// Names the switches unreachable from the chosen root so fault-handling
+/// callers can report (or evict) exactly the stranded part of the network.
+class DisconnectedGraphError : public commsched::ConfigError {
+ public:
+  DisconnectedGraphError(const std::string& what, std::vector<SwitchId> unreachable)
+      : ConfigError(what), unreachable_(std::move(unreachable)) {}
+
+  [[nodiscard]] const std::vector<SwitchId>& unreachable_switches() const {
+    return unreachable_;
+  }
+
+ private:
+  std::vector<SwitchId> unreachable_;
+};
 
 /// How the spanning-tree root is chosen.
 enum class RootPolicy {
@@ -26,7 +43,9 @@ enum class RootPolicy {
 class UpDownRouting final : public Routing {
  public:
   /// Builds the routing function; the graph must stay alive and unchanged
-  /// for the lifetime of this object. Requires a connected graph.
+  /// for the lifetime of this object. Requires a connected graph; a
+  /// disconnected one raises DisconnectedGraphError naming the stranded
+  /// switches.
   UpDownRouting(const SwitchGraph& graph, RootPolicy policy = RootPolicy::kMaxDegree);
 
   /// Explicit root override.

@@ -3,13 +3,28 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/obs.h"
+#include "obs/trace.h"
+
 namespace commsched::sched {
+namespace {
+
+constexpr std::size_t kMaxCooldownTicks = 64;
+
+void TraceRemap(const char* action, const std::string& name, std::size_t switch_id) {
+  if (obs::Tracer* t = obs::ActiveTracer()) {
+    t->Emit(obs::TraceEvent("sched.remap").F("action", action).F("app", name).F("switch", switch_id));
+  }
+}
+
+}  // namespace
 
 OnlineScheduler::OnlineScheduler(const topo::SwitchGraph& graph,
                                  const dist::DistanceTable& table, const OnlineOptions& options)
     : graph_(&graph), table_(&table), options_(options) {
   CS_CHECK(table.size() == graph.switch_count(), "table / graph size mismatch");
   is_free_.assign(graph.switch_count(), true);
+  failed_.assign(graph.switch_count(), false);
   free_.resize(graph.switch_count());
   for (std::size_t s = 0; s < graph.switch_count(); ++s) free_[s] = s;
 }
@@ -29,6 +44,12 @@ std::optional<std::vector<std::size_t>> OnlineScheduler::Allocate(const std::str
                                                                   std::size_t switch_count) {
   CS_CHECK(switch_count >= 1, "allocation needs at least one switch");
   CS_CHECK(allocations_.find(name) == allocations_.end(), "'", name, "' already allocated");
+  CS_CHECK(!IsPending(name), "'", name, "' is pending re-placement after an eviction");
+  return TryPlace(name, switch_count);
+}
+
+std::optional<std::vector<std::size_t>> OnlineScheduler::TryPlace(const std::string& name,
+                                                                  std::size_t switch_count) {
   if (free_.size() < switch_count) {
     return std::nullopt;
   }
@@ -105,11 +126,111 @@ void OnlineScheduler::Release(const std::string& name) {
   CS_CHECK(it != allocations_.end(), "unknown allocation '", name, "'");
   for (std::size_t s : it->second) {
     CS_DCHECK(!is_free_[s], "double free of switch ", s);
+    // A switch that failed while allocated stays out of the free pool.
+    if (failed_[s]) continue;
     is_free_[s] = true;
     free_.push_back(s);
   }
   std::sort(free_.begin(), free_.end());
   allocations_.erase(it);
+  RetryPending();
+}
+
+RemapOutcome OnlineScheduler::FailSwitch(std::size_t s) {
+  CS_CHECK(s < failed_.size(), "switch out of range");
+  RemapOutcome outcome;
+  if (failed_[s]) return outcome;  // idempotent
+  failed_[s] = true;
+  obs::Registry::Global().GetCounter("sched.remap.switch_failures").Add();
+  if (is_free_[s]) {
+    is_free_[s] = false;
+    free_.erase(std::remove(free_.begin(), free_.end(), s), free_.end());
+    return outcome;  // nothing was running there
+  }
+
+  // Evict every application holding the dead switch, freeing its healthy
+  // switches, then try to re-place each one immediately.
+  std::vector<std::pair<std::string, std::size_t>> evicted;
+  for (auto it = allocations_.begin(); it != allocations_.end();) {
+    const bool holds = std::find(it->second.begin(), it->second.end(), s) != it->second.end();
+    if (!holds) {
+      ++it;
+      continue;
+    }
+    evicted.emplace_back(it->first, it->second.size());
+    TraceRemap("evict", it->first, s);
+    obs::Registry::Global().GetCounter("sched.remap.evictions").Add();
+    for (const std::size_t member : it->second) {
+      if (member == s || failed_[member]) continue;
+      is_free_[member] = true;
+      free_.push_back(member);
+    }
+    it = allocations_.erase(it);
+  }
+  std::sort(free_.begin(), free_.end());
+
+  for (const auto& [name, switch_count] : evicted) {
+    if (TryPlace(name, switch_count).has_value()) {
+      TraceRemap("reallocate", name, s);
+      obs::Registry::Global().GetCounter("sched.remap.reallocated").Add();
+      outcome.remapped.push_back(name);
+    } else {
+      TraceRemap("defer", name, s);
+      obs::Registry::Global().GetCounter("sched.remap.deferred").Add();
+      pending_.push_back({name, switch_count, 1, 1});
+      outcome.pending.push_back(name);
+    }
+  }
+  return outcome;
+}
+
+RemapOutcome OnlineScheduler::RestoreSwitch(std::size_t s) {
+  CS_CHECK(s < failed_.size(), "switch out of range");
+  if (!failed_[s]) return RetryPending();  // healthy already; still tick
+  failed_[s] = false;
+  is_free_[s] = true;
+  free_.push_back(s);
+  std::sort(free_.begin(), free_.end());
+  obs::Registry::Global().GetCounter("sched.remap.switch_restores").Add();
+  TraceRemap("restore", "", s);
+  return RetryPending();
+}
+
+RemapOutcome OnlineScheduler::RetryPending() {
+  RemapOutcome outcome;
+  std::vector<PendingApp> still_pending;
+  for (PendingApp app : pending_) {
+    if (app.cooldown > 1) {
+      --app.cooldown;
+      still_pending.push_back(std::move(app));
+      continue;
+    }
+    if (TryPlace(app.name, app.switch_count).has_value()) {
+      TraceRemap("reallocate", app.name, SIZE_MAX);
+      obs::Registry::Global().GetCounter("sched.remap.reallocated").Add();
+      outcome.remapped.push_back(app.name);
+    } else {
+      ++app.attempts;
+      app.cooldown = std::min<std::size_t>(std::size_t{1} << std::min<std::size_t>(app.attempts, 6),
+                                           kMaxCooldownTicks);
+      outcome.pending.push_back(app.name);
+      still_pending.push_back(std::move(app));
+    }
+  }
+  pending_ = std::move(still_pending);
+  return outcome;
+}
+
+std::vector<std::string> OnlineScheduler::PendingApplications() const {
+  std::vector<std::string> names;
+  names.reserve(pending_.size());
+  for (const PendingApp& app : pending_) names.push_back(app.name);
+  return names;
+}
+
+bool OnlineScheduler::IsPending(const std::string& name) const {
+  return std::any_of(pending_.begin(), pending_.end(),
+                     [&](const PendingApp& app) { return app.name == name; });
 }
 
 std::size_t OnlineScheduler::FreeSwitchCount() const { return free_.size(); }

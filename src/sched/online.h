@@ -26,6 +26,13 @@ struct OnlineOptions {
   std::size_t local_search_iterations = 100;
 };
 
+/// What happened to the applications touched by a FailSwitch/RestoreSwitch
+/// (ISSUE 3: degraded-mode repair scheduling).
+struct RemapOutcome {
+  std::vector<std::string> remapped;  // evicted and re-placed immediately
+  std::vector<std::string> pending;   // evicted; waiting for capacity
+};
+
 class OnlineScheduler {
  public:
   /// The table must match the graph and outlive the scheduler.
@@ -34,12 +41,35 @@ class OnlineScheduler {
 
   /// Allocates `switch_count` switches for `name`; returns the chosen
   /// switches (ascending) or nullopt if not enough are free. `name` must
-  /// not already be allocated.
+  /// not already be allocated (live or pending re-placement).
   [[nodiscard]] std::optional<std::vector<std::size_t>> Allocate(const std::string& name,
                                                                  std::size_t switch_count);
 
-  /// Releases a previous allocation; throws if `name` is unknown.
+  /// Releases a previous allocation; throws if `name` is unknown. Freed
+  /// capacity immediately triggers a retry wave over pending applications.
   void Release(const std::string& name);
+
+  /// Marks switch `s` failed: it leaves the free pool and every application
+  /// holding it is evicted and re-Allocate()d on the surviving free
+  /// switches. Applications that do not fit right now join the pending
+  /// queue and are retried with exponential backoff as capacity returns
+  /// (each Release/RestoreSwitch/RetryPending call is one backoff tick).
+  /// Idempotent for an already-failed switch.
+  RemapOutcome FailSwitch(std::size_t s);
+
+  /// Returns a failed switch to service (back into the free pool) and runs
+  /// a retry wave. Idempotent for a healthy switch.
+  RemapOutcome RestoreSwitch(std::size_t s);
+
+  /// One backoff tick: decrements every pending application's cooldown and
+  /// re-attempts those that reach zero (in eviction order). Failed attempts
+  /// double the cooldown (capped at 64 ticks).
+  RemapOutcome RetryPending();
+
+  [[nodiscard]] bool SwitchFailed(std::size_t s) const { return failed_[s]; }
+
+  /// Applications evicted by failures and still waiting for capacity.
+  [[nodiscard]] std::vector<std::string> PendingApplications() const;
 
   [[nodiscard]] std::size_t FreeSwitchCount() const;
   [[nodiscard]] const std::vector<std::size_t>& FreeSwitches() const { return free_; }
@@ -62,14 +92,29 @@ class OnlineScheduler {
       std::vector<std::string>* cluster_names = nullptr) const;
 
  private:
+  struct PendingApp {
+    std::string name;
+    std::size_t switch_count = 0;
+    std::size_t attempts = 0;  // failed placement attempts so far
+    std::size_t cooldown = 0;  // ticks until the next attempt
+  };
+
   [[nodiscard]] double SetCost(const std::vector<std::size_t>& members) const;
+
+  /// The placement engine behind Allocate (no duplicate-name checks).
+  [[nodiscard]] std::optional<std::vector<std::size_t>> TryPlace(const std::string& name,
+                                                                 std::size_t switch_count);
+
+  [[nodiscard]] bool IsPending(const std::string& name) const;
 
   const topo::SwitchGraph* graph_;
   const dist::DistanceTable* table_;
   OnlineOptions options_;
   std::vector<bool> is_free_;
+  std::vector<bool> failed_;
   std::vector<std::size_t> free_;  // ascending
   std::map<std::string, std::vector<std::size_t>> allocations_;
+  std::vector<PendingApp> pending_;  // eviction order
 };
 
 }  // namespace commsched::sched

@@ -1,0 +1,136 @@
+#include "sched/repair.h"
+
+#include <limits>
+
+#include "common/check.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "quality/quality.h"
+
+namespace commsched::sched {
+namespace {
+
+// Added quadratic intracluster cost of drafting `spare` into `cluster`.
+double DraftCost(const dist::DistanceTable& table, const qual::Partition& partition,
+                 std::size_t spare, std::size_t cluster) {
+  double cost = 0.0;
+  for (const std::size_t m : partition.Members(cluster)) {
+    const double d = table(spare, m);
+    cost += d * d;
+  }
+  return cost;
+}
+
+}  // namespace
+
+RepairOutcome AnchoredRepair(const dist::DistanceTable& table, const qual::Partition& anchor,
+                             const std::vector<std::size_t>& deficit_per_cluster,
+                             std::optional<std::size_t> spare_cluster,
+                             const RepairOptions& options) {
+  const std::size_t n = anchor.switch_count();
+  CS_CHECK(table.size() == n, "distance table and anchor partition disagree on switch count");
+  CS_CHECK(deficit_per_cluster.empty() || deficit_per_cluster.size() == anchor.cluster_count(),
+           "deficit vector must have one entry per cluster");
+  CS_CHECK(!spare_cluster || *spare_cluster < anchor.cluster_count(),
+           "spare cluster out of range");
+
+  RepairOutcome outcome{anchor};
+  qual::Partition& partition = outcome.repaired;
+
+  // Phase 1 — forced migration: refill damaged clusters from the spare
+  // pool, cheapest-fit first.
+  if (spare_cluster && !deficit_per_cluster.empty()) {
+    for (std::size_t c = 0; c < deficit_per_cluster.size(); ++c) {
+      if (c == *spare_cluster) continue;
+      for (std::size_t need = deficit_per_cluster[c]; need > 0; --need) {
+        const std::vector<std::size_t> pool = partition.Members(*spare_cluster);
+        // Partition forbids emptying a cluster, so the pool keeps one spare.
+        if (pool.size() <= 1) break;
+        std::size_t best = pool.front();
+        double best_cost = std::numeric_limits<double>::infinity();
+        for (const std::size_t spare : pool) {
+          const double cost = DraftCost(table, partition, spare, c);
+          if (cost < best_cost) {
+            best_cost = cost;
+            best = spare;
+          }
+        }
+        partition.Move(best, c);
+        ++outcome.forced_moves;
+      }
+    }
+  }
+
+  // Phase 2 — bounded best-improvement swap refinement from the
+  // post-forced-move anchor.
+  qual::SwapEvaluator evaluator(table, partition);
+  outcome.anchor_fg = evaluator.Fg();
+  const std::vector<std::size_t> start_cluster = evaluator.partition().cluster_of_switch();
+  std::vector<bool> displaced(n, false);
+  std::size_t displaced_count = 0;
+  constexpr double kEps = 1e-12;
+
+  for (std::size_t round = 0; round < options.max_refinement_rounds; ++round) {
+    double best_gain = -kEps;  // require a strict improvement
+    std::size_t best_a = 0;
+    std::size_t best_b = 0;
+    bool found = false;
+    const qual::Partition& current = evaluator.partition();
+    for (std::size_t a = 0; a + 1 < n; ++a) {
+      for (std::size_t b = a + 1; b < n; ++b) {
+        if (current.ClusterOf(a) == current.ClusterOf(b)) continue;
+        // Displacement delta of this swap relative to the phase-1 anchor:
+        // after the swap, a sits in b's cluster and vice versa.
+        const bool a_after = current.ClusterOf(b) != start_cluster[a];
+        const bool b_after = current.ClusterOf(a) != start_cluster[b];
+        const int delta_displaced = (static_cast<int>(a_after) - static_cast<int>(displaced[a])) +
+                                    (static_cast<int>(b_after) - static_cast<int>(displaced[b]));
+        const std::size_t after =
+            static_cast<std::size_t>(static_cast<int>(displaced_count) + delta_displaced);
+        if (after > options.migration_budget) continue;
+        const double fg_gain = evaluator.Fg() - evaluator.FgAfterDelta(evaluator.SwapDelta(a, b));
+        const double gain =
+            fg_gain - options.migration_penalty * static_cast<double>(delta_displaced) /
+                          static_cast<double>(n);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_a = a;
+          best_b = b;
+          found = true;
+        }
+      }
+    }
+    if (!found) break;
+    evaluator.ApplySwap(best_a, best_b);
+    ++outcome.refinement_swaps;
+    for (const std::size_t s : {best_a, best_b}) {
+      const bool now = evaluator.partition().ClusterOf(s) != start_cluster[s];
+      if (now != displaced[s]) {
+        displaced[s] = now;
+        displaced_count += now ? 1 : static_cast<std::size_t>(-1);
+      }
+    }
+  }
+
+  outcome.repaired = evaluator.partition();
+  outcome.displaced = displaced_count;
+  outcome.repaired_fg = evaluator.Fg();
+  outcome.repaired_cc = evaluator.Cc();
+
+  obs::Registry::Global().GetCounter("sched.repair.runs").Add();
+  obs::Registry::Global().GetCounter("sched.repair.forced_moves").Add(outcome.forced_moves);
+  obs::Registry::Global().GetCounter("sched.repair.refinement_swaps")
+      .Add(outcome.refinement_swaps);
+  if (obs::Tracer* t = obs::ActiveTracer()) {
+    t->Emit(obs::TraceEvent("sched.repair.done")
+                .F("forced_moves", outcome.forced_moves)
+                .F("refinement_swaps", outcome.refinement_swaps)
+                .F("displaced", outcome.displaced)
+                .F("anchor_fg", outcome.anchor_fg)
+                .F("repaired_fg", outcome.repaired_fg)
+                .F("repaired_cc", outcome.repaired_cc));
+  }
+  return outcome;
+}
+
+}  // namespace commsched::sched

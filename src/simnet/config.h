@@ -9,6 +9,10 @@
 #include <cstddef>
 #include <cstdint>
 
+namespace commsched::faults {
+class FaultPlan;
+}  // namespace commsched::faults
+
 namespace commsched::sim {
 
 struct SimConfig {
@@ -60,6 +64,20 @@ struct SimConfig {
   /// "measurement of communication requirements" the paper defers to future
   /// work; feeds the weighted quality functions.
   bool collect_traffic_matrix = false;
+
+  /// Optional schedule of mid-run link/switch failures (must outlive the
+  /// simulator; nullptr = no faults). When set, the simulator runs in
+  /// degraded mode: flits on dead components are dropped and counted,
+  /// routing is rebuilt on the largest surviving component and swapped
+  /// atomically after `reconfig_downtime_cycles` of frozen arbitration
+  /// (in-flight transfers keep draining during the window, mirroring
+  /// Autonet's self-reconfiguration pause).
+  const faults::FaultPlan* fault_plan = nullptr;
+
+  /// Cycles between a fault event and the atomic routing swap (0 =
+  /// same-cycle swap). Models the Autonet topology-acquisition +
+  /// route-recomputation pause.
+  std::size_t reconfig_downtime_cycles = 128;
 };
 
 }  // namespace commsched::sim

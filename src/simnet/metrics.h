@@ -43,6 +43,12 @@ struct SimMetrics {
 
   bool deadlock_detected = false;
 
+  /// Degraded-mode outcomes (all 0 unless SimConfig::fault_plan was set).
+  std::size_t fault_events_applied = 0;
+  std::size_t dropped_flits = 0;     // in-flight flits purged by faults
+  std::size_t messages_lost = 0;     // messages dropped (in flight or queued)
+  std::size_t reconfig_cycles = 0;   // cycles spent with arbitration frozen
+
   /// Delivered flits per (source switch, destination switch) per measured
   /// cycle. Empty unless SimConfig::collect_traffic_matrix was set.
   std::vector<std::vector<double>> switch_pair_flit_rate;

@@ -41,6 +41,11 @@ void NetworkSimulator::Init() {
   CS_CHECK(config_.input_buffer_flits >= 1, "buffers need at least one slot");
   CS_CHECK(config_.virtual_channels >= 1, "need at least one virtual channel");
   vc_count_ = config_.virtual_channels;
+  base_policy_ = policy_;
+  if (config_.fault_plan != nullptr) {
+    config_.fault_plan->ValidateFor(*graph_);
+    plan_events_ = config_.fault_plan->events();
+  }
 
   const std::size_t n = graph_->switch_count();
   inputs_at_switch_.assign(n, {});
@@ -103,6 +108,19 @@ void NetworkSimulator::ResetState() {
   total_latency_sum_ = 0.0;
   latency_samples_.clear();
   deadlock_ = false;
+  policy_ = base_policy_;
+  next_fault_ = 0;
+  reconfiguring_ = false;
+  reconfig_until_ = 0;
+  dropped_flits_ = 0;
+  messages_lost_ = 0;
+  reconfig_cycles_count_ = 0;
+  fault_events_applied_ = 0;
+  degraded_routing_.reset();
+  degraded_policy_.reset();
+  covered_.assign(graph_->switch_count(), true);
+  view_ = plan_events_.empty() ? nullptr
+                               : std::make_unique<faults::DegradedView>(*graph_);
   telemetry_prev_moved_.assign(ChannelCount(), 0);
   telemetry_prev_delivered_ = 0;
   telemetry_last_cycle_ = 0;
@@ -347,6 +365,11 @@ void NetworkSimulator::GeneratePhase() {
     m.src_host = h;
     m.dst_host = pattern_->SampleDestination(h, rng_);
     m.dst_switch = graph_->SwitchOfHost(m.dst_host);
+    if (view_ != nullptr &&
+        (!covered_[m.dst_switch] || !view_->SwitchAlive(m.dst_switch))) {
+      ++messages_lost_;  // destination is cut off: the message is born dead
+      continue;
+    }
     m.length = config_.message_length_flits;
     m.gen_cycle = cycle_;
     messages_.push_back(m);
@@ -362,18 +385,248 @@ void NetworkSimulator::FinalizeCycle() {
   for (Buffer& buffer : buffers_) {
     buffer.ready = buffer.flits.size();
   }
+  if (reconfiguring_) {
+    // The routing pause freezes arbitration on purpose; don't let the
+    // watchdog read the drained network as a deadlock.
+    idle_cycles_ = 0;
+    return;
+  }
   if (flits_in_network_ > 0 && !any_movement_this_cycle_) {
-    if (++idle_cycles_ >= config_.deadlock_threshold_cycles) {
+    if (++idle_cycles_ >= config_.deadlock_threshold_cycles && !deadlock_) {
       deadlock_ = true;
+      if (obs::Tracer* tracer = obs::ActiveTracer()) {
+        tracer->Emit(obs::TraceEvent("net.deadlock")
+                         .F("cycle", cycle_)
+                         .F("in_flight_flits", flits_in_network_)
+                         .F("idle_cycles", idle_cycles_));
+      }
     }
   } else {
     idle_cycles_ = 0;
   }
 }
 
+void NetworkSimulator::MarkMessageLost(std::size_t msg) {
+  Message& m = messages_[msg];
+  if (m.lost) return;
+  m.lost = true;
+  ++messages_lost_;
+}
+
+void NetworkSimulator::PurgeLostMessages() {
+  // Release output ports held by lost messages (and the wormhole grant of
+  // their source buffers) before touching the FIFOs.
+  for (std::size_t o = 0; o < outputs_.size(); ++o) {
+    OutputPort& port = outputs_[o];
+    if (port.owner == OutputPort::kFree || !messages_[port.owner].lost) continue;
+    if (port.source_buffer != OutputPort::kFree) {
+      buffers_[port.source_buffer].granted_output = Buffer::kNone;
+    }
+    port.owner = OutputPort::kFree;
+    port.source_buffer = OutputPort::kFree;
+  }
+
+  // Purge the flits themselves. A purged buffer's ready prefix is no longer
+  // meaningful; zeroing it stalls the buffer for the one cycle FinalizeCycle
+  // needs to re-establish it.
+  for (Buffer& buffer : buffers_) {
+    const std::size_t before = buffer.flits.size();
+    if (before == 0) continue;
+    std::erase_if(buffer.flits, [&](const Flit& f) { return messages_[f.msg].lost; });
+    const std::size_t purged = before - buffer.flits.size();
+    if (purged == 0) continue;
+    dropped_flits_ += purged;
+    flits_in_network_ -= purged;
+    buffer.ready = 0;
+  }
+
+  // Scrub the source queues: lost messages disappear; a partially injected
+  // head message resets its host's flit cursor (its injected flits were
+  // purged above).
+  for (std::size_t h = 0; h < source_queue_.size(); ++h) {
+    auto& queue = source_queue_[h];
+    if (queue.empty()) continue;
+    if (messages_[queue.front()].lost) source_flits_pushed_[h] = 0;
+    std::erase_if(queue, [&](std::size_t msg) { return messages_[msg].lost; });
+  }
+}
+
+void NetworkSimulator::DropDeadTraffic() {
+  // Messages with flits sitting in a dead buffer: every VC buffer of a dead
+  // directed channel, and the injection buffers of dead switches' hosts.
+  for (std::size_t l = 0; l < graph_->link_count(); ++l) {
+    if (view_->LinkAlive(l)) continue;
+    for (std::size_t dir = 0; dir < 2; ++dir) {
+      for (std::size_t vc = 0; vc < vc_count_; ++vc) {
+        const std::size_t o = (2 * l + dir) * vc_count_ + vc;
+        for (const Flit& f : buffers_[o].flits) MarkMessageLost(f.msg);
+        // A message streaming across the dead link is truncated even if its
+        // remaining flits sit in healthy buffers upstream.
+        if (outputs_[o].owner != OutputPort::kFree) MarkMessageLost(outputs_[o].owner);
+      }
+    }
+  }
+  for (std::size_t h = 0; h < graph_->host_count(); ++h) {
+    const std::size_t s = graph_->SwitchOfHost(h);
+    if (view_->SwitchAlive(s)) continue;
+    for (const Flit& f : buffers_[InjectionBuffer(h)].flits) MarkMessageLost(f.msg);
+    if (outputs_[DeliveryPort(h)].owner != OutputPort::kFree) {
+      MarkMessageLost(outputs_[DeliveryPort(h)].owner);
+    }
+    // The host itself is down: stop generating and abandon its backlog.
+    if (h < inject_prob_.size()) inject_prob_[h] = 0.0;
+    for (const std::size_t msg : source_queue_[h]) MarkMessageLost(msg);
+  }
+
+  // In-flight or queued messages destined to a dead switch can never be
+  // delivered; drop them now instead of letting them clog VCs.
+  for (Buffer& buffer : buffers_) {
+    for (const Flit& f : buffer.flits) {
+      if (!view_->SwitchAlive(messages_[f.msg].dst_switch)) MarkMessageLost(f.msg);
+    }
+  }
+  for (const auto& queue : source_queue_) {
+    for (const std::size_t msg : queue) {
+      if (!view_->SwitchAlive(messages_[msg].dst_switch)) MarkMessageLost(msg);
+    }
+  }
+
+  PurgeLostMessages();
+}
+
+void NetworkSimulator::CompleteReconfiguration() {
+  reconfiguring_ = false;
+
+  // Rebuild up*/down* on the largest surviving component. Reconfigure(true)
+  // is the graceful path: a partitioned network evicts the smaller
+  // component(s) instead of throwing.
+  auto routing = std::make_unique<faults::DegradedRouting>(*graph_, view_->Reconfigure(true));
+  auto policy =
+      std::make_unique<SingleClassVcPolicy>(*routing, vc_count_, config_.adaptive_routing);
+  for (std::size_t s = 0; s < graph_->switch_count(); ++s) {
+    covered_[s] = routing->Covers(s);
+  }
+
+  // Reconcile in-flight state with the new link orientation.  Every message
+  // whose head flit still sits in an input buffer will make its next routing
+  // decision under the new function, so its phase must be the new routing's
+  // arrival phase at its current position; messages stranded outside the
+  // surviving component — or left in a state the new function cannot
+  // continue (up*/down* legality is never violated, matching Autonet's
+  // packet drops during reconfiguration) — are lost.
+  for (std::size_t b = 0; b < buffers_.size(); ++b) {
+    for (const Flit& f : buffers_[b].flits) {
+      if (!f.head) continue;
+      Message& m = messages_[f.msg];
+      if (m.lost) continue;
+      if (!covered_[m.current_switch] || !covered_[m.dst_switch]) {
+        MarkMessageLost(f.msg);
+        continue;
+      }
+      if (b >= LinkVcCount()) {
+        m.phase = Phase::kUp;  // still at its source host
+      } else {
+        m.phase = routing->ArrivalPhase(b / vc_count_ / 2, m.current_switch);
+      }
+      m.on_escape = false;
+      if (m.current_switch != m.dst_switch &&
+          routing->NextHops(m.current_switch, m.dst_switch, m.phase).empty()) {
+        MarkMessageLost(f.msg);
+      }
+    }
+  }
+  // Output claims whose head flit has not crossed yet were made under the
+  // old routing function and may be illegal under the new one; release them
+  // so the head re-arbitrates under the swapped-in policy (a claim whose
+  // head already crossed only streams body flits and never reads
+  // next_phase again, so it is left to drain the worm).
+  for (std::size_t o = 0; o < LinkVcCount(); ++o) {
+    OutputPort& port = outputs_[o];
+    if (port.owner == OutputPort::kFree || messages_[port.owner].lost) continue;
+    Buffer& src = buffers_[port.source_buffer];
+    if (src.flits.empty() || !src.flits.front().head) continue;
+    src.granted_output = Buffer::kNone;
+    port.owner = OutputPort::kFree;
+    port.source_buffer = OutputPort::kFree;
+  }
+  // Queued messages to evicted destinations will never route; hosts on
+  // evicted switches are cut off and stop generating, while re-covered
+  // hosts (after a switch_up) resume at their configured rate.
+  for (const auto& queue : source_queue_) {
+    for (const std::size_t msg : queue) {
+      if (!covered_[messages_[msg].dst_switch]) MarkMessageLost(msg);
+    }
+  }
+  for (std::size_t h = 0; h < inject_prob_.size(); ++h) {
+    inject_prob_[h] = covered_[graph_->SwitchOfHost(h)] ? base_inject_prob_[h] : 0.0;
+  }
+  PurgeLostMessages();
+
+  // Atomic swap: from the next arbitration on, every routing decision uses
+  // the degraded function. The old policy is destroyed only after policy_
+  // points at the new one.
+  policy_ = policy.get();
+  degraded_routing_ = std::move(routing);
+  degraded_policy_ = std::move(policy);
+
+  obs::Registry::Global().GetCounter("fault.reconfigs").Add(1);
+  if (obs::Tracer* tracer = obs::ActiveTracer()) {
+    const faults::Reconfiguration& reconfig = degraded_routing_->reconfig();
+    tracer->Emit(obs::TraceEvent("fault.reconfig_done")
+                     .F("cycle", cycle_)
+                     .F("surviving_switches", reconfig.graph.switch_count())
+                     .F("surviving_links", reconfig.graph.link_count())
+                     .F("dead_switches", reconfig.dead.size())
+                     .F("evicted_switches", reconfig.evicted.size())
+                     .F("dropped_flits", dropped_flits_)
+                     .F("messages_lost", messages_lost_));
+  }
+}
+
+void NetworkSimulator::AdvanceFaultState() {
+  if (reconfiguring_ && cycle_ >= reconfig_until_) {
+    CompleteReconfiguration();
+  }
+  bool applied = false;
+  while (next_fault_ < plan_events_.size() && plan_events_[next_fault_].at_cycle <= cycle_) {
+    const faults::FaultEvent& event = plan_events_[next_fault_++];
+    view_->Apply(event);
+    ++fault_events_applied_;
+    applied = true;
+    obs::Registry::Global().GetCounter("fault.events").Add(1);
+    if (obs::Tracer* tracer = obs::ActiveTracer()) {
+      obs::TraceEvent trace(std::string("fault.") + faults::FaultPlan::KindName(event.kind));
+      trace.F("cycle", cycle_);
+      if (event.kind == faults::FaultKind::kLinkDown ||
+          event.kind == faults::FaultKind::kLinkUp) {
+        trace.F("a", event.a).F("b", event.b);
+      } else {
+        trace.F("switch", event.switch_id);
+      }
+      tracer->Emit(trace);
+    }
+  }
+  if (applied) {
+    DropDeadTraffic();
+    if (!reconfiguring_ && obs::TraceEnabled()) {
+      obs::ActiveTracer()->Emit(obs::TraceEvent("fault.reconfig_start").F("cycle", cycle_));
+    }
+    reconfiguring_ = true;
+    reconfig_until_ = std::max(reconfig_until_, cycle_ + config_.reconfig_downtime_cycles);
+    if (cycle_ >= reconfig_until_) {
+      CompleteReconfiguration();  // zero-downtime: swap within this cycle
+    }
+  }
+  if (reconfiguring_) ++reconfig_cycles_count_;
+}
+
 void NetworkSimulator::StepCycle() {
   any_movement_this_cycle_ = false;
-  ArbitratePhase();
+  if (view_ != nullptr) AdvanceFaultState();
+  // During the reconfiguration downtime no new output claims are made —
+  // in-flight worms keep draining ("blocked VCs are drained") but no new
+  // routing decisions happen until the swapped-in function is live.
+  if (!reconfiguring_) ArbitratePhase();
   TransferPhase();
   InjectPhase();
   GeneratePhase();
@@ -405,6 +658,8 @@ SimMetrics NetworkSimulator::Run(double injection_flits_per_switch_cycle) {
       inject_prob_[h] = p;
     }
   }
+  // Faults zero the rates of cut-off hosts; a later switch_up restores them.
+  base_inject_prob_ = inject_prob_;
 
   if (obs::Tracer* tracer = obs::ActiveTracer()) {
     tracer->Emit(obs::TraceEvent("sim.start")
@@ -504,6 +759,10 @@ SimMetrics NetworkSimulator::Run(double injection_flits_per_switch_cycle) {
     metrics.avg_link_utilization = util_sum / static_cast<double>(ChannelCount());
   }
   metrics.deadlock_detected = deadlock_;
+  metrics.fault_events_applied = fault_events_applied_;
+  metrics.dropped_flits = dropped_flits_;
+  metrics.messages_lost = messages_lost_;
+  metrics.reconfig_cycles = reconfig_cycles_count_;
   metrics.per_app.resize(pattern_->app_count());
   for (std::size_t a = 0; a < pattern_->app_count(); ++a) {
     metrics.per_app[a].messages_delivered = app_messages_[a];
@@ -532,18 +791,32 @@ SimMetrics NetworkSimulator::Run(double injection_flits_per_switch_cycle) {
   registry.GetCounter("sim.messages_generated").Add(messages_generated_measured_);
   registry.GetCounter("sim.messages_delivered").Add(messages_delivered_measured_);
   if (deadlock_) registry.GetCounter("sim.deadlocks").Add(1);
+  if (view_ != nullptr) {
+    registry.GetCounter("fault.dropped_flits").Add(dropped_flits_);
+    registry.GetCounter("fault.messages_lost").Add(messages_lost_);
+    registry.GetCounter("fault.reconfig_cycles").Add(reconfig_cycles_count_);
+  }
   FlushDistributionMetrics();
   if (obs::Tracer* tracer = obs::ActiveTracer()) {
-    tracer->Emit(obs::TraceEvent("sim.done")
-                     .F("rate", injection_flits_per_switch_cycle)
-                     .F("cycles", cycle_)
-                     .F("delivered_flits", delivered_flits_measured_)
-                     .F("delivered_messages", messages_delivered_measured_)
-                     .F("accepted", metrics.accepted_flits_per_switch_cycle)
-                     .F("avg_latency", metrics.avg_latency_cycles)
-                     .F("p50_latency", metrics.p50_latency_cycles)
-                     .F("p99_latency", metrics.p99_latency_cycles)
-                     .F("deadlock", deadlock_));
+    obs::TraceEvent done("sim.done");
+    done.F("rate", injection_flits_per_switch_cycle)
+        .F("cycles", cycle_)
+        .F("delivered_flits", delivered_flits_measured_)
+        .F("delivered_messages", messages_delivered_measured_)
+        .F("accepted", metrics.accepted_flits_per_switch_cycle)
+        .F("avg_latency", metrics.avg_latency_cycles)
+        .F("p50_latency", metrics.p50_latency_cycles)
+        .F("p99_latency", metrics.p99_latency_cycles)
+        .F("deadlock", deadlock_);
+    // Fault fields only appear in degraded-mode runs so that the trace of a
+    // fault-free run stays byte-identical to previous releases.
+    if (view_ != nullptr) {
+      done.F("fault_events", fault_events_applied_)
+          .F("dropped_flits", dropped_flits_)
+          .F("messages_lost", messages_lost_)
+          .F("reconfig_cycles", reconfig_cycles_count_);
+    }
+    tracer->Emit(done);
   }
   return metrics;
 }

@@ -27,6 +27,8 @@
 #include <memory>
 #include <vector>
 
+#include "faults/degraded.h"
+#include "faults/fault_plan.h"
 #include "routing/routing.h"
 #include "simnet/config.h"
 #include "simnet/metrics.h"
@@ -94,6 +96,7 @@ class NetworkSimulator {
     std::size_t current_switch = 0;
     Phase phase = Phase::kUp;
     bool on_escape = false;
+    bool lost = false;  // dropped by a fault / reconfiguration
   };
 
   // Index layout (V = virtual channel count, L = link count, H = hosts):
@@ -115,6 +118,29 @@ class NetworkSimulator {
   void InjectPhase();
   void GeneratePhase();
   void FinalizeCycle();
+
+  // ---- degraded mode (ISSUE 3; active only when config.fault_plan) -------
+  /// Applies every fault event due at the current cycle, drops traffic that
+  /// died with the hardware, and opens/extends the reconfiguration downtime
+  /// window; completes a due reconfiguration (atomic routing swap).
+  void AdvanceFaultState();
+
+  /// Marks every message with flits on dead links / dead switches (or
+  /// destined to a dead switch) lost and purges it from the network.
+  void DropDeadTraffic();
+
+  /// Rebuilds up*/down* routing on the largest surviving component
+  /// (graceful partition handling), swaps the routing policy atomically,
+  /// reconciles in-flight message phases with the new link orientation, and
+  /// drops messages stranded outside the surviving component.
+  void CompleteReconfiguration();
+
+  /// Marks `msg` lost (once) and counts it.
+  void MarkMessageLost(std::size_t msg);
+
+  /// Purges every flit of lost messages from all buffers, releases output
+  /// ports they held, and scrubs them from the source queues.
+  void PurgeLostMessages();
 
   /// One telemetry sample (active tracer + telemetry_sample_cycles only):
   /// records per-VC buffer occupancies and emits a net.sample trace event
@@ -156,6 +182,22 @@ class NetworkSimulator {
   bool any_movement_this_cycle_ = false;
   std::size_t idle_cycles_ = 0;
   std::size_t flits_in_network_ = 0;
+
+  // ---- fault state (all inert without a config.fault_plan) ----------------
+  const VcRoutingPolicy* base_policy_ = nullptr;  // policy_ before any fault
+  std::vector<faults::FaultEvent> plan_events_;   // cycle-sorted
+  std::size_t next_fault_ = 0;
+  std::unique_ptr<faults::DegradedView> view_;    // non-null only with a plan
+  std::unique_ptr<faults::DegradedRouting> degraded_routing_;
+  std::unique_ptr<SingleClassVcPolicy> degraded_policy_;
+  bool reconfiguring_ = false;
+  std::size_t reconfig_until_ = 0;
+  std::vector<bool> covered_;  // base switch inside the routed component
+  std::vector<double> base_inject_prob_;
+  std::uint64_t dropped_flits_ = 0;
+  std::uint64_t messages_lost_ = 0;
+  std::uint64_t reconfig_cycles_count_ = 0;
+  std::uint64_t fault_events_applied_ = 0;
 
   // ---- statistics ----------------------------------------------------------
   std::vector<std::uint64_t> pair_flits_;  // (src switch, dst switch) counts

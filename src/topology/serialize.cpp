@@ -18,10 +18,40 @@ std::string ToText(const SwitchGraph& graph) {
   return oss.str();
 }
 
+namespace {
+
+// Sanity ceilings for user-supplied topology text.  Way above anything the
+// paper's NOW setting needs, but low enough that a corrupted or hostile
+// count (e.g. "-1" wrapping to SIZE_MAX through an unsigned parse) is a
+// clean ConfigError instead of an allocation bomb.
+constexpr std::size_t kMaxSwitches = 1'000'000;
+constexpr std::size_t kMaxHostsPerSwitch = 4096;
+
+// Parses a strictly non-negative decimal integer token.  istream's size_t
+// extraction accepts "-1" by wrapping it modulo 2^64, so negative input is
+// rejected explicitly here.
+std::optional<std::size_t> ParseCount(std::istringstream& ls) {
+  std::string token;
+  if (!(ls >> token)) return std::nullopt;
+  if (token.empty() || token.find_first_not_of("0123456789") != std::string::npos) {
+    return std::nullopt;
+  }
+  std::size_t value = 0;
+  for (const char c : token) {
+    const std::size_t digit = static_cast<std::size_t>(c - '0');
+    if (value > (SIZE_MAX - digit) / 10) return std::nullopt;  // overflow
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+}  // namespace
+
 SwitchGraph FromText(const std::string& text) {
   std::optional<std::size_t> switches;
-  std::size_t hosts = 0;
+  std::optional<std::size_t> hosts;
   std::vector<std::pair<std::size_t, std::size_t>> links;
+  std::vector<std::size_t> link_lines;
 
   std::istringstream iss(text);
   std::string line;
@@ -36,17 +66,37 @@ SwitchGraph FromText(const std::string& text) {
     auto fail = [&](const std::string& why) {
       throw ConfigError("topology text line " + std::to_string(line_no) + ": " + why);
     };
+    auto require_line_end = [&] {
+      std::string extra;
+      if (ls >> extra) fail("unexpected trailing token '" + extra + "'");
+    };
     if (keyword == "switches") {
-      std::size_t n = 0;
-      if (!(ls >> n) || n == 0) fail("expected positive switch count");
-      switches = n;
+      if (switches) fail("duplicate 'switches' line");
+      const auto n = ParseCount(ls);
+      if (!n || *n == 0) fail("expected positive switch count");
+      if (*n > kMaxSwitches) {
+        fail("switch count " + std::to_string(*n) + " exceeds the sanity cap of " +
+             std::to_string(kMaxSwitches));
+      }
+      switches = *n;
+      require_line_end();
     } else if (keyword == "hosts_per_switch") {
-      if (!(ls >> hosts)) fail("expected host count");
+      if (hosts) fail("duplicate 'hosts_per_switch' line");
+      const auto n = ParseCount(ls);
+      if (!n) fail("expected non-negative host count");
+      if (*n > kMaxHostsPerSwitch) {
+        fail("hosts_per_switch " + std::to_string(*n) + " exceeds the sanity cap of " +
+             std::to_string(kMaxHostsPerSwitch));
+      }
+      hosts = *n;
+      require_line_end();
     } else if (keyword == "link") {
-      std::size_t a = 0;
-      std::size_t b = 0;
-      if (!(ls >> a >> b)) fail("expected two endpoints");
-      links.emplace_back(a, b);
+      const auto a = ParseCount(ls);
+      const auto b = ParseCount(ls);
+      if (!a || !b) fail("expected two non-negative endpoints");
+      links.emplace_back(*a, *b);
+      link_lines.push_back(line_no);
+      require_line_end();
     } else {
       fail("unknown keyword '" + keyword + "'");
     }
@@ -54,10 +104,18 @@ SwitchGraph FromText(const std::string& text) {
   if (!switches) {
     throw ConfigError("topology text missing 'switches' line");
   }
-  SwitchGraph graph(*switches, hosts);
-  for (auto [a, b] : links) {
-    if (a >= *switches || b >= *switches) {
-      throw ConfigError("topology text: link endpoint out of range");
+  SwitchGraph graph(*switches, hosts.value_or(0));
+  for (std::size_t k = 0; k < links.size(); ++k) {
+    const auto [a, b] = links[k];
+    auto fail = [&](const std::string& why) {
+      throw ConfigError("topology text line " + std::to_string(link_lines[k]) + ": " + why);
+    };
+    // Pre-validate so user-input problems surface as ConfigError instead of
+    // tripping AddLink's programming contracts.
+    if (a >= *switches || b >= *switches) fail("link endpoint out of range");
+    if (a == b) fail("self-loop link " + std::to_string(a) + "--" + std::to_string(b));
+    if (graph.HasLink(a, b)) {
+      fail("duplicate link " + std::to_string(a) + "--" + std::to_string(b));
     }
     graph.AddLink(a, b);
   }

@@ -1,0 +1,175 @@
+// End-to-end chaos test (ISSUE 3 acceptance): on a seeded 16-switch random
+// topology, kill two links and a switch mid-run. The simulation must finish
+// without crashing, the trace report must show the degradation window, and
+// anchored repair must recover >= 80% of the pre-fault clustering
+// coefficient while migrating at most 25% of the processes.
+#include <memory>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "distance/distance_table.h"
+#include "faults/degraded.h"
+#include "faults/fault_plan.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "quality/quality.h"
+#include "routing/updown.h"
+#include "sched/local_search.h"
+#include "sched/repair.h"
+#include "simnet/simulator.h"
+#include "topology/generator.h"
+
+namespace commsched {
+namespace {
+
+constexpr std::uint64_t kSeed = 11;
+constexpr std::size_t kSwitches = 16;
+
+struct ChaosFaults {
+  topo::Link link1;
+  topo::Link link2;
+  topo::SwitchId dead_switch = 0;
+};
+
+/// Deterministically picks two links plus one switch whose combined loss
+/// keeps at least 13 of the 16 switches in one component, so the run
+/// degrades without collapsing. Pure scan: no randomness, no flakes.
+ChaosFaults PickFaults(const topo::SwitchGraph& graph) {
+  for (topo::LinkId l1 = 0; l1 < graph.link_count(); ++l1) {
+    for (topo::LinkId l2 = l1 + 1; l2 < graph.link_count(); ++l2) {
+      for (topo::SwitchId s = 0; s < graph.switch_count(); ++s) {
+        const topo::Link& a = graph.link(l1);
+        const topo::Link& b = graph.link(l2);
+        if (s == a.a || s == a.b || s == b.a || s == b.b) continue;
+        faults::DegradedView view(graph);
+        view.FailLink(a.a, a.b);
+        view.FailLink(b.a, b.b);
+        view.FailSwitch(s);
+        if (view.LargestAliveComponent().size() >= 13) {
+          return {a, b, s};
+        }
+      }
+    }
+  }
+  throw std::runtime_error("no survivable fault triple in this topology");
+}
+
+TEST(ChaosE2E, MidRunFaultsDegradeReportAndRepairRecovers) {
+  const topo::SwitchGraph graph =
+      topo::GenerateIrregularTopology({kSwitches, 4, 3, kSeed, 1000});
+  const route::UpDownRouting routing(graph);
+  const dist::DistanceTable base_table = dist::DistanceTable::Build(routing);
+
+  // Pre-fault mapping: a properly scheduled 4x4 partition, not a random one,
+  // so the 80% recovery bar is measured against a real baseline.
+  sched::SteepestDescentOptions search;
+  search.restarts = 4;
+  search.rng_seed = kSeed;
+  const sched::SearchResult scheduled =
+      sched::SteepestDescent(base_table, {4, 4, 4, 4}, search);
+  const double pre_fault_cc = scheduled.best_cc;
+  ASSERT_GT(pre_fault_cc, 0.0);
+
+  const ChaosFaults chaos = PickFaults(graph);
+  const faults::FaultPlan plan = faults::FaultPlan::FromEvents({
+      {4000, faults::FaultKind::kLinkDown, chaos.link1.a, chaos.link1.b, 0},
+      {5000, faults::FaultKind::kLinkDown, chaos.link2.a, chaos.link2.b, 0},
+      {6000, faults::FaultKind::kSwitchDown, 0, 0, chaos.dead_switch},
+  });
+
+  // --- Simulate through the faults, tracing the whole run. ---
+  const work::Workload workload = work::Workload::Uniform(4, kSwitches);
+  Rng rng(kSeed);
+  const auto mapping = work::ProcessMapping::RandomAligned(graph, workload, rng);
+  const sim::TrafficPattern pattern(graph, workload, mapping);
+  sim::SimConfig config;
+  config.warmup_cycles = 2000;
+  config.measure_cycles = 10000;
+  config.fault_plan = &plan;
+  sim::NetworkSimulator simulator(graph, routing, pattern, config);
+
+  std::ostringstream trace_out;
+  obs::Tracer tracer(trace_out);
+  sim::SimMetrics metrics;
+  {
+    const obs::ScopedTracer scope(tracer);
+    metrics = simulator.Run(0.2);
+  }
+  EXPECT_EQ(metrics.fault_events_applied, 3u);
+  EXPECT_GT(metrics.messages_lost, 0u);        // the dead switch strands hosts
+  EXPECT_GE(metrics.reconfig_cycles, 128u);    // a downtime window happened
+  EXPECT_GT(metrics.messages_delivered, 100u); // and traffic still flowed
+  EXPECT_FALSE(metrics.deadlock_detected);
+
+  // --- The report renders the degradation window from that trace. ---
+  std::istringstream trace_in(trace_out.str());
+  const obs::TraceSummary summary = obs::SummarizeTrace(trace_in);
+  ASSERT_FALSE(summary.reconfigs.empty());
+  EXPECT_TRUE(summary.reconfigs.front().has_done);
+  EXPECT_EQ(summary.faults.size(), 3u);
+  std::ostringstream report;
+  obs::RenderReport(summary, report);
+  EXPECT_NE(report.str().find("Fault & reconfiguration"), std::string::npos);
+
+  // --- Repair: restrict the scheduled mapping to the survivors and run the
+  // anchored repair with a 25% migration budget. ---
+  faults::DegradedView view(graph);
+  for (const faults::FaultEvent& event : plan.events()) view.Apply(event);
+  const faults::DegradedRouting degraded(graph, view.Reconfigure());
+  const faults::Reconfiguration& reconfig = degraded.reconfig();
+  const dist::DistanceTable degraded_table =
+      dist::DistanceTable::Build(degraded.compact_routing());
+
+  std::vector<std::size_t> restricted(reconfig.graph.switch_count());
+  for (topo::SwitchId base = 0; base < kSwitches; ++base) {
+    if (reconfig.to_compact[base].has_value()) {
+      restricted[*reconfig.to_compact[base]] = scheduled.best.ClusterOf(base);
+    }
+  }
+  const qual::Partition anchor(restricted);
+  ASSERT_EQ(anchor.cluster_count(), 4u);  // no cluster was wiped out entirely
+
+  sched::RepairOptions options;
+  options.migration_budget = kSwitches / 4;  // 25% of the processes
+  const sched::RepairOutcome repaired =
+      sched::AnchoredRepair(degraded_table, anchor, {}, std::nullopt, options);
+
+  EXPECT_LE(repaired.displaced, kSwitches / 4);
+  EXPECT_GE(repaired.repaired_cc, 0.8 * pre_fault_cc)
+      << "repair recovered only " << repaired.repaired_cc << " of pre-fault C_c "
+      << pre_fault_cc;
+  EXPECT_DOUBLE_EQ(repaired.repaired_cc,
+                   qual::ClusteringCoefficient(degraded_table, repaired.repaired));
+}
+
+TEST(ChaosE2E, ChaosRunIsDeterministic) {
+  const topo::SwitchGraph graph =
+      topo::GenerateIrregularTopology({kSwitches, 4, 3, kSeed, 1000});
+  const route::UpDownRouting routing(graph);
+  const ChaosFaults chaos = PickFaults(graph);
+  const faults::FaultPlan plan = faults::FaultPlan::FromEvents({
+      {4000, faults::FaultKind::kLinkDown, chaos.link1.a, chaos.link1.b, 0},
+      {5000, faults::FaultKind::kLinkDown, chaos.link2.a, chaos.link2.b, 0},
+      {6000, faults::FaultKind::kSwitchDown, 0, 0, chaos.dead_switch},
+  });
+  const work::Workload workload = work::Workload::Uniform(4, kSwitches);
+  Rng rng(kSeed);
+  const auto mapping = work::ProcessMapping::RandomAligned(graph, workload, rng);
+  const sim::TrafficPattern pattern(graph, workload, mapping);
+  sim::SimConfig config;
+  config.warmup_cycles = 2000;
+  config.measure_cycles = 8000;
+  config.fault_plan = &plan;
+  sim::NetworkSimulator simulator(graph, routing, pattern, config);
+  const sim::SimMetrics a = simulator.Run(0.2);
+  const sim::SimMetrics b = simulator.Run(0.2);
+  EXPECT_EQ(a.messages_delivered, b.messages_delivered);
+  EXPECT_EQ(a.messages_lost, b.messages_lost);
+  EXPECT_EQ(a.dropped_flits, b.dropped_flits);
+  EXPECT_EQ(a.reconfig_cycles, b.reconfig_cycles);
+  EXPECT_DOUBLE_EQ(a.avg_latency_cycles, b.avg_latency_cycles);
+}
+
+}  // namespace
+}  // namespace commsched

@@ -1,0 +1,198 @@
+// DegradedView / Reconfiguration / DegradedRouting (ISSUE 3 tentpole part 2)
+// plus the disconnected-graph satellite: partitions produced by a fault plan
+// must take the graceful eviction path, never UpDownRouting's typed throw.
+#include "faults/degraded.h"
+
+#include <gtest/gtest.h>
+
+#include "distance/distance_table.h"
+#include "faults/fault_plan.h"
+#include "topology/library.h"
+
+namespace commsched::faults {
+namespace {
+
+// Path 0-1-2-3 with a chord 0-2: rich enough for evictions and reroutes.
+topo::SwitchGraph Diamond() {
+  topo::SwitchGraph g(4, 1);
+  g.AddLink(0, 1);  // link 0
+  g.AddLink(1, 2);  // link 1
+  g.AddLink(2, 3);  // link 2
+  g.AddLink(0, 2);  // link 3
+  return g;
+}
+
+TEST(DegradedView, MasksLinksAndSwitches) {
+  const topo::SwitchGraph g = Diamond();
+  DegradedView view(g);
+  for (topo::LinkId l = 0; l < g.link_count(); ++l) EXPECT_TRUE(view.LinkAlive(l));
+
+  view.FailLink(1, 2);
+  EXPECT_FALSE(view.LinkAlive(1));
+  EXPECT_TRUE(view.SwitchAlive(1));
+  view.RestoreLink(1, 2);
+  EXPECT_TRUE(view.LinkAlive(1));
+
+  // A dead switch kills every incident link even if the links themselves
+  // never failed.
+  view.FailSwitch(2);
+  EXPECT_FALSE(view.SwitchAlive(2));
+  EXPECT_FALSE(view.LinkAlive(1));
+  EXPECT_FALSE(view.LinkAlive(2));
+  EXPECT_FALSE(view.LinkAlive(3));
+  EXPECT_TRUE(view.LinkAlive(0));
+  view.RestoreSwitch(2);
+  EXPECT_TRUE(view.LinkAlive(1));
+}
+
+TEST(DegradedView, ApplyRejectsUnknownComponents) {
+  const topo::SwitchGraph g = Diamond();
+  DegradedView view(g);
+  EXPECT_THROW(view.FailLink(1, 3), ConfigError);  // no such link
+  EXPECT_THROW(view.FailSwitch(9), ConfigError);
+  EXPECT_THROW(view.Apply({0, FaultKind::kSwitchUp, 0, 0, 9}), ConfigError);
+}
+
+TEST(DegradedView, LargestAliveComponentBreaksTiesLow) {
+  // Two 2-switch components after cutting the middle: {0,1} wins over {2,3}.
+  topo::SwitchGraph g(4, 1);
+  g.AddLink(0, 1);
+  g.AddLink(1, 2);
+  g.AddLink(2, 3);
+  DegradedView view(g);
+  view.FailLink(1, 2);
+  EXPECT_EQ(view.LargestAliveComponent(), (std::vector<topo::SwitchId>{0, 1}));
+}
+
+TEST(DegradedView, ReconfigureOnHealthyGraphIsIdentityShaped) {
+  const topo::SwitchGraph g = Diamond();
+  const Reconfiguration r = DegradedView(g).Reconfigure();
+  EXPECT_EQ(r.graph.switch_count(), 4u);
+  EXPECT_EQ(r.graph.link_count(), 4u);
+  EXPECT_TRUE(r.dead.empty());
+  EXPECT_TRUE(r.evicted.empty());
+  for (topo::SwitchId s = 0; s < 4; ++s) {
+    EXPECT_TRUE(r.Covers(s));
+    EXPECT_EQ(r.to_base[*r.to_compact[s]], s);
+  }
+}
+
+TEST(DegradedView, PartitionEvictsOrThrowsDependingOnMode) {
+  // Killing switch 2 on the path 0-1-2-3 (no chord) strands switch 3.
+  topo::SwitchGraph g(4, 1);
+  g.AddLink(0, 1);
+  g.AddLink(1, 2);
+  g.AddLink(2, 3);
+  DegradedView view(g);
+  view.FailSwitch(2);
+
+  const Reconfiguration graceful = view.Reconfigure(/*allow_partition=*/true);
+  EXPECT_EQ(graceful.graph.switch_count(), 2u);  // {0, 1}
+  EXPECT_EQ(graceful.dead, (std::vector<topo::SwitchId>{2}));
+  EXPECT_EQ(graceful.evicted, (std::vector<topo::SwitchId>{3}));
+  EXPECT_FALSE(graceful.Covers(3));
+
+  try {
+    (void)view.Reconfigure(/*allow_partition=*/false);
+    FAIL() << "expected PartitionedNetworkError";
+  } catch (const PartitionedNetworkError& e) {
+    EXPECT_EQ(e.evicted_switches(), (std::vector<topo::SwitchId>{3}));
+    EXPECT_NE(std::string(e.what()).find("partitioned"), std::string::npos);
+  }
+  // And the typed error is still a ConfigError for generic handlers.
+  EXPECT_THROW((void)view.Reconfigure(false), ConfigError);
+}
+
+TEST(DegradedView, AllSwitchesDeadIsAnError) {
+  const topo::SwitchGraph g = Diamond();
+  DegradedView view(g);
+  for (topo::SwitchId s = 0; s < 4; ++s) view.FailSwitch(s);
+  EXPECT_THROW((void)view.Reconfigure(), ConfigError);
+}
+
+TEST(DegradedRouting, AnswersInBaseIdsAndFlagsUnreachable) {
+  const topo::SwitchGraph g = Diamond();
+  DegradedView view(g);
+  view.FailLink(1, 2);  // 1 now only reaches the rest via 0
+  DegradedRouting routing(g, view.Reconfigure());
+
+  EXPECT_EQ(&routing.graph(), &g);
+  for (topo::SwitchId s = 0; s < 4; ++s) EXPECT_TRUE(routing.Covers(s));
+
+  // 1 -> 3 must run 1-0-2-3 (the only surviving route).
+  EXPECT_EQ(routing.MinimalDistance(1, 3), 3u);
+  const auto hops = routing.NextHops(1, 3, route::Phase::kUp);
+  ASSERT_EQ(hops.size(), 1u);
+  EXPECT_EQ(hops[0].link, 0u);   // base link id of 0--1
+  EXPECT_EQ(hops[0].next, 0u);   // base switch id
+  const auto links = routing.LinksOnMinimalPaths(1, 3);
+  EXPECT_EQ(links, (std::vector<topo::LinkId>{0, 2, 3}));  // base link ids
+
+  // NextHops stays sorted by base link id everywhere (Routing contract).
+  for (topo::SwitchId s = 0; s < 4; ++s) {
+    for (topo::SwitchId t = 0; t < 4; ++t) {
+      for (const route::Phase phase : {route::Phase::kUp, route::Phase::kDown}) {
+        const auto candidates = routing.NextHops(s, t, phase);
+        for (std::size_t k = 1; k < candidates.size(); ++k) {
+          EXPECT_LT(candidates[k - 1].link, candidates[k].link);
+        }
+      }
+    }
+  }
+}
+
+TEST(DegradedRouting, UncoveredSwitchesAreUnreachableNotFatal) {
+  topo::SwitchGraph g(4, 1);
+  g.AddLink(0, 1);
+  g.AddLink(1, 2);
+  g.AddLink(2, 3);
+  DegradedView view(g);
+  view.FailSwitch(2);  // evicts 3
+  DegradedRouting routing(g, view.Reconfigure());
+
+  EXPECT_FALSE(routing.Covers(3));
+  EXPECT_EQ(routing.MinimalDistance(0, 3), SIZE_MAX);
+  EXPECT_TRUE(routing.NextHops(0, 3, route::Phase::kUp).empty());
+  EXPECT_TRUE(routing.LinksOnMinimalPaths(0, 3).empty());
+}
+
+TEST(DegradedRouting, CompactRoutingFeedsDistanceTable) {
+  const topo::SwitchGraph g = topo::MakeFourRingsOfSix();
+  DegradedView view(g);
+  view.FailSwitch(5);
+  DegradedRouting routing(g, view.Reconfigure());
+  const dist::DistanceTable table = dist::DistanceTable::Build(routing.compact_routing());
+  EXPECT_EQ(table.size(), routing.reconfig().graph.switch_count());
+  const std::size_t survivors = routing.reconfig().graph.switch_count();
+  for (std::size_t i = 0; i < survivors; ++i) {
+    for (std::size_t j = i + 1; j < survivors; ++j) {
+      EXPECT_GT(table(i, j), 0.0);
+    }
+  }
+}
+
+TEST(DegradedRouting, FaultPlanPartitionTakesGracefulPathNotUpDownThrow) {
+  // The disconnected-graph satellite, end to end: a plan that partitions
+  // the network must flow through eviction — DisconnectedGraphError (which
+  // UpDownRouting throws on disconnected input) must never surface, because
+  // reconfiguration only ever builds routing on a connected component.
+  topo::SwitchGraph g(5, 1);
+  g.AddLink(0, 1);
+  g.AddLink(1, 2);
+  g.AddLink(2, 3);
+  g.AddLink(3, 4);
+  const FaultPlan plan = FaultPlan::FromJson(
+      R"({"events": [{"at": 100, "kind": "link_down", "a": 2, "b": 3}]})");
+  plan.ValidateFor(g);
+
+  DegradedView view(g);
+  for (const FaultEvent& event : plan.events()) view.Apply(event);
+  std::unique_ptr<DegradedRouting> routing;
+  EXPECT_NO_THROW(routing = std::make_unique<DegradedRouting>(g, view.Reconfigure()));
+  EXPECT_EQ(routing->reconfig().evicted, (std::vector<topo::SwitchId>{3, 4}));
+  EXPECT_TRUE(routing->Covers(0));
+  EXPECT_FALSE(routing->Covers(4));
+}
+
+}  // namespace
+}  // namespace commsched::faults

@@ -17,7 +17,7 @@ TEST(EdgeCases, WithoutLinkCanDisconnect) {
   g.AddLink(1, 2);
   const topo::SwitchGraph cut = g.WithoutLink(0);
   EXPECT_FALSE(cut.IsConnected());
-  EXPECT_THROW(route::UpDownRouting routing(cut), ContractError);
+  EXPECT_THROW(route::UpDownRouting routing(cut), route::DisconnectedGraphError);
 }
 
 TEST(EdgeCases, UpDownExplicitRootOutOfRange) {

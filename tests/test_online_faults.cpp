@@ -1,0 +1,169 @@
+// OnlineScheduler degraded-mode behavior (ISSUE 3 tentpole part 3 +
+// satellite: Release / double-Allocate error paths, FragmentationIndex
+// across fail/restore).
+#include <gtest/gtest.h>
+
+#include "distance/distance_table.h"
+#include "sched/online.h"
+#include "routing/updown.h"
+#include "topology/library.h"
+
+namespace commsched::sched {
+namespace {
+
+struct Fixture {
+  topo::SwitchGraph graph;
+  route::UpDownRouting routing;
+  dist::DistanceTable table;
+
+  Fixture()
+      : graph(topo::MakeFourRingsOfSix()),
+        routing(graph),
+        table(dist::DistanceTable::Build(routing)) {}
+};
+
+TEST(OnlineFaults, FailFreeSwitchJustShrinksThePool) {
+  Fixture f;
+  OnlineScheduler scheduler(f.graph, f.table);
+  const RemapOutcome outcome = scheduler.FailSwitch(3);
+  EXPECT_TRUE(outcome.remapped.empty());
+  EXPECT_TRUE(outcome.pending.empty());
+  EXPECT_TRUE(scheduler.SwitchFailed(3));
+  EXPECT_EQ(scheduler.FreeSwitchCount(), 23u);
+  // Idempotent: failing again changes nothing.
+  (void)scheduler.FailSwitch(3);
+  EXPECT_EQ(scheduler.FreeSwitchCount(), 23u);
+  // Nothing can be placed on the dead switch.
+  const auto all = scheduler.Allocate("all", 23);
+  ASSERT_TRUE(all.has_value());
+  for (const std::size_t s : *all) EXPECT_NE(s, 3u);
+}
+
+TEST(OnlineFaults, FailAllocatedSwitchEvictsAndRemaps) {
+  Fixture f;
+  OnlineScheduler scheduler(f.graph, f.table);
+  const auto a = scheduler.Allocate("a", 6);
+  ASSERT_TRUE(a.has_value());
+  const std::size_t victim = a->front();
+  const RemapOutcome outcome = scheduler.FailSwitch(victim);
+  // Plenty of capacity elsewhere: the app comes back immediately...
+  ASSERT_EQ(outcome.remapped, (std::vector<std::string>{"a"}));
+  EXPECT_TRUE(outcome.pending.empty());
+  const auto& replacement = scheduler.allocations().at("a");
+  EXPECT_EQ(replacement.size(), 6u);
+  // ...on healthy switches only.
+  for (const std::size_t s : replacement) EXPECT_NE(s, victim);
+  EXPECT_EQ(scheduler.FreeSwitchCount(), 24u - 6u - 1u);
+}
+
+TEST(OnlineFaults, EvictionWithoutCapacityGoesPendingAndRetries) {
+  Fixture f;
+  OnlineScheduler scheduler(f.graph, f.table);
+  ASSERT_TRUE(scheduler.Allocate("big", 20).has_value());
+  ASSERT_TRUE(scheduler.Allocate("small", 4).has_value());
+  const std::size_t victim = scheduler.allocations().at("big").front();
+
+  const RemapOutcome evicted = scheduler.FailSwitch(victim);
+  ASSERT_EQ(evicted.pending, (std::vector<std::string>{"big"}));
+  EXPECT_TRUE(evicted.remapped.empty());
+  EXPECT_EQ(scheduler.PendingApplications(), (std::vector<std::string>{"big"}));
+  // While pending, the name is reserved.
+  EXPECT_THROW((void)scheduler.Allocate("big", 20), ContractError);
+
+  // Releasing "small" frees capacity; the retry wave re-places "big" on the
+  // 23 healthy switches.
+  scheduler.Release("small");
+  EXPECT_TRUE(scheduler.PendingApplications().empty());
+  ASSERT_EQ(scheduler.allocations().count("big"), 1u);
+  for (const std::size_t s : scheduler.allocations().at("big")) EXPECT_NE(s, victim);
+}
+
+TEST(OnlineFaults, ExponentialBackoffSkipsCooldownTicks) {
+  Fixture f;
+  OnlineScheduler scheduler(f.graph, f.table);
+  ASSERT_TRUE(scheduler.Allocate("big", 24).has_value());
+  const RemapOutcome evicted = scheduler.FailSwitch(0);
+  ASSERT_EQ(evicted.pending, (std::vector<std::string>{"big"}));
+
+  // 24 switches can never fit on 23 healthy ones: every due retry fails and
+  // doubles the cooldown, so most ticks are silent.
+  std::size_t attempts_seen = 0;
+  for (std::size_t tick = 0; tick < 20; ++tick) {
+    const RemapOutcome retry = scheduler.RetryPending();
+    if (!retry.pending.empty()) ++attempts_seen;
+    EXPECT_TRUE(retry.remapped.empty());
+  }
+  EXPECT_GE(attempts_seen, 2u);  // cooldowns 2, 4, 8, 16 -> a few due ticks
+  EXPECT_LT(attempts_seen, 20u);  // but far from every tick
+  EXPECT_EQ(scheduler.PendingApplications(), (std::vector<std::string>{"big"}));
+
+  // Restoring the dead switch makes it fit again.
+  const RemapOutcome restored = scheduler.RestoreSwitch(0);
+  const bool back_now = restored.remapped == std::vector<std::string>{"big"};
+  if (!back_now) {
+    // Still cooling down; drain the backoff.
+    bool back = false;
+    for (std::size_t tick = 0; tick < 64 && !back; ++tick) {
+      back = !scheduler.RetryPending().remapped.empty();
+    }
+    EXPECT_TRUE(back);
+  }
+  EXPECT_EQ(scheduler.allocations().at("big").size(), 24u);
+}
+
+TEST(OnlineFaults, ReleaseSkipsFailedSwitches) {
+  Fixture f;
+  OnlineScheduler scheduler(f.graph, f.table);
+  const auto a = scheduler.Allocate("a", 6);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(scheduler.Allocate("b", 18).has_value());
+  // Fail a switch held by "b": "b" is evicted and (with only the free
+  // capacity of nothing) goes pending; its healthy switches return to the
+  // pool, but the dead one must not.
+  const std::size_t victim = scheduler.allocations().at("b").front();
+  (void)scheduler.FailSwitch(victim);
+  EXPECT_EQ(scheduler.FreeSwitchCount(), 17u);
+  for (const std::size_t s : scheduler.FreeSwitches()) EXPECT_NE(s, victim);
+
+  // Releasing "a" must also keep the dead switch out of the pool.
+  scheduler.Release("a");
+  for (const std::size_t s : scheduler.FreeSwitches()) EXPECT_NE(s, victim);
+}
+
+TEST(OnlineFaults, RestoreHealthySwitchIsANoOpTick) {
+  Fixture f;
+  OnlineScheduler scheduler(f.graph, f.table);
+  const RemapOutcome outcome = scheduler.RestoreSwitch(5);
+  EXPECT_TRUE(outcome.remapped.empty());
+  EXPECT_TRUE(outcome.pending.empty());
+  EXPECT_EQ(scheduler.FreeSwitchCount(), 24u);
+}
+
+TEST(OnlineFaults, FragmentationIndexAcrossFailAndRestore) {
+  Fixture f;
+  OnlineScheduler scheduler(f.graph, f.table);
+  ASSERT_TRUE(scheduler.Allocate("a", 6).has_value());
+  const double before = scheduler.FragmentationIndex();
+  EXPECT_GT(before, 0.0);
+
+  // Kill two of a's switches: each remap squeezes "a" onto what's left, and
+  // the index stays finite and positive (live allocations only).
+  const std::size_t v1 = scheduler.allocations().at("a")[0];
+  (void)scheduler.FailSwitch(v1);
+  const std::size_t v2 = scheduler.allocations().at("a")[0];
+  (void)scheduler.FailSwitch(v2);
+  const double degraded = scheduler.FragmentationIndex();
+  EXPECT_GT(degraded, 0.0);
+  ASSERT_EQ(scheduler.allocations().count("a"), 1u);
+
+  // Restoration returns capacity; re-placing from scratch recovers a cost
+  // at least as tight as the degraded placement.
+  (void)scheduler.RestoreSwitch(v1);
+  (void)scheduler.RestoreSwitch(v2);
+  scheduler.Release("a");
+  ASSERT_TRUE(scheduler.Allocate("a2", 6).has_value());
+  EXPECT_LE(scheduler.FragmentationIndex(), degraded + 1e-9);
+}
+
+}  // namespace
+}  // namespace commsched::sched

@@ -49,6 +49,51 @@ TEST(Serialize, ParserRejectsMalformedInput) {
   EXPECT_THROW((void)FromText("switches 2\nfrobnicate\n"), ConfigError);
 }
 
+// Hardening corpus (ISSUE 3 satellite): every malformed, truncated, or
+// hostile input must surface as a ConfigError carrying the given fragment —
+// never UB, a bad_alloc from a wrapped count, or a ContractError from the
+// graph-construction contracts.
+TEST(Serialize, MalformedInputCorpus) {
+  struct Case {
+    const char* name;
+    const char* text;
+    const char* expect_in_message;
+  };
+  const Case kCorpus[] = {
+      {"negative switches wraps to huge", "switches -1\n", "positive switch count"},
+      {"switch count allocation bomb", "switches 99999999999\n", "sanity cap"},
+      {"switch count overflow", "switches 99999999999999999999999999\n",
+       "positive switch count"},
+      {"non-numeric switches", "switches many\n", "positive switch count"},
+      {"truncated switches line", "switches\n", "positive switch count"},
+      {"duplicate switches line", "switches 2\nswitches 3\n", "duplicate 'switches'"},
+      {"trailing token on switches", "switches 2 extra\n", "trailing token"},
+      {"negative hosts", "switches 2\nhosts_per_switch -4\n", "host count"},
+      {"hosts allocation bomb", "switches 2\nhosts_per_switch 1000000000\n", "sanity cap"},
+      {"duplicate hosts line",
+       "switches 2\nhosts_per_switch 1\nhosts_per_switch 2\n",
+       "duplicate 'hosts_per_switch'"},
+      {"negative link endpoint", "switches 2\nlink -1 1\n", "non-negative endpoints"},
+      {"truncated link line", "switches 2\nlink\n", "two non-negative endpoints"},
+      {"trailing token on link", "switches 3\nlink 0 1 2\n", "trailing token"},
+      {"self-loop link", "switches 2\nlink 1 1\n", "self-loop"},
+      {"duplicate link", "switches 2\nlink 0 1\nlink 1 0\n", "duplicate link"},
+      {"unknown keyword", "switches 2\nswitch 0\n", "unknown keyword"},
+      {"binary garbage", "\x01\x02\xff garbage\n", "unknown keyword"},
+  };
+  for (const Case& c : kCorpus) {
+    try {
+      (void)FromText(c.text);
+      ADD_FAILURE() << c.name << ": no error thrown";
+    } catch (const ConfigError& e) {
+      EXPECT_NE(std::string(e.what()).find(c.expect_in_message), std::string::npos)
+          << c.name << ": message was: " << e.what();
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << c.name << ": wrong exception type: " << e.what();
+    }
+  }
+}
+
 TEST(Serialize, DotContainsNodesAndEdges) {
   const SwitchGraph g = MakeRing(4);
   const std::string dot = ToDot(g);

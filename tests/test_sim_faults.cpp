@@ -1,0 +1,212 @@
+// NetworkSimulator degraded mode (ISSUE 3 tentpole part 4): mid-run fault
+// events, dropped-traffic accounting, reconfiguration downtime, repair via
+// link_up, and the deadlock-watchdog trace satellite.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "faults/fault_plan.h"
+#include "obs/trace.h"
+#include "routing/shortest_path.h"
+#include "routing/updown.h"
+#include "simnet/simulator.h"
+#include "topology/generator.h"
+#include "topology/library.h"
+
+namespace commsched::sim {
+namespace {
+
+using faults::FaultKind;
+using faults::FaultPlan;
+
+struct Fixture {
+  topo::SwitchGraph graph;
+  route::UpDownRouting routing;
+  work::Workload workload;
+  work::ProcessMapping mapping;
+  TrafficPattern pattern;
+
+  explicit Fixture(std::uint64_t seed = 1, std::size_t switches = 16)
+      : graph(topo::GenerateIrregularTopology({switches, 4, 3, seed, 1000})),
+        routing(graph),
+        workload(work::Workload::Uniform(4, switches)),
+        mapping(MakeMapping(graph, workload, seed)),
+        pattern(graph, workload, mapping) {}
+
+  static work::ProcessMapping MakeMapping(const topo::SwitchGraph& g,
+                                          const work::Workload& w, std::uint64_t seed) {
+    Rng rng(seed);
+    return work::ProcessMapping::RandomAligned(g, w, rng);
+  }
+};
+
+SimConfig FaultConfig(const FaultPlan& plan) {
+  SimConfig config;
+  config.warmup_cycles = 2000;
+  config.measure_cycles = 8000;
+  config.fault_plan = &plan;
+  return config;
+}
+
+SimConfig FastPlainConfig() {
+  SimConfig config;
+  config.warmup_cycles = 2000;
+  config.measure_cycles = 6000;
+  return config;
+}
+
+/// A link of `graph` whose loss keeps the graph connected, or nullopt.
+std::optional<std::pair<topo::SwitchId, topo::SwitchId>> RedundantLink(
+    const topo::SwitchGraph& graph) {
+  for (topo::LinkId l = 0; l < graph.link_count(); ++l) {
+    if (graph.WithoutLink(l).IsConnected()) {
+      return std::make_pair(graph.link(l).a, graph.link(l).b);
+    }
+  }
+  return std::nullopt;
+}
+
+TEST(SimFaults, LinkDownMidRunCompletesAndCounts) {
+  const Fixture f;
+  const auto link = RedundantLink(f.graph);
+  ASSERT_TRUE(link.has_value());
+  const FaultPlan plan =
+      FaultPlan::FromEvents({{4000, FaultKind::kLinkDown, link->first, link->second, 0}});
+  NetworkSimulator sim(f.graph, f.routing, f.pattern, FaultConfig(plan));
+  const SimMetrics m = sim.Run(0.2);
+  EXPECT_EQ(m.fault_events_applied, 1u);
+  EXPECT_GE(m.reconfig_cycles, 128u);  // default downtime
+  EXPECT_FALSE(m.deadlock_detected);
+  EXPECT_GT(m.messages_delivered, 100u);  // traffic flows after the swap
+}
+
+TEST(SimFaults, SwitchDownDropsTrafficAndKeepsRunning) {
+  const Fixture f;
+  const FaultPlan plan = FaultPlan::FromEvents({{4000, FaultKind::kSwitchDown, 0, 0, 2}});
+  NetworkSimulator sim(f.graph, f.routing, f.pattern, FaultConfig(plan));
+  const SimMetrics m = sim.Run(0.3);
+  EXPECT_EQ(m.fault_events_applied, 1u);
+  EXPECT_GT(m.messages_lost, 0u);  // its hosts' traffic dies with it
+  EXPECT_FALSE(m.deadlock_detected);
+  EXPECT_GT(m.messages_delivered, 0u);
+}
+
+TEST(SimFaults, LinkUpRestoresCapacity) {
+  const Fixture f;
+  const auto link = RedundantLink(f.graph);
+  ASSERT_TRUE(link.has_value());
+  const FaultPlan plan = FaultPlan::FromEvents({
+      {3000, FaultKind::kLinkDown, link->first, link->second, 0},
+      {6000, FaultKind::kLinkUp, link->first, link->second, 0},
+  });
+  NetworkSimulator sim(f.graph, f.routing, f.pattern, FaultConfig(plan));
+  const SimMetrics m = sim.Run(0.2);
+  EXPECT_EQ(m.fault_events_applied, 2u);
+  EXPECT_GE(m.reconfig_cycles, 2u * 128u);  // two reconfiguration windows
+  EXPECT_FALSE(m.deadlock_detected);
+  EXPECT_GT(m.messages_delivered, 100u);
+}
+
+TEST(SimFaults, ZeroDowntimeSwapsSameCycle) {
+  const Fixture f;
+  const auto link = RedundantLink(f.graph);
+  ASSERT_TRUE(link.has_value());
+  const FaultPlan plan =
+      FaultPlan::FromEvents({{4000, FaultKind::kLinkDown, link->first, link->second, 0}});
+  SimConfig config = FaultConfig(plan);
+  config.reconfig_downtime_cycles = 0;
+  NetworkSimulator sim(f.graph, f.routing, f.pattern, config);
+  const SimMetrics m = sim.Run(0.2);
+  EXPECT_EQ(m.fault_events_applied, 1u);
+  EXPECT_EQ(m.reconfig_cycles, 0u);
+  EXPECT_FALSE(m.deadlock_detected);
+}
+
+TEST(SimFaults, DeterministicUnderFaults) {
+  const Fixture f;
+  const FaultPlan plan = FaultPlan::FromEvents({{4000, FaultKind::kSwitchDown, 0, 0, 1}});
+  NetworkSimulator sim(f.graph, f.routing, f.pattern, FaultConfig(plan));
+  const SimMetrics a = sim.Run(0.25);
+  const SimMetrics b = sim.Run(0.25);  // Run restarts from a clean network
+  EXPECT_EQ(a.messages_delivered, b.messages_delivered);
+  EXPECT_EQ(a.dropped_flits, b.dropped_flits);
+  EXPECT_EQ(a.messages_lost, b.messages_lost);
+  EXPECT_DOUBLE_EQ(a.avg_latency_cycles, b.avg_latency_cycles);
+}
+
+TEST(SimFaults, FaultFreePlanFieldsStayZero) {
+  const Fixture f;
+  NetworkSimulator sim(f.graph, f.routing, f.pattern, FastPlainConfig());
+  const SimMetrics m = sim.Run(0.2);
+  EXPECT_EQ(m.fault_events_applied, 0u);
+  EXPECT_EQ(m.dropped_flits, 0u);
+  EXPECT_EQ(m.messages_lost, 0u);
+  EXPECT_EQ(m.reconfig_cycles, 0u);
+}
+
+TEST(SimFaults, PlanValidatedAgainstGraphAtConstruction) {
+  const Fixture f;
+  const FaultPlan plan = FaultPlan::FromEvents({{10, FaultKind::kSwitchDown, 0, 0, 99}});
+  SimConfig config;
+  config.fault_plan = &plan;
+  EXPECT_THROW(NetworkSimulator(f.graph, f.routing, f.pattern, config), ConfigError);
+}
+
+TEST(SimFaults, FaultEventsAppearInTrace) {
+  const Fixture f;
+  const auto link = RedundantLink(f.graph);
+  ASSERT_TRUE(link.has_value());
+  const FaultPlan plan = FaultPlan::FromEvents({
+      {3000, FaultKind::kLinkDown, link->first, link->second, 0},
+      {5000, FaultKind::kSwitchDown, 0, 0, 3},
+  });
+  NetworkSimulator sim(f.graph, f.routing, f.pattern, FaultConfig(plan));
+  std::ostringstream out;
+  obs::Tracer tracer(out);
+  {
+    const obs::ScopedTracer scope(tracer);
+    (void)sim.Run(0.2);
+  }
+  const std::string trace = out.str();
+  EXPECT_NE(trace.find("\"fault.link_down\""), std::string::npos);
+  EXPECT_NE(trace.find("\"fault.switch_down\""), std::string::npos);
+  EXPECT_NE(trace.find("\"fault.reconfig_start\""), std::string::npos);
+  EXPECT_NE(trace.find("\"fault.reconfig_done\""), std::string::npos);
+}
+
+TEST(SimFaults, DeadlockWatchdogEmitsTraceEvent) {
+  // The deadlock-prone configuration of test_simulator.cpp: unrestricted
+  // minimal routing on a ring, one VC, long messages. When the watchdog
+  // fires it must also emit exactly one net.deadlock trace event.
+  const topo::SwitchGraph ring = topo::MakeRing(6, 4);
+  const route::ShortestPathRouting routing(ring);
+  const work::Workload workload = work::Workload::Uniform(2, 12);
+  Rng rng(3);
+  const auto mapping = work::ProcessMapping::RandomAligned(ring, workload, rng);
+  const TrafficPattern pattern(ring, workload, mapping);
+  SimConfig config;
+  config.warmup_cycles = 4000;
+  config.measure_cycles = 12000;
+  config.deadlock_threshold_cycles = 1000;
+  config.input_buffer_flits = 2;
+  config.message_length_flits = 32;
+  NetworkSimulator sim(ring, routing, pattern, config);
+  std::ostringstream out;
+  obs::Tracer tracer(out);
+  SimMetrics m;
+  {
+    const obs::ScopedTracer scope(tracer);
+    m = sim.Run(1.6);
+  }
+  const std::string trace = out.str();
+  if (m.deadlock_detected) {
+    const std::size_t first = trace.find("\"net.deadlock\"");
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_EQ(trace.find("\"net.deadlock\"", first + 1), std::string::npos) << "emitted twice";
+  } else {
+    EXPECT_EQ(trace.find("\"net.deadlock\""), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace commsched::sim

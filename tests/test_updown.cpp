@@ -184,7 +184,18 @@ TEST(UpDown, DisconnectedGraphRejected) {
   topo::SwitchGraph g(4, 1);
   g.AddLink(0, 1);
   g.AddLink(2, 3);
-  EXPECT_THROW(UpDownRouting routing(g), commsched::ContractError);
+  try {
+    UpDownRouting routing(g);
+    FAIL() << "expected DisconnectedGraphError";
+  } catch (const DisconnectedGraphError& e) {
+    // Root policy kMaxDegree picks switch 0 (all tie at degree 1), so the
+    // stranded component {2, 3} must be named, in order.
+    EXPECT_EQ(e.unreachable_switches(), (std::vector<SwitchId>{2, 3}));
+    EXPECT_NE(std::string(e.what()).find("{2, 3}"), std::string::npos) << e.what();
+  }
+  // The typed error is user-facing configuration feedback, not a contract
+  // violation — it must be catchable as ConfigError.
+  EXPECT_THROW(UpDownRouting routing(g), commsched::ConfigError);
 }
 
 TEST(UpDown, StarRoutesThroughHub) {

@@ -5,7 +5,8 @@
 //   commsched_cli schedule --kind random --switches 16 --apps 4 [--seeds 10]
 //   commsched_cli simulate --kind rings --apps 4 --mapping op|random|blocked
 //                          [--points 9] [--max-rate 1.4] [--vcs 1] [--duato]
-//                          [--telemetry N]
+//                          [--telemetry N] [--fault-plan plan.json]
+//                          [--reconfig-downtime 128]
 //   commsched_cli experiment --kind random --switches 16 [--randoms 9]
 //   commsched_cli report   --trace run.jsonl [--metrics-file m.json]
 //                          [--csv sweep.csv] [--top 5]
@@ -197,6 +198,19 @@ int CmdSimulate(const Args& args) {
   sweep.config.measure_cycles = args.GetSize("measure", 15000);
   sweep.config.telemetry_sample_cycles = args.GetSize("telemetry", 0);
 
+  std::optional<faults::FaultPlan> plan;  // must outlive the sweep
+  const std::string plan_path = args.Get("fault-plan", "");
+  if (!plan_path.empty()) {
+    std::ifstream plan_in(plan_path);
+    if (!plan_in) throw ConfigError("cannot open fault plan '" + plan_path + "'");
+    std::ostringstream plan_text;
+    plan_text << plan_in.rdbuf();
+    plan = faults::FaultPlan::FromJson(plan_text.str());
+    plan->ValidateFor(graph);
+    sweep.config.fault_plan = &*plan;
+    sweep.config.reconfig_downtime_cycles = args.GetSize("reconfig-downtime", 128);
+  }
+
   sim::SweepResult result;
   if (args.Has("duato")) {
     const std::size_t vcs = std::max<std::size_t>(2, sweep.config.virtual_channels);
@@ -217,6 +231,19 @@ int CmdSimulate(const Args& args) {
   }
   std::cout << table;
   std::cout << "throughput: " << result.Throughput() << " flits/switch/cycle\n";
+  if (plan.has_value()) {
+    std::size_t dropped = 0;
+    std::size_t lost = 0;
+    std::size_t reconfig = 0;
+    for (const sim::SweepPoint& p : result.points) {
+      dropped += p.metrics.dropped_flits;
+      lost += p.metrics.messages_lost;
+      reconfig = std::max(reconfig, p.metrics.reconfig_cycles);
+    }
+    std::cout << "faults: " << plan->events().size() << " planned events, dropped flits "
+              << dropped << ", messages lost " << lost << ", reconfig cycles/run "
+              << reconfig << "\n";
+  }
   return 0;
 }
 
@@ -279,7 +306,10 @@ int Usage() {
       "  schedule   Tabu mapping + quality coefficients (--apps K, --seeds N, --dot)\n"
       "  simulate   load sweep for a mapping (--mapping op|random|blocked, --vcs V,\n"
       "             --adaptive, --duato, --points P, --max-rate R, --telemetry N\n"
-      "             to sample deep network telemetry every N measured cycles)\n"
+      "             to sample deep network telemetry every N measured cycles;\n"
+      "             --fault-plan F replays a JSON schedule of link/switch\n"
+      "             failures mid-run, --reconfig-downtime N sets the routing\n"
+      "             pause after each fault)\n"
       "  experiment full paper experiment: OP vs random mappings (--randoms K)\n"
       "  report     analyse a JSONL trace: latency percentiles, hottest links,\n"
       "             per-seed convergence (--trace F, --metrics-file F, --csv F,\n"
