@@ -4,6 +4,7 @@
 #include <limits>
 #include <numeric>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "sched/tabu.h"
 
@@ -150,6 +151,30 @@ qual::Partition DescendMakespan(const HeteroSystem& system,
   return partition;
 }
 
+/// Descends every start (optionally on a thread pool) and returns the best
+/// local minimum. Starts must be fully derived before the call; results are
+/// combined sequentially in start order, so parallel and sequential
+/// execution pick the same winner.
+qual::Partition BestDescent(const HeteroSystem& system,
+                            const std::vector<ApplicationDemand>& apps,
+                            std::vector<qual::Partition> starts, const HeteroOptions& options) {
+  std::vector<double> makespan(starts.size(), 0.0);
+  auto descend_one = [&](std::size_t i) {
+    starts[i] = DescendMakespan(system, apps, std::move(starts[i]), options.max_iterations);
+    makespan[i] = EstimateMakespan(system, apps, starts[i]);
+  };
+  if (options.parallel_seeds && starts.size() > 1) {
+    ParallelFor(starts.size(), descend_one);
+  } else {
+    for (std::size_t i = 0; i < starts.size(); ++i) descend_one(i);
+  }
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < starts.size(); ++i) {
+    if (makespan[i] < makespan[best] - 1e-12) best = i;
+  }
+  return std::move(starts[best]);
+}
+
 }  // namespace
 
 HeteroOutcome ScheduleHetero(const HeteroSystem& system,
@@ -165,47 +190,29 @@ HeteroOutcome ScheduleHetero(const HeteroSystem& system,
         // greedy is poor when demands are uniform and fast switches scarce).
         std::vector<ApplicationDemand> compute_apps = apps;
         for (ApplicationDemand& app : compute_apps) app.comm_intensity = 0.0;
-        qual::Partition best = DescendMakespan(system, compute_apps,
-                                               ComputeOnlyPartition(system, apps),
-                                               options.max_iterations);
-        double best_makespan = EstimateMakespan(system, compute_apps, best);
+        std::vector<qual::Partition> starts;
+        starts.reserve(options.restarts + 1);
+        starts.push_back(ComputeOnlyPartition(system, apps));
         Rng rng(options.rng_seed);
         for (std::size_t r = 0; r < options.restarts; ++r) {
-          qual::Partition candidate =
-              DescendMakespan(system, compute_apps,
-                              qual::Partition::Random(ClusterSizes(apps), rng),
-                              options.max_iterations);
-          const double makespan = EstimateMakespan(system, compute_apps, candidate);
-          if (makespan < best_makespan - 1e-12) {
-            best_makespan = makespan;
-            best = std::move(candidate);
-          }
+          starts.push_back(qual::Partition::Random(ClusterSizes(apps), rng));
         }
-        return best;
+        return BestDescent(system, compute_apps, std::move(starts), options);
       }
       case HeteroStrategy::kCommunicationOnly:
         return CommOnlyPartition(system, apps, options.rng_seed);
       case HeteroStrategy::kCombined: {
         // Seed the makespan descent from both single-objective solutions
         // plus random restarts; keep the best local minimum.
-        qual::Partition best = DescendMakespan(
-            system, apps, ComputeOnlyPartition(system, apps), options.max_iterations);
-        double best_makespan = EstimateMakespan(system, apps, best);
-        auto consider = [&](qual::Partition candidate) {
-          candidate = DescendMakespan(system, apps, std::move(candidate),
-                                      options.max_iterations);
-          const double makespan = EstimateMakespan(system, apps, candidate);
-          if (makespan < best_makespan - 1e-12) {
-            best_makespan = makespan;
-            best = std::move(candidate);
-          }
-        };
-        consider(CommOnlyPartition(system, apps, options.rng_seed));
+        std::vector<qual::Partition> starts;
+        starts.reserve(options.restarts + 2);
+        starts.push_back(ComputeOnlyPartition(system, apps));
+        starts.push_back(CommOnlyPartition(system, apps, options.rng_seed));
         Rng rng(options.rng_seed);
         for (std::size_t r = 0; r < options.restarts; ++r) {
-          consider(qual::Partition::Random(ClusterSizes(apps), rng));
+          starts.push_back(qual::Partition::Random(ClusterSizes(apps), rng));
         }
-        return best;
+        return BestDescent(system, apps, std::move(starts), options);
       }
     }
     CS_UNREACHABLE("unknown strategy");

@@ -77,6 +77,11 @@ struct HeteroOptions {
   std::uint64_t rng_seed = 1;
   std::size_t restarts = 4;          // combined-strategy local-search restarts
   std::size_t max_iterations = 400;  // per restart
+  /// Descend the restarts on a thread pool. All starts are derived before
+  /// any descent runs and results combine in start order, so parallel and
+  /// sequential scheduling return the same placement (engine.h determinism
+  /// rules).
+  bool parallel_seeds = false;
 };
 
 /// Schedules the applications under one strategy and returns the placement

@@ -4,6 +4,10 @@
 #include <limits>
 #include <numeric>
 
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "sched/engine.h"
+
 namespace commsched::hetero {
 
 namespace {
@@ -130,13 +134,16 @@ MetaSchedule Sufferage(const EtcMatrix& etc) {
   });
 }
 
-MetaSchedule ImproveByLocalSearch(const EtcMatrix& etc, MetaSchedule seed,
-                                  const MakespanSearchOptions& options) {
-  MetaSchedule current = MetaSchedule::FromAssignment(etc, seed.machine_of_task);
+namespace {
+
+/// One steepest descent to a local minimum of the makespan.
+MetaSchedule DescendMakespanOnce(const EtcMatrix& etc, std::vector<std::size_t> start,
+                                 std::size_t max_iterations) {
+  MetaSchedule current = MetaSchedule::FromAssignment(etc, std::move(start));
   const std::size_t tasks = etc.task_count();
   const std::size_t machines = etc.machine_count();
 
-  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+  for (std::size_t it = 0; it < max_iterations; ++it) {
     double best_makespan = current.makespan;
     std::vector<std::size_t> best_assignment;
 
@@ -175,6 +182,48 @@ MetaSchedule ImproveByLocalSearch(const EtcMatrix& etc, MetaSchedule seed,
     current = MetaSchedule::FromAssignment(etc, std::move(best_assignment));
   }
   return current;
+}
+
+}  // namespace
+
+MetaSchedule ImproveByLocalSearch(const EtcMatrix& etc, MetaSchedule seed,
+                                  const MakespanSearchOptions& options) {
+  CS_CHECK(options.restarts >= 1, "need at least one restart");
+  const std::size_t tasks = etc.task_count();
+  const std::size_t machines = etc.machine_count();
+
+  // Starts up front (engine determinism rule 1): restart 0 is the seed
+  // schedule itself; extra restarts reassign a few random tasks to random
+  // machines from independent RNG streams.
+  std::vector<std::vector<std::size_t>> starts;
+  starts.reserve(options.restarts);
+  starts.push_back(seed.machine_of_task);
+  for (std::size_t k = 1; k < options.restarts; ++k) {
+    Rng rng(sched::DeriveSeedStream(options.rng_seed, k));
+    std::vector<std::size_t> start = seed.machine_of_task;
+    const std::size_t kicks = std::max<std::size_t>(1, tasks / 8);
+    for (std::size_t kick = 0; kick < kicks; ++kick) {
+      start[rng.NextIndex(tasks)] = rng.NextIndex(machines);
+    }
+    starts.push_back(std::move(start));
+  }
+
+  std::vector<MetaSchedule> results(options.restarts);
+  auto descend_one = [&](std::size_t k) {
+    results[k] = DescendMakespanOnce(etc, std::move(starts[k]), options.max_iterations);
+  };
+  if (options.parallel_seeds && options.restarts > 1) {
+    ParallelFor(options.restarts, descend_one);
+  } else {
+    for (std::size_t k = 0; k < options.restarts; ++k) descend_one(k);
+  }
+
+  // Combine sequentially in restart order (engine determinism rule 3).
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < options.restarts; ++k) {
+    if (results[k].makespan < results[best].makespan - 1e-12) best = k;
+  }
+  return std::move(results[best]);
 }
 
 std::vector<std::pair<std::string, MetaSchedule>> RunAllHeuristics(const EtcMatrix& etc) {

@@ -51,6 +51,13 @@ struct MetaSchedule {
 struct MakespanSearchOptions {
   std::size_t max_iterations = 2000;
   std::uint64_t rng_seed = 1;
+  /// Descent restarts. Restart 0 always descends the given seed schedule
+  /// (bit-identical to the single-restart search); extra restarts perturb
+  /// the seed with a few random task reassignments (per-restart RNG streams
+  /// from sched's DeriveSeedStream) before descending, and the best local
+  /// minimum wins.
+  std::size_t restarts = 1;
+  bool parallel_seeds = false;  // descend restarts on a thread pool
 };
 
 /// Local search on top of a seed schedule: steepest-descent over single-task

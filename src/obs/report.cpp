@@ -302,6 +302,45 @@ void RenderReport(const TraceSummary& summary, std::ostream& out, std::size_t to
     }
   }
 
+  // Engine tabu pressure per algorithm, from the unified per-seed counters
+  // (search.<algo>.{tabu_hits,aspirations,escapes}) in the metrics dump.
+  {
+    struct TabuPressure {
+      std::uint64_t tabu_hits = 0;
+      std::uint64_t aspirations = 0;
+      std::uint64_t escapes = 0;
+    };
+    std::map<std::string, TabuPressure> pressure;
+    for (const auto& [name, value] : summary.counters) {
+      if (!StartsWith(name, "search.")) continue;
+      const std::size_t dot = name.find('.', 7);
+      if (dot == std::string::npos) continue;
+      const std::string algo = name.substr(7, dot - 7);
+      const std::string field = name.substr(dot + 1);
+      if (field == "tabu_hits") {
+        pressure[algo].tabu_hits = value;
+      } else if (field == "aspirations") {
+        pressure[algo].aspirations = value;
+      } else if (field == "escapes") {
+        pressure[algo].escapes = value;
+      }
+    }
+    bool any = false;
+    for (const auto& [algo, row] : pressure) {
+      if (row.tabu_hits + row.aspirations + row.escapes > 0) any = true;
+    }
+    if (any) {
+      out << "\nSearch engine tabu pressure:\n";
+      TextTable table({"algo", "tabu_hits", "aspirations", "escapes"});
+      for (const auto& [algo, row] : pressure) {
+        table.AddRow({algo, static_cast<long long>(row.tabu_hits),
+                      static_cast<long long>(row.aspirations),
+                      static_cast<long long>(row.escapes)});
+      }
+      out << table;
+    }
+  }
+
   const auto latency = summary.histograms.find("net.latency");
   if (latency != summary.histograms.end() && latency->second.count > 0) {
     const TraceSummary::HistogramSummary& h = latency->second;

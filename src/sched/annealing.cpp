@@ -2,29 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
+#include <utility>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
+#include "sched/engine.h"
 
 namespace commsched::sched {
 
 namespace {
-
-constexpr double kEps = 1e-12;
-
-/// Uniform random unordered pair of switches in different clusters.
-std::pair<std::size_t, std::size_t> RandomInterClusterPair(const Partition& partition, Rng& rng) {
-  const std::size_t n = partition.switch_count();
-  for (;;) {
-    const std::size_t a = static_cast<std::size_t>(rng.NextIndex(n));
-    const std::size_t b = static_cast<std::size_t>(rng.NextIndex(n));
-    if (a != b && partition.ClusterOf(a) != partition.ClusterOf(b)) {
-      return {std::min(a, b), std::max(a, b)};
-    }
-  }
-}
 
 /// Median |delta| over random moves — a robust temperature scale.
 double CalibrateTemperature(const qual::SwapEvaluator& eval, Rng& rng) {
@@ -40,73 +28,145 @@ double CalibrateTemperature(const qual::SwapEvaluator& eval, Rng& rng) {
   return std::max(median, 1e-9);
 }
 
+/// One finished annealing walk (restart).
+struct AnnealWalk {
+  SearchResult result;
+  double best_sum = 0.0;  // walk-space best (intra-cluster sum)
+  std::uint64_t uphill_accepts = 0;
+  std::size_t trace_span = 0;  // iteration numbers the trace occupies
+};
+
+/// RNG streams for `restarts` independent walks: stream 0 is the master
+/// stream of `seed` (bit-compatible with the single-restart searchers),
+/// streams k >= 1 are derived and never touch the master.
+std::vector<Rng> RestartStreams(std::uint64_t seed, std::size_t restarts) {
+  std::vector<Rng> rngs;
+  rngs.reserve(restarts);
+  rngs.emplace_back(seed);
+  for (std::size_t k = 1; k < restarts; ++k) {
+    rngs.emplace_back(DeriveSeedStream(seed, k));
+  }
+  return rngs;
+}
+
+/// Combines walks in restart order (strict margin, earliest wins) and fills
+/// the trace/iteration totals.
+SearchResult CombineWalks(const DistanceTable& table, std::vector<AnnealWalk>& walks,
+                          bool record_trace) {
+  SearchResult combined;
+  combined.best = walks[0].result.best;
+  double best_sum = walks[0].best_sum;
+  std::size_t iteration_base = 0;
+  for (std::size_t k = 0; k < walks.size(); ++k) {
+    AnnealWalk& walk = walks[k];
+    combined.iterations += walk.result.iterations;
+    combined.evaluations += walk.result.evaluations;
+    if (record_trace) {
+      for (TracePoint point : walk.result.trace) {
+        point.iteration += iteration_base;
+        combined.trace.push_back(point);
+      }
+      iteration_base += walk.trace_span;
+    }
+    if (k > 0 && walk.best_sum < best_sum - kSearchEps) {
+      best_sum = walk.best_sum;
+      combined.best = walk.result.best;
+    }
+  }
+  FinalizeResult(table, combined);
+  return combined;
+}
+
 }  // namespace
 
 SearchResult SimulatedAnnealing(const DistanceTable& table,
                                 const std::vector<std::size_t>& cluster_sizes,
                                 const AnnealingOptions& options) {
-  Rng rng(options.rng_seed);
-  Partition start = Partition::Random(cluster_sizes, rng);
-  qual::SwapEvaluator eval(table, std::move(start));
+  CS_CHECK(options.restarts >= 1, "need at least one restart");
+  std::vector<Rng> rngs = RestartStreams(options.rng_seed, options.restarts);
 
-  SearchResult result;
-  result.best = eval.partition();
-  double best_sum = eval.IntraSum();
-
-  double temperature = options.initial_temperature > 0.0 ? options.initial_temperature
-                                                         : CalibrateTemperature(eval, rng);
-  const double floor = temperature * options.final_temperature_ratio;
-
-  if (options.record_trace) {
-    result.trace.push_back({0, eval.Fg(), true});
+  // Starts come from each walk's own stream, derived before any walk runs.
+  std::vector<Partition> starts;
+  starts.reserve(options.restarts);
+  for (std::size_t k = 0; k < options.restarts; ++k) {
+    starts.push_back(Partition::Random(cluster_sizes, rngs[k]));
   }
-  if (obs::Tracer* tracer = obs::ActiveTracer()) {
-    tracer->Emit(obs::TraceEvent("search.restart")
-                     .F("algo", "sa")
-                     .F("fg", eval.Fg())
-                     .F("temperature", temperature));
-  }
-  std::uint64_t uphill_accepts = 0;  // flushed to the Registry after the loop
-  for (std::size_t it = 0; it < options.iterations; ++it) {
-    const auto [a, b] = RandomInterClusterPair(eval.partition(), rng);
-    const double delta = eval.SwapDelta(a, b);
-    ++result.evaluations;
-    const bool accept = delta < kEps || rng.NextDouble() < std::exp(-delta / temperature);
-    if (accept) {
-      if (delta > kEps) ++uphill_accepts;
-      eval.ApplySwap(a, b);
-      ++result.iterations;
-      if (eval.IntraSum() < best_sum - kEps) {
-        best_sum = eval.IntraSum();
-        result.best = eval.partition();
-        if (obs::Tracer* tracer = obs::ActiveTracer()) {
-          tracer->Emit(obs::TraceEvent("search.improved")
-                           .F("algo", "sa")
-                           .F("iter", it + 1)
-                           .F("fg", eval.Fg())
-                           .F("temperature", temperature));
-        }
-      }
-      if (options.record_trace) {
-        result.trace.push_back({it + 1, eval.Fg(), false});
-      }
+
+  std::vector<AnnealWalk> walks(options.restarts);
+  auto run_one = [&](std::size_t k) {
+    Rng rng = rngs[k];
+    qual::SwapEvaluator eval(table, starts[k]);
+
+    AnnealWalk walk;
+    walk.result.best = eval.partition();
+    walk.best_sum = eval.IntraSum();
+
+    const double initial = options.initial_temperature > 0.0 ? options.initial_temperature
+                                                             : CalibrateTemperature(eval, rng);
+    const double floor = initial * options.final_temperature_ratio;
+
+    if (options.record_trace) {
+      walk.result.trace.push_back({0, eval.Fg(), /*is_restart=*/true});
     }
-    temperature = std::max(temperature * options.cooling, floor);
+    if (obs::Tracer* tracer = obs::ActiveTracer()) {
+      tracer->Emit(obs::TraceEvent("search.restart")
+                       .F("algo", "sa")
+                       .F("seed", k)
+                       .F("fg", eval.Fg())
+                       .F("temperature", initial));
+    }
+
+    MetropolisPolicy policy(initial, options.cooling, floor);
+    IntraSumObjective objective(table, eval);
+    const SampledMoveStats stats = RunSampledMoves(
+        objective, policy, options.iterations, rng, [&](std::size_t it) {
+          if (eval.IntraSum() < walk.best_sum - kSearchEps) {
+            walk.best_sum = eval.IntraSum();
+            walk.result.best = eval.partition();
+            if (obs::Tracer* tracer = obs::ActiveTracer()) {
+              tracer->Emit(obs::TraceEvent("search.improved")
+                               .F("algo", "sa")
+                               .F("seed", k)
+                               .F("iter", it + 1)
+                               .F("fg", eval.Fg())
+                               .F("temperature", policy.temperature()));
+            }
+          }
+          if (options.record_trace) {
+            walk.result.trace.push_back({it + 1, eval.Fg(), false});
+          }
+        });
+    walk.result.iterations = stats.accepts;
+    walk.result.evaluations = stats.proposals;
+    walk.uphill_accepts = stats.uphill_accepts;
+    // Trace iterations are proposal indices (accepted moves only), so a
+    // restart's trace occupies the full proposal range.
+    walk.trace_span = options.iterations + 1;
+    walks[k] = std::move(walk);
+  };
+  if (options.parallel_seeds && options.restarts > 1) {
+    ParallelFor(options.restarts, run_one);
+  } else {
+    for (std::size_t k = 0; k < options.restarts; ++k) run_one(k);
   }
-  FinalizeResult(table, result);
+
+  SearchResult combined = CombineWalks(table, walks, options.record_trace);
+  std::uint64_t uphill_total = 0;
+  for (const AnnealWalk& walk : walks) uphill_total += walk.uphill_accepts;
+
   obs::Registry& registry = obs::Registry::Global();
-  registry.GetCounter("search.sa.runs").Add(1);
-  registry.GetCounter("search.sa.evaluations").Add(result.evaluations);
-  registry.GetCounter("search.sa.accepts").Add(result.iterations);
-  registry.GetCounter("search.sa.uphill_accepts").Add(uphill_accepts);
+  registry.GetCounter("search.sa.runs").Add(options.restarts);
+  registry.GetCounter("search.sa.evaluations").Add(combined.evaluations);
+  registry.GetCounter("search.sa.accepts").Add(combined.iterations);
+  registry.GetCounter("search.sa.uphill_accepts").Add(uphill_total);
   if (obs::Tracer* tracer = obs::ActiveTracer()) {
     tracer->Emit(obs::TraceEvent("search.done")
                      .F("algo", "sa")
-                     .F("iters", result.iterations)
-                     .F("evals", result.evaluations)
-                     .F("best_fg", result.best_fg));
+                     .F("iters", combined.iterations)
+                     .F("evals", combined.evaluations)
+                     .F("best_fg", combined.best_fg));
   }
-  return result;
+  return combined;
 }
 
 namespace {
@@ -159,86 +219,99 @@ SearchResult GeneticSimulatedAnnealing(const DistanceTable& table,
                                        const std::vector<std::size_t>& cluster_sizes,
                                        const GeneticAnnealingOptions& options) {
   CS_CHECK(options.population >= 2, "population must be at least 2");
-  Rng rng(options.rng_seed);
+  CS_CHECK(options.restarts >= 1, "need at least one restart");
+  std::vector<Rng> rngs = RestartStreams(options.rng_seed, options.restarts);
 
-  struct Individual {
-    qual::SwapEvaluator eval;
-    explicit Individual(qual::SwapEvaluator e) : eval(std::move(e)) {}
-  };
-  std::vector<Individual> population;
-  population.reserve(options.population);
-  for (std::size_t i = 0; i < options.population; ++i) {
-    population.emplace_back(qual::SwapEvaluator(table, Partition::Random(cluster_sizes, rng)));
-  }
+  std::vector<AnnealWalk> walks(options.restarts);
+  auto run_one = [&](std::size_t run_index) {
+    Rng rng = rngs[run_index];
 
-  SearchResult result;
-  result.best = population.front().eval.partition();
-  double best_sum = population.front().eval.IntraSum();
-
-  double temperature = options.initial_temperature > 0.0
-                           ? options.initial_temperature
-                           : CalibrateTemperature(population.front().eval, rng);
-
-  auto consider_best = [&](const qual::SwapEvaluator& eval) {
-    if (eval.IntraSum() < best_sum - kEps) {
-      best_sum = eval.IntraSum();
-      result.best = eval.partition();
+    struct Individual {
+      qual::SwapEvaluator eval;
+      explicit Individual(qual::SwapEvaluator e) : eval(std::move(e)) {}
+    };
+    std::vector<Individual> population;
+    population.reserve(options.population);
+    for (std::size_t i = 0; i < options.population; ++i) {
+      population.emplace_back(qual::SwapEvaluator(table, Partition::Random(cluster_sizes, rng)));
     }
-  };
-  for (auto& ind : population) consider_best(ind.eval);
 
-  for (std::size_t gen = 0; gen < options.generations; ++gen) {
-    // Mutation phase: each individual attempts SA-accepted swaps.
-    for (auto& ind : population) {
-      for (std::size_t m = 0; m < options.moves_per_individual; ++m) {
-        const auto [a, b] = RandomInterClusterPair(ind.eval.partition(), rng);
-        const double delta = ind.eval.SwapDelta(a, b);
-        ++result.evaluations;
-        if (delta < kEps || rng.NextDouble() < std::exp(-delta / temperature)) {
-          ind.eval.ApplySwap(a, b);
-          ++result.iterations;
-          consider_best(ind.eval);
+    AnnealWalk walk;
+    walk.result.best = population.front().eval.partition();
+    walk.best_sum = population.front().eval.IntraSum();
+
+    double temperature = options.initial_temperature > 0.0
+                             ? options.initial_temperature
+                             : CalibrateTemperature(population.front().eval, rng);
+
+    auto consider_best = [&](const qual::SwapEvaluator& eval) {
+      if (eval.IntraSum() < walk.best_sum - kSearchEps) {
+        walk.best_sum = eval.IntraSum();
+        walk.result.best = eval.partition();
+      }
+    };
+    for (auto& ind : population) consider_best(ind.eval);
+
+    // Per-proposal cooling off (cooling factor 1, floor 0): GSA cools per
+    // generation instead, via set_temperature below.
+    MetropolisPolicy policy(temperature, 1.0, 0.0);
+    for (std::size_t gen = 0; gen < options.generations; ++gen) {
+      // Mutation phase: each individual attempts SA-accepted swaps.
+      policy.set_temperature(temperature);
+      for (auto& ind : population) {
+        IntraSumObjective objective(table, ind.eval);
+        const SampledMoveStats stats =
+            RunSampledMoves(objective, policy, options.moves_per_individual, rng,
+                            [&](std::size_t) { consider_best(ind.eval); });
+        walk.result.evaluations += stats.proposals;
+        walk.result.iterations += stats.accepts;
+      }
+      // Selection phase: sort by fitness; replace the worst with elite
+      // copies or crossovers of two random elites.
+      std::vector<std::size_t> rank(population.size());
+      for (std::size_t i = 0; i < rank.size(); ++i) rank[i] = i;
+      std::sort(rank.begin(), rank.end(), [&](std::size_t x, std::size_t y) {
+        return population[x].eval.IntraSum() < population[y].eval.IntraSum();
+      });
+      const std::size_t elites = std::max<std::size_t>(
+          1, static_cast<std::size_t>(options.elite_fraction * population.size()));
+      for (std::size_t k = 0; k < elites && k < population.size(); ++k) {
+        const std::size_t victim = rank[population.size() - 1 - k];
+        if (victim == rank[k]) continue;
+        if (rng.NextBool(options.crossover_probability) && elites >= 2) {
+          const std::size_t p1 = rank[rng.NextIndex(elites)];
+          const std::size_t p2 = rank[rng.NextIndex(elites)];
+          population[victim].eval.Reset(Crossover(population[p1].eval.partition(),
+                                                  population[p2].eval.partition(), cluster_sizes,
+                                                  rng));
+        } else {
+          population[victim].eval.Reset(population[rank[k]].eval.partition());
         }
+        consider_best(population[victim].eval);
       }
+      temperature *= options.cooling;
     }
-    // Selection phase: sort by fitness; replace the worst with elite copies
-    // or crossovers of two random elites.
-    std::vector<std::size_t> rank(population.size());
-    for (std::size_t i = 0; i < rank.size(); ++i) rank[i] = i;
-    std::sort(rank.begin(), rank.end(), [&](std::size_t x, std::size_t y) {
-      return population[x].eval.IntraSum() < population[y].eval.IntraSum();
-    });
-    const std::size_t elites = std::max<std::size_t>(
-        1, static_cast<std::size_t>(options.elite_fraction * population.size()));
-    for (std::size_t k = 0; k < elites && k < population.size(); ++k) {
-      const std::size_t victim = rank[population.size() - 1 - k];
-      if (victim == rank[k]) continue;
-      if (rng.NextBool(options.crossover_probability) && elites >= 2) {
-        const std::size_t p1 = rank[rng.NextIndex(elites)];
-        const std::size_t p2 = rank[rng.NextIndex(elites)];
-        population[victim].eval.Reset(Crossover(population[p1].eval.partition(),
-                                                population[p2].eval.partition(), cluster_sizes,
-                                                rng));
-      } else {
-        population[victim].eval.Reset(population[rank[k]].eval.partition());
-      }
-      consider_best(population[victim].eval);
-    }
-    temperature *= options.cooling;
+    walks[run_index] = std::move(walk);
+  };
+  if (options.parallel_seeds && options.restarts > 1) {
+    ParallelFor(options.restarts, run_one);
+  } else {
+    for (std::size_t k = 0; k < options.restarts; ++k) run_one(k);
   }
-  FinalizeResult(table, result);
+
+  SearchResult combined = CombineWalks(table, walks, /*record_trace=*/false);
   obs::Registry& registry = obs::Registry::Global();
-  registry.GetCounter("search.gsa.runs").Add(1);
-  registry.GetCounter("search.gsa.evaluations").Add(result.evaluations);
-  registry.GetCounter("search.gsa.accepts").Add(result.iterations);
+  registry.GetCounter("search.gsa.runs").Add(options.restarts);
+  registry.GetCounter("search.gsa.evaluations").Add(combined.evaluations);
+  registry.GetCounter("search.gsa.accepts").Add(combined.iterations);
   if (obs::Tracer* tracer = obs::ActiveTracer()) {
     tracer->Emit(obs::TraceEvent("search.done")
                      .F("algo", "gsa")
-                     .F("iters", result.iterations)
-                     .F("evals", result.evaluations)
-                     .F("best_fg", result.best_fg));
+                     .F("iters", combined.iterations)
+                     .F("evals", combined.evaluations)
+                     .F("best_fg", combined.best_fg));
   }
-  return result;
+  return combined;
 }
 
 }  // namespace commsched::sched

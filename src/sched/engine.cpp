@@ -1,0 +1,475 @@
+#include "sched/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "obs/obs.h"
+#include "obs/span.h"
+#include "obs/trace.h"
+
+namespace commsched::sched {
+
+ScanRules ScanRules::TabuMargin() { return ScanRules{}; }
+
+ScanRules ScanRules::ValueDescent() {
+  ScanRules rules;
+  rules.down = Down::kValueStrict;
+  return rules;
+}
+
+ScanRules ScanRules::GreedyDescent() {
+  ScanRules rules;
+  rules.down = Down::kDeltaStrict;
+  rules.strict_init = -kSearchEps;
+  rules.allow_escape = false;
+  rules.use_tabu = false;
+  return rules;
+}
+
+ScanRules ScanRules::GreedyGain(double strict_init) {
+  ScanRules rules;
+  rules.down = Down::kDeltaStrict;
+  rules.strict_init = strict_init;
+  rules.allow_escape = false;
+  rules.use_tabu = false;
+  rules.track_best = false;  // the walk's final mapping is the repair result
+  return rules;
+}
+
+SearchEngine::SearchEngine(std::string algo, const EngineOptions& options, const ScanRules& rules)
+    : algo_(std::move(algo)),
+      options_(options),
+      rules_(rules),
+      timer_name_("search." + algo_ + ".seed"),
+      seed_span_name_(algo_ + ".seed"),
+      iter_span_name_(algo_ + ".iter") {}
+
+SeedRun SearchEngine::RunSeed(Objective& objective, std::size_t seed_index) const {
+  obs::Registry& registry = obs::Registry::Global();
+  const obs::ScopedTimer seed_timer(registry.GetTimer(timer_name_));
+  const obs::Span seed_span(seed_span_name_, "seed", seed_index);
+  const std::size_t n = objective.partition().switch_count();
+
+  SeedRun run;
+  run.result.best = objective.partition();
+  double current_value = objective.Value();
+  double best_value = current_value;
+
+  if (options_.record_trace) {
+    run.trace.push_back({0, objective.TraceFg(), /*is_restart=*/true});
+  }
+  if (obs::Tracer* tracer = obs::ActiveTracer()) {
+    tracer->Emit(obs::TraceEvent("search.restart")
+                     .F("algo", algo_)
+                     .F("seed", seed_index)
+                     .F("fg", objective.TraceFg()));
+  }
+
+  // tabu_until[a][b]: iteration before which swapping (a,b) is forbidden.
+  std::vector<std::vector<std::size_t>> tabu_until;
+  if (rules_.use_tabu) {
+    tabu_until.assign(n, std::vector<std::size_t>(n, 0));
+  }
+
+  // Local-minimum bookkeeping: values quantized to a tolerance so that
+  // "the same local minimum" is robust to floating-point noise.
+  std::map<long long, std::size_t> local_min_hits;
+  auto quantize = [](double value) { return static_cast<long long>(std::llround(value * 1e9)); };
+
+  std::size_t iteration = 0;
+  while (iteration < options_.max_iterations_per_seed) {
+    // Escape iterations are re-labelled before the span closes, so the
+    // profile separates uphill moves from ordinary descent.
+    obs::Span iter_span(iter_span_name_, "iter", iteration);
+
+    // Evaluate the whole inter-cluster swap neighbourhood. In value space
+    // the comparison reference is the current value; in delta space it is 0.
+    const double reference = rules_.down == ScanRules::Down::kValueStrict ? current_value : 0.0;
+    double best_down = 0.0;
+    switch (rules_.down) {
+      case ScanRules::Down::kDeltaMargin:
+        best_down = 0.0;
+        break;
+      case ScanRules::Down::kDeltaStrict:
+        best_down = rules_.strict_init;
+        break;
+      case ScanRules::Down::kValueStrict:
+        best_down = current_value - kSearchEps;
+        break;
+    }
+    std::pair<std::size_t, std::size_t> down_move{n, n};
+    bool down_found = false;
+    double best_up = std::numeric_limits<double>::infinity();  // smallest increase
+    std::pair<std::size_t, std::size_t> up_move{n, n};
+    bool any_decrease_exists = false;  // decreasing swap exists, tabu or not
+
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = a + 1; b < n; ++b) {
+        if (objective.partition().ClusterOf(a) == objective.partition().ClusterOf(b)) continue;
+        const double cost = objective.SwapCost(a, b);
+        ++run.result.evaluations;
+        if (!std::isfinite(cost)) continue;  // inadmissible (e.g. over budget)
+        if (cost < reference - kSearchEps) any_decrease_exists = true;
+
+        if (rules_.use_tabu && tabu_until[a][b] > iteration) {
+          // Aspiration: a tabu move may still be taken if it would beat the
+          // best mapping this seed has seen.
+          if (options_.aspiration &&
+              objective.AspirantValue(cost, current_value) < best_value - kSearchEps) {
+            ++run.aspirations;
+          } else {
+            ++run.tabu_hits;
+            continue;
+          }
+        }
+        const bool replace = rules_.down == ScanRules::Down::kDeltaMargin
+                                 ? cost < best_down - kSearchEps
+                                 : cost < best_down;
+        if (replace) {
+          best_down = cost;
+          down_move = {a, b};
+          down_found = true;
+        }
+        if (rules_.allow_escape && cost > reference + kSearchEps && cost < best_up) {
+          best_up = cost;
+          up_move = {a, b};
+        }
+      }
+    }
+
+    std::pair<std::size_t, std::size_t> move{n, n};
+    bool escaping = false;
+    if (down_found) {
+      move = down_move;  // greatest decrease
+    } else {
+      if (!rules_.allow_escape) break;  // pure descent: first local minimum ends the walk
+      // Local minimum (no admissible decreasing swap).
+      if (!any_decrease_exists) {
+        const std::size_t hits = ++local_min_hits[quantize(current_value)];
+        if (obs::Tracer* tracer = obs::ActiveTracer()) {
+          tracer->Emit(obs::TraceEvent("search.local_min")
+                           .F("algo", algo_)
+                           .F("seed", seed_index)
+                           .F("iter", iteration)
+                           .F("fg", objective.TraceFg())
+                           .F("hits", hits));
+        }
+        if (hits >= options_.local_min_repeats) {
+          break;  // same local minimum reached `local_min_repeats` times
+        }
+      }
+      if (up_move.first >= n) {
+        break;  // nowhere to go (every escape move is tabu)
+      }
+      move = up_move;  // smallest increase
+      escaping = true;
+    }
+
+    objective.Apply(move.first, move.second);
+    current_value = objective.Value();
+    ++iteration;
+    ++run.result.iterations;
+    if (escaping) {
+      ++run.escapes;
+      iter_span.SetArg("escape_iter", iteration - 1);
+      // Forbid the inverse permutation for `tenure` iterations.
+      tabu_until[move.first][move.second] = iteration + options_.tenure;
+    }
+    if (options_.record_trace) {
+      run.trace.push_back({iteration, objective.TraceFg(), false});
+    }
+    if (obs::Tracer* tracer = obs::ActiveTracer()) {
+      tracer->Emit(obs::TraceEvent("search.move")
+                       .F("algo", algo_)
+                       .F("seed", seed_index)
+                       .F("iter", iteration)
+                       .F("a", move.first)
+                       .F("b", move.second)
+                       .F("fg", objective.TraceFg())
+                       .F("escape", escaping));
+    }
+    if (rules_.track_best && current_value < best_value - kSearchEps) {
+      best_value = current_value;
+      run.result.best = objective.partition();
+    }
+  }
+
+  if (!rules_.track_best) {
+    run.result.best = objective.partition();
+    best_value = current_value;
+  }
+  run.best_value = best_value;
+  run.trace_span = run.result.iterations + 1;  // +1 for the restart point
+  objective.FinalizeSeed(run.result);
+  return run;
+}
+
+void SearchEngine::FlushSeedObservability(const SeedRun& run, std::size_t seed_index) const {
+  obs::Registry& registry = obs::Registry::Global();
+  const std::string family = "search." + algo_ + ".";
+  registry.GetCounter(family + "seeds").Add(1);
+  registry.GetCounter(family + "moves").Add(run.result.iterations);
+  registry.GetCounter(family + "evaluations").Add(run.result.evaluations);
+  registry.GetCounter(family + "tabu_hits").Add(run.tabu_hits);
+  registry.GetCounter(family + "aspirations").Add(run.aspirations);
+  registry.GetCounter(family + "escapes").Add(run.escapes);
+  // Distribution of per-seed walk lengths: one histogram sample per seed
+  // (batched like the counters — nothing lands mid-walk).
+  registry.GetHistogram(family + "seed_iters").Record(run.result.iterations);
+  if (obs::Tracer* tracer = obs::ActiveTracer()) {
+    tracer->Emit(obs::TraceEvent("search.seed_done")
+                     .F("algo", algo_)
+                     .F("seed", seed_index)
+                     .F("iters", run.result.iterations)
+                     .F("evals", run.result.evaluations)
+                     .F("best_fg", run.result.best_fg)
+                     .F("best_cc", run.result.best_cc));
+  }
+}
+
+SearchResult RunMultiStart(const DistanceTable& table, const MultiStartSpec& spec) {
+  const std::size_t seeds = spec.options.seeds;
+  CS_CHECK(seeds >= 1, "need at least one seed");
+  CS_CHECK(spec.starts.size() == seeds, "one start per seed required");
+
+  // Every start and RNG stream was derived before this point, so the seed
+  // walks are independent and parallel execution explores identical walks.
+  std::vector<SeedRun> runs(seeds);
+  auto run_one = [&](std::size_t s) { runs[s] = spec.run_seed(spec.starts[s], s); };
+  if (spec.options.parallel_seeds && seeds > 1) {
+    ParallelFor(seeds, run_one);
+  } else {
+    for (std::size_t s = 0; s < seeds; ++s) run_one(s);
+  }
+
+  // Combine sequentially in seed order with a strict margin: the winner is
+  // independent of thread scheduling.
+  SearchResult combined;
+  combined.best = runs[0].result.best;
+  combined.best_fg = runs[0].result.best_fg;
+  combined.best_dg = runs[0].result.best_dg;
+  combined.best_cc = runs[0].result.best_cc;
+  combined.moved_from_anchor = runs[0].result.moved_from_anchor;
+  double combined_key = spec.combine_key(runs[0]);
+  std::size_t iteration_base = 0;
+  for (std::size_t s = 0; s < seeds; ++s) {
+    const SeedRun& run = runs[s];
+    combined.iterations += run.result.iterations;
+    combined.evaluations += run.result.evaluations;
+    if (spec.options.record_trace) {
+      for (TracePoint point : run.trace) {
+        point.iteration += iteration_base;
+        combined.trace.push_back(point);
+      }
+      iteration_base += run.trace_span;
+    }
+    const double key = spec.combine_key(run);
+    if (key < combined_key - kSearchEps) {
+      combined.best = run.result.best;
+      combined.best_fg = run.result.best_fg;
+      combined.best_dg = run.result.best_dg;
+      combined.best_cc = run.result.best_cc;
+      combined.moved_from_anchor = run.result.moved_from_anchor;
+      combined_key = key;
+    }
+  }
+  if (spec.finalize_combined) {
+    FinalizeResult(table, combined);
+  }
+  if (spec.emit_done) {
+    if (obs::Tracer* tracer = obs::ActiveTracer()) {
+      tracer->Emit(obs::TraceEvent("search.done")
+                       .F("algo", spec.algo)
+                       .F("seeds", seeds)
+                       .F("iters", combined.iterations)
+                       .F("evals", combined.evaluations)
+                       .F("best_fg", combined.best_fg));
+    }
+  }
+  return combined;
+}
+
+std::uint64_t DeriveSeedStream(std::uint64_t base, std::size_t k) {
+  // SplitMix64 over a golden-ratio stride: independent streams per restart
+  // that never touch the searcher's master Rng (restart 0 keeps the master
+  // stream for bit-compatibility with the single-restart searchers).
+  std::uint64_t state = base + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(k) + 1);
+  return SplitMix64(state);
+}
+
+std::pair<std::size_t, std::size_t> RandomInterClusterPair(const Partition& partition, Rng& rng) {
+  const std::size_t n = partition.switch_count();
+  for (;;) {
+    const std::size_t a = static_cast<std::size_t>(rng.NextIndex(n));
+    const std::size_t b = static_cast<std::size_t>(rng.NextIndex(n));
+    if (a != b && partition.ClusterOf(a) != partition.ClusterOf(b)) {
+      return {std::min(a, b), std::max(a, b)};
+    }
+  }
+}
+
+bool MetropolisPolicy::Accept(double cost, Rng& rng) {
+  // Short-circuit keeps RNG consumption identical to the legacy loop: one
+  // NextDouble per uphill proposal only.
+  return cost < kSearchEps || rng.NextDouble() < std::exp(-cost / temperature_);
+}
+
+void MetropolisPolicy::AfterProposal() {
+  temperature_ = std::max(temperature_ * cooling_, floor_);
+}
+
+SampledMoveStats RunSampledMoves(Objective& objective, AcceptancePolicy& policy,
+                                 std::size_t proposals, Rng& rng,
+                                 const std::function<void(std::size_t)>& on_accept) {
+  SampledMoveStats stats;
+  for (std::size_t it = 0; it < proposals; ++it) {
+    const auto [a, b] = RandomInterClusterPair(objective.partition(), rng);
+    const double cost = objective.SwapCost(a, b);
+    ++stats.proposals;
+    if (policy.Accept(cost, rng)) {
+      if (cost > kSearchEps) ++stats.uphill_accepts;
+      objective.Apply(a, b);
+      ++stats.accepts;
+      on_accept(it);
+    }
+    policy.AfterProposal();
+  }
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Objective adapters.
+// ---------------------------------------------------------------------------
+
+std::size_t CountMovedFromAnchor(const Partition& partition, const Partition& anchor) {
+  std::size_t moved = 0;
+  for (std::size_t s = 0; s < partition.switch_count(); ++s) {
+    if (partition.ClusterOf(s) != anchor.ClusterOf(s)) ++moved;
+  }
+  return moved;
+}
+
+TabuObjective::TabuObjective(const DistanceTable& table, const Partition& start,
+                             const Partition* anchor, double migration_penalty)
+    : eval_(table, start), table_(&table), anchor_(anchor) {
+  const std::size_t n = start.switch_count();
+  if (anchor_ != nullptr) {
+    CS_CHECK(anchor_->switch_count() == n, "anchor size mismatch");
+  }
+  move_cost_ = anchor_ != nullptr ? migration_penalty / static_cast<double>(n) : 0.0;
+  fg_scale_ = eval_.FgAfterDelta(1.0) - eval_.FgAfterDelta(0.0);
+  moved_ = anchor_ != nullptr ? CountMovedFromAnchor(start, *anchor_) : 0;
+}
+
+int TabuObjective::SwapDMoved(std::size_t a, std::size_t b) const {
+  if (anchor_ == nullptr) return 0;
+  const std::size_t ca = eval_.partition().ClusterOf(a);
+  const std::size_t cb = eval_.partition().ClusterOf(b);
+  int d = 0;
+  d += (cb != anchor_->ClusterOf(a)) - (ca != anchor_->ClusterOf(a));
+  d += (ca != anchor_->ClusterOf(b)) - (cb != anchor_->ClusterOf(b));
+  return d;
+}
+
+double TabuObjective::SwapCost(std::size_t a, std::size_t b) {
+  return eval_.SwapDelta(a, b) * fg_scale_ + move_cost_ * static_cast<double>(SwapDMoved(a, b));
+}
+
+double TabuObjective::Value() const {
+  return eval_.Fg() + move_cost_ * static_cast<double>(moved_);
+}
+
+double TabuObjective::TraceFg() const { return eval_.Fg(); }
+
+double TabuObjective::AspirantValue(double cost, double current_value) {
+  return current_value + cost;
+}
+
+void TabuObjective::Apply(std::size_t a, std::size_t b) {
+  moved_ = static_cast<std::size_t>(static_cast<long long>(moved_) + SwapDMoved(a, b));
+  eval_.ApplySwap(a, b);
+}
+
+const Partition& TabuObjective::partition() const { return eval_.partition(); }
+
+void TabuObjective::FinalizeSeed(SearchResult& result) const {
+  FinalizeResult(*table_, result);
+  if (anchor_ != nullptr) {
+    result.moved_from_anchor = CountMovedFromAnchor(result.best, *anchor_);
+  }
+}
+
+WeightedFgObjective::WeightedFgObjective(const DistanceTable& table,
+                                         const qual::WeightMatrix& weights, const Partition& start)
+    : eval_(table, weights, start), table_(&table), weights_(&weights) {}
+
+double WeightedFgObjective::SwapCost(std::size_t a, std::size_t b) {
+  return eval_.FgAfterSwap(a, b);
+}
+
+double WeightedFgObjective::Value() const { return eval_.Fg(); }
+
+double WeightedFgObjective::TraceFg() const { return eval_.Fg(); }
+
+double WeightedFgObjective::AspirantValue(double cost, double /*current_value*/) { return cost; }
+
+void WeightedFgObjective::Apply(std::size_t a, std::size_t b) { eval_.ApplySwap(a, b); }
+
+const Partition& WeightedFgObjective::partition() const { return eval_.partition(); }
+
+void WeightedFgObjective::FinalizeSeed(SearchResult& result) const {
+  result.best_fg = qual::WeightedGlobalSimilarity(*table_, *weights_, result.best);
+  result.best_dg = qual::WeightedGlobalDissimilarity(*table_, *weights_, result.best);
+  result.best_cc = result.best_dg / result.best_fg;
+}
+
+IntensityFgObjective::IntensityFgObjective(const DistanceTable& table, const Partition& start,
+                                           const std::vector<double>& cluster_intensity)
+    : eval_(table, start, cluster_intensity), table_(&table), intensity_(cluster_intensity) {}
+
+double IntensityFgObjective::SwapCost(std::size_t a, std::size_t b) {
+  return eval_.SwapDelta(a, b);
+}
+
+double IntensityFgObjective::Value() const { return eval_.Fg(); }
+
+double IntensityFgObjective::TraceFg() const { return eval_.Fg(); }
+
+double IntensityFgObjective::AspirantValue(double cost, double /*current_value*/) {
+  return eval_.FgAfterDelta(cost);
+}
+
+void IntensityFgObjective::Apply(std::size_t a, std::size_t b) { eval_.ApplySwap(a, b); }
+
+const Partition& IntensityFgObjective::partition() const { return eval_.partition(); }
+
+void IntensityFgObjective::FinalizeSeed(SearchResult& result) const {
+  result.best_fg = qual::IntensityGlobalSimilarity(*table_, result.best, intensity_);
+  result.best_dg = qual::GlobalDissimilarity(*table_, result.best);
+  result.best_cc = result.best_dg / qual::GlobalSimilarity(*table_, result.best);
+}
+
+double IntraSumObjective::SwapCost(std::size_t a, std::size_t b) { return eval_->SwapDelta(a, b); }
+
+double IntraSumObjective::Value() const { return eval_->IntraSum(); }
+
+double IntraSumObjective::TraceFg() const { return eval_->Fg(); }
+
+double IntraSumObjective::AspirantValue(double cost, double current_value) {
+  return current_value + cost;
+}
+
+void IntraSumObjective::Apply(std::size_t a, std::size_t b) { eval_->ApplySwap(a, b); }
+
+const Partition& IntraSumObjective::partition() const { return eval_->partition(); }
+
+void IntraSumObjective::FinalizeSeed(SearchResult& result) const {
+  FinalizeResult(*table_, result);
+}
+
+}  // namespace commsched::sched

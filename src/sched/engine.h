@@ -1,0 +1,342 @@
+// Unified search core for every mapping searcher (§4.2 and variants).
+//
+// All searchers in this module minimize some objective over the space Ω of
+// fixed-size network partitions by repeated inter-cluster swaps. Before this
+// engine existed each searcher carried its own copy of the neighbourhood
+// scan, tabu/escape bookkeeping, trace emission, and observability flush;
+// now a searcher is just
+//
+//   * an Objective — how much a swap costs, what the current mapping is
+//     worth, and how to finalize a SearchResult, plus
+//   * a ScanRules preset — which comparison rule its legacy loop used
+//     (the presets exist for bit-exact parity, see below), plus
+//   * a MultiStartSpec — how many seeds, how to build each start, and how
+//     seed results combine.
+//
+// Determinism rules (enforced by tests/test_engine_parity.cpp):
+//   1. All starts and RNG streams are derived *up front*, before any seed
+//      runs, so parallel and sequential execution explore identical walks.
+//   2. A seed's walk never draws randomness shared with another seed; extra
+//      streams come from DeriveSeedStream(base_seed, k).
+//   3. Seed results are combined sequentially in seed order with a strict
+//      kEps margin, so the winner does not depend on thread scheduling.
+//
+// The comparison rules are deliberately *not* unified: the legacy loops
+// differed in how candidate swaps were compared (margin vs. strict, delta
+// space vs. absolute value), and those differences are observable in which
+// mapping wins a tie. ScanRules pins each searcher to its historical rule
+// so ported searchers stay bit-identical to the pre-refactor code.
+//
+// To add a new objective: implement Objective over an incremental evaluator
+// (SwapCost must be O(cluster size), not a full recompute), pick the
+// ScanRules preset whose tie-breaking you want, and drive it either through
+// SearchEngine::RunSeed (one walk) or RunMultiStart (seeded restarts with
+// optional ThreadPool parallelism).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "quality/weighted.h"
+#include "sched/search.h"
+
+namespace commsched::sched {
+
+/// Strict-improvement margin shared by every searcher: two objective values
+/// closer than this are "the same" (tie → keep the incumbent).
+inline constexpr double kSearchEps = 1e-12;
+
+/// Engine-level knobs common to all scan searchers. Mirrors the searcher
+/// option structs (TabuOptions et al.), which stay the public surface.
+struct EngineOptions {
+  std::size_t seeds = 10;
+  std::size_t max_iterations_per_seed = 20;
+  std::size_t local_min_repeats = 3;  // stop after revisiting a minimum
+  std::size_t tenure = 4;             // tabu duration of escape moves
+  bool aspiration = true;             // tabu override when beating the best
+  bool record_trace = false;
+  bool parallel_seeds = false;        // ThreadPool over seeds
+};
+
+/// A search objective over partitions. The engine only ever talks to the
+/// walk through this interface; adapters wrap the incremental evaluators
+/// (qual::SwapEvaluator, WeightedSwapEvaluator, IntensitySwapEvaluator) and
+/// the migration-anchored penalty.
+class Objective {
+ public:
+  virtual ~Objective() = default;
+
+  /// Cost of swapping switches (a, b), in this objective's comparison
+  /// space: a delta for delta-space objectives, the absolute post-swap
+  /// value for value-space ones (ScanRules::Down picks the interpretation).
+  /// Return a non-finite value to mark the swap inadmissible (e.g. the
+  /// repair objective's migration budget).
+  virtual double SwapCost(std::size_t a, std::size_t b) = 0;
+
+  /// Current value of the mapping in the comparison space (used for
+  /// best-so-far tracking and local-minimum detection).
+  [[nodiscard]] virtual double Value() const = 0;
+
+  /// F_G of the current mapping, for TracePoints and trace events. May
+  /// differ from Value() (e.g. the anchored objective adds a migration
+  /// term; annealing walks compare raw intra-cluster sums).
+  [[nodiscard]] virtual double TraceFg() const = 0;
+
+  /// Value the mapping would have after a swap of cost `cost`, compared
+  /// against the best-so-far for aspiration. Kept virtual because the
+  /// legacy loops disagreed (plain tabu: current + cost; intensity tabu:
+  /// FgAfterDelta(cost); weighted tabu: cost itself).
+  [[nodiscard]] virtual double AspirantValue(double cost, double current_value) = 0;
+
+  /// Applies the swap and updates any internal bookkeeping.
+  virtual void Apply(std::size_t a, std::size_t b) = 0;
+
+  [[nodiscard]] virtual const Partition& partition() const = 0;
+
+  /// Fills best_fg / best_dg / best_cc (and any extra fields) of a finished
+  /// seed result from result.best.
+  virtual void FinalizeSeed(SearchResult& result) const = 0;
+};
+
+/// Candidate-comparison rules of the neighbourhood scan. Each preset
+/// reproduces one legacy loop's tie-breaking exactly.
+struct ScanRules {
+  enum class Down {
+    kDeltaMargin,  // init 0; replace when cost < best - kEps (tabu, itabu)
+    kDeltaStrict,  // init strict_init; replace when cost < best (sd, repair)
+    kValueStrict,  // init current - kEps; replace when cost < best (wtabu)
+  };
+  Down down = Down::kDeltaMargin;
+  double strict_init = 0.0;  // initial threshold for kDeltaStrict
+  bool allow_escape = true;  // false: stop at the first local minimum
+  bool use_tabu = true;      // maintain the tabu list + aspiration
+  bool track_best = true;    // false: the walk's final mapping is its result
+
+  static ScanRules TabuMargin();           // plain & intensity tabu
+  static ScanRules ValueDescent();         // weighted tabu
+  static ScanRules GreedyDescent();        // steepest descent
+  static ScanRules GreedyGain(double strict_init);  // repair refinement
+};
+
+/// One seed's finished walk.
+struct SeedRun {
+  SearchResult result;            // finalized per-seed result
+  std::vector<TracePoint> trace;  // local iteration numbers (base 0)
+  double best_value = 0.0;        // walk-space best, for combining
+  std::size_t trace_span = 0;     // iteration numbers the trace occupies
+  std::uint64_t tabu_hits = 0;
+  std::uint64_t aspirations = 0;
+  std::uint64_t escapes = 0;
+};
+
+/// The neighbourhood-scan walk: owns candidate scanning, the tabu list and
+/// aspiration, local-minimum escape/repeat-stop logic, TracePoint recording,
+/// and span/trace-event emission under `algo`'s name.
+class SearchEngine {
+ public:
+  SearchEngine(std::string algo, const EngineOptions& options, const ScanRules& rules);
+
+  /// Runs one walk from the objective's current mapping. Emits
+  /// search.restart / search.move / search.local_min trace events and
+  /// "<algo>.seed" / "<algo>.iter" spans; does NOT flush counters (call
+  /// FlushSeedObservability so batched flushing stays one registry touch
+  /// per seed).
+  SeedRun RunSeed(Objective& objective, std::size_t seed_index) const;
+
+  /// The single per-seed observability flush shared by every searcher:
+  /// search.<algo>.{seeds,moves,evaluations,tabu_hits,aspirations,escapes},
+  /// the seed_iters histogram, and the search.seed_done trace event.
+  void FlushSeedObservability(const SeedRun& run, std::size_t seed_index) const;
+
+  [[nodiscard]] const EngineOptions& options() const { return options_; }
+  [[nodiscard]] const std::string& algo() const { return algo_; }
+
+ private:
+  std::string algo_;
+  EngineOptions options_;
+  ScanRules rules_;
+  std::string timer_name_;      // "search.<algo>.seed"
+  std::string seed_span_name_;  // "<algo>.seed"
+  std::string iter_span_name_;  // "<algo>.iter"
+};
+
+/// Multi-start driver: how seeds are produced and combined.
+struct MultiStartSpec {
+  std::string algo;
+  EngineOptions options;
+  /// One start per seed, derived up front (determinism rule 1).
+  std::vector<Partition> starts;
+  /// Runs one seed (usually SearchEngine::RunSeed over a fresh Objective
+  /// plus FlushSeedObservability). Must not touch shared mutable state.
+  std::function<SeedRun(const Partition& start, std::size_t seed)> run_seed;
+  /// Comparison key of a finished seed; lower wins by a strict kEps margin,
+  /// ties keep the earlier seed.
+  std::function<double(const SeedRun&)> combine_key;
+  /// Recompute best_fg/dg/cc of the winner from its partition. Weighted
+  /// objectives set this false and carry their own finalized values.
+  bool finalize_combined = true;
+  /// Emit the search.done summary event.
+  bool emit_done = true;
+};
+
+/// Runs every seed (in parallel when options.parallel_seeds), then combines
+/// results sequentially in seed order — identical output either way.
+SearchResult RunMultiStart(const DistanceTable& table, const MultiStartSpec& spec);
+
+/// Independent per-restart RNG stream: restart k of a searcher seeded with
+/// `base` draws from Rng(DeriveSeedStream(base, k)). Restart 0 of the
+/// legacy searchers keeps the master stream instead (bit-compat).
+[[nodiscard]] std::uint64_t DeriveSeedStream(std::uint64_t base, std::size_t k);
+
+/// Uniform random unordered pair of switches in different clusters (the
+/// proposal kernel of the annealing searchers).
+std::pair<std::size_t, std::size_t> RandomInterClusterPair(const Partition& partition, Rng& rng);
+
+/// Acceptance rule for sampled-move (annealing-family) walks. Kept a policy
+/// object so the engine owns the move loop while the searcher owns the
+/// thermodynamics.
+class AcceptancePolicy {
+ public:
+  virtual ~AcceptancePolicy() = default;
+  /// Whether to accept a proposed swap of cost `cost`. May draw from `rng`.
+  virtual bool Accept(double cost, Rng& rng) = 0;
+  /// Called once per proposal, accepted or not (e.g. per-proposal cooling).
+  virtual void AfterProposal() = 0;
+};
+
+/// Metropolis acceptance with optional geometric cooling per proposal.
+/// Draws one NextDouble only for uphill proposals (cost >= kEps) — the
+/// exact RNG consumption of the legacy annealing loop.
+class MetropolisPolicy final : public AcceptancePolicy {
+ public:
+  MetropolisPolicy(double temperature, double cooling, double floor)
+      : temperature_(temperature), cooling_(cooling), floor_(floor) {}
+  bool Accept(double cost, Rng& rng) override;
+  void AfterProposal() override;
+  [[nodiscard]] double temperature() const { return temperature_; }
+  void set_temperature(double temperature) { temperature_ = temperature; }
+
+ private:
+  double temperature_;
+  double cooling_;
+  double floor_;
+};
+
+/// Outcome of a sampled-move loop.
+struct SampledMoveStats {
+  std::size_t proposals = 0;
+  std::size_t accepts = 0;
+  std::size_t uphill_accepts = 0;  // accepted with cost > kEps
+};
+
+/// The annealing-family move loop: `proposals` random inter-cluster swaps,
+/// each evaluated through the objective and accepted by the policy.
+/// `on_accept(proposal_index)` runs after each applied swap (best tracking,
+/// trace recording — whatever the searcher needs).
+SampledMoveStats RunSampledMoves(Objective& objective, AcceptancePolicy& policy,
+                                 std::size_t proposals, Rng& rng,
+                                 const std::function<void(std::size_t)>& on_accept);
+
+// ---------------------------------------------------------------------------
+// Objective adapters over the incremental evaluators.
+// ---------------------------------------------------------------------------
+
+/// Switches whose cluster differs from the anchor's (migration distance).
+[[nodiscard]] std::size_t CountMovedFromAnchor(const Partition& partition, const Partition& anchor);
+
+/// Plain F_G (§4.2) with an optional migration-anchored penalty: minimizes
+/// F_G + migration_penalty * moved / N against `anchor`. With no anchor the
+/// migration machinery reduces to plain F_G minimization (deltas all zero).
+class TabuObjective final : public Objective {
+ public:
+  TabuObjective(const DistanceTable& table, const Partition& start, const Partition* anchor,
+                double migration_penalty);
+
+  double SwapCost(std::size_t a, std::size_t b) override;
+  [[nodiscard]] double Value() const override;
+  [[nodiscard]] double TraceFg() const override;
+  [[nodiscard]] double AspirantValue(double cost, double current_value) override;
+  void Apply(std::size_t a, std::size_t b) override;
+  [[nodiscard]] const Partition& partition() const override;
+  void FinalizeSeed(SearchResult& result) const override;
+
+ private:
+  [[nodiscard]] int SwapDMoved(std::size_t a, std::size_t b) const;
+
+  qual::SwapEvaluator eval_;
+  const DistanceTable* table_;
+  const Partition* anchor_;
+  double move_cost_ = 0.0;
+  double fg_scale_ = 0.0;  // F_G is affine in the intra sum
+  std::size_t moved_ = 0;
+};
+
+/// Traffic-weighted F_G^w. Value space: FgAfterSwap yields the absolute
+/// post-swap value (no delta form exists), so this pairs with
+/// ScanRules::ValueDescent().
+class WeightedFgObjective final : public Objective {
+ public:
+  WeightedFgObjective(const DistanceTable& table, const qual::WeightMatrix& weights,
+                      const Partition& start);
+
+  double SwapCost(std::size_t a, std::size_t b) override;
+  [[nodiscard]] double Value() const override;
+  [[nodiscard]] double TraceFg() const override;
+  [[nodiscard]] double AspirantValue(double cost, double current_value) override;
+  void Apply(std::size_t a, std::size_t b) override;
+  [[nodiscard]] const Partition& partition() const override;
+  void FinalizeSeed(SearchResult& result) const override;
+
+ private:
+  qual::WeightedSwapEvaluator eval_;
+  const DistanceTable* table_;
+  const qual::WeightMatrix* weights_;
+};
+
+/// Per-cluster intensity-weighted F_G^λ (delta space, like plain F_G).
+class IntensityFgObjective final : public Objective {
+ public:
+  IntensityFgObjective(const DistanceTable& table, const Partition& start,
+                       const std::vector<double>& cluster_intensity);
+
+  double SwapCost(std::size_t a, std::size_t b) override;
+  [[nodiscard]] double Value() const override;
+  [[nodiscard]] double TraceFg() const override;
+  [[nodiscard]] double AspirantValue(double cost, double current_value) override;
+  void Apply(std::size_t a, std::size_t b) override;
+  [[nodiscard]] const Partition& partition() const override;
+  void FinalizeSeed(SearchResult& result) const override;
+
+ private:
+  qual::IntensitySwapEvaluator eval_;
+  const DistanceTable* table_;
+  std::vector<double> intensity_;
+};
+
+/// Raw intra-cluster sum over a borrowed SwapEvaluator. Used by steepest
+/// descent and the annealing walks, whose legacy loops compared IntraSum
+/// deltas directly; the evaluator outlives the adapter (annealing
+/// populations keep theirs across generations).
+class IntraSumObjective final : public Objective {
+ public:
+  IntraSumObjective(const DistanceTable& table, qual::SwapEvaluator& eval)
+      : eval_(&eval), table_(&table) {}
+
+  double SwapCost(std::size_t a, std::size_t b) override;
+  [[nodiscard]] double Value() const override;
+  [[nodiscard]] double TraceFg() const override;
+  [[nodiscard]] double AspirantValue(double cost, double current_value) override;
+  void Apply(std::size_t a, std::size_t b) override;
+  [[nodiscard]] const Partition& partition() const override;
+  void FinalizeSeed(SearchResult& result) const override;
+
+ private:
+  qual::SwapEvaluator* eval_;
+  const DistanceTable* table_;
+};
+
+}  // namespace commsched::sched

@@ -1,69 +1,37 @@
 #include "sched/local_search.h"
 
-#include <limits>
-
 #include "common/rng.h"
 #include "obs/obs.h"
-#include "obs/trace.h"
+#include "sched/engine.h"
 
 namespace commsched::sched {
-
-namespace {
-constexpr double kEps = 1e-12;
-}  // namespace
 
 SearchResult SteepestDescent(const DistanceTable& table,
                              const std::vector<std::size_t>& cluster_sizes,
                              const SteepestDescentOptions& options) {
   Rng rng(options.rng_seed);
-  SearchResult result;
-  double best_sum = std::numeric_limits<double>::infinity();
 
-  for (std::size_t restart = 0; restart < options.restarts; ++restart) {
-    qual::SwapEvaluator eval(table, Partition::Random(cluster_sizes, rng));
-    const std::size_t n = eval.partition().switch_count();
-    if (obs::Tracer* tracer = obs::ActiveTracer()) {
-      tracer->Emit(obs::TraceEvent("search.restart")
-                       .F("algo", "sd")
-                       .F("seed", restart)
-                       .F("fg", eval.Fg()));
-    }
-    for (std::size_t it = 0; it < options.max_iterations_per_restart; ++it) {
-      double best_delta = -kEps;
-      std::pair<std::size_t, std::size_t> best_move{n, n};
-      for (std::size_t a = 0; a < n; ++a) {
-        for (std::size_t b = a + 1; b < n; ++b) {
-          if (eval.partition().ClusterOf(a) == eval.partition().ClusterOf(b)) continue;
-          const double delta = eval.SwapDelta(a, b);
-          ++result.evaluations;
-          if (delta < best_delta) {
-            best_delta = delta;
-            best_move = {a, b};
-          }
-        }
-      }
-      if (best_move.first >= n) break;  // local minimum
-      eval.ApplySwap(best_move.first, best_move.second);
-      ++result.iterations;
-    }
-    if (eval.IntraSum() < best_sum - kEps) {
-      best_sum = eval.IntraSum();
-      result.best = eval.partition();
-    }
+  MultiStartSpec spec;
+  spec.algo = "sd";
+  spec.options.seeds = options.restarts;
+  spec.options.max_iterations_per_seed = options.max_iterations_per_restart;
+  spec.options.parallel_seeds = options.parallel_seeds;
+  spec.starts.reserve(options.restarts);
+  for (std::size_t s = 0; s < options.restarts; ++s) {
+    spec.starts.push_back(Partition::Random(cluster_sizes, rng));
   }
-  FinalizeResult(table, result);
-  obs::Registry& registry = obs::Registry::Global();
-  registry.GetCounter("search.sd.restarts").Add(options.restarts);
-  registry.GetCounter("search.sd.moves").Add(result.iterations);
-  registry.GetCounter("search.sd.evaluations").Add(result.evaluations);
-  if (obs::Tracer* tracer = obs::ActiveTracer()) {
-    tracer->Emit(obs::TraceEvent("search.done")
-                     .F("algo", "sd")
-                     .F("iters", result.iterations)
-                     .F("evals", result.evaluations)
-                     .F("best_fg", result.best_fg));
-  }
-  return result;
+
+  const SearchEngine engine("sd", spec.options, ScanRules::GreedyDescent());
+  spec.run_seed = [&table, &engine](const Partition& start, std::size_t seed) {
+    qual::SwapEvaluator eval(table, start);
+    IntraSumObjective objective(table, eval);
+    SeedRun run = engine.RunSeed(objective, seed);
+    engine.FlushSeedObservability(run, seed);
+    return run;
+  };
+  // Restarts are compared on the raw intra-cluster sum, like the walk.
+  spec.combine_key = [](const SeedRun& run) { return run.best_value; };
+  return RunMultiStart(table, spec);
 }
 
 SearchResult RandomSearch(const DistanceTable& table,
@@ -71,27 +39,33 @@ SearchResult RandomSearch(const DistanceTable& table,
                           const RandomSearchOptions& options) {
   CS_CHECK(options.samples >= 1, "need at least one sample");
   Rng rng(options.rng_seed);
-  SearchResult result;
-  double best_sum = std::numeric_limits<double>::infinity();
-  for (std::size_t k = 0; k < options.samples; ++k) {
-    qual::SwapEvaluator eval(table, Partition::Random(cluster_sizes, rng));
-    ++result.evaluations;
-    if (eval.IntraSum() < best_sum - kEps) {
-      best_sum = eval.IntraSum();
-      result.best = eval.partition();
-    }
+
+  MultiStartSpec spec;
+  spec.algo = "random";
+  spec.options.seeds = options.samples;
+  spec.options.parallel_seeds = options.parallel_seeds;
+  spec.starts.reserve(options.samples);
+  for (std::size_t s = 0; s < options.samples; ++s) {
+    spec.starts.push_back(Partition::Random(cluster_sizes, rng));
   }
-  result.iterations = options.samples;
-  FinalizeResult(table, result);
+
+  // A sample is a zero-move "seed": one evaluation, no walk. The engine's
+  // combiner then keeps the best by intra-cluster sum, exactly like the
+  // multi-start searchers.
+  spec.run_seed = [&table](const Partition& start, std::size_t) {
+    const qual::SwapEvaluator eval(table, start);
+    SeedRun run;
+    run.result.best = start;
+    run.result.iterations = 1;
+    run.result.evaluations = 1;
+    run.best_value = eval.IntraSum();
+    run.trace_span = 1;
+    return run;
+  };
+  spec.combine_key = [](const SeedRun& run) { return run.best_value; };
+
   obs::Registry::Global().GetCounter("search.random.samples").Add(options.samples);
-  if (obs::Tracer* tracer = obs::ActiveTracer()) {
-    tracer->Emit(obs::TraceEvent("search.done")
-                     .F("algo", "random")
-                     .F("iters", result.iterations)
-                     .F("evals", result.evaluations)
-                     .F("best_fg", result.best_fg));
-  }
-  return result;
+  return RunMultiStart(table, spec);
 }
 
 }  // namespace commsched::sched

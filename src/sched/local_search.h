@@ -11,6 +11,7 @@ struct SteepestDescentOptions {
   std::size_t restarts = 10;
   std::size_t max_iterations_per_restart = 1000;  // descent almost always stops earlier
   std::uint64_t rng_seed = 1;
+  bool parallel_seeds = false;  // descend restarts on a thread pool
 };
 
 /// Repeated steepest descent: apply the best decreasing swap until a local
@@ -22,6 +23,7 @@ struct SteepestDescentOptions {
 struct RandomSearchOptions {
   std::size_t samples = 1000;
   std::uint64_t rng_seed = 1;
+  bool parallel_seeds = false;  // evaluate samples on a thread pool
 };
 
 /// Best of `samples` uniformly random partitions.

@@ -1,11 +1,16 @@
 #include "sched/repair.h"
 
+#include <cmath>
 #include <limits>
+#include <utility>
 
 #include "common/check.h"
+#include "common/parallel.h"
+#include "common/rng.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
 #include "quality/quality.h"
+#include "sched/engine.h"
 
 namespace commsched::sched {
 namespace {
@@ -21,6 +26,86 @@ double DraftCost(const dist::DistanceTable& table, const qual::Partition& partit
   return cost;
 }
 
+/// Migration-bounded refinement objective: minimizes -gain where
+/// gain = (F_G drop of the swap) - penalty * (added displaced) / N, and
+/// swaps that would exceed the hard migration budget are inadmissible
+/// (SwapCost returns infinity, which the engine skips).
+class RepairObjective final : public Objective {
+ public:
+  RepairObjective(const dist::DistanceTable& table, const qual::Partition& start,
+                  const std::vector<std::size_t>& anchor_cluster, std::size_t budget,
+                  double penalty)
+      : eval_(table, start),
+        anchor_cluster_(&anchor_cluster),
+        budget_(budget),
+        penalty_(penalty),
+        n_(start.switch_count()),
+        displaced_(n_, false) {
+    for (std::size_t s = 0; s < n_; ++s) {
+      displaced_[s] = start.ClusterOf(s) != anchor_cluster[s];
+      if (displaced_[s]) ++displaced_count_;
+    }
+  }
+
+  double SwapCost(std::size_t a, std::size_t b) override {
+    const qual::Partition& current = eval_.partition();
+    // Displacement delta of this swap relative to the phase-1 anchor:
+    // after the swap, a sits in b's cluster and vice versa.
+    const bool a_after = current.ClusterOf(b) != (*anchor_cluster_)[a];
+    const bool b_after = current.ClusterOf(a) != (*anchor_cluster_)[b];
+    const int delta_displaced = (static_cast<int>(a_after) - static_cast<int>(displaced_[a])) +
+                                (static_cast<int>(b_after) - static_cast<int>(displaced_[b]));
+    const std::size_t after =
+        static_cast<std::size_t>(static_cast<int>(displaced_count_) + delta_displaced);
+    if (after > budget_) return std::numeric_limits<double>::infinity();
+    const double fg_gain = eval_.Fg() - eval_.FgAfterDelta(eval_.SwapDelta(a, b));
+    const double gain =
+        fg_gain - penalty_ * static_cast<double>(delta_displaced) / static_cast<double>(n_);
+    return -gain;
+  }
+
+  [[nodiscard]] double Value() const override {
+    return eval_.Fg() +
+           penalty_ * static_cast<double>(displaced_count_) / static_cast<double>(n_);
+  }
+
+  [[nodiscard]] double TraceFg() const override { return eval_.Fg(); }
+
+  [[nodiscard]] double AspirantValue(double cost, double current_value) override {
+    return current_value + cost;  // unused: repair runs without a tabu list
+  }
+
+  void Apply(std::size_t a, std::size_t b) override {
+    eval_.ApplySwap(a, b);
+    for (const std::size_t s : {a, b}) {
+      const bool now = eval_.partition().ClusterOf(s) != (*anchor_cluster_)[s];
+      if (now != displaced_[s]) {
+        displaced_[s] = now;
+        displaced_count_ += now ? 1 : static_cast<std::size_t>(-1);
+      }
+    }
+  }
+
+  [[nodiscard]] const Partition& partition() const override { return eval_.partition(); }
+
+  void FinalizeSeed(SearchResult& result) const override {
+    // Incremental values, not a recompute — matches the legacy refinement.
+    result.best_fg = eval_.Fg();
+    result.best_cc = eval_.Cc();
+  }
+
+  [[nodiscard]] std::size_t displaced_count() const { return displaced_count_; }
+
+ private:
+  qual::SwapEvaluator eval_;
+  const std::vector<std::size_t>* anchor_cluster_;
+  std::size_t budget_;
+  double penalty_;
+  std::size_t n_;
+  std::vector<bool> displaced_;
+  std::size_t displaced_count_ = 0;
+};
+
 }  // namespace
 
 RepairOutcome AnchoredRepair(const dist::DistanceTable& table, const qual::Partition& anchor,
@@ -33,6 +118,7 @@ RepairOutcome AnchoredRepair(const dist::DistanceTable& table, const qual::Parti
            "deficit vector must have one entry per cluster");
   CS_CHECK(!spare_cluster || *spare_cluster < anchor.cluster_count(),
            "spare cluster out of range");
+  CS_CHECK(options.seeds >= 1, "need at least one repair seed");
 
   RepairOutcome outcome{anchor};
   qual::Partition& partition = outcome.repaired;
@@ -62,60 +148,90 @@ RepairOutcome AnchoredRepair(const dist::DistanceTable& table, const qual::Parti
   }
 
   // Phase 2 — bounded best-improvement swap refinement from the
-  // post-forced-move anchor.
-  qual::SwapEvaluator evaluator(table, partition);
-  outcome.anchor_fg = evaluator.Fg();
-  const std::vector<std::size_t> start_cluster = evaluator.partition().cluster_of_switch();
-  std::vector<bool> displaced(n, false);
-  std::size_t displaced_count = 0;
-  constexpr double kEps = 1e-12;
+  // post-forced-move anchor, via the shared search engine. Seed 0 refines
+  // the anchor itself (bit-identical to the single-seed repair); extra
+  // seeds perturb the anchor with up to two random admissible swaps first.
+  outcome.anchor_fg = qual::SwapEvaluator(table, partition).Fg();
+  const std::vector<std::size_t> anchor_cluster = partition.cluster_of_switch();
 
-  for (std::size_t round = 0; round < options.max_refinement_rounds; ++round) {
-    double best_gain = -kEps;  // require a strict improvement
-    std::size_t best_a = 0;
-    std::size_t best_b = 0;
-    bool found = false;
-    const qual::Partition& current = evaluator.partition();
-    for (std::size_t a = 0; a + 1 < n; ++a) {
-      for (std::size_t b = a + 1; b < n; ++b) {
-        if (current.ClusterOf(a) == current.ClusterOf(b)) continue;
-        // Displacement delta of this swap relative to the phase-1 anchor:
-        // after the swap, a sits in b's cluster and vice versa.
-        const bool a_after = current.ClusterOf(b) != start_cluster[a];
-        const bool b_after = current.ClusterOf(a) != start_cluster[b];
-        const int delta_displaced = (static_cast<int>(a_after) - static_cast<int>(displaced[a])) +
-                                    (static_cast<int>(b_after) - static_cast<int>(displaced[b]));
-        const std::size_t after =
-            static_cast<std::size_t>(static_cast<int>(displaced_count) + delta_displaced);
-        if (after > options.migration_budget) continue;
-        const double fg_gain = evaluator.Fg() - evaluator.FgAfterDelta(evaluator.SwapDelta(a, b));
-        const double gain =
-            fg_gain - options.migration_penalty * static_cast<double>(delta_displaced) /
-                          static_cast<double>(n);
-        if (gain > best_gain) {
-          best_gain = gain;
-          best_a = a;
-          best_b = b;
-          found = true;
-        }
+  EngineOptions engine_options;
+  engine_options.seeds = options.seeds;
+  engine_options.max_iterations_per_seed = options.max_refinement_rounds;
+  engine_options.record_trace = false;
+  engine_options.parallel_seeds = options.parallel_seeds;
+  const SearchEngine engine("repair", engine_options, ScanRules::GreedyGain(kSearchEps));
+
+  // Starts up front (engine determinism rule 1).
+  std::vector<qual::Partition> starts;
+  std::vector<std::size_t> perturb_swaps(options.seeds, 0);
+  starts.reserve(options.seeds);
+  starts.push_back(partition);
+  for (std::size_t k = 1; k < options.seeds; ++k) {
+    qual::Partition start = partition;
+    if (partition.cluster_count() >= 2) {
+      Rng rng(DeriveSeedStream(options.rng_seed, k));
+      std::vector<std::size_t> clusters = anchor_cluster;
+      std::size_t swaps = 0;
+      for (int attempt = 0; attempt < 2; ++attempt) {
+        const auto [a, b] = RandomInterClusterPair(start, rng);
+        std::swap(clusters[a], clusters[b]);
+        ++swaps;
+      }
+      qual::Partition perturbed(clusters);
+      // Perturbed switches count against the budget; fall back to the
+      // unperturbed anchor when the budget cannot afford the perturbation.
+      std::size_t displaced = 0;
+      for (std::size_t s = 0; s < n; ++s) {
+        if (perturbed.ClusterOf(s) != anchor_cluster[s]) ++displaced;
+      }
+      if (displaced <= options.migration_budget) {
+        start = std::move(perturbed);
+        perturb_swaps[k] = swaps;
       }
     }
-    if (!found) break;
-    evaluator.ApplySwap(best_a, best_b);
-    ++outcome.refinement_swaps;
-    for (const std::size_t s : {best_a, best_b}) {
-      const bool now = evaluator.partition().ClusterOf(s) != start_cluster[s];
-      if (now != displaced[s]) {
-        displaced[s] = now;
-        displaced_count += now ? 1 : static_cast<std::size_t>(-1);
-      }
-    }
+    starts.push_back(std::move(start));
   }
 
-  outcome.repaired = evaluator.partition();
-  outcome.displaced = displaced_count;
-  outcome.repaired_fg = evaluator.Fg();
-  outcome.repaired_cc = evaluator.Cc();
+  struct SeedOutcome {
+    qual::Partition repaired;
+    std::size_t swaps = 0;
+    std::size_t displaced = 0;
+    double fg = 0.0;
+    double cc = 0.0;
+    double key = 0.0;  // fg + penalty * displaced / n
+  };
+  std::vector<SeedOutcome> runs(options.seeds, SeedOutcome{partition});
+  auto run_one = [&](std::size_t k) {
+    RepairObjective objective(table, starts[k], anchor_cluster, options.migration_budget,
+                              options.migration_penalty);
+    SeedRun run = engine.RunSeed(objective, k);
+    engine.FlushSeedObservability(run, k);
+    SeedOutcome& out = runs[k];
+    out.repaired = std::move(run.result.best);
+    out.swaps = perturb_swaps[k] + run.result.iterations;
+    out.displaced = objective.displaced_count();
+    out.fg = run.result.best_fg;
+    out.cc = run.result.best_cc;
+    out.key = out.fg + options.migration_penalty * static_cast<double>(out.displaced) /
+                           static_cast<double>(n);
+  };
+  if (options.parallel_seeds && options.seeds > 1) {
+    ParallelFor(options.seeds, run_one);
+  } else {
+    for (std::size_t k = 0; k < options.seeds; ++k) run_one(k);
+  }
+
+  // Combine sequentially in seed order; seed 0 is always admissible.
+  std::size_t winner = 0;
+  for (std::size_t k = 1; k < options.seeds; ++k) {
+    if (runs[k].displaced > options.migration_budget) continue;
+    if (runs[k].key < runs[winner].key - kSearchEps) winner = k;
+  }
+  outcome.repaired = std::move(runs[winner].repaired);
+  outcome.refinement_swaps = runs[winner].swaps;
+  outcome.displaced = runs[winner].displaced;
+  outcome.repaired_fg = runs[winner].fg;
+  outcome.repaired_cc = runs[winner].cc;
 
   obs::Registry::Global().GetCounter("sched.repair.runs").Add();
   obs::Registry::Global().GetCounter("sched.repair.forced_moves").Add(outcome.forced_moves);

@@ -37,6 +37,16 @@ struct RepairOptions {
 
   /// Hard cap on refinement swaps (each swap displaces at most 2 switches).
   std::size_t max_refinement_rounds = 100;
+
+  /// Refinement restarts. Seed 0 always refines straight from the
+  /// post-forced-move anchor (bit-identical to the single-seed repair);
+  /// extra seeds perturb the anchor with a few random admissible swaps
+  /// before refining, and the best outcome within the migration budget
+  /// wins. (Appended after the original fields so designated initializers
+  /// keep working.)
+  std::size_t seeds = 1;
+  std::uint64_t rng_seed = 1;
+  bool parallel_seeds = false;  // run refinement seeds on a thread pool
 };
 
 struct RepairOutcome {

@@ -44,6 +44,8 @@ class CommAwareScheduler {
 
   /// Finds a near-optimal mapping for the workload via Tabu search.
   /// The workload must satisfy the paper's assumptions (ValidateFor).
+  /// options.parallel_seeds runs the search's restarts on a thread pool via
+  /// the shared engine (sched/engine.h) — results are identical either way.
   [[nodiscard]] ScheduleOutcome Schedule(const Workload& workload,
                                          const TabuOptions& options = {}) const;
 

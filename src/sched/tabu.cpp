@@ -1,233 +1,19 @@
 #include "sched/tabu.h"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-#include <map>
+#include <utility>
 
-#include "common/parallel.h"
+#include "common/check.h"
 #include "common/rng.h"
-#include "obs/obs.h"
-#include "obs/span.h"
-#include "obs/trace.h"
+#include "sched/engine.h"
 
 namespace commsched::sched {
 
-namespace {
-
-constexpr double kEps = 1e-12;
-
-/// State of one seed's walk.
-struct SeedRun {
-  SearchResult result;  // best of this seed
-  std::vector<TracePoint> trace;
-};
-
-/// Switches whose cluster differs from the anchor's.
-std::size_t CountMoved(const Partition& partition, const Partition& anchor) {
-  std::size_t moved = 0;
-  for (std::size_t s = 0; s < partition.switch_count(); ++s) {
-    if (partition.ClusterOf(s) != anchor.ClusterOf(s)) ++moved;
-  }
-  return moved;
-}
-
-/// Runs the paper's walk from `start`; `iteration_base` offsets trace
-/// iteration numbers so multi-seed traces concatenate like Fig. 1.
-///
-/// The objective is F_G plus, when an anchor is configured, the migration
-/// term migration_penalty * moved / N. With no anchor the extra machinery
-/// reduces to plain F_G minimization (migration deltas are all zero).
-SeedRun RunSeed(const DistanceTable& table, const Partition& start, const TabuOptions& options,
-                std::size_t iteration_base, std::size_t seed_index = 0) {
-  obs::Registry& registry = obs::Registry::Global();
-  const obs::ScopedTimer seed_timer(registry.GetTimer("search.tabu.seed"));
-  const obs::Span seed_span("tabu.seed", "seed", seed_index);
-  qual::SwapEvaluator eval(table, start);
-  const std::size_t n = start.switch_count();
-  const Partition* anchor = options.anchor;
-  if (anchor != nullptr) {
-    CS_CHECK(anchor->switch_count() == n, "anchor size mismatch");
-  }
-  const double move_cost =
-      anchor != nullptr ? options.migration_penalty / static_cast<double>(n) : 0.0;
-
-  // Objective helpers. F_G is affine in the intra sum, so objective deltas
-  // are delta * fg_scale + move_cost * dmoved.
-  const double fg_scale = eval.FgAfterDelta(1.0) - eval.FgAfterDelta(0.0);
-  std::size_t moved = anchor != nullptr ? CountMoved(start, *anchor) : 0;
-  auto swap_dmoved = [&](std::size_t a, std::size_t b) -> int {
-    if (anchor == nullptr) return 0;
-    const std::size_t ca = eval.partition().ClusterOf(a);
-    const std::size_t cb = eval.partition().ClusterOf(b);
-    int d = 0;
-    d += (cb != anchor->ClusterOf(a)) - (ca != anchor->ClusterOf(a));
-    d += (ca != anchor->ClusterOf(b)) - (cb != anchor->ClusterOf(b));
-    return d;
-  };
-
-  SeedRun run;
-  run.result.best = start;
-  double current_obj = eval.Fg() + move_cost * static_cast<double>(moved);
-  double best_obj = current_obj;
-
-  if (options.record_trace) {
-    run.trace.push_back({iteration_base, eval.Fg(), /*is_restart=*/true});
-  }
-
-  // Batched observability: hot-loop events accumulate into locals and flush
-  // into the global Registry once per seed, so the disabled path costs
-  // nothing inside the neighbourhood scan.
-  std::uint64_t tabu_hits = 0;    // candidate swaps rejected by the tabu list
-  std::uint64_t aspirations = 0;  // tabu swaps admitted by aspiration
-  std::uint64_t escapes = 0;      // uphill moves out of local minima
-  if (obs::Tracer* tracer = obs::ActiveTracer()) {
-    tracer->Emit(obs::TraceEvent("search.restart")
-                     .F("algo", "tabu")
-                     .F("seed", seed_index)
-                     .F("fg", eval.Fg()));
-  }
-
-  // tabu_until[a][b]: iteration before which swapping (a,b) is forbidden.
-  std::vector<std::vector<std::size_t>> tabu_until(n, std::vector<std::size_t>(n, 0));
-
-  // Local-minimum bookkeeping: objective values quantized to a tolerance so
-  // that "the same local minimum" is robust to floating-point noise.
-  std::map<long long, std::size_t> local_min_hits;
-  auto quantize = [](double obj) { return static_cast<long long>(std::llround(obj * 1e9)); };
-
-  std::size_t iteration = 0;
-  while (iteration < options.max_iterations_per_seed) {
-    // Escape iterations are re-labelled before the span closes, so the
-    // profile separates uphill moves from ordinary descent.
-    obs::Span iter_span("tabu.iter", "iter", iteration);
-    // Evaluate the whole inter-cluster swap neighbourhood.
-    double best_delta_down = 0.0;  // most negative objective delta
-    std::pair<std::size_t, std::size_t> best_down{n, n};
-    double best_delta_up = std::numeric_limits<double>::infinity();  // smallest increase
-    std::pair<std::size_t, std::size_t> best_up{n, n};
-    bool any_decrease_exists = false;  // decreasing swap exists, tabu or not
-
-    for (std::size_t a = 0; a < n; ++a) {
-      for (std::size_t b = a + 1; b < n; ++b) {
-        if (eval.partition().ClusterOf(a) == eval.partition().ClusterOf(b)) continue;
-        const double obj_delta = eval.SwapDelta(a, b) * fg_scale +
-                                 move_cost * static_cast<double>(swap_dmoved(a, b));
-        ++run.result.evaluations;
-        if (obj_delta < -kEps) any_decrease_exists = true;
-
-        const bool tabu = tabu_until[a][b] > iteration;
-        if (tabu) {
-          // Aspiration: a tabu move may still be taken if it would beat the
-          // best mapping this seed has seen.
-          if (options.aspiration && current_obj + obj_delta < best_obj - kEps) {
-            ++aspirations;
-          } else {
-            ++tabu_hits;
-            continue;
-          }
-        }
-        if (obj_delta < best_delta_down - kEps) {
-          best_delta_down = obj_delta;
-          best_down = {a, b};
-        }
-        if (obj_delta > kEps && obj_delta < best_delta_up) {
-          best_delta_up = obj_delta;
-          best_up = {a, b};
-        }
-      }
-    }
-
-    std::pair<std::size_t, std::size_t> move{n, n};
-    bool escaping = false;
-    if (best_down.first < n && best_delta_down < -kEps) {
-      move = best_down;  // greatest decrease
-    } else {
-      // Local minimum (no admissible decreasing swap).
-      if (!any_decrease_exists) {
-        const long long key = quantize(current_obj);
-        const std::size_t hits = ++local_min_hits[key];
-        if (obs::Tracer* tracer = obs::ActiveTracer()) {
-          tracer->Emit(obs::TraceEvent("search.local_min")
-                           .F("algo", "tabu")
-                           .F("seed", seed_index)
-                           .F("iter", iteration)
-                           .F("fg", eval.Fg())
-                           .F("hits", hits));
-        }
-        if (hits >= options.local_min_repeats) {
-          break;  // same local minimum reached `local_min_repeats` times
-        }
-      }
-      if (best_up.first >= n) {
-        break;  // nowhere to go (every escape move is tabu)
-      }
-      move = best_up;  // smallest increase
-      escaping = true;
-    }
-
-    moved = static_cast<std::size_t>(static_cast<long long>(moved) +
-                                     swap_dmoved(move.first, move.second));
-    eval.ApplySwap(move.first, move.second);
-    current_obj = eval.Fg() + move_cost * static_cast<double>(moved);
-    ++iteration;
-    ++run.result.iterations;
-    if (escaping) {
-      ++escapes;
-      iter_span.SetArg("escape_iter", iteration - 1);
-      // Forbid the inverse permutation for `tenure` iterations.
-      tabu_until[move.first][move.second] = iteration + options.tenure;
-    }
-    if (options.record_trace) {
-      run.trace.push_back({iteration_base + iteration, eval.Fg(), false});
-    }
-    if (obs::Tracer* tracer = obs::ActiveTracer()) {
-      tracer->Emit(obs::TraceEvent("search.move")
-                       .F("algo", "tabu")
-                       .F("seed", seed_index)
-                       .F("iter", iteration)
-                       .F("a", move.first)
-                       .F("b", move.second)
-                       .F("fg", eval.Fg())
-                       .F("escape", escaping));
-    }
-    if (current_obj < best_obj - kEps) {
-      best_obj = current_obj;
-      run.result.best = eval.partition();
-    }
-  }
-
-  FinalizeResult(table, run.result);
-  if (anchor != nullptr) {
-    run.result.moved_from_anchor = CountMoved(run.result.best, *anchor);
-  }
-
-  registry.GetCounter("search.tabu.seeds").Add(1);
-  registry.GetCounter("search.tabu.moves").Add(run.result.iterations);
-  registry.GetCounter("search.tabu.evaluations").Add(run.result.evaluations);
-  registry.GetCounter("search.tabu.tabu_hits").Add(tabu_hits);
-  registry.GetCounter("search.tabu.aspirations").Add(aspirations);
-  registry.GetCounter("search.tabu.escapes").Add(escapes);
-  // Distribution of per-seed walk lengths: one histogram sample per seed
-  // (batched like the counters — nothing lands mid-walk).
-  registry.GetHistogram("search.tabu.seed_iters").Record(run.result.iterations);
-  if (obs::Tracer* tracer = obs::ActiveTracer()) {
-    tracer->Emit(obs::TraceEvent("search.seed_done")
-                     .F("algo", "tabu")
-                     .F("seed", seed_index)
-                     .F("iters", run.result.iterations)
-                     .F("evals", run.result.evaluations)
-                     .F("best_fg", run.result.best_fg)
-                     .F("best_cc", run.result.best_cc));
-  }
-  return run;
-}
-
-}  // namespace
-
 SearchResult TabuSearchFrom(const DistanceTable& table, const Partition& start,
                             const TabuOptions& options) {
-  SeedRun run = RunSeed(table, start, options, 0);
+  const SearchEngine engine("tabu", ToEngineOptions(options), ScanRules::TabuMargin());
+  TabuObjective objective(table, start, options.anchor, options.migration_penalty);
+  SeedRun run = engine.RunSeed(objective, 0);
+  engine.FlushSeedObservability(run, 0);
   run.result.trace = std::move(run.trace);
   return run.result;
 }
@@ -237,11 +23,14 @@ SearchResult TabuSearch(const DistanceTable& table, const std::vector<std::size_
   CS_CHECK(options.seeds >= 1, "need at least one seed");
   Rng rng(options.rng_seed);
 
-  // Derive every seed's start and RNG stream up front so parallel and
-  // sequential execution explore identical walks. A configured anchor is
-  // always the first start (warm start for re-scheduling).
-  std::vector<Partition> starts;
-  starts.reserve(options.seeds);
+  MultiStartSpec spec;
+  spec.algo = "tabu";
+  spec.options = ToEngineOptions(options);
+
+  // Derive every seed's start up front so parallel and sequential execution
+  // explore identical walks. A configured anchor is always the first start
+  // (warm start for re-scheduling).
+  spec.starts.reserve(options.seeds);
   if (options.anchor != nullptr) {
     CS_CHECK(options.anchor->cluster_count() == cluster_sizes.size(),
              "anchor cluster count mismatch");
@@ -249,65 +38,28 @@ SearchResult TabuSearch(const DistanceTable& table, const std::vector<std::size_
       CS_CHECK(options.anchor->ClusterSize(c) == cluster_sizes[c],
                "anchor cluster ", c, " size mismatch");
     }
-    starts.push_back(*options.anchor);
+    spec.starts.push_back(*options.anchor);
   }
-  while (starts.size() < options.seeds) {
-    starts.push_back(Partition::Random(cluster_sizes, rng));
-  }
-
-  std::vector<SeedRun> runs(options.seeds);
-  // The walk itself is deterministic given the start, so no per-seed RNG is
-  // needed; iteration bases are patched afterwards for the combined trace.
-  auto run_one = [&](std::size_t s) { runs[s] = RunSeed(table, starts[s], options, 0, s); };
-  if (options.parallel_seeds && options.seeds > 1) {
-    ParallelFor(options.seeds, run_one);
-  } else {
-    for (std::size_t s = 0; s < options.seeds; ++s) run_one(s);
+  while (spec.starts.size() < options.seeds) {
+    spec.starts.push_back(Partition::Random(cluster_sizes, rng));
   }
 
-  // Seeds are compared by the full objective (F_G plus migration term).
-  const double move_cost =
-      options.anchor != nullptr && !cluster_sizes.empty()
-          ? options.migration_penalty / static_cast<double>(table.size())
-          : 0.0;
-  auto objective = [&](const SeedRun& run) {
-    return run.result.best_fg + move_cost * static_cast<double>(run.result.moved_from_anchor);
+  const SearchEngine engine("tabu", spec.options, ScanRules::TabuMargin());
+  spec.run_seed = [&table, &options, &engine](const Partition& start, std::size_t seed) {
+    TabuObjective objective(table, start, options.anchor, options.migration_penalty);
+    SeedRun run = engine.RunSeed(objective, seed);
+    engine.FlushSeedObservability(run, seed);
+    return run;
   };
 
-  SearchResult combined;
-  combined.best = runs[0].result.best;
-  combined.moved_from_anchor = runs[0].result.moved_from_anchor;
-  double combined_obj = objective(runs[0]);
-  combined.best_fg = runs[0].result.best_fg;
-  std::size_t iteration_base = 0;
-  for (std::size_t s = 0; s < options.seeds; ++s) {
-    const SeedRun& run = runs[s];
-    combined.iterations += run.result.iterations;
-    combined.evaluations += run.result.evaluations;
-    if (options.record_trace) {
-      for (TracePoint point : run.trace) {
-        point.iteration += iteration_base;
-        combined.trace.push_back(point);
-      }
-      iteration_base += run.result.iterations + 1;  // +1 for the restart point
-    }
-    if (objective(run) < combined_obj - kEps) {
-      combined.best = run.result.best;
-      combined.moved_from_anchor = run.result.moved_from_anchor;
-      combined_obj = objective(run);
-      combined.best_fg = run.result.best_fg;
-    }
-  }
-  FinalizeResult(table, combined);
-  if (obs::Tracer* tracer = obs::ActiveTracer()) {
-    tracer->Emit(obs::TraceEvent("search.done")
-                     .F("algo", "tabu")
-                     .F("seeds", options.seeds)
-                     .F("iters", combined.iterations)
-                     .F("evals", combined.evaluations)
-                     .F("best_fg", combined.best_fg));
-  }
-  return combined;
+  // Seeds are compared by the full objective (F_G plus migration term).
+  const double move_cost = options.anchor != nullptr && !cluster_sizes.empty()
+                               ? options.migration_penalty / static_cast<double>(table.size())
+                               : 0.0;
+  spec.combine_key = [move_cost](const SeedRun& run) {
+    return run.result.best_fg + move_cost * static_cast<double>(run.result.moved_from_anchor);
+  };
+  return RunMultiStart(table, spec);
 }
 
 }  // namespace commsched::sched

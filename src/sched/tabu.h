@@ -10,6 +10,7 @@
 // mapping seen anywhere (the paper uses 10 seeds, 3 repeats, 20 iterations).
 #pragma once
 
+#include "sched/engine.h"
 #include "sched/search.h"
 
 namespace commsched::sched {
@@ -32,6 +33,20 @@ struct TabuOptions {
   const qual::Partition* anchor = nullptr;
   double migration_penalty = 0.0;
 };
+
+/// Engine-level view of the tabu-family knobs (shared by the plain,
+/// weighted, and intensity searchers, which all take TabuOptions).
+[[nodiscard]] inline EngineOptions ToEngineOptions(const TabuOptions& options) {
+  EngineOptions engine;
+  engine.seeds = options.seeds;
+  engine.max_iterations_per_seed = options.max_iterations_per_seed;
+  engine.local_min_repeats = options.local_min_repeats;
+  engine.tenure = options.tenure;
+  engine.aspiration = options.aspiration;
+  engine.record_trace = options.record_trace;
+  engine.parallel_seeds = options.parallel_seeds;
+  return engine;
+}
 
 /// Runs the Tabu search for partitions with the given cluster sizes.
 [[nodiscard]] SearchResult TabuSearch(const DistanceTable& table,

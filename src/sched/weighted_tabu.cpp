@@ -1,316 +1,68 @@
 #include "sched/weighted_tabu.h"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-#include <map>
-#include <string>
-
+#include "common/check.h"
 #include "common/rng.h"
-#include "obs/obs.h"
-#include "obs/trace.h"
+#include "sched/engine.h"
+#include "sched/tabu.h"
 
 namespace commsched::sched {
 
 namespace {
 
-constexpr double kEps = 1e-12;
+/// Shared driver of the weighted variants: seeds differ only in objective
+/// construction and scan rules; everything else (starts, parallelism,
+/// combining by finalized F_G) is the engine's multi-start machinery.
+template <typename MakeObjective>
+SearchResult WeightedFamilySearch(const DistanceTable& table,
+                                  const std::vector<std::size_t>& cluster_sizes,
+                                  const TabuOptions& options, const char* algo,
+                                  const ScanRules& rules, MakeObjective make_objective) {
+  CS_CHECK(options.seeds >= 1, "need at least one seed");
+  Rng rng(options.rng_seed);
 
-/// Per-seed observability flush shared by the weighted and intensity
-/// variants: one Registry update per seed keeps the scan loops clean.
-void FlushSeedObservability(const char* algo, std::size_t seed_index,
-                            const SearchResult& result, std::uint64_t tabu_hits,
-                            std::uint64_t escapes) {
-  obs::Registry& registry = obs::Registry::Global();
-  const std::string family = std::string("search.") + algo + ".";
-  registry.GetCounter(family + "seeds").Add(1);
-  registry.GetCounter(family + "moves").Add(result.iterations);
-  registry.GetCounter(family + "evaluations").Add(result.evaluations);
-  registry.GetCounter(family + "tabu_hits").Add(tabu_hits);
-  registry.GetCounter(family + "escapes").Add(escapes);
-  if (obs::Tracer* tracer = obs::ActiveTracer()) {
-    tracer->Emit(obs::TraceEvent("search.seed_done")
-                     .F("algo", algo)
-                     .F("seed", seed_index)
-                     .F("iters", result.iterations)
-                     .F("evals", result.evaluations)
-                     .F("best_fg", result.best_fg));
-  }
-}
-
-SearchResult RunWeightedSeed(const DistanceTable& table, const qual::WeightMatrix& weights,
-                             const Partition& start, const TabuOptions& options,
-                             std::size_t seed_index) {
-  qual::WeightedSwapEvaluator eval(table, weights, start);
-  const std::size_t n = start.switch_count();
-
-  SearchResult result;
-  result.best = start;
-  double best_fg = eval.Fg();
-  double current_fg = best_fg;
-  std::uint64_t tabu_hits = 0;
-  std::uint64_t escapes = 0;
-
-  if (options.record_trace) {
-    result.trace.push_back({0, current_fg, true});
-  }
-  if (obs::Tracer* tracer = obs::ActiveTracer()) {
-    tracer->Emit(obs::TraceEvent("search.restart")
-                     .F("algo", "wtabu")
-                     .F("seed", seed_index)
-                     .F("fg", current_fg));
+  MultiStartSpec spec;
+  spec.algo = algo;
+  spec.options = ToEngineOptions(options);
+  spec.starts.reserve(options.seeds);
+  for (std::size_t s = 0; s < options.seeds; ++s) {
+    spec.starts.push_back(Partition::Random(cluster_sizes, rng));
   }
 
-  std::vector<std::vector<std::size_t>> tabu_until(n, std::vector<std::size_t>(n, 0));
-  std::map<long long, std::size_t> local_min_hits;
-  auto quantize = [](double fg) { return static_cast<long long>(std::llround(fg * 1e9)); };
-
-  std::size_t iteration = 0;
-  while (iteration < options.max_iterations_per_seed) {
-    double best_down = current_fg - kEps;  // must strictly decrease
-    std::pair<std::size_t, std::size_t> down_move{n, n};
-    double best_up = std::numeric_limits<double>::infinity();
-    std::pair<std::size_t, std::size_t> up_move{n, n};
-    bool any_decrease_exists = false;
-
-    for (std::size_t a = 0; a < n; ++a) {
-      for (std::size_t b = a + 1; b < n; ++b) {
-        if (eval.partition().ClusterOf(a) == eval.partition().ClusterOf(b)) continue;
-        const double after = eval.FgAfterSwap(a, b);
-        ++result.evaluations;
-        if (after < current_fg - kEps) any_decrease_exists = true;
-        const bool tabu = tabu_until[a][b] > iteration;
-        if (tabu && !(options.aspiration && after < best_fg - kEps)) {
-          ++tabu_hits;
-          continue;
-        }
-        if (after < best_down) {
-          best_down = after;
-          down_move = {a, b};
-        }
-        if (after > current_fg + kEps && after < best_up) {
-          best_up = after;
-          up_move = {a, b};
-        }
-      }
-    }
-
-    std::pair<std::size_t, std::size_t> move{n, n};
-    bool escaping = false;
-    if (down_move.first < n) {
-      move = down_move;
-    } else {
-      if (!any_decrease_exists) {
-        if (++local_min_hits[quantize(current_fg)] >= options.local_min_repeats) break;
-      }
-      if (up_move.first >= n) break;
-      move = up_move;
-      escaping = true;
-    }
-
-    eval.ApplySwap(move.first, move.second);
-    current_fg = eval.Fg();
-    ++iteration;
-    ++result.iterations;
-    if (escaping) {
-      ++escapes;
-      tabu_until[move.first][move.second] = iteration + options.tenure;
-    }
-    if (options.record_trace) {
-      result.trace.push_back({iteration, current_fg, false});
-    }
-    if (obs::Tracer* tracer = obs::ActiveTracer()) {
-      tracer->Emit(obs::TraceEvent("search.move")
-                       .F("algo", "wtabu")
-                       .F("seed", seed_index)
-                       .F("iter", iteration)
-                       .F("a", move.first)
-                       .F("b", move.second)
-                       .F("fg", current_fg)
-                       .F("escape", escaping));
-    }
-    if (current_fg < best_fg - kEps) {
-      best_fg = current_fg;
-      result.best = eval.partition();
-    }
-  }
-
-  result.best_fg = qual::WeightedGlobalSimilarity(table, weights, result.best);
-  result.best_dg = qual::WeightedGlobalDissimilarity(table, weights, result.best);
-  result.best_cc = result.best_dg / result.best_fg;
-  FlushSeedObservability("wtabu", seed_index, result, tabu_hits, escapes);
-  return result;
-}
-
-SearchResult RunIntensitySeed(const DistanceTable& table,
-                              const std::vector<double>& intensity, const Partition& start,
-                              const TabuOptions& options, std::size_t seed_index) {
-  qual::IntensitySwapEvaluator eval(table, start, intensity);
-  const std::size_t n = start.switch_count();
-
-  SearchResult result;
-  result.best = start;
-  double best_fg = eval.Fg();
-  double current_fg = best_fg;
-  std::uint64_t tabu_hits = 0;
-  std::uint64_t escapes = 0;
-  if (options.record_trace) {
-    result.trace.push_back({0, current_fg, true});
-  }
-  if (obs::Tracer* tracer = obs::ActiveTracer()) {
-    tracer->Emit(obs::TraceEvent("search.restart")
-                     .F("algo", "itabu")
-                     .F("seed", seed_index)
-                     .F("fg", current_fg));
-  }
-
-  std::vector<std::vector<std::size_t>> tabu_until(n, std::vector<std::size_t>(n, 0));
-  std::map<long long, std::size_t> local_min_hits;
-  auto quantize = [](double fg) { return static_cast<long long>(std::llround(fg * 1e9)); };
-
-  std::size_t iteration = 0;
-  while (iteration < options.max_iterations_per_seed) {
-    double best_delta_down = 0.0;
-    std::pair<std::size_t, std::size_t> down_move{n, n};
-    double best_delta_up = std::numeric_limits<double>::infinity();
-    std::pair<std::size_t, std::size_t> up_move{n, n};
-    bool any_decrease_exists = false;
-
-    for (std::size_t a = 0; a < n; ++a) {
-      for (std::size_t b = a + 1; b < n; ++b) {
-        if (eval.partition().ClusterOf(a) == eval.partition().ClusterOf(b)) continue;
-        const double delta = eval.SwapDelta(a, b);
-        ++result.evaluations;
-        if (delta < -kEps) any_decrease_exists = true;
-        const bool tabu = tabu_until[a][b] > iteration;
-        if (tabu && !(options.aspiration && eval.FgAfterDelta(delta) < best_fg - kEps)) {
-          ++tabu_hits;
-          continue;
-        }
-        if (delta < best_delta_down - kEps) {
-          best_delta_down = delta;
-          down_move = {a, b};
-        }
-        if (delta > kEps && delta < best_delta_up) {
-          best_delta_up = delta;
-          up_move = {a, b};
-        }
-      }
-    }
-
-    std::pair<std::size_t, std::size_t> move{n, n};
-    bool escaping = false;
-    if (down_move.first < n && best_delta_down < -kEps) {
-      move = down_move;
-    } else {
-      if (!any_decrease_exists) {
-        if (++local_min_hits[quantize(current_fg)] >= options.local_min_repeats) break;
-      }
-      if (up_move.first >= n) break;
-      move = up_move;
-      escaping = true;
-    }
-
-    eval.ApplySwap(move.first, move.second);
-    current_fg = eval.Fg();
-    ++iteration;
-    ++result.iterations;
-    if (escaping) {
-      ++escapes;
-      tabu_until[move.first][move.second] = iteration + options.tenure;
-    }
-    if (options.record_trace) {
-      result.trace.push_back({iteration, current_fg, false});
-    }
-    if (obs::Tracer* tracer = obs::ActiveTracer()) {
-      tracer->Emit(obs::TraceEvent("search.move")
-                       .F("algo", "itabu")
-                       .F("seed", seed_index)
-                       .F("iter", iteration)
-                       .F("a", move.first)
-                       .F("b", move.second)
-                       .F("fg", current_fg)
-                       .F("escape", escaping));
-    }
-    if (current_fg < best_fg - kEps) {
-      best_fg = current_fg;
-      result.best = eval.partition();
-    }
-  }
-
-  result.best_fg = qual::IntensityGlobalSimilarity(table, result.best, intensity);
-  result.best_dg = qual::GlobalDissimilarity(table, result.best);
-  result.best_cc = result.best_dg / qual::GlobalSimilarity(table, result.best);
-  FlushSeedObservability("itabu", seed_index, result, tabu_hits, escapes);
-  return result;
+  const SearchEngine engine(algo, spec.options, rules);
+  spec.run_seed = [&make_objective, &engine](const Partition& start, std::size_t seed) {
+    auto objective = make_objective(start);
+    SeedRun run = engine.RunSeed(objective, seed);
+    engine.FlushSeedObservability(run, seed);
+    return run;
+  };
+  // The per-seed finalized F_G already lives in its weighted space, so the
+  // combined result keeps the winning seed's values instead of recomputing
+  // them unweighted.
+  spec.combine_key = [](const SeedRun& run) { return run.result.best_fg; };
+  spec.finalize_combined = false;
+  return RunMultiStart(table, spec);
 }
 
 }  // namespace
+
+SearchResult WeightedTabuSearch(const DistanceTable& table, const qual::WeightMatrix& weights,
+                                const std::vector<std::size_t>& cluster_sizes,
+                                const TabuOptions& options) {
+  return WeightedFamilySearch(table, cluster_sizes, options, "wtabu", ScanRules::ValueDescent(),
+                              [&](const Partition& start) {
+                                return WeightedFgObjective(table, weights, start);
+                              });
+}
 
 SearchResult IntensityTabuSearch(const DistanceTable& table,
                                  const std::vector<std::size_t>& cluster_sizes,
                                  const std::vector<double>& cluster_intensity,
                                  const TabuOptions& options) {
-  CS_CHECK(options.seeds >= 1, "need at least one seed");
   CS_CHECK(cluster_intensity.size() == cluster_sizes.size(), "one intensity per cluster");
-  Rng rng(options.rng_seed);
-
-  SearchResult combined;
-  bool first = true;
-  std::size_t iteration_base = 0;
-  for (std::size_t s = 0; s < options.seeds; ++s) {
-    const Partition start = Partition::Random(cluster_sizes, rng);
-    SearchResult run = RunIntensitySeed(table, cluster_intensity, start, options, s);
-    combined.iterations += run.iterations;
-    combined.evaluations += run.evaluations;
-    if (options.record_trace) {
-      for (TracePoint point : run.trace) {
-        point.iteration += iteration_base;
-        combined.trace.push_back(point);
-      }
-      iteration_base += run.iterations + 1;
-    }
-    if (first || run.best_fg < combined.best_fg - kEps) {
-      combined.best = run.best;
-      combined.best_fg = run.best_fg;
-      combined.best_dg = run.best_dg;
-      combined.best_cc = run.best_cc;
-      first = false;
-    }
-  }
-  return combined;
-}
-
-SearchResult WeightedTabuSearch(const DistanceTable& table, const qual::WeightMatrix& weights,
-                                const std::vector<std::size_t>& cluster_sizes,
-                                const TabuOptions& options) {
-  CS_CHECK(options.seeds >= 1, "need at least one seed");
-  Rng rng(options.rng_seed);
-
-  SearchResult combined;
-  bool first = true;
-  std::size_t iteration_base = 0;
-  for (std::size_t s = 0; s < options.seeds; ++s) {
-    const Partition start = Partition::Random(cluster_sizes, rng);
-    SearchResult run = RunWeightedSeed(table, weights, start, options, s);
-    combined.iterations += run.iterations;
-    combined.evaluations += run.evaluations;
-    if (options.record_trace) {
-      for (TracePoint point : run.trace) {
-        point.iteration += iteration_base;
-        combined.trace.push_back(point);
-      }
-      iteration_base += run.iterations + 1;
-    }
-    if (first || run.best_fg < combined.best_fg - kEps) {
-      combined.best = run.best;
-      combined.best_fg = run.best_fg;
-      combined.best_dg = run.best_dg;
-      combined.best_cc = run.best_cc;
-      first = false;
-    }
-  }
-  return combined;
+  return WeightedFamilySearch(table, cluster_sizes, options, "itabu", ScanRules::TabuMargin(),
+                              [&](const Partition& start) {
+                                return IntensityFgObjective(table, start, cluster_intensity);
+                              });
 }
 
 }  // namespace commsched::sched

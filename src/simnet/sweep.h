@@ -17,7 +17,10 @@ struct SweepOptions {
   double min_rate = 0.05;
   double max_rate = 1.2;
   std::size_t points = 9;  // the paper simulates S1..S9
-  bool parallel = true;    // run the points on a thread pool
+  /// Run the points on a thread pool. Same determinism contract as the
+  /// search engine's parallel_seeds (sched/engine.h): per-point RNG streams
+  /// are derived up front, so parallel and sequential sweeps are identical.
+  bool parallel = true;
   SimConfig config;
 };
 

@@ -3,6 +3,7 @@
 //   commsched_cli topo     --kind random --switches 16 --seed 1 [--dot]
 //   commsched_cli distance --kind rings [--hops]
 //   commsched_cli schedule --kind random --switches 16 --apps 4 [--seeds 10]
+//                          [--algo tabu|sd|random|sa|gsa] [--parallel-seeds]
 //   commsched_cli simulate --kind rings --apps 4 --mapping op|random|blocked
 //                          [--points 9] [--max-rate 1.4] [--vcs 1] [--duato]
 //                          [--telemetry N] [--fault-plan plan.json]
@@ -145,12 +146,56 @@ int CmdSchedule(const Args& args) {
   const route::UpDownRouting routing(graph);
   const dist::DistanceTable table = dist::DistanceTable::Build(routing);
   const std::size_t apps = args.GetSize("apps", 4);
-  sched::TabuOptions options;
-  options.seeds = args.GetSize("seeds", 10);
-  options.max_iterations_per_seed = args.GetSize("iters", graph.switch_count() >= 20 ? 60 : 20);
-  options.rng_seed = args.GetSize("search-seed", 1);
-  const sched::SearchResult result =
-      sched::TabuSearch(table, ClusterSizes(graph, apps), options);
+  const std::vector<std::size_t> sizes = ClusterSizes(graph, apps);
+  const std::string algo = args.Get("algo", "tabu");
+  const bool parallel_seeds = args.Has("parallel-seeds");
+  const std::uint64_t rng_seed = args.GetSize("search-seed", 1);
+
+  // Every searcher runs on the shared engine, so they all honor
+  // --parallel-seeds the same way (identical results, restarts on a pool).
+  const sched::SearchResult result = [&] {
+    if (algo == "tabu") {
+      sched::TabuOptions options;
+      options.seeds = args.GetSize("seeds", 10);
+      options.max_iterations_per_seed =
+          args.GetSize("iters", graph.switch_count() >= 20 ? 60 : 20);
+      options.rng_seed = rng_seed;
+      options.parallel_seeds = parallel_seeds;
+      return sched::TabuSearch(table, sizes, options);
+    }
+    if (algo == "sd") {
+      sched::SteepestDescentOptions options;
+      options.restarts = args.GetSize("seeds", 10);
+      options.max_iterations_per_restart = args.GetSize("iters", 1000);
+      options.rng_seed = rng_seed;
+      options.parallel_seeds = parallel_seeds;
+      return sched::SteepestDescent(table, sizes, options);
+    }
+    if (algo == "random") {
+      sched::RandomSearchOptions options;
+      options.samples = args.GetSize("samples", 1000);
+      options.rng_seed = rng_seed;
+      options.parallel_seeds = parallel_seeds;
+      return sched::RandomSearch(table, sizes, options);
+    }
+    if (algo == "sa") {
+      sched::AnnealingOptions options;
+      options.iterations = args.GetSize("iters", 20000);
+      options.restarts = args.GetSize("seeds", 1);
+      options.rng_seed = rng_seed;
+      options.parallel_seeds = parallel_seeds;
+      return sched::SimulatedAnnealing(table, sizes, options);
+    }
+    if (algo == "gsa") {
+      sched::GeneticAnnealingOptions options;
+      options.generations = args.GetSize("iters", 200);
+      options.restarts = args.GetSize("seeds", 1);
+      options.rng_seed = rng_seed;
+      options.parallel_seeds = parallel_seeds;
+      return sched::GeneticSimulatedAnnealing(table, sizes, options);
+    }
+    throw ConfigError("unknown --algo '" + algo + "' (tabu|sd|random|sa|gsa)");
+  }();
   std::cout << "partition: " << result.best.ToString() << "\n";
   std::cout << "F_G = " << result.best_fg << ", D_G = " << result.best_dg
             << ", C_c = " << result.best_cc << "\n";
@@ -174,6 +219,7 @@ int CmdSimulate(const Args& args) {
       const dist::DistanceTable table = dist::DistanceTable::Build(routing);
       sched::TabuOptions options;
       options.max_iterations_per_seed = graph.switch_count() >= 20 ? 60 : 20;
+      options.parallel_seeds = args.Has("parallel-seeds");
       return sched::TabuSearch(table, ClusterSizes(graph, apps), options).best;
     }
     if (mapping_kind == "random") {
@@ -258,6 +304,7 @@ int CmdExperiment(const Args& args) {
   options.sweep.config.warmup_cycles = args.GetSize("warmup", 5000);
   options.sweep.config.measure_cycles = args.GetSize("measure", 15000);
   options.tabu.max_iterations_per_seed = graph.switch_count() >= 20 ? 60 : 20;
+  options.tabu.parallel_seeds = args.Has("parallel-seeds");
   const core::ExperimentResult result = core::RunPaperExperiment(graph, options);
 
   TextTable table({"mapping", "C_c", "throughput", "partition"});
@@ -303,14 +350,17 @@ int Usage() {
       "  topo       generate/describe a topology (--kind random|rings|mixed|mesh|torus|\n"
       "             hypercube|file, --switches N, --seed S, --dot)\n"
       "  distance   equivalent-distance table as CSV (--hops for hop counts)\n"
-      "  schedule   Tabu mapping + quality coefficients (--apps K, --seeds N, --dot)\n"
-      "  simulate   load sweep for a mapping (--mapping op|random|blocked, --vcs V,\n"
+      "  schedule   search for a mapping + quality coefficients (--apps K, --seeds N,\n"
+      "             --algo tabu|sd|random|sa|gsa, --parallel-seeds, --dot)\n"
+      "  simulate   load sweep for a mapping (--mapping op|random|blocked,\n"
+      "             --parallel-seeds for the op search, --vcs V,\n"
       "             --adaptive, --duato, --points P, --max-rate R, --telemetry N\n"
       "             to sample deep network telemetry every N measured cycles;\n"
       "             --fault-plan F replays a JSON schedule of link/switch\n"
       "             failures mid-run, --reconfig-downtime N sets the routing\n"
       "             pause after each fault)\n"
-      "  experiment full paper experiment: OP vs random mappings (--randoms K)\n"
+      "  experiment full paper experiment: OP vs random mappings (--randoms K,\n"
+      "             --parallel-seeds)\n"
       "  report     analyse a JSONL trace: latency percentiles, hottest links,\n"
       "             per-seed convergence (--trace F, --metrics-file F, --csv F,\n"
       "             --top K)\n"
