@@ -1,0 +1,146 @@
+// Load generator for the scheduling service (DESIGN.md §10): drives an
+// in-process Daemon with batches of mixed JSONL requests and reports
+// sustained req/s plus end-to-end latency percentiles. CI runs this with
+// --benchmark_format=json into BENCH_service.json and gates the medians
+// against bench/baselines/ via tools/bench_compare.
+//
+// Three operating points:
+//   * hot    — caches warmed, mixed schedule/quality/ping traffic; the
+//              steady-state serving rate.
+//   * cold   — a fresh service per batch, distinct topologies: every
+//              request pays routing construction + the O(N²) resistance
+//              solves. This is the work the topology cache deletes.
+//   * ping   — protocol parse + queue + render only; the transport floor.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/commsched.h"
+
+namespace {
+
+using namespace commsched;
+
+std::string ScheduleRequest(std::uint64_t id, std::uint64_t topo_seed, std::size_t switches,
+                            const std::string& algo) {
+  svc::JsonObjectWriter topology;
+  topology.Field("kind", "random");
+  topology.Field("switches", static_cast<std::uint64_t>(switches));
+  topology.Field("seed", topo_seed);
+  svc::JsonObjectWriter request;
+  request.Field("id", "s" + std::to_string(id));
+  request.Field("op", "schedule");
+  request.Raw("topology", topology.Finish());
+  request.Field("apps", static_cast<std::uint64_t>(4));
+  request.Field("algo", algo);
+  return request.Finish();
+}
+
+std::string PingRequest(std::uint64_t id) {
+  svc::JsonObjectWriter request;
+  request.Field("id", "p" + std::to_string(id));
+  request.Field("op", "ping");
+  return request.Finish();
+}
+
+/// The hot-path batch: mixed ops over a small pool of topologies, so the
+/// model cache converges to all-hits after the first round.
+std::vector<std::string> MixedBatch(std::size_t size) {
+  std::vector<std::string> batch;
+  batch.reserve(size);
+  for (std::uint64_t i = 0; i < size; ++i) {
+    switch (i % 4) {
+      case 0:
+        batch.push_back(ScheduleRequest(i, 1 + i % 3, 12, "tabu"));
+        break;
+      case 1:
+        batch.push_back(ScheduleRequest(i, 1 + i % 3, 12, "sd"));
+        break;
+      case 2:
+        batch.push_back(ScheduleRequest(i, 1 + i % 3, 12, "random"));
+        break;
+      default:
+        batch.push_back(PingRequest(i));
+        break;
+    }
+  }
+  return batch;
+}
+
+/// Runs one batch through a fresh Daemon (the service — and so the caches —
+/// is owned by the caller) and returns the number of responses.
+std::size_t ServeBatch(svc::SchedulingService& service, const std::vector<std::string>& batch,
+                       std::size_t queue_capacity) {
+  svc::DaemonOptions options;
+  options.queue_capacity = queue_capacity;
+  svc::Daemon daemon(service, options);
+  std::atomic<std::size_t> responses{0};
+  for (const std::string& line : batch) {
+    daemon.Submit(line, [&responses](const std::string&) {
+      responses.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  daemon.Drain();
+  return responses.load(std::memory_order_relaxed);
+}
+
+void ReportLatencyPercentiles(benchmark::State& state) {
+  state.counters["latency_p50_us"] =
+      benchmark::Counter(bench::HistogramPercentile("svc.latency_ns", 0.50) / 1000.0);
+  state.counters["latency_p99_us"] =
+      benchmark::Counter(bench::HistogramPercentile("svc.latency_ns", 0.99) / 1000.0);
+}
+
+void BM_ServiceMixedHot(benchmark::State& state) {
+  const std::vector<std::string> batch = MixedBatch(static_cast<std::size_t>(state.range(0)));
+  svc::SchedulingService service;
+  // Warm the caches outside the measured region: steady state is the point.
+  ServeBatch(service, batch, batch.size());
+  std::size_t responses = 0;
+  for (auto _ : state) {
+    responses += ServeBatch(service, batch, batch.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(responses));
+  state.counters["req_per_sec"] =
+      benchmark::Counter(static_cast<double>(responses), benchmark::Counter::kIsRate);
+  ReportLatencyPercentiles(state);
+}
+BENCHMARK(BM_ServiceMixedHot)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_ServiceColdModels(benchmark::State& state) {
+  std::uint64_t topo_seed = 100;  // never repeats: every batch misses the cache
+  std::size_t responses = 0;
+  for (auto _ : state) {
+    svc::SchedulingService service;
+    std::vector<std::string> batch;
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      batch.push_back(ScheduleRequest(i, ++topo_seed, 12, "sd"));
+    }
+    responses += ServeBatch(service, batch, batch.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(responses));
+  state.counters["req_per_sec"] =
+      benchmark::Counter(static_cast<double>(responses), benchmark::Counter::kIsRate);
+  ReportLatencyPercentiles(state);
+}
+BENCHMARK(BM_ServiceColdModels)->Unit(benchmark::kMillisecond);
+
+void BM_ServicePingFloor(benchmark::State& state) {
+  std::vector<std::string> batch;
+  for (std::uint64_t i = 0; i < 64; ++i) batch.push_back(PingRequest(i));
+  svc::SchedulingService service;
+  std::size_t responses = 0;
+  for (auto _ : state) {
+    responses += ServeBatch(service, batch, batch.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(responses));
+  state.counters["req_per_sec"] =
+      benchmark::Counter(static_cast<double>(responses), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ServicePingFloor)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,5 +1,7 @@
 #include "sched/search.h"
 
+#include <sstream>
+
 namespace commsched::sched {
 
 void FinalizeResult(const DistanceTable& table, SearchResult& result) {
@@ -7,6 +9,15 @@ void FinalizeResult(const DistanceTable& table, SearchResult& result) {
   result.best_dg = qual::GlobalDissimilarity(table, result.best);
   CS_CHECK(result.best_fg > 0.0, "degenerate F_G");
   result.best_cc = result.best_dg / result.best_fg;
+}
+
+std::string FormatSearchResult(const SearchResult& result) {
+  std::ostringstream out;
+  out << "partition: " << result.best.ToString() << "\n";
+  out << "F_G = " << result.best_fg << ", D_G = " << result.best_dg
+      << ", C_c = " << result.best_cc << "\n";
+  out << "moves: " << result.iterations << ", evaluations: " << result.evaluations << "\n";
+  return out.str();
 }
 
 std::vector<std::pair<std::size_t, std::size_t>> InterClusterPairs(const Partition& partition) {

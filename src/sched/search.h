@@ -43,6 +43,12 @@ struct SearchResult {
 /// Fills best_fg / best_dg / best_cc of a result from its partition.
 void FinalizeResult(const DistanceTable& table, SearchResult& result);
 
+/// The canonical human-readable rendering of a search result — exactly what
+/// `commsched_cli schedule` prints. Shared with the scheduling service so a
+/// served request is byte-identical to the one-shot CLI run (the service
+/// e2e test diffs the two).
+[[nodiscard]] std::string FormatSearchResult(const SearchResult& result);
+
 /// All unordered switch pairs (a, b) lying in different clusters — the swap
 /// neighbourhood of §4.2.
 [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> InterClusterPairs(

@@ -1,0 +1,180 @@
+// Content-hashed LRU caching for the scheduling service.
+//
+// The expensive artifacts of the paper's pipeline are reusable across
+// requests that share a topology:
+//   * the up*/down* routing function and the O(N²) resistance-solve
+//     DistanceTable — cached per (canonical topology text, routing policy);
+//   * finished mapping searches — memoized per (model hash, cluster sizes,
+//     algorithm, knobs, seed).
+// Keys are content hashes (FNV-1a over a canonical key string), so two
+// requests describing the same network differently (generator spec vs.
+// inline text) still share one entry.
+//
+// Concurrency: entries are memoized futures. The first requester of a key
+// computes the value while later requesters of the same key wait on the
+// shared future instead of duplicating the solve — under a 64-request burst
+// on one topology, exactly one resistance solve runs. Eviction is LRU over
+// completed entries once `capacity` is exceeded. Hits/misses/evictions are
+// counted locally (for the protocol's `stats` op) and mirrored into the
+// global obs::Registry as cache.<name>.{hit,miss,evict}.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "obs/obs.h"
+
+namespace commsched::svc {
+
+/// FNV-1a 64-bit content hash (stable across platforms and runs — cache
+/// keys may be logged and compared across processes).
+[[nodiscard]] constexpr std::uint64_t HashBytes(std::string_view bytes) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+/// Point-in-time cache statistics (also the `stats` response payload).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t size = 0;
+  std::size_t capacity = 0;
+};
+
+/// Thread-safe LRU cache of shared immutable values keyed by uint64 content
+/// hashes, with memoized in-flight computation.
+template <typename Value>
+class LruCache {
+ public:
+  /// `name` prefixes the registry counters (cache.<name>.hit/miss/evict).
+  LruCache(std::string name, std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        hit_counter_(&obs::Registry::Global().GetCounter("cache." + name + ".hit")),
+        miss_counter_(&obs::Registry::Global().GetCounter("cache." + name + ".miss")),
+        evict_counter_(&obs::Registry::Global().GetCounter("cache." + name + ".evict")) {}
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  /// Returns the cached value for `key`, computing it with `build` on a
+  /// miss. Concurrent callers with the same key share one build; exceptions
+  /// from `build` propagate to every waiter and the entry is dropped so a
+  /// later request can retry.
+  std::shared_ptr<const Value> GetOrCompute(
+      std::uint64_t key, const std::function<std::shared_ptr<const Value>()>& build) {
+    std::shared_future<std::shared_ptr<const Value>> future;
+    std::shared_ptr<std::promise<std::shared_ptr<const Value>>> promise;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = entries_.find(key);
+      if (it != entries_.end()) {
+        Touch(it->second);
+        hits_++;
+        hit_counter_->Add();
+        future = it->second.future;
+      } else {
+        misses_++;
+        miss_counter_->Add();
+        promise = std::make_shared<std::promise<std::shared_ptr<const Value>>>();
+        Entry entry;
+        entry.future = promise->get_future().share();
+        lru_.push_front(key);
+        entry.lru_pos = lru_.begin();
+        future = entry.future;
+        entries_.emplace(key, std::move(entry));
+      }
+    }
+    if (promise != nullptr) {
+      try {
+        promise->set_value(build());
+        std::lock_guard<std::mutex> lock(mutex_);
+        EvictOverCapacity();
+      } catch (...) {
+        promise->set_exception(std::current_exception());
+        std::lock_guard<std::mutex> lock(mutex_);
+        Erase(key);
+      }
+    }
+    return future.get();
+  }
+
+  [[nodiscard]] CacheStats Stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CacheStats stats;
+    stats.hits = hits_;
+    stats.misses = misses_;
+    stats.evictions = evictions_;
+    stats.size = entries_.size();
+    stats.capacity = capacity_;
+    return stats;
+  }
+
+ private:
+  struct Entry {
+    std::shared_future<std::shared_ptr<const Value>> future;
+    std::list<std::uint64_t>::iterator lru_pos;
+  };
+
+  void Touch(Entry& entry) {
+    lru_.splice(lru_.begin(), lru_, entry.lru_pos);
+    entry.lru_pos = lru_.begin();
+  }
+
+  void Erase(std::uint64_t key) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return;
+    lru_.erase(it->second.lru_pos);
+    entries_.erase(it);
+  }
+
+  void EvictOverCapacity() {
+    while (entries_.size() > capacity_) {
+      // Oldest first; never evict an entry still being computed (its future
+      // is not ready) — skip past it. In-flight entries are transient, so
+      // the scan terminates.
+      auto pos = std::prev(lru_.end());
+      while (true) {
+        auto it = entries_.find(*pos);
+        CS_CHECK(it != entries_.end(), "LRU list out of sync with entry map");
+        const bool ready = it->second.future.wait_for(std::chrono::seconds(0)) ==
+                           std::future_status::ready;
+        if (ready) {
+          lru_.erase(it->second.lru_pos);
+          entries_.erase(it);
+          evictions_++;
+          evict_counter_->Add();
+          break;
+        }
+        if (pos == lru_.begin()) return;  // everything older is in flight
+        --pos;
+      }
+    }
+  }
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::list<std::uint64_t> lru_;  // front = most recent
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  obs::Counter* hit_counter_;
+  obs::Counter* miss_counter_;
+  obs::Counter* evict_counter_;
+};
+
+}  // namespace commsched::svc

@@ -1,0 +1,332 @@
+#include "service/daemon.h"
+
+#include <arpa/inet.h>
+#include <csignal>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <istream>
+#include <ostream>
+#include <thread>
+#include <vector>
+
+#include "common/strings.h"
+#include "obs/trace.h"
+#include "service/json.h"
+
+namespace commsched::svc {
+namespace {
+
+std::atomic<bool> g_drain_signalled{false};
+
+void DrainSignalHandler(int /*signo*/) {
+  g_drain_signalled.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void InstallDrainSignalHandlers() {
+  struct sigaction action {};
+  action.sa_handler = DrainSignalHandler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // deliberately no SA_RESTART: blocked reads see EINTR
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+  // A TCP client may disappear between request and response; the write
+  // error is handled per session, not by process death.
+  signal(SIGPIPE, SIG_IGN);
+}
+
+bool DrainSignalled() { return g_drain_signalled.load(std::memory_order_relaxed); }
+
+void ResetDrainSignalForTesting() {
+  g_drain_signalled.store(false, std::memory_order_relaxed);
+}
+
+Daemon::Daemon(SchedulingService& service, DaemonOptions options)
+    : service_(service),
+      options_(options),
+      pool_(options.workers) {
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+}
+
+Daemon::~Daemon() { Drain(); }
+
+void Daemon::Submit(std::string line, std::function<void(const std::string&)> sink) {
+  const auto admitted = std::chrono::steady_clock::now();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (draining_) {
+      served_++;
+      obs::Registry::Global().GetCounter("svc.rejected").Add();
+      lock.unlock();
+      sink(ErrorResponse(SalvageRequestId(line), "service is draining"));
+      return;
+    }
+    // Backpressure: the transport's reader blocks here while the queue is
+    // full, so clients see an unread socket/pipe instead of lost requests.
+    slot_free_.wait(lock, [this] { return pending_ < options_.queue_capacity; });
+    pending_++;
+    obs::Registry::Global().GetHistogram("svc.queue.depth").Record(pending_);
+  }
+  auto shared_line = std::make_shared<std::string>(std::move(line));
+  auto shared_sink = std::make_shared<std::function<void(const std::string&)>>(std::move(sink));
+  pool_.Submit([this, shared_line, shared_sink, admitted] {
+    Process(*shared_line, admitted, *shared_sink);
+  });
+}
+
+void Daemon::Process(const std::string& line,
+                     std::chrono::steady_clock::time_point admitted,
+                     const std::function<void(const std::string&)>& sink) {
+  obs::Registry::Global().GetCounter("svc.requests").Add();
+  std::string response;
+  try {
+    const Request request = ParseRequest(line);
+    if (obs::Tracer* t = obs::ActiveTracer()) {
+      t->Emit(obs::TraceEvent("svc.request").F("id", request.id).F("op", OpName(request.op)));
+    }
+    const std::uint64_t deadline_ms =
+        request.deadline_ms != 0 ? request.deadline_ms : options_.default_deadline_ms;
+    const auto waited = std::chrono::steady_clock::now() - admitted;
+    const auto waited_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(waited).count();
+    if (deadline_ms != 0 && static_cast<std::uint64_t>(waited_ms) > deadline_ms) {
+      obs::Registry::Global().GetCounter("svc.deadline_expired").Add();
+      response = ErrorResponse(request.id, "deadline of " + std::to_string(deadline_ms) +
+                                               " ms expired after " +
+                                               std::to_string(waited_ms) + " ms in queue");
+    } else {
+      response = service_.Execute(request);
+    }
+  } catch (const std::exception& e) {
+    obs::Registry::Global().GetCounter("svc.errors").Add();
+    response = ErrorResponse(SalvageRequestId(line), e.what());
+  }
+  sink(response);
+  const auto elapsed = std::chrono::steady_clock::now() - admitted;
+  const auto elapsed_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
+  obs::Registry::Global().GetHistogram("svc.latency_ns").Record(
+      static_cast<std::uint64_t>(elapsed_ns));
+  if (obs::Tracer* t = obs::ActiveTracer()) {
+    t->Emit(obs::TraceEvent("svc.response")
+                .F("id", SalvageRequestId(line))
+                .F("micros", static_cast<std::uint64_t>(elapsed_ns / 1000)));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_--;
+    served_++;
+    slot_free_.notify_one();
+    if (pending_ == 0) idle_.notify_all();
+  }
+}
+
+void Daemon::RequestDrain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  draining_ = true;
+}
+
+bool Daemon::draining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return draining_;
+}
+
+void Daemon::Drain() {
+  RequestDrain();
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return pending_ == 0; });
+}
+
+std::uint64_t Daemon::served() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return served_;
+}
+
+int RunStdioServer(SchedulingService& service, const DaemonOptions& options, std::istream& in,
+                   std::ostream& out) {
+  InstallDrainSignalHandlers();
+  Daemon daemon(service, options);
+  std::mutex out_mutex;
+  std::string line;
+  while (!DrainSignalled() && std::getline(in, line)) {
+    if (Trim(line).empty()) continue;
+    daemon.Submit(line, [&out, &out_mutex](const std::string& response) {
+      std::lock_guard<std::mutex> lock(out_mutex);
+      out << response << "\n";
+      out.flush();
+    });
+  }
+  daemon.Drain();
+  if (obs::Tracer* t = obs::ActiveTracer()) {
+    t->Emit(obs::TraceEvent("svc.drain").F("served", daemon.served()));
+  }
+  {
+    std::lock_guard<std::mutex> lock(out_mutex);
+    out.flush();
+  }
+  return 0;
+}
+
+namespace {
+
+/// Buffered line reader over a file descriptor. EINTR is retried unless a
+/// drain was signalled (then it reads as EOF, mirroring stdio behaviour).
+class FdLineReader {
+ public:
+  explicit FdLineReader(int fd) : fd_(fd) {}
+
+  bool NextLine(std::string& line) {
+    line.clear();
+    while (true) {
+      const std::size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t got = ::read(fd_, chunk, sizeof(chunk));
+      if (got > 0) {
+        buffer_.append(chunk, static_cast<std::size_t>(got));
+        continue;
+      }
+      if (got < 0 && errno == EINTR && !DrainSignalled()) continue;
+      // EOF (or drain): serve any unterminated trailing line.
+      if (!buffer_.empty()) {
+        line.swap(buffer_);
+        return true;
+      }
+      return false;
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+/// Writes the whole buffer, retrying partial writes and EINTR.
+bool WriteAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t wrote = ::write(fd, data.data() + sent, data.size() - sent);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return false;  // client went away; its responses are undeliverable
+    }
+    sent += static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+/// One TCP connection: reads JSONL requests, writes responses; waits for
+/// its own in-flight requests before closing so a client that half-closes
+/// still receives every answer.
+class TcpSession {
+ public:
+  TcpSession(int fd, Daemon& daemon) : fd_(fd), daemon_(&daemon) {}
+
+  void Run() {
+    FdLineReader reader(fd_);
+    std::string line;
+    while (reader.NextLine(line)) {
+      if (Trim(line).empty()) continue;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        outstanding_++;
+      }
+      daemon_->Submit(line, [this](const std::string& response) {
+        {
+          std::lock_guard<std::mutex> lock(write_mutex_);
+          WriteAll(fd_, response + "\n");
+        }
+        std::lock_guard<std::mutex> lock(mutex_);
+        outstanding_--;
+        if (outstanding_ == 0) idle_.notify_all();
+      });
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return outstanding_ == 0; });
+    lock.unlock();
+    ::close(fd_);
+  }
+
+  /// Forces the reader to EOF (used at drain); responses still flow.
+  void ShutdownRead() { ::shutdown(fd_, SHUT_RD); }
+
+ private:
+  int fd_;
+  Daemon* daemon_;
+  std::mutex write_mutex_;
+  std::mutex mutex_;
+  std::condition_variable idle_;
+  std::size_t outstanding_ = 0;
+};
+
+}  // namespace
+
+int RunTcpServer(SchedulingService& service, const DaemonOptions& options, std::uint16_t port,
+                 std::ostream& announce) {
+  InstallDrainSignalHandlers();
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) throw ConfigError("cannot create listening socket");
+  const int reuse = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(listen_fd);
+    throw ConfigError("cannot bind 127.0.0.1:" + std::to_string(port) + ": " +
+                      std::strerror(errno));
+  }
+  if (::listen(listen_fd, 64) != 0) {
+    ::close(listen_fd);
+    throw ConfigError("cannot listen on 127.0.0.1:" + std::to_string(port));
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  announce << "listening on 127.0.0.1:" << ntohs(addr.sin_port) << "\n" << std::flush;
+
+  Daemon daemon(service, options);
+  std::mutex sessions_mutex;
+  std::vector<std::shared_ptr<TcpSession>> sessions;
+  std::vector<std::thread> session_threads;
+
+  while (!DrainSignalled()) {
+    const int client_fd = ::accept(listen_fd, nullptr, nullptr);
+    if (client_fd < 0) {
+      if (errno == EINTR) continue;  // signal: loop re-checks the drain flag
+      break;
+    }
+    auto session = std::make_shared<TcpSession>(client_fd, daemon);
+    {
+      std::lock_guard<std::mutex> lock(sessions_mutex);
+      sessions.push_back(session);
+    }
+    session_threads.emplace_back([session] { session->Run(); });
+  }
+  ::close(listen_fd);
+
+  // Drain: no new connections, force open readers to EOF, let every session
+  // flush its outstanding responses, then wait for the pool.
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex);
+    for (auto& session : sessions) session->ShutdownRead();
+  }
+  for (std::thread& thread : session_threads) thread.join();
+  daemon.Drain();
+  if (obs::Tracer* t = obs::ActiveTracer()) {
+    t->Emit(obs::TraceEvent("svc.drain").F("served", daemon.served()));
+  }
+  return 0;
+}
+
+}  // namespace commsched::svc

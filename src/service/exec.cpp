@@ -1,0 +1,137 @@
+#include "service/exec.h"
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "sched/annealing.h"
+#include "sched/local_search.h"
+#include "sched/tabu.h"
+
+namespace commsched::svc {
+namespace {
+
+/// The CLI's historical iteration default for the tabu family: a larger
+/// budget on the paper's 24-switch networks than on the 16-switch ones.
+std::size_t DefaultTabuIterations(std::size_t switch_count) {
+  return switch_count >= 20 ? 60 : 20;
+}
+
+}  // namespace
+
+std::vector<std::size_t> EvenClusterSizes(std::size_t switch_count, std::size_t apps) {
+  if (apps == 0) throw ConfigError("application count must be positive");
+  if (switch_count % apps != 0) {
+    throw ConfigError("switch count " + std::to_string(switch_count) +
+                      " not divisible by " + std::to_string(apps) + " applications");
+  }
+  return std::vector<std::size_t>(apps, switch_count / apps);
+}
+
+std::string CanonicalSearchKnobs(const SearchKnobs& knobs, std::size_t switch_count) {
+  std::ostringstream key;
+  key << "algo=" << knobs.algo;
+  if (knobs.algo == "tabu") {
+    key << ";seeds=" << knobs.seeds.value_or(10)
+        << ";iters=" << knobs.iterations.value_or(DefaultTabuIterations(switch_count));
+  } else if (knobs.algo == "sd") {
+    key << ";seeds=" << knobs.seeds.value_or(10)
+        << ";iters=" << knobs.iterations.value_or(1000);
+  } else if (knobs.algo == "random") {
+    key << ";samples=" << knobs.samples.value_or(1000);
+  } else if (knobs.algo == "sa") {
+    key << ";seeds=" << knobs.seeds.value_or(1)
+        << ";iters=" << knobs.iterations.value_or(20000);
+  } else if (knobs.algo == "gsa") {
+    key << ";seeds=" << knobs.seeds.value_or(1)
+        << ";iters=" << knobs.iterations.value_or(200);
+  } else {
+    throw ConfigError("unknown algo '" + knobs.algo + "' (tabu|sd|random|sa|gsa)");
+  }
+  key << ";rng=" << knobs.rng_seed;
+  return key.str();
+}
+
+sched::SearchResult RunMappingSearch(const dist::DistanceTable& table,
+                                     const std::vector<std::size_t>& cluster_sizes,
+                                     const SearchKnobs& knobs) {
+  if (knobs.algo == "tabu") {
+    sched::TabuOptions options;
+    options.seeds = knobs.seeds.value_or(10);
+    options.max_iterations_per_seed =
+        knobs.iterations.value_or(DefaultTabuIterations(table.size()));
+    options.rng_seed = knobs.rng_seed;
+    options.parallel_seeds = knobs.parallel_seeds;
+    return sched::TabuSearch(table, cluster_sizes, options);
+  }
+  if (knobs.algo == "sd") {
+    sched::SteepestDescentOptions options;
+    options.restarts = knobs.seeds.value_or(10);
+    options.max_iterations_per_restart = knobs.iterations.value_or(1000);
+    options.rng_seed = knobs.rng_seed;
+    options.parallel_seeds = knobs.parallel_seeds;
+    return sched::SteepestDescent(table, cluster_sizes, options);
+  }
+  if (knobs.algo == "random") {
+    sched::RandomSearchOptions options;
+    options.samples = knobs.samples.value_or(1000);
+    options.rng_seed = knobs.rng_seed;
+    options.parallel_seeds = knobs.parallel_seeds;
+    return sched::RandomSearch(table, cluster_sizes, options);
+  }
+  if (knobs.algo == "sa") {
+    sched::AnnealingOptions options;
+    options.iterations = knobs.iterations.value_or(20000);
+    options.restarts = knobs.seeds.value_or(1);
+    options.rng_seed = knobs.rng_seed;
+    options.parallel_seeds = knobs.parallel_seeds;
+    return sched::SimulatedAnnealing(table, cluster_sizes, options);
+  }
+  if (knobs.algo == "gsa") {
+    sched::GeneticAnnealingOptions options;
+    options.generations = knobs.iterations.value_or(200);
+    options.restarts = knobs.seeds.value_or(1);
+    options.rng_seed = knobs.rng_seed;
+    options.parallel_seeds = knobs.parallel_seeds;
+    return sched::GeneticSimulatedAnnealing(table, cluster_sizes, options);
+  }
+  throw ConfigError("unknown --algo '" + knobs.algo + "' (tabu|sd|random|sa|gsa)");
+}
+
+qual::Partition ChooseMappingPartition(const std::string& mapping,
+                                       const dist::DistanceTable* table,
+                                       const std::vector<std::size_t>& cluster_sizes,
+                                       std::uint64_t mapping_seed, bool parallel_seeds) {
+  if (mapping == "op") {
+    CS_CHECK(table != nullptr, "op mapping needs a distance table");
+    SearchKnobs knobs;
+    knobs.parallel_seeds = parallel_seeds;
+    return RunMappingSearch(*table, cluster_sizes, knobs).best;
+  }
+  if (mapping == "random") {
+    Rng rng(mapping_seed);
+    return qual::Partition::Random(cluster_sizes, rng);
+  }
+  if (mapping == "blocked") {
+    return qual::Partition::Blocked(cluster_sizes);
+  }
+  throw ConfigError("unknown --mapping '" + mapping + "' (op|random|blocked)");
+}
+
+std::string FormatSimulateText(const qual::Partition& partition,
+                               const sim::SweepResult& result) {
+  std::ostringstream out;
+  out << "mapping: " << partition.ToString() << "\n";
+  TextTable table({"offered", "accepted", "latency", "saturated"});
+  table.set_precision(4);
+  for (const sim::SweepPoint& p : result.points) {
+    table.AddRow({p.offered_rate, p.metrics.accepted_flits_per_switch_cycle,
+                  p.metrics.avg_latency_cycles,
+                  std::string(p.metrics.Saturated() ? "yes" : "no")});
+  }
+  out << table;
+  out << "throughput: " << result.Throughput() << " flits/switch/cycle\n";
+  return out.str();
+}
+
+}  // namespace commsched::svc

@@ -1,0 +1,71 @@
+// Shared execution paths between the one-shot CLI and the scheduling
+// service daemon.
+//
+// Both front ends must produce bit-identical results for the same knobs —
+// the service e2e test byte-compares served responses against one-shot CLI
+// stdout — so the algorithm dispatch, default resolution (e.g. the
+// switch-count-dependent tabu iteration budget) and result rendering live
+// here exactly once.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "distance/distance_table.h"
+#include "quality/partition.h"
+#include "sched/search.h"
+#include "simnet/sweep.h"
+#include "topology/graph.h"
+
+namespace commsched::svc {
+
+/// Even cluster sizes for `apps` applications over `switch_count` switches;
+/// throws ConfigError when the counts do not divide.
+[[nodiscard]] std::vector<std::size_t> EvenClusterSizes(std::size_t switch_count,
+                                                        std::size_t apps);
+
+/// Mapping-search knobs, normalized across the five searchers. nullopt
+/// fields resolve to the CLI defaults (seeds 10 for tabu/sd, tabu iteration
+/// budget 60 for >= 20 switches else 20, ...).
+struct SearchKnobs {
+  std::string algo = "tabu";  // tabu|sd|random|sa|gsa
+  std::optional<std::size_t> seeds;
+  std::optional<std::size_t> iterations;
+  std::optional<std::size_t> samples;
+  std::uint64_t rng_seed = 1;
+  /// Runs restarts on a thread pool. By the engine's determinism contract
+  /// (sched/engine.h) this never changes the result, so cached results are
+  /// shared across the flag.
+  bool parallel_seeds = false;
+};
+
+/// A stable, human-readable encoding of the knobs that affect the result —
+/// the mapping-memo cache key component. parallel_seeds is deliberately
+/// excluded (see above).
+[[nodiscard]] std::string CanonicalSearchKnobs(const SearchKnobs& knobs,
+                                               std::size_t switch_count);
+
+/// Dispatches to the searcher named by knobs.algo with the CLI's defaults.
+/// Throws ConfigError for unknown algorithms.
+[[nodiscard]] sched::SearchResult RunMappingSearch(const dist::DistanceTable& table,
+                                                   const std::vector<std::size_t>& cluster_sizes,
+                                                   const SearchKnobs& knobs);
+
+/// Picks the partition to simulate, mirroring the CLI's --mapping flag:
+/// "op" runs the default tabu search over `table` (which must be non-null
+/// for this kind only), "random" draws from `mapping_seed`, "blocked" packs
+/// clusters by switch id.
+[[nodiscard]] qual::Partition ChooseMappingPartition(
+    const std::string& mapping, const dist::DistanceTable* table,
+    const std::vector<std::size_t>& cluster_sizes, std::uint64_t mapping_seed,
+    bool parallel_seeds);
+
+/// The canonical rendering of a simulate run — exactly what the CLI prints
+/// before any fault summary: the mapping line, the per-point sweep table,
+/// and the throughput line.
+[[nodiscard]] std::string FormatSimulateText(const qual::Partition& partition,
+                                             const sim::SweepResult& result);
+
+}  // namespace commsched::svc

@@ -1,0 +1,99 @@
+// Minimal JSON support for the scheduling service protocol and the bench
+// tooling.
+//
+// The service speaks one JSON object per line (JSONL); requests are small
+// and flat, google-benchmark output files are one nested object. This is a
+// deliberately small recursive-descent parser over the full JSON grammar
+// (objects, arrays, strings with escapes, numbers, true/false/null) — unlike
+// the fault-plan parser it is schema-free, because protocol requests carry
+// optional fields in any order and bench JSON is produced by an external
+// library. Malformed input throws ConfigError with a byte offset.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace commsched::svc {
+
+/// A parsed JSON value. Object member order is not preserved (protocol
+/// semantics never depend on it); duplicate keys keep the last value.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  [[nodiscard]] static JsonValue MakeBool(bool value);
+  [[nodiscard]] static JsonValue MakeNumber(double value);
+  [[nodiscard]] static JsonValue MakeString(std::string value);
+  [[nodiscard]] static JsonValue MakeArray(std::vector<JsonValue> items);
+  [[nodiscard]] static JsonValue MakeObject(std::map<std::string, JsonValue> members);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+
+  /// Typed accessors; throw ConfigError naming `context` on kind mismatch.
+  [[nodiscard]] bool AsBool(const std::string& context) const;
+  [[nodiscard]] double AsDouble(const std::string& context) const;
+  /// Number that must be a non-negative integer (ids, sizes, cycle counts).
+  [[nodiscard]] std::uint64_t AsUint(const std::string& context) const;
+  [[nodiscard]] const std::string& AsString(const std::string& context) const;
+  [[nodiscard]] const std::vector<JsonValue>& AsArray(const std::string& context) const;
+  [[nodiscard]] const std::map<std::string, JsonValue>& AsObject(
+      const std::string& context) const;
+
+  /// Object member, or nullptr when absent (requires kObject).
+  [[nodiscard]] const JsonValue* Find(const std::string& key) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses one complete JSON document; trailing garbage is an error.
+/// Throws ConfigError ("json: ... (at byte N)") on malformed input.
+[[nodiscard]] JsonValue ParseJson(const std::string& text);
+
+/// Escapes a string for embedding between double quotes in JSON output
+/// (backslash, quote, and control characters; UTF-8 passes through).
+[[nodiscard]] std::string JsonEscape(const std::string& text);
+
+/// Incremental writer for one flat-ish JSON object rendered in insertion
+/// order — the response side of the protocol. Values added via Raw() must
+/// already be valid JSON (used for nested objects).
+class JsonObjectWriter {
+ public:
+  JsonObjectWriter& Field(const std::string& key, const std::string& value);
+  JsonObjectWriter& Field(const std::string& key, const char* value);
+  JsonObjectWriter& Field(const std::string& key, bool value);
+  JsonObjectWriter& Field(const std::string& key, double value);
+  JsonObjectWriter& Field(const std::string& key, std::uint64_t value);
+  JsonObjectWriter& Raw(const std::string& key, const std::string& json);
+
+  /// The finished object, braces included.
+  [[nodiscard]] std::string Finish() const { return "{" + body_ + "}"; }
+
+ private:
+  JsonObjectWriter& Key(const std::string& key);
+
+  std::string body_;
+};
+
+/// Renders a double the way the rest of the codebase does (ostream default
+/// formatting, 6 significant digits) so JSON numbers match CLI text output.
+[[nodiscard]] std::string FormatJsonNumber(double value);
+
+}  // namespace commsched::svc

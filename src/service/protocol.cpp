@@ -1,0 +1,173 @@
+#include "service/protocol.h"
+
+#include <set>
+
+#include "service/json.h"
+#include "topology/generator.h"
+#include "topology/library.h"
+#include "topology/serialize.h"
+
+namespace commsched::svc {
+namespace {
+
+RequestOp ParseOp(const std::string& name) {
+  if (name == "ping") return RequestOp::kPing;
+  if (name == "stats") return RequestOp::kStats;
+  if (name == "sleep") return RequestOp::kSleep;
+  if (name == "schedule") return RequestOp::kSchedule;
+  if (name == "quality") return RequestOp::kQuality;
+  if (name == "simulate") return RequestOp::kSimulate;
+  throw ConfigError("unknown op '" + name +
+                    "' (ping|stats|sleep|schedule|quality|simulate)");
+}
+
+TopologyRequest ParseTopology(const JsonValue& value) {
+  TopologyRequest topology;
+  for (const auto& [key, member] : value.AsObject("topology")) {
+    const std::string context = "topology." + key;
+    if (key == "kind") {
+      topology.kind = member.AsString(context);
+    } else if (key == "switches") {
+      topology.switches = member.AsUint(context);
+    } else if (key == "hosts") {
+      topology.hosts = member.AsUint(context);
+    } else if (key == "degree") {
+      topology.degree = member.AsUint(context);
+    } else if (key == "seed") {
+      topology.seed = member.AsUint(context);
+    } else if (key == "rows") {
+      topology.rows = member.AsUint(context);
+    } else if (key == "cols") {
+      topology.cols = member.AsUint(context);
+    } else if (key == "dim") {
+      topology.dim = member.AsUint(context);
+    } else if (key == "text") {
+      topology.text = member.AsString(context);
+    } else {
+      throw ConfigError("unknown topology key '" + key + "'");
+    }
+  }
+  return topology;
+}
+
+std::vector<std::size_t> ParsePartition(const JsonValue& value) {
+  std::vector<std::size_t> clusters;
+  for (const JsonValue& item : value.AsArray("partition")) {
+    clusters.push_back(item.AsUint("partition entry"));
+  }
+  return clusters;
+}
+
+}  // namespace
+
+const char* OpName(RequestOp op) {
+  switch (op) {
+    case RequestOp::kPing: return "ping";
+    case RequestOp::kStats: return "stats";
+    case RequestOp::kSleep: return "sleep";
+    case RequestOp::kSchedule: return "schedule";
+    case RequestOp::kQuality: return "quality";
+    case RequestOp::kSimulate: return "simulate";
+  }
+  CS_UNREACHABLE("bad RequestOp");
+}
+
+topo::SwitchGraph BuildTopology(const TopologyRequest& request) {
+  const std::string& kind = request.kind;
+  if (kind == "random") {
+    topo::IrregularTopologyOptions options;
+    options.switch_count = request.switches;
+    options.hosts_per_switch = request.hosts;
+    options.interswitch_degree = request.degree;
+    options.seed = request.seed;
+    return topo::GenerateIrregularTopology(options);
+  }
+  if (kind == "rings") return topo::MakeFourRingsOfSix(request.hosts);
+  if (kind == "mixed") return topo::MakeMixedDensity16(request.hosts);
+  if (kind == "mesh") return topo::MakeMesh2D(request.rows, request.cols, request.hosts);
+  if (kind == "torus") return topo::MakeTorus2D(request.rows, request.cols, request.hosts);
+  if (kind == "hypercube") return topo::MakeHypercube(request.dim, request.hosts);
+  if (kind == "text") {
+    if (request.text.empty()) throw ConfigError("topology kind 'text' requires \"text\"");
+    return topo::FromText(request.text);
+  }
+  throw ConfigError("unknown topology kind '" + kind + "'");
+}
+
+Request ParseRequest(const std::string& line) {
+  const JsonValue root = ParseJson(line);
+  const JsonValue* op = root.Find("op");
+  if (!root.is_object() || op == nullptr) {
+    throw ConfigError("request must be a JSON object with an \"op\"");
+  }
+  Request request;
+  request.op = ParseOp(op->AsString("op"));
+  for (const auto& [key, member] : root.AsObject("request")) {
+    if (key == "op") continue;
+    if (key == "id") {
+      request.id = member.AsString("id");
+    } else if (key == "topology") {
+      request.topology = ParseTopology(member);
+    } else if (key == "apps") {
+      request.apps = member.AsUint("apps");
+    } else if (key == "algo") {
+      request.algo = member.AsString("algo");
+    } else if (key == "seeds") {
+      request.seeds = member.AsUint("seeds");
+    } else if (key == "iters") {
+      request.iterations = member.AsUint("iters");
+    } else if (key == "samples") {
+      request.samples = member.AsUint("samples");
+    } else if (key == "search_seed") {
+      request.search_seed = member.AsUint("search_seed");
+    } else if (key == "parallel_seeds") {
+      request.parallel_seeds = member.AsBool("parallel_seeds");
+    } else if (key == "partition") {
+      request.partition = ParsePartition(member);
+    } else if (key == "mapping") {
+      request.mapping = member.AsString("mapping");
+    } else if (key == "mapping_seed") {
+      request.mapping_seed = member.AsUint("mapping_seed");
+    } else if (key == "points") {
+      request.points = member.AsUint("points");
+    } else if (key == "min_rate") {
+      request.min_rate = member.AsDouble("min_rate");
+    } else if (key == "max_rate") {
+      request.max_rate = member.AsDouble("max_rate");
+    } else if (key == "warmup") {
+      request.warmup = member.AsUint("warmup");
+    } else if (key == "measure") {
+      request.measure = member.AsUint("measure");
+    } else if (key == "vcs") {
+      request.vcs = member.AsUint("vcs");
+    } else if (key == "ms") {
+      request.sleep_ms = member.AsUint("ms");
+    } else if (key == "deadline_ms") {
+      request.deadline_ms = member.AsUint("deadline_ms");
+    } else {
+      throw ConfigError("unknown request key '" + key + "'");
+    }
+  }
+  return request;
+}
+
+std::string SalvageRequestId(const std::string& line) {
+  try {
+    const JsonValue root = ParseJson(line);
+    const JsonValue* id = root.Find("id");
+    if (id != nullptr && id->is_string()) return id->AsString("id");
+  } catch (const std::exception&) {
+    // Malformed line: respond without an id.
+  }
+  return "";
+}
+
+std::string ErrorResponse(const std::string& id, const std::string& error) {
+  JsonObjectWriter writer;
+  if (!id.empty()) writer.Field("id", id);
+  writer.Field("ok", false);
+  writer.Field("error", error);
+  return writer.Finish();
+}
+
+}  // namespace commsched::svc

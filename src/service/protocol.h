@@ -1,0 +1,111 @@
+// The scheduling service's JSONL wire protocol (DESIGN.md §10).
+//
+// One request per line, one response line per request. Every request is a
+// JSON object with an "op" plus op-specific fields; responses echo the
+// request "id" (an opaque client string) and carry either the result fields
+// or {"ok":false,"error":...}. Unknown keys are rejected — a typoed knob
+// silently falling back to a default is worse than an error.
+//
+//   {"id":"1","op":"schedule","topology":{"kind":"random","switches":16,
+//    "seed":1},"apps":4,"algo":"tabu","seeds":10,"iters":20,"search_seed":1}
+//   {"id":"2","op":"quality","topology":{"kind":"rings"},
+//    "partition":[0,0,0,0,0,0,1,1,1,1,1,1,2,2,2,2,2,2,3,3,3,3,3,3]}
+//   {"id":"3","op":"simulate","topology":{"kind":"mixed"},"apps":4,
+//    "mapping":"blocked","points":2,"max_rate":0.4,"warmup":500,
+//    "measure":1500}
+//   {"id":"4","op":"stats"}   {"id":"5","op":"ping"}
+//
+// Field defaults deliberately mirror the one-shot CLI flags so a request
+// with the same knobs returns byte-identical result text (the e2e test
+// enforces this).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "topology/graph.h"
+
+namespace commsched::svc {
+
+enum class RequestOp {
+  kPing,      // liveness probe
+  kStats,     // cache hit/miss/eviction + served-request counts
+  kSleep,     // testing/bench aid: hold a worker for sleep_ms
+  kSchedule,  // mapping search (§4.2) over a cached distance table
+  kQuality,   // F_G / D_G / C_c of an explicit partition (§4.1)
+  kSimulate,  // flit-level load sweep (§5) for a mapping
+};
+
+[[nodiscard]] const char* OpName(RequestOp op);
+
+/// Topology selector, mirroring the CLI's --kind family. "text" carries an
+/// inline topology in topology/serialize.h's format; all kinds canonicalize
+/// to the same cache key, so a generator spec and its serialized text hit
+/// the same cache entry.
+struct TopologyRequest {
+  std::string kind = "random";  // random|rings|mixed|mesh|torus|hypercube|text
+  std::size_t switches = 16;
+  std::size_t hosts = 4;
+  std::size_t degree = 3;
+  std::uint64_t seed = 1;
+  std::size_t rows = 4;
+  std::size_t cols = 4;
+  std::size_t dim = 4;
+  std::string text;
+};
+
+/// Materializes the requested topology (throws ConfigError on bad specs).
+[[nodiscard]] topo::SwitchGraph BuildTopology(const TopologyRequest& request);
+
+/// One parsed protocol request. Defaults match the CLI.
+struct Request {
+  std::string id;
+  RequestOp op = RequestOp::kPing;
+  TopologyRequest topology;
+  std::size_t apps = 4;
+
+  // schedule knobs (nullopt = the CLI's default for that algorithm,
+  // resolved against the topology by exec.h).
+  std::string algo = "tabu";  // tabu|sd|random|sa|gsa
+  std::optional<std::size_t> seeds;
+  std::optional<std::size_t> iterations;
+  std::optional<std::size_t> samples;
+  std::uint64_t search_seed = 1;
+  bool parallel_seeds = false;
+
+  // quality: cluster id per switch.
+  std::vector<std::size_t> partition;
+
+  // simulate knobs.
+  std::string mapping = "op";  // op|random|blocked
+  std::uint64_t mapping_seed = 2000;
+  std::size_t points = 9;
+  double min_rate = 0.08;
+  double max_rate = 1.4;
+  std::size_t warmup = 5000;
+  std::size_t measure = 15000;
+  std::size_t vcs = 1;
+
+  // sleep
+  std::uint64_t sleep_ms = 0;
+
+  /// 0 = no deadline. A request still queued when its deadline elapses is
+  /// answered with an error instead of being executed.
+  std::uint64_t deadline_ms = 0;
+};
+
+/// Parses one request line. Throws ConfigError on malformed JSON, unknown
+/// ops/keys, or type mismatches; the daemon converts that into an error
+/// response carrying whatever "id" could be salvaged.
+[[nodiscard]] Request ParseRequest(const std::string& line);
+
+/// Best-effort extraction of "id" from a possibly malformed request line,
+/// for error responses ("" when unavailable).
+[[nodiscard]] std::string SalvageRequestId(const std::string& line);
+
+/// {"id":...,"ok":false,"error":...} (id omitted when empty).
+[[nodiscard]] std::string ErrorResponse(const std::string& id, const std::string& error);
+
+}  // namespace commsched::svc

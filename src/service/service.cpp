@@ -1,0 +1,229 @@
+#include "service/service.h"
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "common/strings.h"
+#include "quality/quality.h"
+#include "service/json.h"
+#include "simnet/sweep.h"
+#include "simnet/traffic.h"
+#include "topology/serialize.h"
+#include "workload/workload.h"
+
+namespace commsched::svc {
+namespace {
+
+/// Canonical cache-key text of a topology: the serialized graph plus the
+/// routing scheme. Two requests describing the same network differently
+/// (generator spec vs. inline text) canonicalize to the same key.
+std::string CanonicalModelKey(const topo::SwitchGraph& graph) {
+  return "updown:maxdegree|" + topo::ToText(graph);
+}
+
+std::string RenderCacheStats(const CacheStats& stats) {
+  JsonObjectWriter writer;
+  writer.Field("hits", stats.hits);
+  writer.Field("misses", stats.misses);
+  writer.Field("evictions", stats.evictions);
+  writer.Field("size", static_cast<std::uint64_t>(stats.size));
+  writer.Field("capacity", static_cast<std::uint64_t>(stats.capacity));
+  return writer.Finish();
+}
+
+JsonObjectWriter ResponseHead(const Request& request) {
+  JsonObjectWriter writer;
+  if (!request.id.empty()) writer.Field("id", request.id);
+  writer.Field("ok", true);
+  writer.Field("op", OpName(request.op));
+  return writer;
+}
+
+}  // namespace
+
+SchedulingService::SchedulingService(ServiceOptions options)
+    : models_("topology", options.topology_cache_capacity),
+      results_("result", options.result_cache_capacity) {}
+
+std::string SchedulingService::Execute(const Request& request) {
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  try {
+    return ExecuteOrThrow(request);
+  } catch (const std::exception& e) {
+    obs::Registry::Global().GetCounter("svc.errors").Add();
+    return ErrorResponse(request.id, e.what());
+  }
+}
+
+std::string SchedulingService::ExecuteOrThrow(const Request& request) {
+  switch (request.op) {
+    case RequestOp::kPing:
+      return ResponseHead(request).Finish();
+    case RequestOp::kSleep: {
+      std::this_thread::sleep_for(std::chrono::milliseconds(request.sleep_ms));
+      JsonObjectWriter writer = ResponseHead(request);
+      writer.Field("slept_ms", request.sleep_ms);
+      return writer.Finish();
+    }
+    case RequestOp::kStats:
+      return RunStats(request);
+    case RequestOp::kSchedule:
+      return RunSchedule(request);
+    case RequestOp::kQuality:
+      return RunQuality(request);
+    case RequestOp::kSimulate:
+      return RunSimulate(request);
+  }
+  CS_UNREACHABLE("bad RequestOp");
+}
+
+std::shared_ptr<const NetworkModel> SchedulingService::GetModel(
+    const TopologyRequest& topology, std::uint64_t* model_hash, bool* model_hit) {
+  // Building the graph itself is cheap (generators and text parsing); the
+  // cache exists for the routing construction and the O(N²) resistance
+  // solves behind DistanceTable::Build.
+  topo::SwitchGraph graph = BuildTopology(topology);
+  const std::uint64_t hash = HashBytes(CanonicalModelKey(graph));
+  if (model_hash != nullptr) *model_hash = hash;
+  bool hit = true;
+  auto model = models_.GetOrCompute(hash, [&graph, &hit]() {
+    hit = false;
+    return std::make_shared<const NetworkModel>(std::move(graph));
+  });
+  if (model_hit != nullptr) *model_hit = hit;
+  return model;
+}
+
+std::shared_ptr<const ScheduleOutcome> SchedulingService::SearchOutcome(
+    const NetworkModel& model, std::uint64_t model_hash,
+    const std::vector<std::size_t>& cluster_sizes, const SearchKnobs& knobs,
+    bool* result_hit) {
+  std::ostringstream key;
+  key << "model=" << model_hash << "|sizes=" << Join(cluster_sizes, ",") << "|"
+      << CanonicalSearchKnobs(knobs, model.graph.switch_count());
+  bool hit = true;
+  auto outcome =
+      results_.GetOrCompute(HashBytes(key.str()), [&model, &cluster_sizes, &knobs, &hit]() {
+        hit = false;
+        auto computed = std::make_shared<ScheduleOutcome>();
+        computed->result = RunMappingSearch(model.table, cluster_sizes, knobs);
+        computed->text = sched::FormatSearchResult(computed->result);
+        return std::shared_ptr<const ScheduleOutcome>(std::move(computed));
+      });
+  if (result_hit != nullptr) *result_hit = hit;
+  return outcome;
+}
+
+std::string SchedulingService::RunSchedule(const Request& request) {
+  std::uint64_t model_hash = 0;
+  bool model_hit = false;
+  auto model = GetModel(request.topology, &model_hash, &model_hit);
+  const std::vector<std::size_t> sizes =
+      EvenClusterSizes(model->graph.switch_count(), request.apps);
+
+  SearchKnobs knobs;
+  knobs.algo = request.algo;
+  knobs.seeds = request.seeds;
+  knobs.iterations = request.iterations;
+  knobs.samples = request.samples;
+  knobs.rng_seed = request.search_seed;
+  knobs.parallel_seeds = request.parallel_seeds;
+
+  bool result_hit = false;
+  auto outcome = SearchOutcome(*model, model_hash, sizes, knobs, &result_hit);
+
+  JsonObjectWriter writer = ResponseHead(request);
+  writer.Field("partition", outcome->result.best.ToString());
+  writer.Field("fg", outcome->result.best_fg);
+  writer.Field("dg", outcome->result.best_dg);
+  writer.Field("cc", outcome->result.best_cc);
+  writer.Field("moves", static_cast<std::uint64_t>(outcome->result.iterations));
+  writer.Field("evaluations", static_cast<std::uint64_t>(outcome->result.evaluations));
+  writer.Field("model_cache", model_hit ? "hit" : "miss");
+  writer.Field("result_cache", result_hit ? "hit" : "miss");
+  writer.Field("text", outcome->text);
+  return writer.Finish();
+}
+
+std::string SchedulingService::RunQuality(const Request& request) {
+  bool model_hit = false;
+  auto model = GetModel(request.topology, nullptr, &model_hit);
+  if (request.partition.size() != model->graph.switch_count()) {
+    throw ConfigError("partition names " + std::to_string(request.partition.size()) +
+                      " switches, topology has " +
+                      std::to_string(model->graph.switch_count()));
+  }
+  const qual::Partition partition(request.partition);  // validates contiguity
+  const double fg = qual::GlobalSimilarity(model->table, partition);
+  const double dg = qual::GlobalDissimilarity(model->table, partition);
+
+  JsonObjectWriter writer = ResponseHead(request);
+  writer.Field("partition", partition.ToString());
+  writer.Field("fg", fg);
+  writer.Field("dg", dg);
+  writer.Field("cc", dg / fg);
+  writer.Field("model_cache", model_hit ? "hit" : "miss");
+  return writer.Finish();
+}
+
+std::string SchedulingService::RunSimulate(const Request& request) {
+  std::uint64_t model_hash = 0;
+  bool model_hit = false;
+  auto model = GetModel(request.topology, &model_hash, &model_hit);
+  const topo::SwitchGraph& graph = model->graph;
+  const std::vector<std::size_t> sizes = EvenClusterSizes(graph.switch_count(), request.apps);
+  const work::Workload workload =
+      work::Workload::Uniform(request.apps, graph.host_count() / request.apps);
+
+  // The "op" mapping reuses the memoized default search — a repeat simulate
+  // on a known topology skips both the resistance solve and the search.
+  qual::Partition partition = [&] {
+    if (request.mapping == "op") {
+      return SearchOutcome(*model, model_hash, sizes, SearchKnobs{}, nullptr)->result.best;
+    }
+    return ChooseMappingPartition(request.mapping, &model->table, sizes,
+                                  request.mapping_seed, request.parallel_seeds);
+  }();
+
+  const auto mapping = work::ProcessMapping::FromPartition(graph, workload, partition);
+  const sim::TrafficPattern pattern(graph, workload, mapping);
+
+  sim::SweepOptions sweep;
+  sweep.points = request.points;
+  sweep.min_rate = request.min_rate;
+  sweep.max_rate = request.max_rate;
+  sweep.config.virtual_channels = request.vcs;
+  sweep.config.warmup_cycles = request.warmup;
+  sweep.config.measure_cycles = request.measure;
+  const sim::SweepResult result = sim::RunLoadSweep(graph, model->routing, pattern, sweep);
+
+  std::string points;
+  for (const sim::SweepPoint& p : result.points) {
+    JsonObjectWriter point;
+    point.Field("offered", p.offered_rate);
+    point.Field("accepted", p.metrics.accepted_flits_per_switch_cycle);
+    point.Field("latency", p.metrics.avg_latency_cycles);
+    point.Field("saturated", p.metrics.Saturated());
+    if (!points.empty()) points += ",";
+    points += point.Finish();
+  }
+
+  JsonObjectWriter writer = ResponseHead(request);
+  writer.Field("mapping", partition.ToString());
+  writer.Field("throughput", result.Throughput());
+  writer.Raw("points", "[" + points + "]");
+  writer.Field("model_cache", model_hit ? "hit" : "miss");
+  writer.Field("text", FormatSimulateText(partition, result));
+  return writer.Finish();
+}
+
+std::string SchedulingService::RunStats(const Request& request) {
+  JsonObjectWriter writer = ResponseHead(request);
+  writer.Field("executed", executed());
+  writer.Raw("topology_cache", RenderCacheStats(models_.Stats()));
+  writer.Raw("result_cache", RenderCacheStats(results_.Stats()));
+  return writer.Finish();
+}
+
+}  // namespace commsched::svc

@@ -1,0 +1,99 @@
+// The scheduling service: request execution over topology-keyed caches.
+//
+// SchedulingService is the daemon's brain, independent of any transport:
+// given a parsed Request it materializes (or cache-hits) the network model
+// — up*/down* routing plus the O(N²) equivalent-distance table — executes
+// the op, and renders the response line. It is safe to call Execute from
+// many worker threads; the caches memoize concurrent misses so a burst of
+// requests for one topology performs a single resistance solve.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "distance/distance_table.h"
+#include "routing/updown.h"
+#include "sched/search.h"
+#include "service/cache.h"
+#include "service/exec.h"
+#include "service/protocol.h"
+#include "topology/graph.h"
+
+namespace commsched::svc {
+
+/// An immutable cached network model. The routing holds a pointer into
+/// `graph`, so the struct is pinned: heap-allocated, never copied or moved.
+struct NetworkModel {
+  explicit NetworkModel(topo::SwitchGraph g)
+      : graph(std::move(g)), routing(graph), table(dist::DistanceTable::Build(routing)) {}
+
+  NetworkModel(const NetworkModel&) = delete;
+  NetworkModel& operator=(const NetworkModel&) = delete;
+
+  topo::SwitchGraph graph;
+  route::UpDownRouting routing;
+  dist::DistanceTable table;
+};
+
+/// A memoized finished mapping search: the result plus its canonical CLI
+/// rendering.
+struct ScheduleOutcome {
+  sched::SearchResult result;
+  std::string text;
+};
+
+struct ServiceOptions {
+  /// Cached (topology, routing) -> routing + distance-table models.
+  std::size_t topology_cache_capacity = 32;
+  /// Memoized (model, workload, knobs, seed) -> mapping results.
+  std::size_t result_cache_capacity = 1024;
+};
+
+class SchedulingService {
+ public:
+  explicit SchedulingService(ServiceOptions options = {});
+
+  SchedulingService(const SchedulingService&) = delete;
+  SchedulingService& operator=(const SchedulingService&) = delete;
+
+  /// Executes one request and returns the response line (no trailing
+  /// newline). Never throws: failures become {"ok":false,...} responses.
+  /// Thread-safe.
+  [[nodiscard]] std::string Execute(const Request& request);
+
+  /// The cached model for a topology (exposed for the load generator and
+  /// tests). `model_hash` receives the content hash used as the cache key;
+  /// `model_hit` reports whether this call hit the cache. Either may be
+  /// null.
+  [[nodiscard]] std::shared_ptr<const NetworkModel> GetModel(const TopologyRequest& topology,
+                                                             std::uint64_t* model_hash = nullptr,
+                                                             bool* model_hit = nullptr);
+
+  [[nodiscard]] CacheStats TopologyCacheStats() const { return models_.Stats(); }
+  [[nodiscard]] CacheStats ResultCacheStats() const { return results_.Stats(); }
+  [[nodiscard]] std::uint64_t executed() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  [[nodiscard]] std::string ExecuteOrThrow(const Request& request);
+  [[nodiscard]] std::string RunSchedule(const Request& request);
+  [[nodiscard]] std::string RunQuality(const Request& request);
+  [[nodiscard]] std::string RunSimulate(const Request& request);
+  [[nodiscard]] std::string RunStats(const Request& request);
+
+  /// Memoized mapping search on a model (also serves simulate's op
+  /// mapping). `result_hit` reports the memo outcome.
+  [[nodiscard]] std::shared_ptr<const ScheduleOutcome> SearchOutcome(
+      const NetworkModel& model, std::uint64_t model_hash,
+      const std::vector<std::size_t>& cluster_sizes, const SearchKnobs& knobs,
+      bool* result_hit);
+
+  LruCache<NetworkModel> models_;
+  LruCache<ScheduleOutcome> results_;
+  std::atomic<std::uint64_t> executed_{0};
+};
+
+}  // namespace commsched::svc

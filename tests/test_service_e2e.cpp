@@ -1,0 +1,262 @@
+// End-to-end acceptance test for `commsched_cli serve` (DESIGN.md §10):
+// spawns the real binary, drives the JSONL protocol over its stdin/stdout,
+// and checks the tentpole guarantees —
+//   * a served request's `text` is byte-identical to the one-shot CLI run
+//     with the same knobs;
+//   * a 64-request concurrent mixed burst gets exactly one response per
+//     request and the topology cache converges to hits;
+//   * SIGTERM drains cleanly: every admitted request is answered, the
+//     process exits 0, no response line is lost or truncated.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <vector>
+
+#include "core/commsched.h"
+
+namespace commsched {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "commsched_e2e_" + name;
+}
+
+/// Runs the one-shot CLI, returning its stdout. Asserts exit code 0.
+std::string RunCli(const std::string& args) {
+  const std::string out_path = TempPath("oneshot.out");
+  const std::string command = std::string(COMMSCHED_CLI_PATH) + " " + args + " > " + out_path;
+  EXPECT_EQ(std::system(command.c_str()), 0) << command;
+  std::ifstream in(out_path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+/// A `commsched_cli serve` child process with pipes on stdin/stdout.
+class ServeProcess {
+ public:
+  explicit ServeProcess(const std::vector<std::string>& extra_args = {}) {
+    int to_child[2];
+    int from_child[2];
+    CS_CHECK(pipe(to_child) == 0 && pipe(from_child) == 0, "pipe failed");
+    pid_ = fork();
+    CS_CHECK(pid_ >= 0, "fork failed");
+    if (pid_ == 0) {
+      dup2(to_child[0], STDIN_FILENO);
+      dup2(from_child[1], STDOUT_FILENO);
+      close(to_child[0]);
+      close(to_child[1]);
+      close(from_child[0]);
+      close(from_child[1]);
+      std::vector<std::string> args = {COMMSCHED_CLI_PATH, "serve"};
+      args.insert(args.end(), extra_args.begin(), extra_args.end());
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (std::string& arg : args) argv.push_back(arg.data());
+      argv.push_back(nullptr);
+      execv(argv[0], argv.data());
+      _exit(127);  // exec failed
+    }
+    close(to_child[0]);
+    close(from_child[1]);
+    stdin_fd_ = to_child[1];
+    stdout_fd_ = from_child[0];
+  }
+
+  ~ServeProcess() {
+    if (stdin_fd_ >= 0) close(stdin_fd_);
+    if (stdout_fd_ >= 0) close(stdout_fd_);
+    if (pid_ > 0) {
+      kill(pid_, SIGKILL);
+      waitpid(pid_, nullptr, 0);
+    }
+  }
+
+  void Send(const std::string& line) {
+    const std::string framed = line + "\n";
+    ASSERT_EQ(write(stdin_fd_, framed.data(), framed.size()),
+              static_cast<ssize_t>(framed.size()));
+  }
+
+  /// Blocking read of the next response line ("" on EOF).
+  std::string ReadLine() {
+    std::string line;
+    char c = 0;
+    while (true) {
+      const ssize_t got = read(stdout_fd_, &c, 1);
+      if (got != 1) return line;  // EOF mid-line: caller sees the fragment
+      if (c == '\n') return line;
+      line.push_back(c);
+    }
+  }
+
+  void CloseStdin() {
+    close(stdin_fd_);
+    stdin_fd_ = -1;
+  }
+
+  void Signal(int signo) { kill(pid_, signo); }
+
+  /// Waits for exit and returns the exit code (-1 on abnormal death).
+  int Wait() {
+    int status = 0;
+    waitpid(pid_, &status, 0);
+    pid_ = -1;
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+
+ private:
+  pid_t pid_ = -1;
+  int stdin_fd_ = -1;
+  int stdout_fd_ = -1;
+};
+
+std::map<std::string, svc::JsonValue> ReadResponses(ServeProcess& serve, std::size_t count) {
+  std::map<std::string, svc::JsonValue> by_id;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::string line = serve.ReadLine();
+    if (line.empty()) break;  // EOF: the caller's count assertion will fire
+    svc::JsonValue parsed = svc::ParseJson(line);
+    const svc::JsonValue* id = parsed.Find("id");
+    if (id == nullptr) {
+      ADD_FAILURE() << "response without id: " << line;
+      continue;
+    }
+    by_id.emplace(id->AsString("id"), std::move(parsed));
+  }
+  return by_id;
+}
+
+TEST(ServiceE2E, ServedTextMatchesOneShotCliByteForByte) {
+  ServeProcess serve({"--workers", "2"});
+  serve.Send(R"({"id":"sched","op":"schedule","topology":{"kind":"mixed"},"apps":4})");
+  serve.Send(
+      R"({"id":"sched24","op":"schedule","topology":{"kind":"rings"},"apps":4,"algo":"sd"})");
+  serve.Send(
+      R"({"id":"sim","op":"simulate","topology":{"kind":"random","switches":12},"apps":4,)"
+      R"("mapping":"blocked","points":2,"max_rate":0.4,"warmup":500,"measure":1500})");
+  serve.CloseStdin();
+  const auto responses = ReadResponses(serve, 3);
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_EQ(serve.Wait(), 0);
+
+  EXPECT_EQ(responses.at("sched").Find("text")->AsString("text"),
+            RunCli("schedule --kind mixed --apps 4"));
+  EXPECT_EQ(responses.at("sched24").Find("text")->AsString("text"),
+            RunCli("schedule --kind rings --apps 4 --algo sd"));
+  EXPECT_EQ(responses.at("sim").Find("text")->AsString("text"),
+            RunCli("simulate --kind random --switches 12 --apps 4 --mapping blocked "
+                   "--points 2 --max-rate 0.4 --warmup 500 --measure 1500"));
+}
+
+TEST(ServiceE2E, ConcurrentMixedBurstAnswersAllAndHitsCache) {
+  ServeProcess serve({"--workers", "4", "--queue", "16"});
+  std::set<std::string> expected_ids;
+  for (int i = 0; i < 64; ++i) {
+    const std::string id = "b" + std::to_string(i);
+    expected_ids.insert(id);
+    switch (i % 4) {
+      case 0:
+        serve.Send(R"({"id":")" + id +
+                   R"(","op":"schedule","topology":{"kind":"mixed"},"apps":4})");
+        break;
+      case 1:
+        serve.Send(R"({"id":")" + id +
+                   R"(","op":"schedule","topology":{"kind":"random","switches":12},)"
+                   R"("apps":4,"algo":"random","samples":200})");
+        break;
+      case 2:
+        serve.Send(R"({"id":")" + id +
+                   R"(","op":"quality","topology":{"kind":"random","switches":12},)"
+                   R"("partition":[0,0,0,1,1,1,2,2,2,3,3,3]})");
+        break;
+      default:
+        serve.Send(R"({"id":")" + id + R"(","op":"ping"})");
+        break;
+    }
+  }
+  // stats goes last: by the time it is served, earlier duplicates resolved.
+  serve.Send(R"({"id":"stats","op":"stats"})");
+  serve.CloseStdin();
+  const auto responses = ReadResponses(serve, 65);
+  ASSERT_EQ(responses.size(), 65u);
+  EXPECT_EQ(serve.Wait(), 0);
+
+  for (const std::string& id : expected_ids) {
+    ASSERT_TRUE(responses.count(id)) << "lost response for " << id;
+    EXPECT_TRUE(responses.at(id).Find("ok")->AsBool("ok")) << id;
+  }
+  // 64 requests over 2 distinct topologies: the model cache must be hitting.
+  const svc::JsonValue& stats = responses.at("stats");
+  const svc::JsonValue* model_cache = stats.Find("topology_cache");
+  ASSERT_NE(model_cache, nullptr);
+  EXPECT_EQ(model_cache->Find("misses")->AsUint("misses"), 2u);
+  EXPECT_GT(model_cache->Find("hits")->AsUint("hits"), 0u);
+  const svc::JsonValue* result_cache = stats.Find("result_cache");
+  ASSERT_NE(result_cache, nullptr);
+  EXPECT_GT(result_cache->Find("hits")->AsUint("hits"), 0u);
+}
+
+TEST(ServiceE2E, SigtermDrainsWithoutLosingResponses) {
+  ServeProcess serve({"--workers", "2"});
+  std::set<std::string> expected_ids;
+  for (int i = 0; i < 12; ++i) {
+    const std::string id = "t" + std::to_string(i);
+    expected_ids.insert(id);
+    if (i % 3 == 0) {
+      serve.Send(R"({"id":")" + id + R"(","op":"sleep","ms":30})");
+    } else {
+      serve.Send(R"({"id":")" + id +
+                 R"(","op":"schedule","topology":{"kind":"mixed"},"apps":4})");
+    }
+  }
+  // Wait until every request has been admitted AND answered, then SIGTERM:
+  // the drain contract says the process must still exit 0 with nothing lost.
+  const auto responses = ReadResponses(serve, 12);
+  ASSERT_EQ(responses.size(), 12u);
+  for (const std::string& id : expected_ids) {
+    ASSERT_TRUE(responses.count(id)) << "lost response for " << id;
+    EXPECT_TRUE(responses.at(id).Find("ok")->AsBool("ok")) << id;
+  }
+  serve.Signal(SIGTERM);
+  EXPECT_EQ(serve.Wait(), 0);
+  // After exit, stdout holds no partial line (drain flushed everything).
+  EXPECT_EQ(serve.ReadLine(), "");
+}
+
+TEST(ServiceE2E, MalformedAndExpiredRequestsGetErrorResponses) {
+  ServeProcess serve({"--workers", "1", "--deadline-ms", "60000"});
+  serve.Send("{broken json");
+  serve.Send(R"({"id":"bad","op":"warp"})");
+  serve.Send(R"({"id":"ok","op":"ping"})");
+  serve.CloseStdin();
+  std::vector<std::string> lines;
+  for (int i = 0; i < 3; ++i) lines.push_back(serve.ReadLine());
+  EXPECT_EQ(serve.Wait(), 0);
+  std::size_t errors = 0;
+  std::size_t oks = 0;
+  for (const std::string& line : lines) {
+    ASSERT_FALSE(line.empty());
+    const svc::JsonValue parsed = svc::ParseJson(line);
+    if (parsed.Find("ok")->AsBool("ok")) {
+      ++oks;
+    } else {
+      ++errors;
+      EXPECT_NE(parsed.Find("error"), nullptr) << line;
+    }
+  }
+  EXPECT_EQ(oks, 1u);
+  EXPECT_EQ(errors, 2u);
+}
+
+}  // namespace
+}  // namespace commsched

@@ -141,66 +141,29 @@ std::vector<std::size_t> ClusterSizes(const topo::SwitchGraph& graph, std::size_
   return std::vector<std::size_t>(apps, graph.switch_count() / apps);
 }
 
+/// The CLI's search knobs, exactly as the scheduling service interprets
+/// them — both front ends funnel into svc::RunMappingSearch so a served
+/// request is byte-identical to a one-shot run.
+svc::SearchKnobs KnobsFromArgs(const Args& args) {
+  svc::SearchKnobs knobs;
+  knobs.algo = args.Get("algo", "tabu");
+  if (args.Has("seeds")) knobs.seeds = args.GetSize("seeds", 0);
+  if (args.Has("iters")) knobs.iterations = args.GetSize("iters", 0);
+  if (args.Has("samples")) knobs.samples = args.GetSize("samples", 0);
+  knobs.rng_seed = args.GetSize("search-seed", 1);
+  knobs.parallel_seeds = args.Has("parallel-seeds");
+  return knobs;
+}
+
 int CmdSchedule(const Args& args) {
   const topo::SwitchGraph graph = BuildTopology(args);
   const route::UpDownRouting routing(graph);
   const dist::DistanceTable table = dist::DistanceTable::Build(routing);
   const std::size_t apps = args.GetSize("apps", 4);
   const std::vector<std::size_t> sizes = ClusterSizes(graph, apps);
-  const std::string algo = args.Get("algo", "tabu");
-  const bool parallel_seeds = args.Has("parallel-seeds");
-  const std::uint64_t rng_seed = args.GetSize("search-seed", 1);
-
-  // Every searcher runs on the shared engine, so they all honor
-  // --parallel-seeds the same way (identical results, restarts on a pool).
-  const sched::SearchResult result = [&] {
-    if (algo == "tabu") {
-      sched::TabuOptions options;
-      options.seeds = args.GetSize("seeds", 10);
-      options.max_iterations_per_seed =
-          args.GetSize("iters", graph.switch_count() >= 20 ? 60 : 20);
-      options.rng_seed = rng_seed;
-      options.parallel_seeds = parallel_seeds;
-      return sched::TabuSearch(table, sizes, options);
-    }
-    if (algo == "sd") {
-      sched::SteepestDescentOptions options;
-      options.restarts = args.GetSize("seeds", 10);
-      options.max_iterations_per_restart = args.GetSize("iters", 1000);
-      options.rng_seed = rng_seed;
-      options.parallel_seeds = parallel_seeds;
-      return sched::SteepestDescent(table, sizes, options);
-    }
-    if (algo == "random") {
-      sched::RandomSearchOptions options;
-      options.samples = args.GetSize("samples", 1000);
-      options.rng_seed = rng_seed;
-      options.parallel_seeds = parallel_seeds;
-      return sched::RandomSearch(table, sizes, options);
-    }
-    if (algo == "sa") {
-      sched::AnnealingOptions options;
-      options.iterations = args.GetSize("iters", 20000);
-      options.restarts = args.GetSize("seeds", 1);
-      options.rng_seed = rng_seed;
-      options.parallel_seeds = parallel_seeds;
-      return sched::SimulatedAnnealing(table, sizes, options);
-    }
-    if (algo == "gsa") {
-      sched::GeneticAnnealingOptions options;
-      options.generations = args.GetSize("iters", 200);
-      options.restarts = args.GetSize("seeds", 1);
-      options.rng_seed = rng_seed;
-      options.parallel_seeds = parallel_seeds;
-      return sched::GeneticSimulatedAnnealing(table, sizes, options);
-    }
-    throw ConfigError("unknown --algo '" + algo + "' (tabu|sd|random|sa|gsa)");
-  }();
-  std::cout << "partition: " << result.best.ToString() << "\n";
-  std::cout << "F_G = " << result.best_fg << ", D_G = " << result.best_dg
-            << ", C_c = " << result.best_cc << "\n";
-  std::cout << "moves: " << result.iterations << ", evaluations: " << result.evaluations
-            << "\n";
+  const sched::SearchResult result =
+      svc::RunMappingSearch(table, sizes, KnobsFromArgs(args));
+  std::cout << sched::FormatSearchResult(result);
   if (args.Has("dot")) {
     std::cout << topo::ToDot(graph, result.best.cluster_of_switch());
   }
@@ -214,23 +177,11 @@ int CmdSimulate(const Args& args) {
   const work::Workload workload = work::Workload::Uniform(apps, graph.host_count() / apps);
 
   const std::string mapping_kind = args.Get("mapping", "op");
-  qual::Partition partition = [&] {
-    if (mapping_kind == "op") {
-      const dist::DistanceTable table = dist::DistanceTable::Build(routing);
-      sched::TabuOptions options;
-      options.max_iterations_per_seed = graph.switch_count() >= 20 ? 60 : 20;
-      options.parallel_seeds = args.Has("parallel-seeds");
-      return sched::TabuSearch(table, ClusterSizes(graph, apps), options).best;
-    }
-    if (mapping_kind == "random") {
-      Rng rng(args.GetSize("mapping-seed", 2000));
-      return qual::Partition::Random(ClusterSizes(graph, apps), rng);
-    }
-    if (mapping_kind == "blocked") {
-      return qual::Partition::Blocked(ClusterSizes(graph, apps));
-    }
-    throw ConfigError("unknown --mapping '" + mapping_kind + "' (op|random|blocked)");
-  }();
+  std::optional<dist::DistanceTable> table;  // only the op mapping needs it
+  if (mapping_kind == "op") table = dist::DistanceTable::Build(routing);
+  const qual::Partition partition = svc::ChooseMappingPartition(
+      mapping_kind, table.has_value() ? &*table : nullptr, ClusterSizes(graph, apps),
+      args.GetSize("mapping-seed", 2000), args.Has("parallel-seeds"));
   const auto mapping = work::ProcessMapping::FromPartition(graph, workload, partition);
   const sim::TrafficPattern pattern(graph, workload, mapping);
 
@@ -267,16 +218,7 @@ int CmdSimulate(const Args& args) {
     result = sim::RunLoadSweep(graph, routing, pattern, sweep);
   }
 
-  std::cout << "mapping: " << partition.ToString() << "\n";
-  TextTable table({"offered", "accepted", "latency", "saturated"});
-  table.set_precision(4);
-  for (const sim::SweepPoint& p : result.points) {
-    table.AddRow({p.offered_rate, p.metrics.accepted_flits_per_switch_cycle,
-                  p.metrics.avg_latency_cycles,
-                  std::string(p.metrics.Saturated() ? "yes" : "no")});
-  }
-  std::cout << table;
-  std::cout << "throughput: " << result.Throughput() << " flits/switch/cycle\n";
+  std::cout << svc::FormatSimulateText(partition, result);
   if (plan.has_value()) {
     std::size_t dropped = 0;
     std::size_t lost = 0;
@@ -344,9 +286,30 @@ int CmdReport(const Args& args) {
   return 0;
 }
 
+int CmdServe(const Args& args) {
+  svc::ServiceOptions service_options;
+  service_options.topology_cache_capacity = args.GetSize("topo-cache", 32);
+  service_options.result_cache_capacity = args.GetSize("result-cache", 1024);
+  svc::SchedulingService service(service_options);
+
+  svc::DaemonOptions daemon_options;
+  daemon_options.workers = args.GetSize("workers", 0);
+  daemon_options.queue_capacity = args.GetSize("queue", 64);
+  daemon_options.default_deadline_ms = args.GetSize("deadline-ms", 0);
+
+  if (args.Has("listen")) {
+    const std::size_t port = args.GetSize("listen", 0);
+    if (port > 65535) throw ConfigError("--listen port must be 0..65535");
+    return svc::RunTcpServer(service, daemon_options, static_cast<std::uint16_t>(port),
+                             std::cout);
+  }
+  return svc::RunStdioServer(service, daemon_options, std::cin, std::cout);
+}
+
 int Usage() {
   std::cerr <<
-      "usage: commsched_cli <topo|distance|schedule|simulate|experiment|report> [--flags]\n"
+      "usage: commsched_cli <topo|distance|schedule|simulate|experiment|report|serve>"
+      " [--flags]\n"
       "  topo       generate/describe a topology (--kind random|rings|mixed|mesh|torus|\n"
       "             hypercube|file, --switches N, --seed S, --dot)\n"
       "  distance   equivalent-distance table as CSV (--hops for hop counts)\n"
@@ -364,6 +327,13 @@ int Usage() {
       "  report     analyse a JSONL trace: latency percentiles, hottest links,\n"
       "             per-seed convergence (--trace F, --metrics-file F, --csv F,\n"
       "             --top K)\n"
+      "  serve      scheduling daemon: JSONL requests on stdin -> responses on\n"
+      "             stdout (or --listen [PORT] for TCP on 127.0.0.1; PORT 0 or\n"
+      "             omitted = ephemeral, announced on stdout). --workers N,\n"
+      "             --queue N admission capacity, --deadline-ms N default\n"
+      "             deadline, --topo-cache N, --result-cache N. SIGTERM/SIGINT\n"
+      "             or stdin EOF drains: every admitted request is answered,\n"
+      "             then the process exits 0. See DESIGN.md section 10.\n"
       "observability flags (any command):\n"
       "  --trace F        write a JSONL event trace (search moves, sim milestones,\n"
       "                   net.sample telemetry) to F\n"
@@ -381,7 +351,19 @@ int Dispatch(const std::string& command, const Args& args) {
   if (command == "simulate") return CmdSimulate(args);
   if (command == "experiment") return CmdExperiment(args);
   if (command == "report") return CmdReport(args);
+  if (command == "serve") return CmdServe(args);
   return Usage();
+}
+
+/// Fails fast (typed ConfigError, exit 1) if an output path cannot be
+/// written, instead of discovering it after a long run. Opens in append
+/// mode so an existing file is not clobbered by the check.
+void RequireWritable(const std::string& flag, const std::string& path) {
+  if (path.empty()) throw ConfigError("--" + flag + " requires a file path");
+  std::ofstream probe(path, std::ios::out | std::ios::app);
+  if (!probe) {
+    throw ConfigError("cannot open " + flag + " file '" + path + "' for writing");
+  }
 }
 
 }  // namespace
@@ -402,10 +384,11 @@ int main(int argc, char** argv) {
     obs::SpanCollector spans;
     std::optional<obs::ScopedSpanCollector> scoped_spans;
     if (args.Has("chrome-trace")) {
-      if (args.Get("chrome-trace", "").empty()) {
-        throw ConfigError("--chrome-trace requires a file path");
-      }
+      RequireWritable("chrome-trace", args.Get("chrome-trace", ""));
       scoped_spans.emplace(spans);
+    }
+    if (args.Has("metrics-out")) {
+      RequireWritable("metrics-out", args.Get("metrics-out", ""));
     }
     const int rc = Dispatch(command, args);
     scoped_tracer.reset();  // uninstall before the file closes
