@@ -5,7 +5,7 @@
 // the best random mapping.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace commsched;
   bench::PrintHeader("Fig. 3 — simulation results, 16-switch network", "paper Figure 3");
 
@@ -13,6 +13,7 @@ int main() {
   core::ExperimentOptions options;
   options.random_mappings = 9;  // the paper generated 9 random mappings
   options.sweep = bench::PaperSweep();
+  options.sweep.config.exec_mode = bench::ParseSimMode(argc, argv);
   const core::ExperimentResult result = core::RunPaperExperiment(network, options);
 
   for (const core::MappingEvaluation& eval : result.mappings) {

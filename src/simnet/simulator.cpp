@@ -41,6 +41,7 @@ void NetworkSimulator::Init() {
   CS_CHECK(config_.input_buffer_flits >= 1, "buffers need at least one slot");
   CS_CHECK(config_.virtual_channels >= 1, "need at least one virtual channel");
   vc_count_ = config_.virtual_channels;
+  event_mode_ = config_.exec_mode == ExecMode::kEvent;
   base_policy_ = policy_;
   if (config_.fault_plan != nullptr) {
     config_.fault_plan->ValidateFor(*graph_);
@@ -49,13 +50,16 @@ void NetworkSimulator::Init() {
 
   const std::size_t n = graph_->switch_count();
   inputs_at_switch_.assign(n, {});
+  switch_of_buffer_.assign(LinkVcCount() + graph_->host_count(), 0);
   for (std::size_t c = 0; c < ChannelCount(); ++c) {
     for (std::size_t vc = 0; vc < vc_count_; ++vc) {
       inputs_at_switch_[ChannelTo(c)].push_back(c * vc_count_ + vc);
+      switch_of_buffer_[c * vc_count_ + vc] = ChannelTo(c);
     }
   }
   for (std::size_t h = 0; h < graph_->host_count(); ++h) {
     inputs_at_switch_[graph_->SwitchOfHost(h)].push_back(InjectionBuffer(h));
+    switch_of_buffer_[InjectionBuffer(h)] = graph_->SwitchOfHost(h);
   }
 }
 
@@ -84,17 +88,25 @@ void NetworkSimulator::ResetState() {
     buffer.capacity = config_.input_buffer_flits;
   }
   outputs_.assign(LinkVcCount() + graph_->host_count(), OutputPort{});
+  pool_.Clear();
+  arrival_queue_.Clear();
   messages_.clear();
   source_queue_.assign(graph_->host_count(), {});
   source_flits_pushed_.assign(graph_->host_count(), 0);
   switch_rr_.assign(graph_->switch_count(), 0);
   channel_rr_.assign(ChannelCount(), 0);
+  arb_switches_.Reset(graph_->switch_count());
+  channel_active_.Reset(ChannelCount());
+  delivery_active_.Reset(graph_->host_count());
+  inject_active_.Reset(graph_->host_count());
+  touched_set_.Reset(buffer_count);
+  touched_buffers_.clear();
+  active_sets_stale_ = false;
   pair_flits_.assign(
       config_.collect_traffic_matrix ? graph_->switch_count() * graph_->switch_count() : 0, 0);
   app_messages_.assign(pattern_->app_count(), 0);
   app_flits_.assign(pattern_->app_count(), 0);
   app_latency_sum_.assign(pattern_->app_count(), 0.0);
-  rng_ = Rng(config_.rng_seed);
   cycle_ = 0;
   measuring_ = false;
   any_movement_this_cycle_ = false;
@@ -104,6 +116,10 @@ void NetworkSimulator::ResetState() {
   delivered_flits_measured_ = 0;
   messages_generated_measured_ = 0;
   messages_delivered_measured_ = 0;
+  flits_injected_total_ = 0;
+  flits_delivered_total_ = 0;
+  messages_enqueued_total_ = 0;
+  messages_born_dead_ = 0;
   latency_sum_ = 0.0;
   total_latency_sum_ = 0.0;
   latency_samples_.clear();
@@ -127,6 +143,31 @@ void NetworkSimulator::ResetState() {
   vc_occupancy_counts_.assign(config_.input_buffer_flits + 1, 0);
 }
 
+void NetworkSimulator::PushFlit(Buffer& buffer, std::size_t index, std::uint32_t id) {
+  pool_.set_next(id, FlitPool::kNil);
+  if (buffer.tail == FlitPool::kNil) {
+    buffer.head = id;
+  } else {
+    pool_.set_next(buffer.tail, id);
+  }
+  buffer.tail = id;
+  ++buffer.size;
+  if (event_mode_ && !touched_set_.Contains(index)) {
+    touched_set_.Add(index);
+    touched_buffers_.push_back(index);
+  }
+}
+
+std::uint32_t NetworkSimulator::PopFlit(Buffer& buffer) {
+  const std::uint32_t id = buffer.head;
+  CS_DCHECK(id != FlitPool::kNil, "pop from an empty buffer");
+  buffer.head = pool_.next(id);
+  if (buffer.head == FlitPool::kNil) buffer.tail = FlitPool::kNil;
+  --buffer.size;
+  --buffer.ready;
+  return id;
+}
+
 void NetworkSimulator::SampleTelemetry() {
   obs::Tracer* tracer = obs::ActiveTracer();
   if (tracer == nullptr) return;
@@ -135,8 +176,7 @@ void NetworkSimulator::SampleTelemetry() {
   // input_buffer_flits); flushed into the net.vc.occupancy histogram after
   // the run.
   for (std::size_t b = 0; b < LinkVcCount(); ++b) {
-    const std::size_t occupancy =
-        std::min(buffers_[b].flits.size(), config_.input_buffer_flits);
+    const std::size_t occupancy = std::min(buffers_[b].size, config_.input_buffer_flits);
     ++vc_occupancy_counts_[occupancy];
   }
 
@@ -207,48 +247,66 @@ void NetworkSimulator::FlushDistributionMetrics() {
   }
 }
 
-void NetworkSimulator::ArbitratePhase() {
-  std::vector<VcCandidate> candidates;
-  for (std::size_t s = 0; s < graph_->switch_count(); ++s) {
-    const auto& inputs = inputs_at_switch_[s];
-    if (inputs.empty()) continue;
-    // Rotate the input scan start each cycle for fairness.
-    const std::size_t start = switch_rr_[s]++ % inputs.size();
-    for (std::size_t i = 0; i < inputs.size(); ++i) {
-      const std::size_t b = inputs[(start + i) % inputs.size()];
-      Buffer& buffer = buffers_[b];
-      if (!buffer.FrontReady() || buffer.granted_output != Buffer::kNone) continue;
-      const Flit& front = buffer.flits.front();
-      if (!front.head) continue;
-      const Message& m = messages_[front.msg];
+bool NetworkSimulator::ArbitrateSwitch(std::size_t s) {
+  const auto& inputs = inputs_at_switch_[s];
+  if (inputs.empty()) return false;
+  // Rotate the input scan start each visit for fairness.
+  const std::size_t start = switch_rr_[s]++ % inputs.size();
+  bool pending = false;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const std::size_t b = inputs[(start + i) % inputs.size()];
+    Buffer& buffer = buffers_[b];
+    if (!buffer.FrontReady() || buffer.granted_output != Buffer::kNone) continue;
+    const std::uint32_t front = buffer.head;
+    if (!IsHeadFlit(front)) continue;
+    const std::size_t msg_id = pool_.msg(front);
+    const Message& m = messages_[msg_id];
 
-      if (m.current_switch == m.dst_switch) {
-        // Consume locally: claim the destination host's delivery port.
-        const std::size_t o = DeliveryPort(m.dst_host);
-        OutputPort& port = outputs_[o];
-        if (port.owner == OutputPort::kFree) {
-          port.owner = front.msg;
-          port.source_buffer = b;
-          buffer.granted_output = o;
-        }
-        continue;
-      }
-
-      candidates = policy_->Candidates(m.current_switch, m.dst_switch, m.phase, m.on_escape);
-      for (const VcCandidate& cand : candidates) {
-        const topo::Link& link = graph_->link(cand.link);
-        const std::size_t channel = 2 * cand.link + (link.a == m.current_switch ? 0 : 1);
-        CS_DCHECK(ChannelFrom(channel) == m.current_switch, "candidate not incident");
-        const std::size_t o = channel * vc_count_ + cand.vc;
-        OutputPort& port = outputs_[o];
-        if (port.owner != OutputPort::kFree) continue;
-        port.owner = front.msg;
+    if (m.current_switch == m.dst_switch) {
+      // Consume locally: claim the destination host's delivery port.
+      const std::size_t o = DeliveryPort(m.dst_host);
+      OutputPort& port = outputs_[o];
+      if (port.owner == OutputPort::kFree) {
+        port.owner = msg_id;
         port.source_buffer = b;
-        port.next_phase = cand.phase;
-        port.next_escape = cand.escape;
         buffer.granted_output = o;
-        break;
+        if (event_mode_) delivery_active_.Add(m.dst_host);
+      } else {
+        pending = true;
       }
+      continue;
+    }
+
+    bool claimed = false;
+    const std::vector<VcCandidate> candidates =
+        policy_->Candidates(m.current_switch, m.dst_switch, m.phase, m.on_escape);
+    for (const VcCandidate& cand : candidates) {
+      const topo::Link& link = graph_->link(cand.link);
+      const std::size_t channel = 2 * cand.link + (link.a == m.current_switch ? 0 : 1);
+      CS_DCHECK(ChannelFrom(channel) == m.current_switch, "candidate not incident");
+      const std::size_t o = channel * vc_count_ + cand.vc;
+      OutputPort& port = outputs_[o];
+      if (port.owner != OutputPort::kFree) continue;
+      port.owner = msg_id;
+      port.source_buffer = b;
+      port.next_phase = cand.phase;
+      port.next_escape = cand.escape;
+      buffer.granted_output = o;
+      claimed = true;
+      if (event_mode_) channel_active_.Add(channel);
+      break;
+    }
+    if (!claimed) pending = true;
+  }
+  return pending;
+}
+
+void NetworkSimulator::ArbitratePhase() {
+  if (event_mode_) {
+    arb_switches_.Sweep([&](std::size_t s) { return ArbitrateSwitch(s); });
+  } else {
+    for (std::size_t s = 0; s < graph_->switch_count(); ++s) {
+      (void)ArbitrateSwitch(s);
     }
   }
 }
@@ -256,44 +314,44 @@ void NetworkSimulator::ArbitratePhase() {
 bool NetworkSimulator::TryMoveThroughOutput(std::size_t o) {
   OutputPort& port = outputs_[o];
   if (port.owner == OutputPort::kFree) return false;
-  Buffer& src = buffers_[port.source_buffer];
+  const std::size_t src_index = port.source_buffer;
+  Buffer& src = buffers_[src_index];
   if (!src.FrontReady()) return false;  // bubble: upstream stalled
-  const Flit flit = src.flits.front();
-  CS_DCHECK(flit.msg == port.owner, "foreign flit at the front of a held buffer");
+  const std::uint32_t flit = src.head;
+  CS_DCHECK(pool_.msg(flit) == port.owner, "foreign flit at the front of a held buffer");
+  const std::size_t msg_id = pool_.msg(flit);
+  const bool head = IsHeadFlit(flit);
+  const bool tail = IsTailFlit(flit);
 
   const bool is_delivery = o >= LinkVcCount();
   if (!is_delivery) {
     Buffer& dst = buffers_[o];
     if (!dst.HasSpace()) return false;  // no credit downstream
-    src.flits.pop_front();
-    --src.ready;
-    dst.flits.push_back(flit);  // becomes ready at end of cycle
+    (void)PopFlit(src);
+    PushFlit(dst, o, flit);  // becomes ready at end of cycle
     any_movement_this_cycle_ = true;
     if (measuring_) ++port.flits_moved_measured;
-    if (flit.head) {
-      Message& m = messages_[flit.msg];
+    if (head) {
+      Message& m = messages_[msg_id];
       m.current_switch = ChannelTo(o / vc_count_);
       m.phase = port.next_phase;
       m.on_escape = port.next_escape;
     }
   } else {
     // Delivery port: the host consumes one flit per cycle.
-    src.flits.pop_front();
-    --src.ready;
+    (void)PopFlit(src);
     --flits_in_network_;
+    ++flits_delivered_total_;
     any_movement_this_cycle_ = true;
+    const Message& m = messages_[msg_id];
     if (measuring_) {
       ++delivered_flits_measured_;
-      const Message& m = messages_[flit.msg];
       ++app_flits_[pattern_->AppOfHost(m.src_host)];
       if (!pair_flits_.empty()) {
         ++pair_flits_[graph_->SwitchOfHost(m.src_host) * graph_->switch_count() +
                       m.dst_switch];
       }
-    }
-    if (flit.tail) {
-      const Message& m = messages_[flit.msg];
-      if (measuring_) {
+      if (tail) {
         ++messages_delivered_measured_;
         latency_sum_ += static_cast<long double>(cycle_ - m.inject_cycle);
         total_latency_sum_ += static_cast<long double>(cycle_ - m.gen_cycle);
@@ -303,88 +361,143 @@ bool NetworkSimulator::TryMoveThroughOutput(std::size_t o) {
         app_latency_sum_[app] += static_cast<long double>(cycle_ - m.inject_cycle);
       }
     }
+    pool_.Free(flit);
   }
-  if (flit.tail) {
+  if (event_mode_) {
+    // Credit wake: the pop freed a slot in `src`, so whatever feeds it may
+    // move again — the upstream output of a link buffer, or the host's
+    // injection for an injection buffer.
+    if (src_index < LinkVcCount()) {
+      if (outputs_[src_index].owner != OutputPort::kFree) {
+        channel_active_.Add(src_index / vc_count_);
+      }
+    } else {
+      const std::size_t h = src_index - LinkVcCount();
+      if (!source_queue_[h].empty()) inject_active_.Add(h);
+    }
+  }
+  if (tail) {
     src.granted_output = Buffer::kNone;
     port.owner = OutputPort::kFree;
     port.source_buffer = kNone;
+    // The next message's header (if already buffered) needs arbitration.
+    if (event_mode_ && src.ready > 0) arb_switches_.Add(switch_of_buffer_[src_index]);
   }
   return true;
 }
 
-void NetworkSimulator::TransferPhase() {
-  // Physical links: one flit per cycle, round-robin among the VCs.
-  for (std::size_t c = 0; c < ChannelCount(); ++c) {
-    const std::size_t start = channel_rr_[c];
-    for (std::size_t k = 0; k < vc_count_; ++k) {
-      const std::size_t vc = (start + k) % vc_count_;
-      if (TryMoveThroughOutput(c * vc_count_ + vc)) {
-        channel_rr_[c] = (vc + 1) % vc_count_;
-        break;
-      }
+bool NetworkSimulator::TransferChannel(std::size_t c) {
+  // Physical link: one flit per cycle, round-robin among the VCs.
+  const std::size_t start = channel_rr_[c];
+  for (std::size_t k = 0; k < vc_count_; ++k) {
+    const std::size_t vc = (start + k) % vc_count_;
+    if (TryMoveThroughOutput(c * vc_count_ + vc)) {
+      channel_rr_[c] = (vc + 1) % vc_count_;
+      return true;
     }
   }
-  // Delivery ports: one flit per host per cycle.
-  for (std::size_t h = 0; h < graph_->host_count(); ++h) {
-    (void)TryMoveThroughOutput(DeliveryPort(h));
+  return false;
+}
+
+void NetworkSimulator::TransferPhase() {
+  if (event_mode_) {
+    channel_active_.Sweep([&](std::size_t c) { return TransferChannel(c); });
+    delivery_active_.Sweep(
+        [&](std::size_t h) { return TryMoveThroughOutput(DeliveryPort(h)); });
+  } else {
+    for (std::size_t c = 0; c < ChannelCount(); ++c) {
+      (void)TransferChannel(c);
+    }
+    // Delivery ports: one flit per host per cycle.
+    for (std::size_t h = 0; h < graph_->host_count(); ++h) {
+      (void)TryMoveThroughOutput(DeliveryPort(h));
+    }
   }
+}
+
+bool NetworkSimulator::InjectHost(std::size_t h) {
+  auto& queue = source_queue_[h];
+  if (queue.empty()) return false;
+  const std::size_t bi = InjectionBuffer(h);
+  Buffer& buffer = buffers_[bi];
+  if (!buffer.HasSpace()) return false;
+  const std::size_t msg = queue.front();
+  Message& m = messages_[msg];
+  const std::size_t k = source_flits_pushed_[h];
+  const std::uint32_t flit =
+      pool_.Allocate(static_cast<std::uint32_t>(msg), static_cast<std::uint32_t>(k));
+  if (k == 0) {
+    m.inject_cycle = cycle_;
+    m.current_switch = graph_->SwitchOfHost(h);
+    m.phase = Phase::kUp;
+    m.on_escape = false;
+  }
+  PushFlit(buffer, bi, flit);
+  ++flits_in_network_;
+  ++flits_injected_total_;
+  any_movement_this_cycle_ = true;
+  if (k + 1 == m.length) {
+    queue.pop_front();
+    source_flits_pushed_[h] = 0;
+  } else {
+    ++source_flits_pushed_[h];
+  }
+  return !queue.empty() && buffer.HasSpace();
 }
 
 void NetworkSimulator::InjectPhase() {
-  for (std::size_t h = 0; h < source_queue_.size(); ++h) {
-    if (source_queue_[h].empty()) continue;
-    Buffer& buffer = buffers_[InjectionBuffer(h)];
-    if (!buffer.HasSpace()) continue;
-    const std::size_t msg = source_queue_[h].front();
-    Message& m = messages_[msg];
-    const std::size_t k = source_flits_pushed_[h];
-    Flit flit{static_cast<std::uint32_t>(msg), k == 0, k + 1 == m.length};
-    if (flit.head) {
-      m.inject_cycle = cycle_;
-      m.current_switch = graph_->SwitchOfHost(h);
-      m.phase = Phase::kUp;
-      m.on_escape = false;
-    }
-    buffer.flits.push_back(flit);
-    ++flits_in_network_;
-    any_movement_this_cycle_ = true;
-    if (flit.tail) {
-      source_queue_[h].pop_front();
-      source_flits_pushed_[h] = 0;
-    } else {
-      ++source_flits_pushed_[h];
+  if (event_mode_) {
+    inject_active_.Sweep([&](std::size_t h) { return InjectHost(h); });
+  } else {
+    for (std::size_t h = 0; h < source_queue_.size(); ++h) {
+      (void)InjectHost(h);
     }
   }
+}
+
+void NetworkSimulator::GenerateArrival(std::size_t h) {
+  // A cut-off host (fault coverage zeroed its rate) discards the arrival;
+  // its stream keeps advancing identically in both exec modes.
+  if (inject_prob_[h] <= 0.0) return;
+  Message m;
+  m.src_host = h;
+  m.dst_host = pattern_->SampleDestination(h, arrivals_.Stream(h));
+  m.dst_switch = graph_->SwitchOfHost(m.dst_host);
+  if (view_ != nullptr &&
+      (!covered_[m.dst_switch] || !view_->SwitchAlive(m.dst_switch))) {
+    ++messages_lost_;  // destination is cut off: the message is born dead
+    ++messages_born_dead_;
+    return;
+  }
+  m.length = config_.message_length_flits;
+  m.gen_cycle = cycle_;
+  messages_.push_back(m);
+  source_queue_[h].push_back(messages_.size() - 1);
+  ++messages_enqueued_total_;
+  if (event_mode_) inject_active_.Add(h);
+  if (measuring_) {
+    ++messages_generated_measured_;
+    generated_flits_measured_ += m.length;
+  }
+}
+
+void NetworkSimulator::ScheduleArrival(std::size_t h, std::size_t from_cycle) {
+  const double p = base_inject_prob_[h];
+  if (p <= 0.0) return;
+  arrival_queue_.Push(from_cycle + GeometricGap(arrivals_.Stream(h), p), h);
 }
 
 void NetworkSimulator::GeneratePhase() {
-  for (std::size_t h = 0; h < inject_prob_.size(); ++h) {
-    const double p = inject_prob_[h];
-    if (p <= 0.0 || !rng_.NextBool(p)) continue;
-    Message m;
-    m.src_host = h;
-    m.dst_host = pattern_->SampleDestination(h, rng_);
-    m.dst_switch = graph_->SwitchOfHost(m.dst_host);
-    if (view_ != nullptr &&
-        (!covered_[m.dst_switch] || !view_->SwitchAlive(m.dst_switch))) {
-      ++messages_lost_;  // destination is cut off: the message is born dead
-      continue;
-    }
-    m.length = config_.message_length_flits;
-    m.gen_cycle = cycle_;
-    messages_.push_back(m);
-    source_queue_[h].push_back(messages_.size() - 1);
-    if (measuring_) {
-      ++messages_generated_measured_;
-      generated_flits_measured_ += m.length;
-    }
+  // Both engines pull arrivals off the same (cycle, host)-ordered queue, so
+  // message ids and arrival schedules are identical across exec modes.
+  while (!arrival_queue_.Empty() && arrival_queue_.NextCycle() <= cycle_) {
+    const std::size_t h = arrival_queue_.Pop();
+    GenerateArrival(h);
+    ScheduleArrival(h, cycle_);
   }
 }
 
-void NetworkSimulator::FinalizeCycle() {
-  for (Buffer& buffer : buffers_) {
-    buffer.ready = buffer.flits.size();
-  }
+void NetworkSimulator::UpdateIdleState() {
   if (reconfiguring_) {
     // The routing pause freezes arbitration on purpose; don't let the
     // watchdog read the drained network as a deadlock.
@@ -403,6 +516,103 @@ void NetworkSimulator::FinalizeCycle() {
     }
   } else {
     idle_cycles_ = 0;
+  }
+}
+
+void NetworkSimulator::FinalizeCycle() {
+  if (event_mode_) {
+    // Only buffers pushed into this cycle can have ready != size.
+    for (const std::size_t b : touched_buffers_) {
+      Buffer& buffer = buffers_[b];
+      buffer.ready = buffer.size;
+      if (buffer.granted_output == Buffer::kNone) {
+        if (buffer.ready > 0 && IsHeadFlit(buffer.head)) {
+          arb_switches_.Add(switch_of_buffer_[b]);
+        }
+      } else if (buffer.granted_output >= LinkVcCount()) {
+        delivery_active_.Add(buffer.granted_output - LinkVcCount());
+      } else {
+        channel_active_.Add(buffer.granted_output / vc_count_);
+      }
+    }
+    touched_buffers_.clear();
+    touched_set_.ClearAll();
+  } else {
+    for (Buffer& buffer : buffers_) {
+      buffer.ready = buffer.size;
+    }
+  }
+  UpdateIdleState();
+}
+
+void NetworkSimulator::RebuildActiveSets() {
+  active_sets_stale_ = false;
+  arb_switches_.ClearAll();
+  channel_active_.ClearAll();
+  delivery_active_.ClearAll();
+  inject_active_.ClearAll();
+  for (std::size_t b = 0; b < buffers_.size(); ++b) {
+    const Buffer& buffer = buffers_[b];
+    if (buffer.size == 0 || buffer.granted_output != Buffer::kNone) continue;
+    if (IsHeadFlit(buffer.head)) arb_switches_.Add(switch_of_buffer_[b]);
+  }
+  for (std::size_t o = 0; o < LinkVcCount(); ++o) {
+    if (outputs_[o].owner != OutputPort::kFree) channel_active_.Add(o / vc_count_);
+  }
+  for (std::size_t h = 0; h < graph_->host_count(); ++h) {
+    if (outputs_[DeliveryPort(h)].owner != OutputPort::kFree) delivery_active_.Add(h);
+    if (!source_queue_[h].empty()) inject_active_.Add(h);
+  }
+}
+
+void NetworkSimulator::SkipIdleSpan(std::size_t limit) {
+  if (cycle_ >= limit) return;
+  // Reconfiguration downtime is counted cycle by cycle (reconfig_cycles
+  // must match the cycle engine exactly), and any active element means the
+  // next cycle has real work.
+  if (reconfiguring_) return;
+  if (arb_switches_.Any() || channel_active_.Any() || delivery_active_.Any() ||
+      inject_active_.Any()) {
+    return;
+  }
+  std::size_t next = limit;
+  if (!arrival_queue_.Empty()) next = std::min(next, arrival_queue_.NextCycle());
+  if (view_ != nullptr && next_fault_ < plan_events_.size()) {
+    next = std::min(next, plan_events_[next_fault_].at_cycle);
+  }
+  const bool stuck = flits_in_network_ > 0;
+  if (stuck) {
+    // Nothing can move until an external event: the span is idle time, and
+    // the watchdog must still fire at its configured threshold.
+    next = std::min(next, cycle_ + (config_.deadlock_threshold_cycles - idle_cycles_));
+  }
+  if (obs::ActiveTracer() != nullptr) {
+    // Land on every milestone/telemetry boundary so traced runs emit the
+    // same periodic events as the cycle engine.
+    if (config_.trace_milestone_cycles > 0) {
+      const std::size_t m = config_.trace_milestone_cycles;
+      next = std::min(next, ((cycle_ + m - 1) / m) * m);
+    }
+    if (measuring_ && config_.telemetry_sample_cycles > 0) {
+      const std::size_t t = config_.telemetry_sample_cycles;
+      const std::size_t measured = cycle_ - config_.warmup_cycles;
+      next = std::min(next, config_.warmup_cycles + ((measured + t - 1) / t) * t);
+    }
+  }
+  if (next <= cycle_) return;
+  const std::size_t skipped = next - cycle_;
+  cycle_ = next;
+  if (stuck) {
+    idle_cycles_ += skipped;
+    if (idle_cycles_ >= config_.deadlock_threshold_cycles && !deadlock_) {
+      deadlock_ = true;
+      if (obs::Tracer* tracer = obs::ActiveTracer()) {
+        tracer->Emit(obs::TraceEvent("net.deadlock")
+                         .F("cycle", cycle_)
+                         .F("in_flight_flits", flits_in_network_)
+                         .F("idle_cycles", idle_cycles_));
+      }
+    }
   }
 }
 
@@ -429,15 +639,38 @@ void NetworkSimulator::PurgeLostMessages() {
   // Purge the flits themselves. A purged buffer's ready prefix is no longer
   // meaningful; zeroing it stalls the buffer for the one cycle FinalizeCycle
   // needs to re-establish it.
-  for (Buffer& buffer : buffers_) {
-    const std::size_t before = buffer.flits.size();
-    if (before == 0) continue;
-    std::erase_if(buffer.flits, [&](const Flit& f) { return messages_[f.msg].lost; });
-    const std::size_t purged = before - buffer.flits.size();
-    if (purged == 0) continue;
-    dropped_flits_ += purged;
-    flits_in_network_ -= purged;
-    buffer.ready = 0;
+  for (std::size_t bi = 0; bi < buffers_.size(); ++bi) {
+    Buffer& buffer = buffers_[bi];
+    if (buffer.size == 0) continue;
+    std::size_t purged = 0;
+    std::uint32_t prev = FlitPool::kNil;
+    std::uint32_t id = buffer.head;
+    while (id != FlitPool::kNil) {
+      const std::uint32_t next = pool_.next(id);
+      if (messages_[pool_.msg(id)].lost) {
+        if (prev == FlitPool::kNil) {
+          buffer.head = next;
+        } else {
+          pool_.set_next(prev, next);
+        }
+        if (buffer.tail == id) buffer.tail = prev;
+        pool_.Free(id);
+        ++purged;
+      } else {
+        prev = id;
+      }
+      id = next;
+    }
+    if (purged > 0) {
+      buffer.size -= purged;
+      dropped_flits_ += purged;
+      flits_in_network_ -= purged;
+      buffer.ready = 0;
+      if (event_mode_ && !touched_set_.Contains(bi)) {
+        touched_set_.Add(bi);
+        touched_buffers_.push_back(bi);
+      }
+    }
   }
 
   // Scrub the source queues: lost messages disappear; a partially injected
@@ -449,6 +682,9 @@ void NetworkSimulator::PurgeLostMessages() {
     if (messages_[queue.front()].lost) source_flits_pushed_[h] = 0;
     std::erase_if(queue, [&](std::size_t msg) { return messages_[msg].lost; });
   }
+
+  // Incremental wake tracking can't survive an arbitrary purge.
+  active_sets_stale_ = true;
 }
 
 void NetworkSimulator::DropDeadTraffic() {
@@ -459,7 +695,9 @@ void NetworkSimulator::DropDeadTraffic() {
     for (std::size_t dir = 0; dir < 2; ++dir) {
       for (std::size_t vc = 0; vc < vc_count_; ++vc) {
         const std::size_t o = (2 * l + dir) * vc_count_ + vc;
-        for (const Flit& f : buffers_[o].flits) MarkMessageLost(f.msg);
+        for (std::uint32_t f = buffers_[o].head; f != FlitPool::kNil; f = pool_.next(f)) {
+          MarkMessageLost(pool_.msg(f));
+        }
         // A message streaming across the dead link is truncated even if its
         // remaining flits sit in healthy buffers upstream.
         if (outputs_[o].owner != OutputPort::kFree) MarkMessageLost(outputs_[o].owner);
@@ -469,7 +707,10 @@ void NetworkSimulator::DropDeadTraffic() {
   for (std::size_t h = 0; h < graph_->host_count(); ++h) {
     const std::size_t s = graph_->SwitchOfHost(h);
     if (view_->SwitchAlive(s)) continue;
-    for (const Flit& f : buffers_[InjectionBuffer(h)].flits) MarkMessageLost(f.msg);
+    for (std::uint32_t f = buffers_[InjectionBuffer(h)].head; f != FlitPool::kNil;
+         f = pool_.next(f)) {
+      MarkMessageLost(pool_.msg(f));
+    }
     if (outputs_[DeliveryPort(h)].owner != OutputPort::kFree) {
       MarkMessageLost(outputs_[DeliveryPort(h)].owner);
     }
@@ -480,9 +721,11 @@ void NetworkSimulator::DropDeadTraffic() {
 
   // In-flight or queued messages destined to a dead switch can never be
   // delivered; drop them now instead of letting them clog VCs.
-  for (Buffer& buffer : buffers_) {
-    for (const Flit& f : buffer.flits) {
-      if (!view_->SwitchAlive(messages_[f.msg].dst_switch)) MarkMessageLost(f.msg);
+  for (const Buffer& buffer : buffers_) {
+    for (std::uint32_t f = buffer.head; f != FlitPool::kNil; f = pool_.next(f)) {
+      if (!view_->SwitchAlive(messages_[pool_.msg(f)].dst_switch)) {
+        MarkMessageLost(pool_.msg(f));
+      }
     }
   }
   for (const auto& queue : source_queue_) {
@@ -515,12 +758,12 @@ void NetworkSimulator::CompleteReconfiguration() {
   // continue (up*/down* legality is never violated, matching Autonet's
   // packet drops during reconfiguration) — are lost.
   for (std::size_t b = 0; b < buffers_.size(); ++b) {
-    for (const Flit& f : buffers_[b].flits) {
-      if (!f.head) continue;
-      Message& m = messages_[f.msg];
+    for (std::uint32_t f = buffers_[b].head; f != FlitPool::kNil; f = pool_.next(f)) {
+      if (!IsHeadFlit(f)) continue;
+      Message& m = messages_[pool_.msg(f)];
       if (m.lost) continue;
       if (!covered_[m.current_switch] || !covered_[m.dst_switch]) {
-        MarkMessageLost(f.msg);
+        MarkMessageLost(pool_.msg(f));
         continue;
       }
       if (b >= LinkVcCount()) {
@@ -531,7 +774,7 @@ void NetworkSimulator::CompleteReconfiguration() {
       m.on_escape = false;
       if (m.current_switch != m.dst_switch &&
           routing->NextHops(m.current_switch, m.dst_switch, m.phase).empty()) {
-        MarkMessageLost(f.msg);
+        MarkMessageLost(pool_.msg(f));
       }
     }
   }
@@ -544,7 +787,7 @@ void NetworkSimulator::CompleteReconfiguration() {
     OutputPort& port = outputs_[o];
     if (port.owner == OutputPort::kFree || messages_[port.owner].lost) continue;
     Buffer& src = buffers_[port.source_buffer];
-    if (src.flits.empty() || !src.flits.front().head) continue;
+    if (src.size == 0 || !IsHeadFlit(src.head)) continue;
     src.granted_output = Buffer::kNone;
     port.owner = OutputPort::kFree;
     port.source_buffer = OutputPort::kFree;
@@ -561,6 +804,7 @@ void NetworkSimulator::CompleteReconfiguration() {
     inject_prob_[h] = covered_[graph_->SwitchOfHost(h)] ? base_inject_prob_[h] : 0.0;
   }
   PurgeLostMessages();
+  active_sets_stale_ = true;
 
   // Atomic swap: from the next arbitration on, every routing decision uses
   // the degraded function. The old policy is destroyed only after policy_
@@ -620,9 +864,10 @@ void NetworkSimulator::AdvanceFaultState() {
   if (reconfiguring_) ++reconfig_cycles_count_;
 }
 
-void NetworkSimulator::StepCycle() {
+void NetworkSimulator::StepCycle(std::size_t limit) {
   any_movement_this_cycle_ = false;
   if (view_ != nullptr) AdvanceFaultState();
+  if (event_mode_ && active_sets_stale_) RebuildActiveSets();
   // During the reconfiguration downtime no new output claims are made —
   // in-flight worms keep draining ("blocked VCs are drained") but no new
   // routing decisions happen until the swapped-in function is live.
@@ -632,6 +877,7 @@ void NetworkSimulator::StepCycle() {
   GeneratePhase();
   FinalizeCycle();
   ++cycle_;
+  if (event_mode_ && !deadlock_) SkipIdleSpan(limit);
 }
 
 SimMetrics NetworkSimulator::Run(double injection_flits_per_switch_cycle) {
@@ -661,6 +907,15 @@ SimMetrics NetworkSimulator::Run(double injection_flits_per_switch_cycle) {
   // Faults zero the rates of cut-off hosts; a later switch_up restores them.
   base_inject_prob_ = inject_prob_;
 
+  // Seed the per-host arrival streams and schedule each host's first
+  // arrival. Identical across exec modes by construction.
+  arrivals_.Reset(config_.rng_seed, hosts);
+  for (std::size_t h = 0; h < hosts; ++h) {
+    if (base_inject_prob_[h] > 0.0) {
+      arrival_queue_.Push(GeometricGap(arrivals_.Stream(h), base_inject_prob_[h]) - 1, h);
+    }
+  }
+
   if (obs::Tracer* tracer = obs::ActiveTracer()) {
     tracer->Emit(obs::TraceEvent("sim.start")
                      .F("rate", injection_flits_per_switch_cycle)
@@ -686,7 +941,7 @@ SimMetrics NetworkSimulator::Run(double injection_flits_per_switch_cycle) {
     const obs::Span warmup_span("sim.warmup", "cycles", config_.warmup_cycles);
     while (cycle_ < config_.warmup_cycles && !deadlock_) {
       measuring_ = false;
-      StepCycle();
+      StepCycle(config_.warmup_cycles);
       maybe_milestone();
     }
   }
@@ -695,8 +950,11 @@ SimMetrics NetworkSimulator::Run(double injection_flits_per_switch_cycle) {
     telemetry_last_cycle_ = cycle_;  // utilization windows exclude warmup
     while (cycle_ < horizon && !deadlock_) {
       measuring_ = true;
-      ++measured_cycles;
-      StepCycle();
+      const std::size_t before = cycle_;
+      StepCycle(horizon);
+      // The event engine may advance many cycles at once; skipped spans are
+      // simulated time and count toward the measurement window.
+      measured_cycles += cycle_ - before;
       maybe_milestone();
       if (config_.telemetry_sample_cycles > 0 &&
           measured_cycles % config_.telemetry_sample_cycles == 0) {
@@ -727,6 +985,7 @@ SimMetrics NetworkSimulator::Run(double injection_flits_per_switch_cycle) {
   metrics.messages_generated = messages_generated_measured_;
   metrics.messages_delivered = messages_delivered_measured_;
   metrics.flits_delivered = delivered_flits_measured_;
+  metrics.simulated_cycles = cycle_;
   if (messages_delivered_measured_ > 0) {
     metrics.avg_latency_cycles =
         static_cast<double>(latency_sum_ / messages_delivered_measured_);
@@ -819,6 +1078,19 @@ SimMetrics NetworkSimulator::Run(double injection_flits_per_switch_cycle) {
     tracer->Emit(done);
   }
   return metrics;
+}
+
+SimTotals NetworkSimulator::Totals() const {
+  SimTotals totals;
+  totals.flits_injected = flits_injected_total_;
+  totals.flits_delivered = flits_delivered_total_;
+  totals.flits_dropped = dropped_flits_;
+  totals.flits_in_network = flits_in_network_;
+  totals.messages_enqueued = messages_enqueued_total_;
+  totals.messages_born_dead = messages_born_dead_;
+  totals.messages_lost = messages_lost_;
+  totals.pool_live = pool_.live();
+  return totals;
 }
 
 }  // namespace commsched::sim

@@ -1,4 +1,4 @@
-// Cycle-driven flit-level wormhole network simulator.
+// Flit-level wormhole network simulator with two execution engines.
 //
 // Model (per the paper's §5 evaluation methodology, after [8]):
 //   * input-buffered switches; every inter-switch link is two unidirectional
@@ -12,10 +12,19 @@
 //     shared round-robin among its VCs;
 //   * hosts inject through per-host injection queues (one flit per cycle)
 //     and consume through per-host delivery ports (one flit per cycle);
-//   * message generation is a per-host Bernoulli process; destinations come
-//     from a TrafficPattern; which (link, VC) a header may claim comes from
-//     a VcRoutingPolicy (plain up*/down*, adaptive, or Duato fully-adaptive
-//     with an escape channel).
+//   * message arrivals are a per-host Bernoulli process (sampled as
+//     geometric inter-arrival gaps from per-host streams; see arrivals.h);
+//     destinations come from a TrafficPattern; which (link, VC) a header may
+//     claim comes from a VcRoutingPolicy (plain up*/down*, adaptive, or
+//     Duato fully-adaptive with an escape channel).
+//
+// SimConfig::exec_mode selects the engine. ExecMode::kCycle visits every
+// switch/channel/host each cycle; ExecMode::kEvent maintains active sets
+// and an arrival event queue so only elements with due work are visited and
+// idle spans are skipped in O(1). Both engines run the identical protocol on
+// identical arrival schedules; only the arbitration scan order may differ,
+// so cross-engine results agree statistically (tests/test_sim_equivalence)
+// while fault/arrival-determined counters agree exactly.
 //
 // Up*/down* routing is deadlock-free on a single virtual channel (see
 // routing/deadlock.h) and per-VC on many; a watchdog detects deadlock for
@@ -30,7 +39,10 @@
 #include "faults/degraded.h"
 #include "faults/fault_plan.h"
 #include "routing/routing.h"
+#include "simnet/arrivals.h"
 #include "simnet/config.h"
+#include "simnet/event_queue.h"
+#include "simnet/flit_pool.h"
 #include "simnet/metrics.h"
 #include "simnet/traffic.h"
 #include "simnet/vc_routing.h"
@@ -39,6 +51,22 @@ namespace commsched::sim {
 
 using route::Phase;
 using route::Routing;
+
+/// Whole-run conservation totals (debug/property-test surface; cumulative
+/// over the last Run, warmup included). Invariants after every Run:
+///   flits_injected == flits_delivered + flits_dropped + flits_in_network
+///   pool_live      == flits_in_network
+///   messages_lost  >= messages_born_dead
+struct SimTotals {
+  std::uint64_t flits_injected = 0;
+  std::uint64_t flits_delivered = 0;
+  std::uint64_t flits_dropped = 0;
+  std::uint64_t flits_in_network = 0;
+  std::uint64_t messages_enqueued = 0;
+  std::uint64_t messages_born_dead = 0;
+  std::uint64_t messages_lost = 0;
+  std::uint64_t pool_live = 0;
+};
 
 class NetworkSimulator {
  public:
@@ -58,22 +86,22 @@ class NetworkSimulator {
   /// Each call restarts the simulation from an empty network.
   [[nodiscard]] SimMetrics Run(double injection_flits_per_switch_cycle);
 
+  /// Conservation totals of the last Run (see SimTotals).
+  [[nodiscard]] SimTotals Totals() const;
+
  private:
   // ---- static structure -------------------------------------------------
-  struct Flit {
-    std::uint32_t msg = 0;
-    bool head = false;
-    bool tail = false;
-  };
-
+  /// An input FIFO: an intrusive chain of FlitPool slots.
   struct Buffer {
     static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
-    std::deque<Flit> flits;
-    std::size_t ready = 0;  // prefix of `flits` visible to arbitration/transfer
+    std::uint32_t head = FlitPool::kNil;  // oldest flit
+    std::uint32_t tail = FlitPool::kNil;  // newest flit
+    std::size_t size = 0;
+    std::size_t ready = 0;  // prefix of the chain visible to arbitration/transfer
     std::size_t capacity = 0;
     /// Output currently pulling from this buffer (wormhole hold), or kNone.
     std::size_t granted_output = kNone;
-    [[nodiscard]] bool HasSpace() const { return flits.size() < capacity; }
+    [[nodiscard]] bool HasSpace() const { return size < capacity; }
     [[nodiscard]] bool FrontReady() const { return ready > 0; }
   };
 
@@ -110,14 +138,51 @@ class NetworkSimulator {
   [[nodiscard]] std::size_t InjectionBuffer(std::size_t host) const;
   [[nodiscard]] std::size_t DeliveryPort(std::size_t host) const;
 
+  [[nodiscard]] bool IsHeadFlit(std::uint32_t id) const { return pool_.seq(id) == 0; }
+  [[nodiscard]] bool IsTailFlit(std::uint32_t id) const {
+    return pool_.seq(id) + 1 == messages_[pool_.msg(id)].length;
+  }
+
   void Init();
   void ResetState();
-  void StepCycle();
+  /// One simulation step. In cycle mode this is exactly one cycle; in event
+  /// mode it is one visited cycle plus any idle span skipped after it.
+  /// `limit` is the exclusive upper bound the skip may reach (phase end).
+  void StepCycle(std::size_t limit);
   void ArbitratePhase();
   void TransferPhase();
   void InjectPhase();
   void GeneratePhase();
   void FinalizeCycle();
+
+  // ---- per-element bodies shared by both engines -------------------------
+  /// Arbitration at one switch; returns true while any ready, ungranted
+  /// header remains (event mode keeps the switch dirty to retry, matching
+  /// the cycle engine's per-cycle rescans).
+  bool ArbitrateSwitch(std::size_t s);
+  /// One flit over one physical channel (VC round-robin); returns true if a
+  /// flit moved (event mode keeps the channel active).
+  bool TransferChannel(std::size_t c);
+  /// One flit from host h's source queue into its injection buffer; returns
+  /// true while the host can keep injecting next cycle.
+  bool InjectHost(std::size_t h);
+  /// Materializes an arrival at host h this cycle (destination sampling,
+  /// born-dead accounting, enqueue). Discards silently if h is cut off.
+  void GenerateArrival(std::size_t h);
+  /// Schedules host h's next arrival event (from its geometric stream).
+  void ScheduleArrival(std::size_t h, std::size_t from_cycle);
+
+  // ---- event engine ------------------------------------------------------
+  void PushFlit(Buffer& buffer, std::size_t index, std::uint32_t id);
+  std::uint32_t PopFlit(Buffer& buffer);
+  /// Rebuilds every active set from the network state; used after fault
+  /// purges/reconfigurations invalidate incremental wake tracking.
+  void RebuildActiveSets();
+  /// With no active element and no arrival due, jumps cycle_ forward to the
+  /// next cycle anything can happen (arrival, fault, deadlock-watchdog
+  /// expiry, trace boundary, `limit`), accounting skipped cycles as idle.
+  void SkipIdleSpan(std::size_t limit);
+  void UpdateIdleState();
 
   // ---- degraded mode (ISSUE 3; active only when config.fault_plan) -------
   /// Applies every fault event due at the current cycle, drops traffic that
@@ -163,11 +228,15 @@ class NetworkSimulator {
   std::unique_ptr<VcRoutingPolicy> owned_policy_;  // set by the Routing ctor
   const VcRoutingPolicy* policy_;
   std::size_t vc_count_ = 1;
+  bool event_mode_ = false;
 
   std::vector<std::vector<std::size_t>> inputs_at_switch_;
+  std::vector<std::size_t> switch_of_buffer_;  // arbitrating switch per buffer
 
   // ---- dynamic state -----------------------------------------------------
-  Rng rng_{1};
+  FlitPool pool_;
+  ArrivalStreams arrivals_;
+  EventQueue arrival_queue_;  // (cycle, host) message-arrival events
   std::vector<Buffer> buffers_;
   std::vector<OutputPort> outputs_;
   std::vector<Message> messages_;
@@ -176,6 +245,15 @@ class NetworkSimulator {
   std::vector<double> inject_prob_;                    // per host per cycle
   std::vector<std::size_t> switch_rr_;                 // arbitration rotation per switch
   std::vector<std::size_t> channel_rr_;                // VC rotation per physical channel
+
+  // Active sets (event engine; empty/idle in cycle mode).
+  ActiveSet arb_switches_;     // switches with a ready, ungranted header
+  ActiveSet channel_active_;   // physical channels that may move a flit
+  ActiveSet delivery_active_;  // hosts whose delivery port may consume
+  ActiveSet inject_active_;    // hosts that may push an injection flit
+  ActiveSet touched_set_;      // buffers pushed into this cycle...
+  std::vector<std::size_t> touched_buffers_;  // ...listed for FinalizeCycle
+  bool active_sets_stale_ = false;
 
   std::size_t cycle_ = 0;
   bool measuring_ = false;
@@ -208,6 +286,11 @@ class NetworkSimulator {
   std::uint64_t delivered_flits_measured_ = 0;
   std::uint64_t messages_generated_measured_ = 0;
   std::uint64_t messages_delivered_measured_ = 0;
+  // Whole-run conservation totals (warmup included; see SimTotals).
+  std::uint64_t flits_injected_total_ = 0;
+  std::uint64_t flits_delivered_total_ = 0;
+  std::uint64_t messages_enqueued_total_ = 0;
+  std::uint64_t messages_born_dead_ = 0;
   long double latency_sum_ = 0.0;
   long double total_latency_sum_ = 0.0;
   std::vector<std::uint32_t> latency_samples_;

@@ -57,33 +57,49 @@ SweepResult RunSweepImpl(const SweepOptions& options, MakeSimulator&& make_simul
   const obs::ScopedTimer sweep_timer(registry.GetTimer("sweep.run"));
   const std::vector<double> rates = SweepRates(options);
   const obs::Span sweep_span("sweep.run", "points", rates.size());
+  const std::size_t replicates = std::max<std::size_t>(options.seed_replicates, 1);
   SweepResult result;
   result.points.resize(rates.size());
-
-  auto run_point = [&](std::size_t k) {
-    const obs::Span point_span("sweep.point", "point", k);
-    SimConfig config = options.config;
-    // Independent, deterministic stream per point.
-    std::uint64_t stream = config.rng_seed;
-    for (std::size_t i = 0; i <= k; ++i) (void)SplitMix64(stream);
-    config.rng_seed = stream;
-    auto simulator = make_simulator(config);
+  for (std::size_t k = 0; k < rates.size(); ++k) {
     result.points[k].offered_rate = rates[k];
-    result.points[k].metrics = simulator.Run(rates[k]);
-    if (obs::Tracer* tracer = obs::ActiveTracer()) {
-      const SimMetrics& m = result.points[k].metrics;
-      tracer->Emit(obs::TraceEvent("sweep.point")
-                       .F("point", k)
-                       .F("rate", rates[k])
-                       .F("accepted", m.accepted_flits_per_switch_cycle)
-                       .F("avg_latency", m.avg_latency_cycles)
-                       .F("saturated", m.Saturated()));
+    result.points[k].replicates.resize(replicates);
+  }
+
+  // Flat points x replicates work list; every (point, replicate) pair gets
+  // an independent, pre-derived RNG stream, so parallel order is irrelevant.
+  // Replicate r of point k advances the base seed (k + 1) + r SplitMix64
+  // steps: r == 0 reproduces the single-replicate stream exactly.
+  auto run_job = [&](std::size_t job) {
+    const std::size_t k = job / replicates;
+    const std::size_t r = job % replicates;
+    SimConfig config = options.config;
+    std::uint64_t stream = config.rng_seed;
+    for (std::size_t i = 0; i < (k + 1) + r; ++i) (void)SplitMix64(stream);
+    config.rng_seed = stream;
+    if (r == 0) {
+      const obs::Span point_span("sweep.point", "point", k);
+      auto simulator = make_simulator(config);
+      result.points[k].replicates[0] = simulator.Run(rates[k]);
+      result.points[k].metrics = result.points[k].replicates[0];
+      if (obs::Tracer* tracer = obs::ActiveTracer()) {
+        const SimMetrics& m = result.points[k].metrics;
+        tracer->Emit(obs::TraceEvent("sweep.point")
+                         .F("point", k)
+                         .F("rate", rates[k])
+                         .F("accepted", m.accepted_flits_per_switch_cycle)
+                         .F("avg_latency", m.avg_latency_cycles)
+                         .F("saturated", m.Saturated()));
+      }
+    } else {
+      auto simulator = make_simulator(config);
+      result.points[k].replicates[r] = simulator.Run(rates[k]);
     }
   };
-  if (options.parallel && rates.size() > 1) {
-    ParallelFor(rates.size(), run_point);
+  const std::size_t jobs = rates.size() * replicates;
+  if (options.parallel && jobs > 1) {
+    ParallelFor(jobs, run_job);
   } else {
-    for (std::size_t k = 0; k < rates.size(); ++k) run_point(k);
+    for (std::size_t job = 0; job < jobs; ++job) run_job(job);
   }
   registry.GetCounter("sweep.runs").Add(1);
   registry.GetCounter("sweep.points").Add(rates.size());

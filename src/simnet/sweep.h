@@ -21,12 +21,20 @@ struct SweepOptions {
   /// search engine's parallel_seeds (sched/engine.h): per-point RNG streams
   /// are derived up front, so parallel and sequential sweeps are identical.
   bool parallel = true;
+  /// Independent seeded runs per sweep point (for confidence intervals; see
+  /// tests/stat_util.h). Replicate 0 uses the same stream as a
+  /// seed_replicates == 1 sweep, so existing results are unchanged; all
+  /// points x replicates share one parallel work list.
+  std::size_t seed_replicates = 1;
   SimConfig config;
 };
 
 struct SweepPoint {
   double offered_rate = 0.0;  // configured injection rate
+  /// Metrics of replicate 0 (the only replicate unless seed_replicates > 1).
   SimMetrics metrics;
+  /// All replicates, indexed by replicate id; replicates[0] == metrics.
+  std::vector<SimMetrics> replicates;
 };
 
 struct SweepResult {

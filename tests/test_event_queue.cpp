@@ -1,0 +1,252 @@
+// Property tests for the event-engine primitives (ISSUE 6 satellite):
+// EventQueue ordering, ActiveSet sweep semantics, FlitPool double-free
+// detection, GeometricGap distribution, and whole-run flit conservation
+// in both execution modes (with and without fault plans).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "faults/fault_plan.h"
+#include "routing/updown.h"
+#include "simnet/arrivals.h"
+#include "simnet/event_queue.h"
+#include "simnet/flit_pool.h"
+#include "simnet/simulator.h"
+#include "topology/generator.h"
+#include "workload/workload.h"
+
+namespace commsched::sim {
+namespace {
+
+// ---- EventQueue ----------------------------------------------------------
+
+TEST(EventQueue, PopsInNondecreasingCycleOrder) {
+  Rng rng(11);
+  EventQueue queue;
+  std::vector<std::pair<std::size_t, std::size_t>> pushed;
+  for (std::size_t i = 0; i < 5000; ++i) {
+    const auto cycle = static_cast<std::size_t>(rng.NextInt(0, 999));
+    const auto id = static_cast<std::size_t>(rng.NextInt(0, 63));
+    queue.Push(cycle, id);
+    pushed.emplace_back(cycle, id);
+  }
+  // Interleave pops with pushes to exercise heap maintenance.
+  std::size_t last_cycle = 0;
+  std::size_t popped = 0;
+  while (!queue.Empty()) {
+    const std::size_t cycle = queue.NextCycle();
+    EXPECT_GE(cycle, last_cycle) << "event fired out of order";
+    last_cycle = cycle;
+    (void)queue.Pop();
+    ++popped;
+    if (popped % 7 == 0 && popped < 4000) {
+      queue.Push(last_cycle + static_cast<std::size_t>(rng.NextInt(0, 99)),
+                 static_cast<std::size_t>(rng.NextInt(0, 63)));
+      pushed.emplace_back(0, 0);  // count only
+    }
+  }
+  EXPECT_EQ(popped, pushed.size());
+}
+
+TEST(EventQueue, SameCycleBreaksTiesById) {
+  EventQueue queue;
+  queue.Push(7, 3);
+  queue.Push(7, 1);
+  queue.Push(5, 9);
+  queue.Push(7, 2);
+  EXPECT_EQ(queue.Pop(), 9u);
+  EXPECT_EQ(queue.Pop(), 1u);
+  EXPECT_EQ(queue.Pop(), 2u);
+  EXPECT_EQ(queue.Pop(), 3u);
+  EXPECT_TRUE(queue.Empty());
+}
+
+TEST(EventQueue, NextCycleOnEmptyThrows) {
+  EventQueue queue;
+  EXPECT_THROW((void)queue.NextCycle(), ContractError);
+  EXPECT_THROW((void)queue.Pop(), ContractError);
+}
+
+// ---- ActiveSet -----------------------------------------------------------
+
+TEST(ActiveSet, AddContainsCountAndClear) {
+  ActiveSet set;
+  set.Reset(200);
+  EXPECT_FALSE(set.Any());
+  set.Add(0);
+  set.Add(63);
+  set.Add(64);
+  set.Add(199);
+  set.Add(199);  // idempotent
+  EXPECT_EQ(set.Count(), 4u);
+  EXPECT_TRUE(set.Contains(64));
+  EXPECT_FALSE(set.Contains(1));
+  set.ClearAll();
+  EXPECT_FALSE(set.Any());
+  EXPECT_EQ(set.Count(), 0u);
+}
+
+TEST(ActiveSet, SweepVisitsAscendingAndHonorsKeep) {
+  ActiveSet set;
+  set.Reset(300);
+  for (const std::size_t i : {5u, 70u, 71u, 200u, 299u}) set.Add(i);
+  std::vector<std::size_t> visited;
+  set.Sweep([&](std::size_t i) {
+    visited.push_back(i);
+    return i == 70;  // keep only 70 active
+  });
+  EXPECT_TRUE(std::is_sorted(visited.begin(), visited.end()));
+  EXPECT_EQ(visited.size(), 5u);
+  EXPECT_EQ(set.Count(), 1u);
+  EXPECT_TRUE(set.Contains(70));
+}
+
+TEST(ActiveSet, SweepSeesForwardActivationsSameSweepOnce) {
+  // Activating an index ahead of the cursor gets it visited in the same
+  // sweep, but each index at most once per sweep (mirrors the cycle
+  // engine's single ascending scan per phase).
+  ActiveSet set;
+  set.Reset(128);
+  set.Add(3);
+  std::vector<std::size_t> visited;
+  set.Sweep([&](std::size_t i) {
+    visited.push_back(i);
+    if (i == 3) set.Add(10);   // forward: visited this sweep
+    if (i == 10) set.Add(3);   // backward: deferred to the next sweep
+    return false;
+  });
+  EXPECT_EQ(visited, (std::vector<std::size_t>{3, 10}));
+  // The backward activation survived the sweep.
+  EXPECT_TRUE(set.Contains(3));
+  EXPECT_EQ(set.Count(), 1u);
+}
+
+// ---- FlitPool ------------------------------------------------------------
+
+TEST(FlitPool, RecyclesSlotsThroughFreeList) {
+  FlitPool pool;
+  const std::uint32_t a = pool.Allocate(1, 0);
+  const std::uint32_t b = pool.Allocate(1, 1);
+  EXPECT_EQ(pool.live(), 2u);
+  pool.Free(a);
+  EXPECT_EQ(pool.live(), 1u);
+  const std::uint32_t c = pool.Allocate(2, 0);
+  EXPECT_EQ(c, a) << "freed slot should be recycled";
+  EXPECT_EQ(pool.msg(c), 2u);
+  EXPECT_EQ(pool.capacity(), 2u);
+  pool.Free(b);
+  pool.Free(c);
+  EXPECT_EQ(pool.live(), 0u);
+}
+
+TEST(FlitPool, DoubleFreeThrows) {
+  FlitPool pool;
+  const std::uint32_t id = pool.Allocate(0, 0);
+  pool.Free(id);
+  EXPECT_THROW(pool.Free(id), ContractError);
+}
+
+TEST(FlitPool, FreeingUnallocatedSlotThrows) {
+  FlitPool pool;
+  (void)pool.Allocate(0, 0);
+  EXPECT_THROW(pool.Free(7), ContractError);  // outside the pool
+}
+
+// ---- GeometricGap --------------------------------------------------------
+
+TEST(GeometricGap, MeanMatchesOneOverP) {
+  Rng rng(21);
+  for (const double p : {0.5, 0.1, 0.01}) {
+    const std::size_t n = 40000;
+    double sum = 0.0;
+    std::size_t min_gap = SIZE_MAX;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t gap = GeometricGap(rng, p);
+      sum += static_cast<double>(gap);
+      min_gap = std::min(min_gap, gap);
+    }
+    const double mean = sum / static_cast<double>(n);
+    // Geometric mean is 1/p with std dev ~ 1/p; 5 sigma of the sample mean.
+    EXPECT_NEAR(mean, 1.0 / p, 5.0 / (p * std::sqrt(static_cast<double>(n))));
+    EXPECT_GE(min_gap, 1u);
+  }
+}
+
+TEST(GeometricGap, CertainArrivalEveryCycle) {
+  Rng rng(22);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(GeometricGap(rng, 1.0), 1u);
+}
+
+TEST(GeometricGap, RejectsOutOfRangeProbability) {
+  Rng rng(23);
+  EXPECT_THROW((void)GeometricGap(rng, 0.0), ContractError);
+  EXPECT_THROW((void)GeometricGap(rng, 1.5), ContractError);
+}
+
+// ---- conservation --------------------------------------------------------
+
+class Conservation : public ::testing::TestWithParam<ExecMode> {};
+
+void ExpectConserved(const NetworkSimulator& simulator) {
+  const SimTotals t = simulator.Totals();
+  EXPECT_EQ(t.flits_injected, t.flits_delivered + t.flits_dropped + t.flits_in_network)
+      << "flit conservation violated";
+  EXPECT_EQ(t.pool_live, t.flits_in_network)
+      << "pool live count out of sync with the network";
+  EXPECT_GE(t.messages_lost, t.messages_born_dead);
+}
+
+TEST_P(Conservation, HoldsAcrossLoads) {
+  topo::IrregularTopologyOptions options{16, 4, 3, 1, 1000};
+  const auto graph = topo::GenerateIrregularTopology(options);
+  const route::UpDownRouting routing(graph);
+  const auto workload = work::Workload::Uniform(4, graph.host_count() / 4);
+  Rng rng(5);
+  const auto mapping = work::ProcessMapping::RandomAligned(graph, workload, rng);
+  const TrafficPattern pattern(graph, workload, mapping);
+  SimConfig config;
+  config.exec_mode = GetParam();
+  config.warmup_cycles = 1000;
+  config.measure_cycles = 3000;
+  NetworkSimulator simulator(graph, routing, pattern, config);
+  for (const double rate : {0.05, 0.3, 1.5}) {
+    const SimMetrics metrics = simulator.Run(rate);
+    ExpectConserved(simulator);
+    EXPECT_GT(metrics.flits_delivered, 0u);
+  }
+}
+
+TEST_P(Conservation, HoldsUnderFaults) {
+  topo::IrregularTopologyOptions options{16, 4, 3, 2, 1000};
+  const auto graph = topo::GenerateIrregularTopology(options);
+  const route::UpDownRouting routing(graph);
+  const auto workload = work::Workload::Uniform(4, graph.host_count() / 4);
+  Rng rng(6);
+  const auto mapping = work::ProcessMapping::RandomAligned(graph, workload, rng);
+  const TrafficPattern pattern(graph, workload, mapping);
+  const auto plan = faults::FaultPlan::FromEvents({
+      {1500, faults::FaultKind::kSwitchDown, 0, 0, 3},
+      {2500, faults::FaultKind::kSwitchUp, 0, 0, 3},
+  });
+  SimConfig config;
+  config.exec_mode = GetParam();
+  config.warmup_cycles = 1000;
+  config.measure_cycles = 3000;
+  config.fault_plan = &plan;
+  NetworkSimulator simulator(graph, routing, pattern, config);
+  const SimMetrics metrics = simulator.Run(0.3);
+  ExpectConserved(simulator);
+  EXPECT_EQ(metrics.fault_events_applied, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, Conservation,
+                         ::testing::Values(ExecMode::kCycle, ExecMode::kEvent),
+                         [](const auto& info) {
+                           return info.param == ExecMode::kCycle ? "cycle" : "event";
+                         });
+
+}  // namespace
+}  // namespace commsched::sim

@@ -1,0 +1,276 @@
+// ISSUE 6 headline: differential testing of the two execution engines.
+//
+// The event engine deliberately diverges from the cycle engine in
+// arbitration *visit order* (round-robin pointers advance per visit, not per
+// cycle), so per-run outputs are statistically — not bitwise — equivalent.
+// Golden-value comparison is therefore impossible; instead:
+//   * statistical equivalence: both engines across many seeds, latency and
+//     throughput compared with Welch CIs and a KS bound (tests/stat_util.h);
+//   * exact equivalence where determinism is guaranteed: arrival schedules
+//     are shared (simnet/arrivals.h), so fault counters whose value depends
+//     only on the arrival schedule must match exactly — checked by replaying
+//     the fault plans under tests/data through both engines;
+//   * termination agreement: for drained (non-deadlocked) runs both engines
+//     stop at the same cycle, and both watchdogs fire on true deadlocks.
+#include "stat_util.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "faults/fault_plan.h"
+#include "routing/shortest_path.h"
+#include "routing/updown.h"
+#include "simnet/simulator.h"
+#include "topology/generator.h"
+#include "topology/library.h"
+
+#ifndef COMMSCHED_TEST_DATA_DIR
+#define COMMSCHED_TEST_DATA_DIR "tests/data"
+#endif
+
+namespace commsched::sim {
+namespace {
+
+using ::commsched::testing::DistributionsEquivalent;
+using ::commsched::testing::MeansEquivalent;
+
+struct Fixture {
+  topo::SwitchGraph graph;
+  route::UpDownRouting routing;
+  work::Workload workload;
+  work::ProcessMapping mapping;
+  TrafficPattern pattern;
+
+  explicit Fixture(topo::SwitchGraph g, std::uint64_t seed = 1)
+      : graph(std::move(g)),
+        routing(graph),
+        workload(work::Workload::Uniform(4, graph.host_count() / 4)),
+        mapping(MakeMapping(graph, workload, seed)),
+        pattern(graph, workload, mapping) {}
+
+  static work::ProcessMapping MakeMapping(const topo::SwitchGraph& g,
+                                          const work::Workload& w, std::uint64_t seed) {
+    Rng rng(seed);
+    return work::ProcessMapping::RandomAligned(g, w, rng);
+  }
+};
+
+SimConfig HarnessConfig(ExecMode mode, std::uint64_t seed) {
+  SimConfig config;
+  config.exec_mode = mode;
+  config.warmup_cycles = 800;
+  config.measure_cycles = 2500;
+  config.rng_seed = seed;
+  return config;
+}
+
+struct SeedSamples {
+  std::vector<double> latency;
+  std::vector<double> accepted;
+};
+
+SeedSamples RunSeeds(const Fixture& f, ExecMode mode, double rate, std::size_t seeds) {
+  SeedSamples out;
+  for (std::uint64_t s = 1; s <= seeds; ++s) {
+    NetworkSimulator sim(f.graph, f.routing, f.pattern, HarnessConfig(mode, s));
+    const SimMetrics m = sim.Run(rate);
+    out.latency.push_back(m.avg_latency_cycles);
+    out.accepted.push_back(m.accepted_flits_per_switch_cycle);
+  }
+  return out;
+}
+
+/// The statistical-equivalence contract (DESIGN.md §11): across seeds, both
+/// engines' per-seed mean latencies and accepted rates must agree in a
+/// Welch CI (alpha = 0.01, small application margin for genuine arbitration
+/// divergence) and pass the KS bound as whole distributions.
+void ExpectStatisticallyEquivalent(const Fixture& f, double rate, std::size_t seeds) {
+  const SeedSamples cycle = RunSeeds(f, ExecMode::kCycle, rate, seeds);
+  const SeedSamples event = RunSeeds(f, ExecMode::kEvent, rate, seeds);
+
+  const double mean_latency =
+      ::commsched::testing::Summarize(cycle.latency).mean;
+  EXPECT_TRUE(MeansEquivalent(cycle.latency, event.latency, 0.01,
+                              std::max(1.0, 0.02 * mean_latency)))
+      << "mean latency diverged at rate " << rate;
+  EXPECT_TRUE(MeansEquivalent(cycle.accepted, event.accepted, 0.01,
+                              std::max(0.002, 0.02 * rate)))
+      << "accepted traffic diverged at rate " << rate;
+  // Whole-distribution agreement over the per-seed samples; margin 0.1 CDF
+  // units on top of the KS bound keeps false positives negligible at this
+  // sample size without masking a real shift.
+  EXPECT_TRUE(DistributionsEquivalent(cycle.latency, event.latency, 0.01, 0.1))
+      << "latency distribution diverged at rate " << rate;
+  EXPECT_TRUE(DistributionsEquivalent(cycle.accepted, event.accepted, 0.01, 0.1))
+      << "accepted distribution diverged at rate " << rate;
+}
+
+TEST(SimEquivalence, IrregularTopologyLowLoad) {
+  const Fixture f(topo::GenerateIrregularTopology({16, 4, 3, 1, 1000}));
+  ExpectStatisticallyEquivalent(f, 0.08, 24);
+}
+
+TEST(SimEquivalence, IrregularTopologyModerateLoad) {
+  const Fixture f(topo::GenerateIrregularTopology({16, 4, 3, 1, 1000}));
+  ExpectStatisticallyEquivalent(f, 0.45, 24);
+}
+
+TEST(SimEquivalence, RingsTopologyLowLoad) {
+  const Fixture f(topo::MakeFourRingsOfSix());
+  ExpectStatisticallyEquivalent(f, 0.08, 24);
+}
+
+TEST(SimEquivalence, RingsTopologyModerateLoad) {
+  const Fixture f(topo::MakeFourRingsOfSix());
+  ExpectStatisticallyEquivalent(f, 0.45, 24);
+}
+
+// ---- exact differential replay of checked-in fault plans -----------------
+
+std::string ReadDataFile(const std::string& name) {
+  const std::string path = std::string(COMMSCHED_TEST_DATA_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing test data file " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+struct FaultOutcome {
+  SimMetrics metrics;
+  SimTotals totals;
+};
+
+FaultOutcome ReplayPlan(const Fixture& f, const faults::FaultPlan& plan, ExecMode mode,
+                        double rate) {
+  SimConfig config;
+  config.exec_mode = mode;
+  config.warmup_cycles = 1200;
+  config.measure_cycles = 3000;
+  config.fault_plan = &plan;
+  NetworkSimulator sim(f.graph, f.routing, f.pattern, config);
+  FaultOutcome outcome;
+  outcome.metrics = sim.Run(rate);
+  outcome.totals = sim.Totals();
+  return outcome;
+}
+
+// A switch dies at cycle 1, before anything is in flight: every lost
+// message is determined by the shared arrival schedule alone (queued
+// messages to the dead switch at fault time + born-dead arrivals after),
+// so both engines must report identical losses — not just similar ones.
+TEST(SimEquivalence, SwitchDownPlanMatchesExactly) {
+  const Fixture f(topo::MakeFourRingsOfSix());
+  const auto plan = faults::FaultPlan::FromJson(ReadDataFile("faultplan_diff_switch.json"));
+  plan.ValidateFor(f.graph);
+  const FaultOutcome cycle = ReplayPlan(f, plan, ExecMode::kCycle, 0.25);
+  const FaultOutcome event = ReplayPlan(f, plan, ExecMode::kEvent, 0.25);
+
+  EXPECT_EQ(cycle.metrics.fault_events_applied, 1u);
+  EXPECT_EQ(event.metrics.fault_events_applied, cycle.metrics.fault_events_applied);
+  EXPECT_EQ(event.metrics.messages_lost, cycle.metrics.messages_lost);
+  EXPECT_GT(cycle.metrics.messages_lost, 0u);  // the check must bite
+  EXPECT_EQ(event.metrics.reconfig_cycles, cycle.metrics.reconfig_cycles);
+  EXPECT_EQ(cycle.metrics.reconfig_cycles, 128u);  // default downtime window
+  EXPECT_EQ(event.metrics.simulated_cycles, cycle.metrics.simulated_cycles);
+  EXPECT_EQ(event.totals.messages_born_dead, cycle.totals.messages_born_dead);
+  EXPECT_EQ(event.totals.messages_enqueued, cycle.totals.messages_enqueued);
+}
+
+// Two redundant ring links die at cycle 1: the surviving graph stays
+// connected and nothing was in flight, so no engine may lose anything.
+TEST(SimEquivalence, RedundantLinksPlanLosesNothingInBothModes) {
+  const Fixture f(topo::MakeFourRingsOfSix());
+  const auto plan = faults::FaultPlan::FromJson(ReadDataFile("faultplan_diff_links.json"));
+  plan.ValidateFor(f.graph);
+  const FaultOutcome cycle = ReplayPlan(f, plan, ExecMode::kCycle, 0.2);
+  const FaultOutcome event = ReplayPlan(f, plan, ExecMode::kEvent, 0.2);
+
+  for (const FaultOutcome* o : {&cycle, &event}) {
+    EXPECT_EQ(o->metrics.fault_events_applied, 2u);
+    EXPECT_EQ(o->metrics.messages_lost, 0u);
+    EXPECT_EQ(o->metrics.dropped_flits, 0u);
+    EXPECT_EQ(o->metrics.reconfig_cycles, 128u);
+  }
+  EXPECT_EQ(event.metrics.simulated_cycles, cycle.metrics.simulated_cycles);
+  EXPECT_EQ(event.totals.messages_enqueued, cycle.totals.messages_enqueued);
+}
+
+// Mid-run faults hit a loaded network, so in-flight losses depend on
+// arbitration order and may legitimately differ — but the event counters
+// and the downtime accounting are still schedule-determined.
+TEST(SimEquivalence, MidRunFaultCountersMatch) {
+  const Fixture f(topo::MakeFourRingsOfSix());
+  const auto plan = faults::FaultPlan::FromEvents(
+      {{1500, faults::FaultKind::kLinkDown, 0, 1, 0},
+       {2600, faults::FaultKind::kLinkUp, 0, 1, 0}});
+  const FaultOutcome cycle = ReplayPlan(f, plan, ExecMode::kCycle, 0.2);
+  const FaultOutcome event = ReplayPlan(f, plan, ExecMode::kEvent, 0.2);
+
+  EXPECT_EQ(cycle.metrics.fault_events_applied, 2u);
+  EXPECT_EQ(event.metrics.fault_events_applied, 2u);
+  EXPECT_EQ(event.metrics.reconfig_cycles, cycle.metrics.reconfig_cycles);
+  EXPECT_EQ(event.metrics.simulated_cycles, cycle.metrics.simulated_cycles);
+}
+
+// ---- termination agreement (idle-detection satellite) --------------------
+
+// A drained run (no deadlock) terminates at warmup + measure in both
+// engines: the event engine's skipped spans count as simulated cycles, and
+// an emptied event queue must not stop the clock early.
+TEST(SimEquivalence, DrainedRunsTerminateAtTheSameCycle) {
+  const Fixture f(topo::GenerateIrregularTopology({16, 4, 3, 1, 1000}));
+  for (const double rate : {0.0, 0.05, 0.4}) {
+    SimMetrics by_mode[2];
+    int i = 0;
+    for (const ExecMode mode : {ExecMode::kCycle, ExecMode::kEvent}) {
+      NetworkSimulator sim(f.graph, f.routing, f.pattern, HarnessConfig(mode, 3));
+      by_mode[i++] = sim.Run(rate);
+    }
+    ASSERT_FALSE(by_mode[0].deadlock_detected);
+    ASSERT_FALSE(by_mode[1].deadlock_detected);
+    EXPECT_EQ(by_mode[0].simulated_cycles, 800u + 2500u) << "rate " << rate;
+    EXPECT_EQ(by_mode[1].simulated_cycles, by_mode[0].simulated_cycles)
+        << "engines disagree on the termination cycle at rate " << rate;
+  }
+}
+
+// Shortest-path routing on a ring is not deadlock-free under wormhole with
+// one virtual channel. Whether a full stall forms is arbitration-dependent
+// (the engines arbitrate in different orders), so each mode must either
+// detect deadlock or saturate — and a detected deadlock must stop the run
+// early instead of grinding through the full horizon.
+TEST(SimEquivalence, BothWatchdogsDetectRealDeadlock) {
+  const auto graph = topo::MakeRing(6, 4);
+  const route::ShortestPathRouting routing(graph);
+  const auto workload = work::Workload::Uniform(2, 12);
+  Rng rng(3);
+  const auto mapping = work::ProcessMapping::RandomAligned(graph, workload, rng);
+  const TrafficPattern pattern(graph, workload, mapping);
+  for (const ExecMode mode : {ExecMode::kCycle, ExecMode::kEvent}) {
+    SimConfig config;
+    config.exec_mode = mode;
+    config.message_length_flits = 32;
+    config.input_buffer_flits = 2;
+    config.warmup_cycles = 4000;
+    config.measure_cycles = 12000;
+    config.deadlock_threshold_cycles = 1000;
+    NetworkSimulator sim(graph, routing, pattern, config);
+    const SimMetrics m = sim.Run(1.6);
+    EXPECT_TRUE(m.deadlock_detected || m.Saturated())
+        << (mode == ExecMode::kCycle ? "cycle" : "event")
+        << " neither deadlocked nor saturated";
+    if (m.deadlock_detected) {
+      EXPECT_LT(m.simulated_cycles, 16000u);
+    } else {
+      EXPECT_EQ(m.simulated_cycles, 16000u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace commsched::sim
