@@ -1,0 +1,150 @@
+#include "obs/prometheus.h"
+
+#include <charconv>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace commsched::obs {
+
+namespace {
+
+void AppendDouble(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += value > 0 ? "+Inf" : (value < 0 ? "-Inf" : "NaN");
+    return;
+  }
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec != std::errc{}) {
+    out += "0";
+    return;
+  }
+  out.append(buf, ptr);
+}
+
+/// Inclusive upper bound of log2 bucket `b` (see HistogramSnapshot).
+std::uint64_t BucketUpperBound(std::size_t b) {
+  if (b == 0) return 0;
+  if (b >= 64) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << b) - 1;
+}
+
+void TypeLine(std::string& out, const std::string& family, const char* type) {
+  out += "# TYPE ";
+  out += family;
+  out += " ";
+  out += type;
+  out += "\n";
+}
+
+/// Splits "link.util.<from>.<to>" into its endpoints ("" pair = not a link
+/// counter). Same shape report.cpp's ParseLinkKey accepts.
+std::pair<std::string, std::string> LinkEndpoints(const std::string& name) {
+  if (!StartsWith(name, "link.util.")) return {};
+  const std::vector<std::string> parts = Split(name.substr(10), '.');
+  if (parts.size() != 2 || parts[0].empty() || parts[1].empty()) return {};
+  for (const std::string& part : parts) {
+    if (part.find_first_not_of("0123456789") != std::string::npos) return {};
+  }
+  return {parts[0], parts[1]};
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& prefix, const std::string& name) {
+  std::string mangled = prefix;
+  mangled.reserve(prefix.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    mangled += ok ? c : '_';
+  }
+  return mangled;
+}
+
+std::string RenderPrometheus(const Registry& registry, const PrometheusOptions& options) {
+  const std::uint64_t now_ns = options.now_ns != 0 ? options.now_ns : NowNanos();
+  std::string out;
+
+  // Counters: per-link traffic collapses into one labeled family, rendered
+  // after the scalar counters so its TYPE header appears exactly once.
+  std::string links;
+  bool links_typed = false;
+  for (const auto& [name, value] : registry.CounterValues()) {
+    const auto [src, dst] = LinkEndpoints(name);
+    if (!src.empty()) {
+      const std::string family = options.prefix + "link_util_flits_total";
+      if (!links_typed) {
+        TypeLine(links, family, "counter");
+        links_typed = true;
+      }
+      links += family + "{src=\"" + src + "\",dst=\"" + dst + "\"} " +
+               std::to_string(value) + "\n";
+      continue;
+    }
+    const std::string family = PrometheusName(options.prefix, name) + "_total";
+    TypeLine(out, family, "counter");
+    out += family + " " + std::to_string(value) + "\n";
+  }
+  out += links;
+
+  // Timers: accumulated seconds + sample count as a summary.
+  for (const auto& [name, snap] : registry.TimerValues()) {
+    const std::string family = PrometheusName(options.prefix, name) + "_seconds";
+    TypeLine(out, family, "summary");
+    out += family + "_sum ";
+    AppendDouble(out, static_cast<double>(snap.total_ns) / 1e9);
+    out += "\n" + family + "_count " + std::to_string(snap.count) + "\n";
+  }
+
+  // Histograms: cumulative le buckets over the non-empty log2 buckets.
+  for (const auto& [name, snap] : registry.HistogramValues()) {
+    const std::string family = PrometheusName(options.prefix, name);
+    TypeLine(out, family, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+      if (snap.buckets[b] == 0) continue;
+      cumulative += snap.buckets[b];
+      out += family + "_bucket{le=\"" + std::to_string(BucketUpperBound(b)) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += family + "_bucket{le=\"+Inf\"} " + std::to_string(snap.count) + "\n";
+    out += family + "_sum " + std::to_string(snap.sum) + "\n";
+    out += family + "_count " + std::to_string(snap.count) + "\n";
+  }
+
+  // Rolling-window views: gauges, since they move both ways.
+  if (options.rolling != nullptr) {
+    for (const auto& [name, rate] : options.rolling->CounterRates(now_ns)) {
+      const std::string family = PrometheusName(options.prefix, name) + "_rate";
+      TypeLine(out, family, "gauge");
+      out += family + " ";
+      AppendDouble(out, rate);
+      out += "\n";
+    }
+    for (const auto& [name, snap] : options.rolling->HistogramWindows(now_ns)) {
+      const std::string family = PrometheusName(options.prefix, name) + "_window";
+      TypeLine(out, family, "gauge");
+      out += family + "{q=\"0.5\"} ";
+      AppendDouble(out, snap.Percentile(0.50));
+      out += "\n" + family + "{q=\"0.99\"} ";
+      AppendDouble(out, snap.Percentile(0.99));
+      out += "\n";
+      const std::string count_family = family + "_count";
+      TypeLine(out, count_family, "gauge");
+      out += count_family + " " + std::to_string(snap.count) + "\n";
+    }
+  }
+
+  for (const auto& [name, value] : options.extra_gauges) {
+    const std::string family = PrometheusName(options.prefix, name);
+    TypeLine(out, family, "gauge");
+    out += family + " ";
+    AppendDouble(out, value);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace commsched::obs

@@ -1,0 +1,50 @@
+// Prometheus text-format exposition of the Registry (DESIGN.md §12).
+//
+// Naming conventions:
+//   * Every family is prefixed "commsched_" and dots/dashes in registry
+//     names become underscores: svc.latency_ns -> commsched_svc_latency_ns.
+//   * Counters are suffixed "_total".
+//   * The per-link simnet utilization counters link.util.<from>.<to>
+//     collapse into one labeled family:
+//       commsched_link_util_flits_total{src="<from>",dst="<to>"}.
+//   * Timers render as a summary: <name>_seconds_sum / <name>_seconds_count.
+//   * Histograms render cumulatively with le = the inclusive upper bound of
+//     each non-empty log2 bucket (2^b - 1; bucket 0 is le="0") plus +Inf,
+//     then _sum and _count.
+//   * Rolling views (rolling.h) render as gauges: <name>_rate (events/s over
+//     the window) for counters and <name>_window{q="0.5"|"0.99"} plus
+//     <name>_window_count for histograms.
+//   * extra_gauges entries are emitted verbatim as gauges after mangling
+//     (daemon state: queue depth, inflight, draining, ...).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/obs.h"
+#include "obs/rolling.h"
+
+namespace commsched::obs {
+
+struct PrometheusOptions {
+  /// Prepended to every family name.
+  std::string prefix = "commsched_";
+  /// Clock for the rolling views; 0 = read NowNanos().
+  std::uint64_t now_ns = 0;
+  /// Additional gauge samples (unmangled name -> value).
+  std::map<std::string, double> extra_gauges;
+  /// Include rolling-window views from `rolling` (skipped when null).
+  const RollingRegistry* rolling = nullptr;
+};
+
+/// Mangles one registry name into a Prometheus metric name (prefix applied,
+/// every character outside [a-zA-Z0-9_] replaced with '_').
+[[nodiscard]] std::string PrometheusName(const std::string& prefix, const std::string& name);
+
+/// Renders the full registry (plus options.rolling and options.extra_gauges)
+/// as Prometheus text exposition format, trailing newline included.
+[[nodiscard]] std::string RenderPrometheus(const Registry& registry,
+                                           const PrometheusOptions& options = {});
+
+}  // namespace commsched::obs

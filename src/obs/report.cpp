@@ -341,6 +341,32 @@ void RenderReport(const TraceSummary& summary, std::ostream& out, std::size_t to
     }
   }
 
+  // Execution engines: simulated vs stepped (wall) cycles, and the event
+  // engine's idle-skip efficiency, from the sim.* counters in the metrics
+  // dump. The skip counters only exist for event-mode runs.
+  {
+    const auto counter = [&summary](const char* name) -> std::uint64_t {
+      const auto it = summary.counters.find(name);
+      return it == summary.counters.end() ? 0 : it->second;
+    };
+    const std::uint64_t simulated = counter("sim.cycles");
+    if (simulated > 0) {
+      out << "\nExecution (" << counter("sim.runs") << " simulator runs):\n";
+      out << "  simulated cycles: " << simulated << " (measured "
+          << counter("sim.measured_cycles") << ")\n";
+      const std::uint64_t skipped = counter("sim.event.skipped_cycles");
+      const std::uint64_t skips = counter("sim.event.skips");
+      if (skipped > 0 || skips > 0) {
+        const std::uint64_t stepped = simulated >= skipped ? simulated - skipped : 0;
+        const double efficiency =
+            100.0 * static_cast<double>(skipped) / static_cast<double>(simulated);
+        out << "  event engine: skipped " << skipped << " idle cycles across " << skips
+            << " spans; stepped " << stepped << " wall cycles (skip efficiency "
+            << efficiency << "%)\n";
+      }
+    }
+  }
+
   const auto latency = summary.histograms.find("net.latency");
   if (latency != summary.histograms.end() && latency->second.count > 0) {
     const TraceSummary::HistogramSummary& h = latency->second;

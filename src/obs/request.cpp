@@ -1,0 +1,41 @@
+#include "obs/request.h"
+
+namespace commsched::obs {
+
+namespace {
+
+thread_local RequestContext* t_request_context = nullptr;
+
+}  // namespace
+
+const char* RequestStageName(RequestStage stage) {
+  switch (stage) {
+    case RequestStage::kQueue: return "queue_ns";
+    case RequestStage::kParse: return "parse_ns";
+    case RequestStage::kModel: return "model_ns";
+    case RequestStage::kSearch: return "search_ns";
+    case RequestStage::kSerialize: return "serialize_ns";
+    case RequestStage::kOther: return "other_ns";
+  }
+  return "unknown_ns";
+}
+
+std::uint64_t RequestContext::InstrumentedNanos() const {
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < kRequestStageCount; ++s) {
+    if (s == static_cast<std::size_t>(RequestStage::kOther)) continue;
+    total += stage_ns_[s];
+  }
+  return total;
+}
+
+RequestContext* RequestContext::Current() { return t_request_context; }
+
+ScopedRequestContext::ScopedRequestContext(RequestContext& context)
+    : previous_(t_request_context) {
+  t_request_context = &context;
+}
+
+ScopedRequestContext::~ScopedRequestContext() { t_request_context = previous_; }
+
+}  // namespace commsched::obs

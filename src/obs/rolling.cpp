@@ -1,0 +1,94 @@
+#include "obs/rolling.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace commsched::obs {
+
+std::uint64_t NowNanos() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+std::uint64_t RollingCounter::WindowTotal(std::uint64_t now_ns) const noexcept {
+  const std::uint64_t current = now_ns / bucket_ns_;
+  const std::uint64_t oldest = current >= kSlots - 1 ? current - (kSlots - 1) : 0;
+  std::uint64_t total = 0;
+  for (const Slot& slot : slots_) {
+    const std::uint64_t epoch = slot.epoch.load(std::memory_order_relaxed);
+    if (epoch >= oldest && epoch <= current) {
+      total += slot.value.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+double RollingCounter::RatePerSecond(std::uint64_t now_ns) const noexcept {
+  // The window spans kSlots-1 completed buckets plus the elapsed fraction of
+  // the current one. Early in process life fewer buckets have existed, but
+  // they are empty, so the denominator only pessimizes the first seconds.
+  const std::uint64_t in_bucket = now_ns % bucket_ns_;
+  const std::uint64_t window_ns =
+      std::min(now_ns, (kSlots - 1) * bucket_ns_ + in_bucket);
+  if (window_ns == 0) return 0.0;
+  return static_cast<double>(WindowTotal(now_ns)) * 1e9 / static_cast<double>(window_ns);
+}
+
+HistogramSnapshot RollingHistogram::WindowSnapshot(std::uint64_t now_ns) const noexcept {
+  const std::uint64_t current = now_ns / bucket_ns_;
+  const std::uint64_t oldest = current >= kSlots - 1 ? current - (kSlots - 1) : 0;
+  HistogramSnapshot merged;
+  bool any = false;
+  for (const Slot& slot : slots_) {
+    const std::uint64_t epoch = slot.epoch.load(std::memory_order_relaxed);
+    if (epoch < oldest || epoch > current) continue;
+    const HistogramSnapshot snap = slot.hist.Snapshot();
+    if (snap.count == 0) continue;
+    for (std::size_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+      merged.buckets[b] += snap.buckets[b];
+    }
+    merged.count += snap.count;
+    merged.sum += snap.sum;
+    merged.min = any ? std::min(merged.min, snap.min) : snap.min;
+    merged.max = std::max(merged.max, snap.max);
+    any = true;
+  }
+  return merged;
+}
+
+RollingRegistry& RollingRegistry::Global() {
+  static RollingRegistry registry;
+  return registry;
+}
+
+RollingCounter& RollingRegistry::GetCounter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return counters_[name];
+}
+
+RollingHistogram& RollingRegistry::GetHistogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return histograms_[name];
+}
+
+std::map<std::string, double> RollingRegistry::CounterRates(std::uint64_t now_ns) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, double> rates;
+  for (const auto& [name, counter] : counters_) {
+    rates[name] = counter.RatePerSecond(now_ns);
+  }
+  return rates;
+}
+
+std::map<std::string, HistogramSnapshot> RollingRegistry::HistogramWindows(
+    std::uint64_t now_ns) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, HistogramSnapshot> windows;
+  for (const auto& [name, histogram] : histograms_) {
+    windows[name] = histogram.WindowSnapshot(now_ns);
+  }
+  return windows;
+}
+
+}  // namespace commsched::obs

@@ -1,0 +1,160 @@
+// Rolling-window views of counters and histograms (DESIGN.md §12).
+//
+// A long-lived daemon needs "requests per second over the last ten seconds"
+// and "p99 latency right now", which cumulative instruments (obs.h) cannot
+// answer. RollingCounter and RollingHistogram keep a ring of time buckets
+// (default: 10 buckets of 1 s); each bucket is tagged with the epoch (bucket
+// index since the steady-clock origin) it belongs to, and writers lazily
+// recycle a slot the first time they touch it in a new epoch.
+//
+// Concurrency model — everything is relaxed atomics, no locks, TSan-clean:
+//   * Writers CAS the slot's epoch from stale to current; the CAS winner
+//     zeroes the slot, then every writer adds. A writer that lost the CAS
+//     immediately after publishing into the stale epoch can leak its delta
+//     into the recycled bucket (or lose it to the winner's zeroing) — a
+//     bounded, transient error of one sample at a bucket boundary, which is
+//     acceptable for monitoring views and keeps the hot path at ~3 relaxed
+//     atomic ops.
+//   * Readers sum only slots whose epoch lies inside the window; a slot
+//     mid-recycle either still carries its (now out-of-window) old epoch or
+//     the new one, so windows advance monotonically.
+//
+// Every method takes an explicit now_ns so tests can drive bucket rotation
+// deterministically; the NowNanos() default reads steady_clock.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "obs/obs.h"
+
+namespace commsched::obs {
+
+/// Nanoseconds since the steady-clock epoch (the default time source for
+/// the rolling instruments).
+[[nodiscard]] std::uint64_t NowNanos();
+
+/// Windowed event counter: Add() lands in the current time bucket,
+/// WindowTotal()/RatePerSecond() cover the last kSlots buckets.
+class RollingCounter {
+ public:
+  static constexpr std::size_t kSlots = 10;
+  static constexpr std::uint64_t kDefaultBucketNs = 1'000'000'000;  // 1 s
+
+  explicit RollingCounter(std::uint64_t bucket_ns = kDefaultBucketNs)
+      : bucket_ns_(bucket_ns == 0 ? kDefaultBucketNs : bucket_ns) {}
+
+  RollingCounter(const RollingCounter&) = delete;
+  RollingCounter& operator=(const RollingCounter&) = delete;
+
+  void Add(std::uint64_t delta, std::uint64_t now_ns) noexcept {
+    Slot& slot = Touch(now_ns);
+    slot.value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  void Add(std::uint64_t delta = 1) noexcept { Add(delta, NowNanos()); }
+
+  /// Sum of the events recorded in the window ending at now_ns: the current
+  /// (partial) bucket plus the kSlots-1 completed buckets before it.
+  [[nodiscard]] std::uint64_t WindowTotal(std::uint64_t now_ns) const noexcept;
+
+  /// WindowTotal divided by the wall-clock span the window actually covers
+  /// (kSlots-1 full buckets plus the elapsed part of the current one).
+  [[nodiscard]] double RatePerSecond(std::uint64_t now_ns) const noexcept;
+
+  [[nodiscard]] std::uint64_t bucket_ns() const noexcept { return bucket_ns_; }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> epoch{~std::uint64_t{0}};  // never a real epoch
+    std::atomic<std::uint64_t> value{0};
+  };
+
+  Slot& Touch(std::uint64_t now_ns) noexcept {
+    const std::uint64_t epoch = now_ns / bucket_ns_;
+    Slot& slot = slots_[epoch % kSlots];
+    std::uint64_t seen = slot.epoch.load(std::memory_order_relaxed);
+    if (seen != epoch &&
+        slot.epoch.compare_exchange_strong(seen, epoch, std::memory_order_relaxed)) {
+      slot.value.store(0, std::memory_order_relaxed);  // CAS winner recycles
+    }
+    return slot;
+  }
+
+  std::uint64_t bucket_ns_;
+  std::array<Slot, kSlots> slots_{};
+};
+
+/// Windowed distribution: one log2 Histogram per time bucket, merged into a
+/// single HistogramSnapshot on read. Same recycling protocol as
+/// RollingCounter. Percentiles over the window come from the merged
+/// snapshot's Percentile().
+class RollingHistogram {
+ public:
+  static constexpr std::size_t kSlots = RollingCounter::kSlots;
+
+  explicit RollingHistogram(std::uint64_t bucket_ns = RollingCounter::kDefaultBucketNs)
+      : bucket_ns_(bucket_ns == 0 ? RollingCounter::kDefaultBucketNs : bucket_ns) {}
+
+  RollingHistogram(const RollingHistogram&) = delete;
+  RollingHistogram& operator=(const RollingHistogram&) = delete;
+
+  void Record(std::uint64_t value, std::uint64_t now_ns) noexcept {
+    const std::uint64_t epoch = now_ns / bucket_ns_;
+    Slot& slot = slots_[epoch % kSlots];
+    std::uint64_t seen = slot.epoch.load(std::memory_order_relaxed);
+    if (seen != epoch &&
+        slot.epoch.compare_exchange_strong(seen, epoch, std::memory_order_relaxed)) {
+      slot.hist.Reset();
+    }
+    slot.hist.Record(value);
+  }
+
+  void Record(std::uint64_t value) noexcept { Record(value, NowNanos()); }
+
+  /// Merged snapshot of every in-window bucket (min/max combined across
+  /// buckets; empty window -> zeroed snapshot).
+  [[nodiscard]] HistogramSnapshot WindowSnapshot(std::uint64_t now_ns) const noexcept;
+
+  [[nodiscard]] std::uint64_t bucket_ns() const noexcept { return bucket_ns_; }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> epoch{~std::uint64_t{0}};
+    Histogram hist;
+  };
+
+  std::uint64_t bucket_ns_;
+  std::array<Slot, kSlots> slots_{};
+};
+
+/// Named rolling instruments, mirroring Registry's lookup idiom (create on
+/// demand, node-stable references, mutex-guarded lookup only). Kept separate
+/// from Registry so the cumulative dump format (ToJson) is untouched.
+class RollingRegistry {
+ public:
+  RollingRegistry() = default;
+  RollingRegistry(const RollingRegistry&) = delete;
+  RollingRegistry& operator=(const RollingRegistry&) = delete;
+
+  /// The process-wide rolling registry (the daemon's live views).
+  static RollingRegistry& Global();
+
+  RollingCounter& GetCounter(const std::string& name);
+  RollingHistogram& GetHistogram(const std::string& name);
+
+  /// Snapshot of every rolling counter's windowed rate (name -> events/s).
+  [[nodiscard]] std::map<std::string, double> CounterRates(std::uint64_t now_ns) const;
+
+  /// Snapshot of every rolling histogram's merged window.
+  [[nodiscard]] std::map<std::string, HistogramSnapshot> HistogramWindows(
+      std::uint64_t now_ns) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, RollingCounter> counters_;
+  std::map<std::string, RollingHistogram> histograms_;
+};
+
+}  // namespace commsched::obs

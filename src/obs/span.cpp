@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/request.h"
+
 namespace commsched::obs {
 
 namespace {
@@ -80,6 +82,11 @@ void SpanCollector::WriteChromeTrace(std::ostream& out) const {
     line += std::to_string(r.tid);
     line += ",\"args\":{\"depth\":";
     line += std::to_string(r.depth);
+    if (!r.req.empty()) {
+      line += ",\"req\":\"";
+      AppendEscaped(line, r.req);
+      line += "\"";
+    }
     if (!r.arg_key.empty()) {
       line += ",\"";
       AppendEscaped(line, r.arg_key);
@@ -112,6 +119,9 @@ Span::Span(std::string_view name, std::string_view arg_key, std::uint64_t arg)
   if (collector_ == nullptr) return;
   record_.name.assign(name);
   record_.arg_key.assign(arg_key);
+  if (const RequestContext* context = RequestContext::Current()) {
+    record_.req = context->id();
+  }
   record_.arg = arg;
   record_.tid = collector_->ThreadIndex();
   record_.depth = t_span_depth++;

@@ -35,6 +35,7 @@ namespace commsched::obs {
 struct SpanRecord {
   std::string name;
   std::string arg_key;       // "" when the span carries no argument
+  std::string req;           // request id when opened under a RequestContext
   std::uint64_t arg = 0;
   std::uint64_t start_us = 0;  // microseconds since the collector's epoch
   std::uint64_t dur_us = 0;

@@ -6,6 +6,7 @@
 #include <system_error>
 
 #include "common/check.h"
+#include "obs/request.h"
 
 namespace commsched::obs {
 
@@ -62,6 +63,14 @@ TraceEvent::TraceEvent(std::string_view type) {
   body_ += "\"type\":\"";
   AppendEscaped(body_, type);
   body_ += "\"";
+  // Request attribution: while a daemon worker has a RequestContext
+  // installed, every event it emits names the request. Non-daemon paths
+  // (CLI, tests) have no context, so their traces are byte-unchanged.
+  if (const RequestContext* context = RequestContext::Current()) {
+    body_ += ",\"req\":\"";
+    AppendEscaped(body_, context->id());
+    body_ += "\"";
+  }
 }
 
 TraceEvent& TraceEvent::AppendUint(std::string_view key, std::uint64_t value) {

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "common/strings.h"
+#include "obs/request.h"
+#include "obs/rolling.h"
 #include "obs/trace.h"
 #include "service/json.h"
 
@@ -24,6 +26,33 @@ std::atomic<bool> g_drain_signalled{false};
 
 void DrainSignalHandler(int /*signo*/) {
   g_drain_signalled.store(true, std::memory_order_relaxed);
+}
+
+std::uint64_t ElapsedNanos(std::chrono::steady_clock::time_point from,
+                           std::chrono::steady_clock::time_point to) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count());
+}
+
+/// Splices `,"req":"<id>","timings":{...}` into a finished response line,
+/// just before its closing brace. The reported stages (including the
+/// "other_ns" remainder) sum exactly to total_ns.
+std::string SpliceTimings(std::string response, const obs::RequestContext& context,
+                          std::uint64_t total_ns) {
+  if (response.empty() || response.back() != '}') return response;
+  const std::uint64_t instrumented = context.InstrumentedNanos();
+  std::string extra = ",\"req\":\"" + JsonEscape(context.id()) + "\",\"timings\":{";
+  extra += "\"total_ns\":" + std::to_string(total_ns);
+  for (std::size_t s = 0; s < obs::kRequestStageCount; ++s) {
+    const auto stage = static_cast<obs::RequestStage>(s);
+    const std::uint64_t ns = stage == obs::RequestStage::kOther
+                                 ? (total_ns > instrumented ? total_ns - instrumented : 0)
+                                 : context.stage_ns(stage);
+    extra += ",\"" + std::string(obs::RequestStageName(stage)) + "\":" + std::to_string(ns);
+  }
+  extra += "}";
+  response.insert(response.size() - 1, extra);
+  return response;
 }
 
 }  // namespace
@@ -49,11 +78,56 @@ void ResetDrainSignalForTesting() {
 Daemon::Daemon(SchedulingService& service, DaemonOptions options)
     : service_(service),
       options_(options),
-      pool_(options.workers) {
+      pool_(options.workers),
+      latency_hist_(obs::Registry::Global().GetHistogram("svc.latency_ns")),
+      rolling_requests_(obs::RollingRegistry::Global().GetCounter("svc.requests")),
+      rolling_errors_(obs::RollingRegistry::Global().GetCounter("svc.errors")),
+      rolling_latency_(obs::RollingRegistry::Global().GetHistogram("svc.latency_ns")) {
   if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  if (options_.slow_log_capacity == 0) options_.slow_log_capacity = 1;
+  if (!options_.slow_log_path.empty()) {
+    slow_log_.open(options_.slow_log_path, std::ios::app);
+    if (!slow_log_) {
+      throw ConfigError("cannot open slow-request log '" + options_.slow_log_path + "'");
+    }
+  }
+  service_.SetStatusProvider([this] { return StatusSnapshot(); });
 }
 
-Daemon::~Daemon() { Drain(); }
+Daemon::~Daemon() {
+  Drain();
+  // After the final drain no worker can touch `this`; detach from the
+  // service so stats/health on a daemon-less service report unattached.
+  service_.SetStatusProvider(nullptr);
+}
+
+DaemonStatus Daemon::StatusSnapshot() const {
+  DaemonStatus status;
+  status.attached = true;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    status.draining = draining_;
+    status.queue_depth = pending_;
+    status.served = served_;
+  }
+  status.running = running_.load(std::memory_order_relaxed);
+  status.workers = pool_.thread_count();
+  {
+    std::lock_guard<std::mutex> lock(slow_mutex_);
+    status.slow_tail.assign(slow_tail_.begin(), slow_tail_.end());
+  }
+  return status;
+}
+
+void Daemon::RecordSlowRequest(const std::string& record) {
+  std::lock_guard<std::mutex> lock(slow_mutex_);
+  slow_tail_.push_back(record);
+  while (slow_tail_.size() > options_.slow_log_capacity) slow_tail_.pop_front();
+  if (slow_log_.is_open()) {
+    slow_log_ << record << "\n";
+    slow_log_.flush();
+  }
+}
 
 void Daemon::Submit(std::string line, std::function<void(const std::string&)> sink) {
   const auto admitted = std::chrono::steady_clock::now();
@@ -70,7 +144,7 @@ void Daemon::Submit(std::string line, std::function<void(const std::string&)> si
     // full, so clients see an unread socket/pipe instead of lost requests.
     slot_free_.wait(lock, [this] { return pending_ < options_.queue_capacity; });
     pending_++;
-    obs::Registry::Global().GetHistogram("svc.queue.depth").Record(pending_);
+    obs::Registry::Global().GetHistogram("svc.queue.depth_sampled").Record(pending_);
   }
   auto shared_line = std::make_shared<std::string>(std::move(line));
   auto shared_sink = std::make_shared<std::function<void(const std::string&)>>(std::move(sink));
@@ -82,19 +156,39 @@ void Daemon::Submit(std::string line, std::function<void(const std::string&)> si
 void Daemon::Process(const std::string& line,
                      std::chrono::steady_clock::time_point admitted,
                      const std::function<void(const std::string&)>& sink) {
+  running_.fetch_add(1, std::memory_order_relaxed);
   obs::Registry::Global().GetCounter("svc.requests").Add();
+  const auto started = std::chrono::steady_clock::now();
+  const std::uint64_t queue_ns = ElapsedNanos(admitted, started);
+
   std::string response;
+  std::string op_name = "?";
+  std::string request_id;
+  std::uint64_t total_ns = 0;
+  auto finished = started;
   try {
     const Request request = ParseRequest(line);
+    const std::uint64_t parse_ns = ElapsedNanos(started, std::chrono::steady_clock::now());
+    op_name = OpName(request.op);
+
+    // Every served request gets a request id — the client's, or a generated
+    // one — that tags its trace events, spans and slow-log record.
+    request_id =
+        request.id.empty()
+            ? "r-" + std::to_string(request_seq_.fetch_add(1, std::memory_order_relaxed) + 1)
+            : request.id;
+    obs::RequestContext context(request_id);
+    context.AddStageNanos(obs::RequestStage::kQueue, queue_ns);
+    context.AddStageNanos(obs::RequestStage::kParse, parse_ns);
+    const obs::ScopedRequestContext scope(context);
+
     if (obs::Tracer* t = obs::ActiveTracer()) {
-      t->Emit(obs::TraceEvent("svc.request").F("id", request.id).F("op", OpName(request.op)));
+      t->Emit(obs::TraceEvent("svc.request").F("id", request.id).F("op", op_name));
     }
     const std::uint64_t deadline_ms =
         request.deadline_ms != 0 ? request.deadline_ms : options_.default_deadline_ms;
-    const auto waited = std::chrono::steady_clock::now() - admitted;
-    const auto waited_ms =
-        std::chrono::duration_cast<std::chrono::milliseconds>(waited).count();
-    if (deadline_ms != 0 && static_cast<std::uint64_t>(waited_ms) > deadline_ms) {
+    const std::uint64_t waited_ms = queue_ns / 1'000'000;
+    if (deadline_ms != 0 && waited_ms > deadline_ms) {
       obs::Registry::Global().GetCounter("svc.deadline_expired").Add();
       response = ErrorResponse(request.id, "deadline of " + std::to_string(deadline_ms) +
                                                " ms expired after " +
@@ -102,21 +196,48 @@ void Daemon::Process(const std::string& line,
     } else {
       response = service_.Execute(request);
     }
+    finished = std::chrono::steady_clock::now();
+    total_ns = ElapsedNanos(admitted, finished);
+    if (request.want_timings) response = SpliceTimings(std::move(response), context, total_ns);
   } catch (const std::exception& e) {
     obs::Registry::Global().GetCounter("svc.errors").Add();
     response = ErrorResponse(SalvageRequestId(line), e.what());
+    finished = std::chrono::steady_clock::now();
+    total_ns = ElapsedNanos(admitted, finished);
+    if (request_id.empty()) request_id = SalvageRequestId(line);
+  }
+  // Record before the response leaves: once a client has seen its reply, a
+  // scrape must already reflect that request (the e2e tests rely on this).
+  const bool failed = response.find("\"ok\":false") != std::string::npos;
+  latency_hist_.Record(total_ns);
+  if (options_.windowed_metrics) {
+    // Reuse the completion timestamp instead of a second clock read — the
+    // steady_clock epoch is exactly what obs::NowNanos() reports.
+    const std::uint64_t now_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(finished.time_since_epoch())
+            .count());
+    rolling_requests_.Add(1, now_ns);
+    if (failed) rolling_errors_.Add(1, now_ns);
+    rolling_latency_.Record(total_ns, now_ns);
+  }
+  const std::uint64_t total_ms = total_ns / 1'000'000;
+  if (options_.slow_request_ms != 0 && total_ms >= options_.slow_request_ms) {
+    obs::Registry::Global().GetCounter("svc.slow_requests").Add();
+    JsonObjectWriter record;
+    record.Field("req", request_id);
+    record.Field("op", op_name);
+    record.Field("ms", total_ms);
+    record.Field("queue_ms", queue_ns / 1'000'000);
+    record.Field("ok", !failed);
+    RecordSlowRequest(record.Finish());
   }
   sink(response);
-  const auto elapsed = std::chrono::steady_clock::now() - admitted;
-  const auto elapsed_ns =
-      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
-  obs::Registry::Global().GetHistogram("svc.latency_ns").Record(
-      static_cast<std::uint64_t>(elapsed_ns));
   if (obs::Tracer* t = obs::ActiveTracer()) {
     t->Emit(obs::TraceEvent("svc.response")
                 .F("id", SalvageRequestId(line))
-                .F("micros", static_cast<std::uint64_t>(elapsed_ns / 1000)));
+                .F("micros", total_ns / 1000));
   }
+  running_.fetch_sub(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     pending_--;
@@ -227,6 +348,11 @@ bool WriteAll(int fd, const std::string& data) {
 /// One TCP connection: reads JSONL requests, writes responses; waits for
 /// its own in-flight requests before closing so a client that half-closes
 /// still receives every answer.
+///
+/// A connection whose first line is an HTTP GET is served as a one-shot
+/// HTTP exchange instead (GET /metrics for Prometheus scrapers, /health and
+/// /ready for probes) — the same port speaks both protocols, so operating
+/// the daemon needs no second listener.
 class TcpSession {
  public:
   TcpSession(int fd, Daemon& daemon) : fd_(fd), daemon_(&daemon) {}
@@ -236,6 +362,10 @@ class TcpSession {
     std::string line;
     while (reader.NextLine(line)) {
       if (Trim(line).empty()) continue;
+      if (StartsWith(line, "GET ")) {
+        ServeHttp(Trim(line), reader);
+        break;  // Connection: close
+      }
       {
         std::lock_guard<std::mutex> lock(mutex_);
         outstanding_++;
@@ -260,6 +390,43 @@ class TcpSession {
   void ShutdownRead() { ::shutdown(fd_, SHUT_RD); }
 
  private:
+  /// Answers one HTTP GET (request line already read; headers are drained
+  /// and ignored) and leaves the connection ready to close.
+  void ServeHttp(const std::string& request_line, FdLineReader& reader) {
+    std::string header;
+    while (reader.NextLine(header) && !Trim(header).empty()) {
+    }
+    const std::vector<std::string> parts = Split(request_line, ' ');
+    const std::string path = parts.size() > 1 ? parts[1] : "/";
+    obs::Registry::Global().GetCounter("svc.http.gets").Add();
+
+    std::string status = "200 OK";
+    std::string content_type = "application/json";
+    std::string body;
+    if (path == "/metrics") {
+      content_type = "text/plain; version=0.0.4; charset=utf-8";
+      body = daemon_->service().MetricsText();
+    } else if (path == "/health") {
+      Request request;
+      request.op = RequestOp::kHealth;
+      body = daemon_->service().Execute(request) + "\n";
+    } else if (path == "/ready") {
+      Request request;
+      request.op = RequestOp::kReady;
+      body = daemon_->service().Execute(request) + "\n";
+      if (daemon_->draining()) status = "503 Service Unavailable";
+    } else {
+      status = "404 Not Found";
+      content_type = "text/plain; charset=utf-8";
+      body = "not found (try /metrics, /health, /ready)\n";
+    }
+    const std::string response = "HTTP/1.1 " + status + "\r\nContent-Type: " + content_type +
+                                 "\r\nContent-Length: " + std::to_string(body.size()) +
+                                 "\r\nConnection: close\r\n\r\n" + body;
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    WriteAll(fd_, response);
+  }
+
   int fd_;
   Daemon* daemon_;
   std::mutex write_mutex_;

@@ -18,18 +18,23 @@
 //   accepted request ever loses its response.
 //
 // Observability: svc.requests / svc.deadline_expired / svc.rejected
-// counters, svc.latency_ns and svc.queue.depth histograms, and
+// counters, svc.latency_ns and svc.queue.depth_sampled histograms, and
 // svc.request / svc.response / svc.drain trace events.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
+#include <fstream>
 #include <functional>
 #include <iosfwd>
 #include <memory>
 #include <string>
 
 #include "common/parallel.h"
+#include "obs/obs.h"
+#include "obs/rolling.h"
 #include "service/service.h"
 
 namespace commsched::svc {
@@ -41,6 +46,16 @@ struct DaemonOptions {
   std::size_t queue_capacity = 64;
   /// Deadline applied to requests that do not carry their own (0 = none).
   std::uint64_t default_deadline_ms = 0;
+  /// Feed the rolling-window views (req/s, windowed latency percentiles,
+  /// DESIGN.md §12) on every served request.
+  bool windowed_metrics = true;
+  /// Requests slower than this end-to-end land in the slow-request log
+  /// (0 = disabled).
+  std::uint64_t slow_request_ms = 0;
+  /// Optional JSONL file the slow-request records are appended to.
+  std::string slow_log_path;
+  /// In-memory slow-request ring surfaced through stats/top.
+  std::size_t slow_log_capacity = 32;
 };
 
 class Daemon {
@@ -73,9 +88,19 @@ class Daemon {
 
   [[nodiscard]] std::size_t worker_count() const { return pool_.thread_count(); }
 
+  /// The service this daemon executes on (for transports that answer
+  /// side-channel probes like HTTP GET /metrics directly).
+  [[nodiscard]] SchedulingService& service() const { return service_; }
+
+  /// Live state snapshot (also installed as the service's status provider).
+  [[nodiscard]] DaemonStatus StatusSnapshot() const;
+
  private:
   void Process(const std::string& line, std::chrono::steady_clock::time_point admitted,
                const std::function<void(const std::string&)>& sink);
+
+  /// Appends one rendered slow-request record to the ring and the log file.
+  void RecordSlowRequest(const std::string& record);
 
   SchedulingService& service_;
   DaemonOptions options_;
@@ -87,6 +112,21 @@ class Daemon {
   std::size_t pending_ = 0;  // queued + running
   bool draining_ = false;
   std::uint64_t served_ = 0;
+
+  std::atomic<std::uint64_t> running_{0};      // currently inside Process
+  std::atomic<std::uint64_t> request_seq_{0};  // generated request ids
+
+  // Instruments resolved once at construction: the per-request hot path
+  // must not take the (mutexed) registry lookup locks. References into the
+  // registries' node-based maps are stable for the process lifetime.
+  obs::Histogram& latency_hist_;
+  obs::RollingCounter& rolling_requests_;
+  obs::RollingCounter& rolling_errors_;
+  obs::RollingHistogram& rolling_latency_;
+
+  mutable std::mutex slow_mutex_;
+  std::deque<std::string> slow_tail_;
+  std::ofstream slow_log_;
 };
 
 /// Installs SIGTERM/SIGINT handlers (without SA_RESTART, so blocking reads

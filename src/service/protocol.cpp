@@ -17,8 +17,11 @@ RequestOp ParseOp(const std::string& name) {
   if (name == "schedule") return RequestOp::kSchedule;
   if (name == "quality") return RequestOp::kQuality;
   if (name == "simulate") return RequestOp::kSimulate;
+  if (name == "health") return RequestOp::kHealth;
+  if (name == "ready") return RequestOp::kReady;
+  if (name == "metrics") return RequestOp::kMetrics;
   throw ConfigError("unknown op '" + name +
-                    "' (ping|stats|sleep|schedule|quality|simulate)");
+                    "' (ping|stats|sleep|schedule|quality|simulate|health|ready|metrics)");
 }
 
 TopologyRequest ParseTopology(const JsonValue& value) {
@@ -68,6 +71,9 @@ const char* OpName(RequestOp op) {
     case RequestOp::kSchedule: return "schedule";
     case RequestOp::kQuality: return "quality";
     case RequestOp::kSimulate: return "simulate";
+    case RequestOp::kHealth: return "health";
+    case RequestOp::kReady: return "ready";
+    case RequestOp::kMetrics: return "metrics";
   }
   CS_UNREACHABLE("bad RequestOp");
 }
@@ -144,6 +150,10 @@ Request ParseRequest(const std::string& line) {
       request.sleep_ms = member.AsUint("ms");
     } else if (key == "deadline_ms") {
       request.deadline_ms = member.AsUint("deadline_ms");
+    } else if (key == "timings") {
+      request.want_timings = member.AsBool("timings");
+    } else if (key == "reset") {
+      request.stats_reset = member.AsBool("reset");
     } else {
       throw ConfigError("unknown request key '" + key + "'");
     }

@@ -31,12 +31,19 @@ namespace commsched::svc {
 
 enum class RequestOp {
   kPing,      // liveness probe
-  kStats,     // cache hit/miss/eviction + served-request counts
+  kStats,     // cache hit/miss/eviction + served-request counts + live views
   kSleep,     // testing/bench aid: hold a worker for sleep_ms
   kSchedule,  // mapping search (§4.2) over a cached distance table
   kQuality,   // F_G / D_G / C_c of an explicit partition (§4.1)
   kSimulate,  // flit-level load sweep (§5) for a mapping
+  kHealth,    // liveness + drain state of the serving daemon
+  kReady,     // readiness: true until the daemon starts draining
+  kMetrics,   // Prometheus text exposition of the registry
 };
+
+/// Number of RequestOp values (for op-indexed lookup tables).
+inline constexpr std::size_t kRequestOpCount =
+    static_cast<std::size_t>(RequestOp::kMetrics) + 1;
 
 [[nodiscard]] const char* OpName(RequestOp op);
 
@@ -94,6 +101,15 @@ struct Request {
   /// 0 = no deadline. A request still queued when its deadline elapses is
   /// answered with an error instead of being executed.
   std::uint64_t deadline_ms = 0;
+
+  /// "timings": true asks the daemon to append a per-stage wall-clock
+  /// breakdown (queue/parse/model/search/serialize/other, DESIGN.md §12) to
+  /// the response.
+  bool want_timings = false;
+
+  /// stats op only: "reset": true zeroes the registry after snapshotting
+  /// (guarded by ServiceOptions::allow_stats_reset).
+  bool stats_reset = false;
 };
 
 /// Parses one request line. Throws ConfigError on malformed JSON, unknown

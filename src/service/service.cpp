@@ -1,10 +1,14 @@
 #include "service/service.h"
 
+#include <array>
 #include <chrono>
 #include <sstream>
 #include <thread>
 
 #include "common/strings.h"
+#include "obs/prometheus.h"
+#include "obs/request.h"
+#include "obs/rolling.h"
 #include "quality/quality.h"
 #include "service/json.h"
 #include "simnet/sweep.h"
@@ -32,6 +36,20 @@ std::string RenderCacheStats(const CacheStats& stats) {
   return writer.Finish();
 }
 
+/// Per-op served counters, resolved once: the per-request hot path must not
+/// pay a locked registry lookup (Registry::GetCounter takes a mutex).
+obs::Counter& OpCounter(RequestOp op) {
+  static const auto table = [] {
+    std::array<obs::Counter*, kRequestOpCount> counters{};
+    for (std::size_t i = 0; i < kRequestOpCount; ++i) {
+      counters[i] = &obs::Registry::Global().GetCounter(
+          std::string("svc.op.") + OpName(static_cast<RequestOp>(i)));
+    }
+    return counters;
+  }();
+  return *table[static_cast<std::size_t>(op)];
+}
+
 JsonObjectWriter ResponseHead(const Request& request) {
   JsonObjectWriter writer;
   if (!request.id.empty()) writer.Field("id", request.id);
@@ -43,11 +61,27 @@ JsonObjectWriter ResponseHead(const Request& request) {
 }  // namespace
 
 SchedulingService::SchedulingService(ServiceOptions options)
-    : models_("topology", options.topology_cache_capacity),
+    : options_(options),
+      models_("topology", options.topology_cache_capacity),
       results_("result", options.result_cache_capacity) {}
+
+void SchedulingService::SetStatusProvider(std::function<DaemonStatus()> provider) {
+  const std::lock_guard<std::mutex> lock(status_mutex_);
+  status_provider_ = std::move(provider);
+}
+
+DaemonStatus SchedulingService::Status() const {
+  std::function<DaemonStatus()> provider;
+  {
+    const std::lock_guard<std::mutex> lock(status_mutex_);
+    provider = status_provider_;
+  }
+  return provider ? provider() : DaemonStatus{};
+}
 
 std::string SchedulingService::Execute(const Request& request) {
   executed_.fetch_add(1, std::memory_order_relaxed);
+  OpCounter(request.op).Add();
   try {
     return ExecuteOrThrow(request);
   } catch (const std::exception& e) {
@@ -74,6 +108,12 @@ std::string SchedulingService::ExecuteOrThrow(const Request& request) {
       return RunQuality(request);
     case RequestOp::kSimulate:
       return RunSimulate(request);
+    case RequestOp::kHealth:
+      return RunHealth(request);
+    case RequestOp::kReady:
+      return RunReady(request);
+    case RequestOp::kMetrics:
+      return RunMetrics(request);
   }
   CS_UNREACHABLE("bad RequestOp");
 }
@@ -118,7 +158,11 @@ std::shared_ptr<const ScheduleOutcome> SchedulingService::SearchOutcome(
 std::string SchedulingService::RunSchedule(const Request& request) {
   std::uint64_t model_hash = 0;
   bool model_hit = false;
-  auto model = GetModel(request.topology, &model_hash, &model_hit);
+  std::shared_ptr<const NetworkModel> model;
+  {
+    const obs::StageTimer stage(obs::RequestStage::kModel);
+    model = GetModel(request.topology, &model_hash, &model_hit);
+  }
   const std::vector<std::size_t> sizes =
       EvenClusterSizes(model->graph.switch_count(), request.apps);
 
@@ -131,8 +175,13 @@ std::string SchedulingService::RunSchedule(const Request& request) {
   knobs.parallel_seeds = request.parallel_seeds;
 
   bool result_hit = false;
-  auto outcome = SearchOutcome(*model, model_hash, sizes, knobs, &result_hit);
+  std::shared_ptr<const ScheduleOutcome> outcome;
+  {
+    const obs::StageTimer stage(obs::RequestStage::kSearch);
+    outcome = SearchOutcome(*model, model_hash, sizes, knobs, &result_hit);
+  }
 
+  const obs::StageTimer serialize_stage(obs::RequestStage::kSerialize);
   JsonObjectWriter writer = ResponseHead(request);
   writer.Field("partition", outcome->result.best.ToString());
   writer.Field("fg", outcome->result.best_fg);
@@ -148,16 +197,26 @@ std::string SchedulingService::RunSchedule(const Request& request) {
 
 std::string SchedulingService::RunQuality(const Request& request) {
   bool model_hit = false;
-  auto model = GetModel(request.topology, nullptr, &model_hit);
+  std::shared_ptr<const NetworkModel> model;
+  {
+    const obs::StageTimer stage(obs::RequestStage::kModel);
+    model = GetModel(request.topology, nullptr, &model_hit);
+  }
   if (request.partition.size() != model->graph.switch_count()) {
     throw ConfigError("partition names " + std::to_string(request.partition.size()) +
                       " switches, topology has " +
                       std::to_string(model->graph.switch_count()));
   }
   const qual::Partition partition(request.partition);  // validates contiguity
-  const double fg = qual::GlobalSimilarity(model->table, partition);
-  const double dg = qual::GlobalDissimilarity(model->table, partition);
+  double fg = 0.0;
+  double dg = 0.0;
+  {
+    const obs::StageTimer stage(obs::RequestStage::kSearch);
+    fg = qual::GlobalSimilarity(model->table, partition);
+    dg = qual::GlobalDissimilarity(model->table, partition);
+  }
 
+  const obs::StageTimer serialize_stage(obs::RequestStage::kSerialize);
   JsonObjectWriter writer = ResponseHead(request);
   writer.Field("partition", partition.ToString());
   writer.Field("fg", fg);
@@ -170,34 +229,43 @@ std::string SchedulingService::RunQuality(const Request& request) {
 std::string SchedulingService::RunSimulate(const Request& request) {
   std::uint64_t model_hash = 0;
   bool model_hit = false;
-  auto model = GetModel(request.topology, &model_hash, &model_hit);
+  std::shared_ptr<const NetworkModel> model;
+  {
+    const obs::StageTimer stage(obs::RequestStage::kModel);
+    model = GetModel(request.topology, &model_hash, &model_hit);
+  }
   const topo::SwitchGraph& graph = model->graph;
   const std::vector<std::size_t> sizes = EvenClusterSizes(graph.switch_count(), request.apps);
   const work::Workload workload =
       work::Workload::Uniform(request.apps, graph.host_count() / request.apps);
 
   // The "op" mapping reuses the memoized default search — a repeat simulate
-  // on a known topology skips both the resistance solve and the search.
-  qual::Partition partition = [&] {
-    if (request.mapping == "op") {
-      return SearchOutcome(*model, model_hash, sizes, SearchKnobs{}, nullptr)->result.best;
-    }
-    return ChooseMappingPartition(request.mapping, &model->table, sizes,
-                                  request.mapping_seed, request.parallel_seeds);
+  // on a known topology skips both the resistance solve and the search. The
+  // search stage covers mapping choice plus the sweep itself.
+  const auto [partition, result] = [&] {
+    const obs::StageTimer stage(obs::RequestStage::kSearch);
+    qual::Partition chosen = [&] {
+      if (request.mapping == "op") {
+        return SearchOutcome(*model, model_hash, sizes, SearchKnobs{}, nullptr)->result.best;
+      }
+      return ChooseMappingPartition(request.mapping, &model->table, sizes,
+                                    request.mapping_seed, request.parallel_seeds);
+    }();
+    const auto mapping = work::ProcessMapping::FromPartition(graph, workload, chosen);
+    const sim::TrafficPattern pattern(graph, workload, mapping);
+
+    sim::SweepOptions sweep;
+    sweep.points = request.points;
+    sweep.min_rate = request.min_rate;
+    sweep.max_rate = request.max_rate;
+    sweep.config.virtual_channels = request.vcs;
+    sweep.config.warmup_cycles = request.warmup;
+    sweep.config.measure_cycles = request.measure;
+    sim::SweepResult swept = sim::RunLoadSweep(graph, model->routing, pattern, sweep);
+    return std::make_pair(std::move(chosen), std::move(swept));
   }();
 
-  const auto mapping = work::ProcessMapping::FromPartition(graph, workload, partition);
-  const sim::TrafficPattern pattern(graph, workload, mapping);
-
-  sim::SweepOptions sweep;
-  sweep.points = request.points;
-  sweep.min_rate = request.min_rate;
-  sweep.max_rate = request.max_rate;
-  sweep.config.virtual_channels = request.vcs;
-  sweep.config.warmup_cycles = request.warmup;
-  sweep.config.measure_cycles = request.measure;
-  const sim::SweepResult result = sim::RunLoadSweep(graph, model->routing, pattern, sweep);
-
+  const obs::StageTimer serialize_stage(obs::RequestStage::kSerialize);
   std::string points;
   for (const sim::SweepPoint& p : result.points) {
     JsonObjectWriter point;
@@ -219,10 +287,120 @@ std::string SchedulingService::RunSimulate(const Request& request) {
 }
 
 std::string SchedulingService::RunStats(const Request& request) {
+  if (request.stats_reset && !options_.allow_stats_reset) {
+    throw ConfigError("stats reset is disabled (start with --allow-stats-reset)");
+  }
   JsonObjectWriter writer = ResponseHead(request);
   writer.Field("executed", executed());
   writer.Raw("topology_cache", RenderCacheStats(models_.Stats()));
   writer.Raw("result_cache", RenderCacheStats(results_.Stats()));
+
+  {
+    // Per-op request counts ("hottest ops" in the top dashboard).
+    JsonObjectWriter ops;
+    for (const auto& [name, value] : obs::Registry::Global().CounterValues()) {
+      if (StartsWith(name, "svc.op.")) ops.Field(name.substr(7), value);
+    }
+    writer.Raw("ops", ops.Finish());
+  }
+
+  {
+    JsonObjectWriter histograms;
+    for (const auto& [name, snap] : obs::Registry::Global().HistogramValues()) {
+      JsonObjectWriter entry;
+      entry.Field("count", snap.count);
+      entry.Field("min", snap.min);
+      entry.Field("max", snap.max);
+      entry.Field("mean", snap.Mean());
+      entry.Field("p50", snap.Percentile(0.50));
+      entry.Field("p90", snap.Percentile(0.90));
+      entry.Field("p99", snap.Percentile(0.99));
+      histograms.Raw(name, entry.Finish());
+    }
+    writer.Raw("histograms", histograms.Finish());
+  }
+
+  {
+    const std::uint64_t now_ns = obs::NowNanos();
+    const obs::RollingRegistry& rolling = obs::RollingRegistry::Global();
+    JsonObjectWriter rates;
+    for (const auto& [name, rate] : rolling.CounterRates(now_ns)) {
+      rates.Field(name, rate);
+    }
+    JsonObjectWriter windows;
+    for (const auto& [name, snap] : rolling.HistogramWindows(now_ns)) {
+      JsonObjectWriter window;
+      window.Field("count", snap.count);
+      window.Field("p50", snap.Percentile(0.50));
+      window.Field("p99", snap.Percentile(0.99));
+      windows.Raw(name, window.Finish());
+    }
+    JsonObjectWriter views;
+    views.Raw("rates", rates.Finish());
+    views.Raw("windows", windows.Finish());
+    writer.Raw("rolling", views.Finish());
+  }
+
+  const DaemonStatus status = Status();
+  if (status.attached) {
+    JsonObjectWriter queue;
+    queue.Field("depth", status.queue_depth);
+    queue.Field("running", status.running);
+    queue.Field("workers", status.workers);
+    queue.Field("draining", status.draining);
+    writer.Raw("queue", queue.Finish());
+    std::string slow;
+    for (const std::string& record : status.slow_tail) {
+      if (!slow.empty()) slow += ",";
+      slow += record;
+    }
+    writer.Raw("slow", "[" + slow + "]");
+  }
+
+  if (request.stats_reset) {
+    // The snapshot above was rendered first: the reset response is the last
+    // complete view of the counters it zeroes.
+    obs::Registry::Global().ResetAll();
+    writer.Field("reset", true);
+  }
+  return writer.Finish();
+}
+
+std::string SchedulingService::RunHealth(const Request& request) {
+  const DaemonStatus status = Status();
+  JsonObjectWriter writer = ResponseHead(request);
+  writer.Field("status", status.draining ? "draining" : "ok");
+  writer.Field("executed", executed());
+  if (status.attached) writer.Field("served", status.served);
+  return writer.Finish();
+}
+
+std::string SchedulingService::RunReady(const Request& request) {
+  const DaemonStatus status = Status();
+  JsonObjectWriter writer = ResponseHead(request);
+  writer.Field("ready", status.attached ? !status.draining : true);
+  writer.Field("draining", status.draining);
+  return writer.Finish();
+}
+
+std::string SchedulingService::MetricsText() const {
+  obs::PrometheusOptions options;
+  options.rolling = &obs::RollingRegistry::Global();
+  const DaemonStatus status = Status();
+  if (status.attached) {
+    options.extra_gauges["svc.queue_depth"] = static_cast<double>(status.queue_depth);
+    options.extra_gauges["svc.running"] = static_cast<double>(status.running);
+    options.extra_gauges["svc.workers"] = static_cast<double>(status.workers);
+    options.extra_gauges["svc.draining"] = status.draining ? 1.0 : 0.0;
+    options.extra_gauges["svc.served"] = static_cast<double>(status.served);
+  }
+  return obs::RenderPrometheus(obs::Registry::Global(), options);
+}
+
+std::string SchedulingService::RunMetrics(const Request& request) {
+  JsonObjectWriter writer = ResponseHead(request);
+  writer.Field("format", "prometheus");
+  writer.Field("text", MetricsText());
   return writer.Finish();
 }
 

@@ -10,8 +10,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "distance/distance_table.h"
 #include "routing/updown.h"
@@ -49,6 +52,24 @@ struct ServiceOptions {
   std::size_t topology_cache_capacity = 32;
   /// Memoized (model, workload, knobs, seed) -> mapping results.
   std::size_t result_cache_capacity = 1024;
+  /// Allows the stats op's {"reset": true} variant (zeroes the registry).
+  /// Off by default: a misbehaving client must not erase fleet telemetry.
+  bool allow_stats_reset = false;
+};
+
+/// Live daemon state surfaced through the stats/health/ready ops and the
+/// Prometheus exposition. Produced by the serving Daemon's status provider;
+/// `attached` is false when the service runs without one (direct Execute
+/// calls in tests).
+struct DaemonStatus {
+  bool attached = false;
+  bool draining = false;
+  std::uint64_t queue_depth = 0;  // queued + running
+  std::uint64_t running = 0;      // currently executing on a worker
+  std::uint64_t workers = 0;
+  std::uint64_t served = 0;
+  /// Most recent slow-request records (rendered JSONL, oldest first).
+  std::vector<std::string> slow_tail;
 };
 
 class SchedulingService {
@@ -77,12 +98,28 @@ class SchedulingService {
     return executed_.load(std::memory_order_relaxed);
   }
 
+  /// Installs (or clears, with nullptr) the callback that reports the
+  /// serving daemon's live state. The Daemon installs itself on
+  /// construction and clears after its final drain.
+  void SetStatusProvider(std::function<DaemonStatus()> provider);
+
+  /// The daemon's live status, or a default (attached = false) one.
+  [[nodiscard]] DaemonStatus Status() const;
+
+  /// Prometheus text exposition of the global registry plus the rolling
+  /// views and (when attached) daemon gauges. Served by the metrics op and
+  /// the daemon's HTTP GET /metrics handler.
+  [[nodiscard]] std::string MetricsText() const;
+
  private:
   [[nodiscard]] std::string ExecuteOrThrow(const Request& request);
   [[nodiscard]] std::string RunSchedule(const Request& request);
   [[nodiscard]] std::string RunQuality(const Request& request);
   [[nodiscard]] std::string RunSimulate(const Request& request);
   [[nodiscard]] std::string RunStats(const Request& request);
+  [[nodiscard]] std::string RunHealth(const Request& request);
+  [[nodiscard]] std::string RunReady(const Request& request);
+  [[nodiscard]] std::string RunMetrics(const Request& request);
 
   /// Memoized mapping search on a model (also serves simulate's op
   /// mapping). `result_hit` reports the memo outcome.
@@ -91,9 +128,13 @@ class SchedulingService {
       const std::vector<std::size_t>& cluster_sizes, const SearchKnobs& knobs,
       bool* result_hit);
 
+  ServiceOptions options_;
   LruCache<NetworkModel> models_;
   LruCache<ScheduleOutcome> results_;
   std::atomic<std::uint64_t> executed_{0};
+
+  mutable std::mutex status_mutex_;
+  std::function<DaemonStatus()> status_provider_;
 };
 
 }  // namespace commsched::svc

@@ -602,6 +602,8 @@ void NetworkSimulator::SkipIdleSpan(std::size_t limit) {
   if (next <= cycle_) return;
   const std::size_t skipped = next - cycle_;
   cycle_ = next;
+  skipped_cycles_ += skipped;
+  ++skip_spans_;
   if (stuck) {
     idle_cycles_ += skipped;
     if (idle_cycles_ >= config_.deadlock_threshold_cycles && !deadlock_) {
@@ -1050,6 +1052,10 @@ SimMetrics NetworkSimulator::Run(double injection_flits_per_switch_cycle) {
   registry.GetCounter("sim.messages_generated").Add(messages_generated_measured_);
   registry.GetCounter("sim.messages_delivered").Add(messages_delivered_measured_);
   if (deadlock_) registry.GetCounter("sim.deadlocks").Add(1);
+  if (event_mode_) {
+    registry.GetCounter("sim.event.skipped_cycles").Add(skipped_cycles_);
+    registry.GetCounter("sim.event.skips").Add(skip_spans_);
+  }
   if (view_ != nullptr) {
     registry.GetCounter("fault.dropped_flits").Add(dropped_flits_);
     registry.GetCounter("fault.messages_lost").Add(messages_lost_);

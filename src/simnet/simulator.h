@@ -260,6 +260,8 @@ class NetworkSimulator {
   bool any_movement_this_cycle_ = false;
   std::size_t idle_cycles_ = 0;
   std::size_t flits_in_network_ = 0;
+  std::size_t skipped_cycles_ = 0;  // idle cycles jumped over by SkipIdleSpan
+  std::size_t skip_spans_ = 0;      // SkipIdleSpan jumps taken
 
   // ---- fault state (all inert without a config.fault_plan) ----------------
   const VcRoutingPolicy* base_policy_ = nullptr;  // policy_ before any fault

@@ -1,0 +1,192 @@
+// Rolling-window instruments (obs/rolling.h): deterministic bucket
+// rotation driven by an injected clock, window/rate arithmetic, and — the
+// part TSan must sign off on — concurrent writers against a live reader.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/rolling.h"
+
+namespace commsched {
+namespace {
+
+using obs::RollingCounter;
+using obs::RollingHistogram;
+using obs::RollingRegistry;
+
+constexpr std::uint64_t kBucket = 100;  // small fake-clock buckets
+
+TEST(RollingCounterTest, CountsWithinOneBucket) {
+  RollingCounter counter(kBucket);
+  counter.Add(1, 10);
+  counter.Add(2, 20);
+  EXPECT_EQ(counter.WindowTotal(30), 3u);
+}
+
+TEST(RollingCounterTest, WindowCoversTenBuckets) {
+  RollingCounter counter(kBucket);
+  for (std::uint64_t epoch = 0; epoch < RollingCounter::kSlots; ++epoch) {
+    counter.Add(1, epoch * kBucket + 1);
+  }
+  EXPECT_EQ(counter.WindowTotal(RollingCounter::kSlots * kBucket - 1), 10u);
+}
+
+TEST(RollingCounterTest, OldBucketsFallOutOfTheWindow) {
+  RollingCounter counter(kBucket);
+  for (std::uint64_t epoch = 0; epoch < RollingCounter::kSlots; ++epoch) {
+    counter.Add(1, epoch * kBucket + 1);
+  }
+  // Epoch 10 recycles the slot that held epoch 0, so its sample is gone.
+  counter.Add(0, RollingCounter::kSlots * kBucket + 1);
+  EXPECT_EQ(counter.WindowTotal(RollingCounter::kSlots * kBucket + 1), 9u);
+  // Jumping far ahead drops everything.
+  EXPECT_EQ(counter.WindowTotal(100 * kBucket), 0u);
+}
+
+TEST(RollingCounterTest, SlotRecycledOnEpochWrap) {
+  RollingCounter counter(kBucket);
+  counter.Add(5, 50);  // epoch 0
+  // Same slot index, ten epochs later: the old value must not leak in.
+  counter.Add(1, RollingCounter::kSlots * kBucket + 50);
+  EXPECT_EQ(counter.WindowTotal(RollingCounter::kSlots * kBucket + 60), 1u);
+}
+
+TEST(RollingCounterTest, RateUsesElapsedWindowSpan) {
+  RollingCounter counter;  // 1 s buckets
+  counter.Add(10, 500'000'000);  // 10 events in the first half second
+  EXPECT_DOUBLE_EQ(counter.RatePerSecond(500'000'000), 20.0);
+}
+
+TEST(RollingCounterTest, RateOverFullWindow) {
+  RollingCounter counter(kBucket);
+  for (std::uint64_t epoch = 0; epoch < RollingCounter::kSlots; ++epoch) {
+    counter.Add(1, epoch * kBucket);
+  }
+  // Window span at t=999: 9 full buckets + 99 ns of the current one.
+  const double rate = counter.RatePerSecond(RollingCounter::kSlots * kBucket - 1);
+  EXPECT_NEAR(rate, 10.0 * 1e9 / 999.0, 1e6);
+}
+
+TEST(RollingHistogramTest, MergesInWindowBuckets) {
+  RollingHistogram hist(kBucket);
+  hist.Record(10, 50);    // epoch 0
+  hist.Record(100, 150);  // epoch 1
+  const obs::HistogramSnapshot snap = hist.WindowSnapshot(200);
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.sum, 110u);
+  EXPECT_EQ(snap.min, 10u);
+  EXPECT_EQ(snap.max, 100u);
+}
+
+TEST(RollingHistogramTest, ExpiredBucketsAreExcluded) {
+  RollingHistogram hist(kBucket);
+  hist.Record(10, 50);  // epoch 0
+  const std::uint64_t later = (RollingHistogram::kSlots + 5) * kBucket;
+  hist.Record(7, later);
+  const obs::HistogramSnapshot snap = hist.WindowSnapshot(later);
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.max, 7u);
+}
+
+TEST(RollingHistogramTest, EmptyWindowIsZeroed) {
+  RollingHistogram hist(kBucket);
+  const obs::HistogramSnapshot snap = hist.WindowSnapshot(12345);
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.Percentile(0.99), 0.0);
+}
+
+TEST(RollingRegistryTest, LookupCreatesAndReusesSlots) {
+  RollingRegistry registry;
+  RollingCounter& counter = registry.GetCounter("svc.requests");
+  EXPECT_EQ(&registry.GetCounter("svc.requests"), &counter);
+  counter.Add(4, 100);
+  const auto rates = registry.CounterRates(100);
+  EXPECT_EQ(rates.size(), 1u);
+  EXPECT_GT(rates.at("svc.requests"), 0.0);
+
+  registry.GetHistogram("svc.latency_ns").Record(1000, 100);
+  const auto windows = registry.HistogramWindows(100);
+  EXPECT_EQ(windows.at("svc.latency_ns").count, 1u);
+}
+
+// Concurrency: writers on pool threads against a live reader. Bucket span
+// is one minute, so every sample lands in the current epoch and the window
+// total must be exact once writers join — while TSan watches the interim.
+TEST(RollingConcurrencyTest, CounterTotalsExactUnderContention) {
+  constexpr std::uint64_t kMinute = 60'000'000'000ull;
+  RollingCounter counter(kMinute);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50'000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)counter.WindowTotal(obs::NowNanos());
+      (void)counter.RatePerSecond(obs::NowNanos());
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Add(1);
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(counter.WindowTotal(obs::NowNanos()),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(RollingConcurrencyTest, HistogramCountsExactUnderContention) {
+  constexpr std::uint64_t kMinute = 60'000'000'000ull;
+  RollingHistogram hist(kMinute);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20'000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)hist.WindowSnapshot(obs::NowNanos()).Percentile(0.99);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.Record(static_cast<std::uint64_t>(t) * 1000 + 1);
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  const obs::HistogramSnapshot snap = hist.WindowSnapshot(obs::NowNanos());
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(RollingConcurrencyTest, RegistryLookupsRaceSafely) {
+  RollingRegistry registry;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < 2000; ++i) {
+        registry.GetCounter("shared").Add(1);
+        registry.GetHistogram("shared.hist").Record(static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  std::thread reader([&registry] {
+    for (int i = 0; i < 200; ++i) {
+      (void)registry.CounterRates(obs::NowNanos());
+      (void)registry.HistogramWindows(obs::NowNanos());
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  reader.join();
+  EXPECT_EQ(registry.GetCounter("shared").WindowTotal(obs::NowNanos()), 8000u);
+}
+
+}  // namespace
+}  // namespace commsched

@@ -1,0 +1,129 @@
+// Prometheus text exposition (obs/prometheus.h): name mangling, per-family
+// rendering rules (counter suffixes, labeled link family, timer summaries,
+// cumulative histogram buckets), rolling-view gauges and extra gauges.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "obs/obs.h"
+#include "obs/prometheus.h"
+#include "obs/rolling.h"
+
+namespace commsched {
+namespace {
+
+using obs::PrometheusName;
+using obs::PrometheusOptions;
+using obs::Registry;
+using obs::RenderPrometheus;
+
+bool Contains(const std::string& text, const std::string& needle) {
+  return text.find(needle) != std::string::npos;
+}
+
+/// Options with a fixed clock so renders never touch the real NowNanos().
+PrometheusOptions AtTime(std::uint64_t now_ns) {
+  PrometheusOptions options;
+  options.now_ns = now_ns;
+  return options;
+}
+
+TEST(PrometheusNameTest, ManglesNonIdentifierCharacters) {
+  EXPECT_EQ(PrometheusName("commsched_", "svc.latency_ns"), "commsched_svc_latency_ns");
+  EXPECT_EQ(PrometheusName("commsched_", "a.b-c d"), "commsched_a_b_c_d");
+  EXPECT_EQ(PrometheusName("", "plain"), "plain");
+}
+
+TEST(PrometheusRenderTest, CountersGetTotalSuffixAndType) {
+  Registry registry;
+  registry.GetCounter("svc.requests").Add(42);
+  const std::string text = RenderPrometheus(registry, AtTime(1));
+  EXPECT_TRUE(Contains(text, "# TYPE commsched_svc_requests_total counter\n"));
+  EXPECT_TRUE(Contains(text, "commsched_svc_requests_total 42\n"));
+}
+
+TEST(PrometheusRenderTest, LinkCountersCollapseIntoOneLabeledFamily) {
+  Registry registry;
+  registry.GetCounter("link.util.3.7").Add(128);
+  registry.GetCounter("link.util.7.3").Add(96);
+  const std::string text = RenderPrometheus(registry, AtTime(1));
+  // Exactly one TYPE header for the whole family.
+  const std::string header = "# TYPE commsched_link_util_flits_total counter\n";
+  EXPECT_EQ(text.find(header), text.rfind(header));
+  EXPECT_TRUE(Contains(text, "commsched_link_util_flits_total{src=\"3\",dst=\"7\"} 128\n"));
+  EXPECT_TRUE(Contains(text, "commsched_link_util_flits_total{src=\"7\",dst=\"3\"} 96\n"));
+  // No per-link scalar families leak out.
+  EXPECT_FALSE(Contains(text, "commsched_link_util_3_7"));
+}
+
+TEST(PrometheusRenderTest, TimersRenderAsSecondsSummaries) {
+  Registry registry;
+  registry.GetTimer("exec.search").RecordNanos(2'500'000'000ull);
+  const std::string text = RenderPrometheus(registry, AtTime(1));
+  EXPECT_TRUE(Contains(text, "# TYPE commsched_exec_search_seconds summary\n"));
+  EXPECT_TRUE(Contains(text, "commsched_exec_search_seconds_sum 2.5\n"));
+  EXPECT_TRUE(Contains(text, "commsched_exec_search_seconds_count 1\n"));
+}
+
+TEST(PrometheusRenderTest, HistogramsRenderCumulativeLog2Buckets) {
+  Registry registry;
+  obs::Histogram& hist = registry.GetHistogram("svc.latency_ns");
+  hist.Record(1);  // bucket 1, le = 1
+  hist.Record(5);  // bucket 3, le = 7
+  hist.Record(6);  // bucket 3
+  const std::string text = RenderPrometheus(registry, AtTime(1));
+  EXPECT_TRUE(Contains(text, "# TYPE commsched_svc_latency_ns histogram\n"));
+  EXPECT_TRUE(Contains(text, "commsched_svc_latency_ns_bucket{le=\"1\"} 1\n"));
+  // Cumulative: the le="7" bucket includes the le="1" one.
+  EXPECT_TRUE(Contains(text, "commsched_svc_latency_ns_bucket{le=\"7\"} 3\n"));
+  EXPECT_TRUE(Contains(text, "commsched_svc_latency_ns_bucket{le=\"+Inf\"} 3\n"));
+  EXPECT_TRUE(Contains(text, "commsched_svc_latency_ns_sum 12\n"));
+  EXPECT_TRUE(Contains(text, "commsched_svc_latency_ns_count 3\n"));
+}
+
+TEST(PrometheusRenderTest, RollingViewsRenderAsGauges) {
+  Registry registry;
+  obs::RollingRegistry rolling;
+  rolling.GetCounter("svc.requests").Add(10, 500'000'000);
+  rolling.GetHistogram("svc.latency_ns").Record(1000, 500'000'000);
+  PrometheusOptions options;
+  options.now_ns = 500'000'000;
+  options.rolling = &rolling;
+  const std::string text = RenderPrometheus(registry, options);
+  EXPECT_TRUE(Contains(text, "# TYPE commsched_svc_requests_rate gauge\n"));
+  EXPECT_TRUE(Contains(text, "commsched_svc_requests_rate 20\n"));  // 10 in 0.5 s
+  EXPECT_TRUE(Contains(text, "# TYPE commsched_svc_latency_ns_window gauge\n"));
+  EXPECT_TRUE(Contains(text, "commsched_svc_latency_ns_window{q=\"0.5\"}"));
+  EXPECT_TRUE(Contains(text, "commsched_svc_latency_ns_window{q=\"0.99\"}"));
+  EXPECT_TRUE(Contains(text, "commsched_svc_latency_ns_window_count 1\n"));
+}
+
+TEST(PrometheusRenderTest, ExtraGaugesAreMangledAndEmitted) {
+  Registry registry;
+  PrometheusOptions options;
+  options.now_ns = 1;
+  options.extra_gauges["svc.queue_depth"] = 3.0;
+  const std::string text = RenderPrometheus(registry, options);
+  EXPECT_TRUE(Contains(text, "# TYPE commsched_svc_queue_depth gauge\n"));
+  EXPECT_TRUE(Contains(text, "commsched_svc_queue_depth 3\n"));
+}
+
+TEST(PrometheusRenderTest, EmptyRegistryRendersEmpty) {
+  Registry registry;
+  EXPECT_EQ(RenderPrometheus(registry, AtTime(1)), "");
+}
+
+TEST(PrometheusRenderTest, CustomPrefix) {
+  Registry registry;
+  registry.GetCounter("x").Add(1);
+  PrometheusOptions options;
+  options.prefix = "other_";
+  options.now_ns = 1;
+  const std::string text = RenderPrometheus(registry, options);
+  EXPECT_TRUE(Contains(text, "other_x_total 1\n"));
+  EXPECT_FALSE(Contains(text, "commsched_"));
+}
+
+}  // namespace
+}  // namespace commsched

@@ -9,14 +9,17 @@
 //     process exits 0, no response line is lost or truncated.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <netinet/in.h>
 #include <set>
 #include <sstream>
 #include <string>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 #include <vector>
@@ -134,6 +137,62 @@ std::map<std::string, svc::JsonValue> ReadResponses(ServeProcess& serve, std::si
     by_id.emplace(id->AsString("id"), std::move(parsed));
   }
   return by_id;
+}
+
+/// Extracts the ephemeral port from the TCP server's announce line
+/// ("listening on 127.0.0.1:<port>").
+int AnnouncedPort(ServeProcess& serve) {
+  const std::string line = serve.ReadLine();
+  const std::size_t colon = line.rfind(':');
+  if (colon == std::string::npos) {
+    ADD_FAILURE() << "no port in announce line: " << line;
+    return -1;
+  }
+  return std::atoi(line.c_str() + colon + 1);
+}
+
+/// Connects to 127.0.0.1:`port`, sends `payload` verbatim, and reads until
+/// the peer closes or a newline arrives (`until_eof` picks which).
+std::string TcpExchange(int port, const std::string& payload, bool until_eof) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  CS_CHECK(fd >= 0, "socket failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    ADD_FAILURE() << "connect to 127.0.0.1:" << port << " failed";
+    return "";
+  }
+  std::size_t written = 0;
+  while (written < payload.size()) {
+    const ssize_t put = write(fd, payload.data() + written, payload.size() - written);
+    if (put <= 0) break;
+    written += static_cast<std::size_t>(put);
+  }
+  std::string reply;
+  char buffer[4096];
+  while (true) {
+    const ssize_t got = read(fd, buffer, sizeof(buffer));
+    if (got <= 0) break;
+    reply.append(buffer, static_cast<std::size_t>(got));
+    if (!until_eof && reply.find('\n') != std::string::npos) break;
+  }
+  close(fd);
+  return reply;
+}
+
+std::string TcpJsonLine(int port, const std::string& request) {
+  std::string reply = TcpExchange(port, request + "\n", /*until_eof=*/false);
+  const std::size_t newline = reply.find('\n');
+  if (newline != std::string::npos) reply.resize(newline);
+  return reply;
+}
+
+std::string HttpGet(int port, const std::string& path) {
+  return TcpExchange(port, "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n",
+                     /*until_eof=*/true);
 }
 
 TEST(ServiceE2E, ServedTextMatchesOneShotCliByteForByte) {
@@ -256,6 +315,90 @@ TEST(ServiceE2E, MalformedAndExpiredRequestsGetErrorResponses) {
   }
   EXPECT_EQ(oks, 1u);
   EXPECT_EQ(errors, 2u);
+}
+
+// Observability acceptance (DESIGN.md §12): the TCP listener speaks both
+// JSONL and one-shot HTTP; /metrics is Prometheus text whose counters move
+// between scrapes under load; `commsched top --once` renders a dashboard.
+TEST(ServiceE2E, HttpMetricsScrapeAndTopDashboard) {
+  ServeProcess serve({"--listen", "0", "--workers", "2"});
+  const int port = AnnouncedPort(serve);
+  ASSERT_GT(port, 0);
+
+  // Drive some traffic over the JSONL side of the same listener.
+  const std::string sched = TcpJsonLine(
+      port, R"({"id":"s1","op":"schedule","topology":{"kind":"mixed"},"apps":4,"timings":true})");
+  const svc::JsonValue parsed = svc::ParseJson(sched);
+  ASSERT_TRUE(parsed.Find("ok")->AsBool("ok")) << sched;
+  EXPECT_EQ(parsed.Find("req")->AsString("req"), "s1");
+  ASSERT_NE(parsed.Find("timings"), nullptr) << sched;
+
+  const std::string scrape1 = HttpGet(port, "/metrics");
+  EXPECT_NE(scrape1.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(scrape1.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(scrape1.find("# TYPE commsched_svc_requests_total counter"), std::string::npos);
+  EXPECT_NE(scrape1.find("commsched_svc_latency_ns_bucket"), std::string::npos);
+  EXPECT_NE(scrape1.find("commsched_svc_requests_rate"), std::string::npos);
+  EXPECT_NE(scrape1.find("commsched_svc_queue_depth"), std::string::npos);
+
+  // More load, then a second scrape: the served-request counter must move.
+  for (int i = 0; i < 3; ++i) {
+    TcpJsonLine(port, R"({"id":"p)" + std::to_string(i) + R"(","op":"ping"})");
+  }
+  const std::string scrape2 = HttpGet(port, "/metrics");
+  const auto counter_of = [](const std::string& scrape) {
+    const std::string key = "\ncommsched_svc_requests_total ";
+    const std::size_t at = scrape.find(key);
+    return at == std::string::npos ? -1 : std::atoi(scrape.c_str() + at + key.size());
+  };
+  EXPECT_GT(counter_of(scrape2), counter_of(scrape1));
+  EXPECT_GE(counter_of(scrape1), 1);
+
+  const std::string health = HttpGet(port, "/health");
+  EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(health.find("\"status\":\"ok\""), std::string::npos);
+  const std::string ready = HttpGet(port, "/ready");
+  EXPECT_NE(ready.find("\"ready\":true"), std::string::npos);
+  const std::string missing = HttpGet(port, "/nope");
+  EXPECT_NE(missing.find("HTTP/1.1 404"), std::string::npos);
+
+  // The dashboard polls the same stats op over TCP.
+  const std::string top =
+      RunCli("top --connect 127.0.0.1:" + std::to_string(port) + " --once");
+  EXPECT_NE(top.find("req/s"), std::string::npos) << top;
+  EXPECT_NE(top.find("served"), std::string::npos) << top;
+
+  serve.Signal(SIGTERM);
+  EXPECT_EQ(serve.Wait(), 0);
+}
+
+TEST(ServiceE2E, SlowRequestLogCapturesThresholdedRequests) {
+  const std::string log_path = TempPath("slow.jsonl");
+  std::remove(log_path.c_str());
+  ServeProcess serve(
+      {"--listen", "0", "--workers", "1", "--slow-ms", "5", "--slow-log", log_path});
+  const int port = AnnouncedPort(serve);
+  ASSERT_GT(port, 0);
+
+  // One request over the threshold, one under: only the sleep is logged.
+  TcpJsonLine(port, R"({"id":"slow","op":"sleep","ms":30})");
+  TcpJsonLine(port, R"({"id":"fast","op":"ping"})");
+  const std::string stats = TcpJsonLine(port, R"({"id":"st","op":"stats"})");
+  EXPECT_NE(stats.find("\"slow\":[{"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"req\":\"slow\""), std::string::npos) << stats;
+
+  serve.Signal(SIGTERM);
+  EXPECT_EQ(serve.Wait(), 0);
+
+  std::ifstream log(log_path);
+  ASSERT_TRUE(log.is_open()) << log_path;
+  std::string record;
+  ASSERT_TRUE(static_cast<bool>(std::getline(log, record)));
+  EXPECT_NE(record.find("\"req\":\"slow\""), std::string::npos) << record;
+  EXPECT_NE(record.find("\"op\":\"sleep\""), std::string::npos) << record;
+  std::string second;
+  EXPECT_FALSE(static_cast<bool>(std::getline(log, second))) << second;
+  std::remove(log_path.c_str());
 }
 
 }  // namespace

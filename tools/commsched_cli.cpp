@@ -11,6 +11,9 @@
 //   commsched_cli experiment --kind random --switches 16 [--randoms 9]
 //   commsched_cli report   --trace run.jsonl [--metrics-file m.json]
 //                          [--csv sweep.csv] [--top 5]
+//   commsched_cli serve    [--listen PORT] [--workers N] [--slow-ms N]
+//                          [--allow-stats-reset]
+//   commsched_cli top      --connect [HOST:]PORT [--interval-ms 1000] [--once]
 //
 // Observability (any command): --trace <file> streams structured JSONL
 // events (search moves/restarts, simulator milestones, sweep points) to the
@@ -22,6 +25,14 @@
 // Topology kinds: random (paper's irregular model), rings (the designed
 // 24-switch net), mixed (dense/sparse 16-switch), mesh RxC, torus RxC,
 // hypercube D, file <path> (text format of topology/serialize.h).
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -29,6 +40,8 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/commsched.h"
 
@@ -302,12 +315,17 @@ int CmdServe(const Args& args) {
   svc::ServiceOptions service_options;
   service_options.topology_cache_capacity = args.GetSize("topo-cache", 32);
   service_options.result_cache_capacity = args.GetSize("result-cache", 1024);
+  service_options.allow_stats_reset = args.Has("allow-stats-reset");
   svc::SchedulingService service(service_options);
 
   svc::DaemonOptions daemon_options;
   daemon_options.workers = args.GetSize("workers", 0);
   daemon_options.queue_capacity = args.GetSize("queue", 64);
   daemon_options.default_deadline_ms = args.GetSize("deadline-ms", 0);
+  daemon_options.windowed_metrics = !args.Has("no-windowed-metrics");
+  daemon_options.slow_request_ms = args.GetSize("slow-ms", 0);
+  daemon_options.slow_log_path = args.Get("slow-log", "");
+  daemon_options.slow_log_capacity = args.GetSize("slow-log-capacity", 32);
 
   if (args.Has("listen")) {
     const std::size_t port = args.GetSize("listen", 0);
@@ -318,9 +336,188 @@ int CmdServe(const Args& args) {
   return svc::RunStdioServer(service, daemon_options, std::cin, std::cout);
 }
 
+/// Sends one JSONL request to a serving daemon at "[HOST:]PORT" (HOST
+/// defaults to 127.0.0.1, IPv4 literal) and returns the response line.
+std::string TcpJsonRequest(const std::string& target, const std::string& line) {
+  std::string host = "127.0.0.1";
+  std::string port_text = target;
+  const std::size_t colon = target.rfind(':');
+  if (colon != std::string::npos) {
+    host = target.substr(0, colon);
+    port_text = target.substr(colon + 1);
+  }
+  int port = 0;
+  try {
+    port = std::stoi(port_text);
+  } catch (const std::exception&) {
+    port = -1;
+  }
+  if (port <= 0 || port > 65535) {
+    throw ConfigError("bad --connect target '" + target + "' (want [HOST:]PORT)");
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw ConfigError("bad host '" + host + "' (IPv4 literal expected)");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw ConfigError("cannot create socket");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd);
+    throw ConfigError("cannot connect to " + host + ":" + port_text + ": " + reason);
+  }
+  const std::string request = line + "\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t wrote = ::write(fd, request.data() + sent, request.size() - sent);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw ConfigError("write to daemon failed");
+    }
+    sent += static_cast<std::size_t>(wrote);
+  }
+  std::string response;
+  char chunk[4096];
+  while (response.find('\n') == std::string::npos) {
+    const ssize_t got = ::read(fd, chunk, sizeof(chunk));
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) break;
+    response.append(chunk, static_cast<std::size_t>(got));
+  }
+  ::close(fd);
+  const std::size_t newline = response.find('\n');
+  if (newline == std::string::npos) {
+    throw ConfigError("daemon closed the connection without a response");
+  }
+  return response.substr(0, newline);
+}
+
+/// One refresh of the top dashboard: renders a stats response.
+void RenderTopFrame(const std::string& target, const svc::JsonValue& stats, std::ostream& out) {
+  const auto uint_at = [](const svc::JsonValue* value) -> std::uint64_t {
+    return value == nullptr ? 0 : value->AsUint("top field");
+  };
+  const auto double_at = [](const svc::JsonValue* value) -> double {
+    return value == nullptr ? 0.0 : value->AsDouble("top field");
+  };
+  const auto ms = [](double ns) { return ns / 1e6; };
+
+  const svc::JsonValue* queue = stats.Find("queue");
+  const svc::JsonValue* rolling = stats.Find("rolling");
+  const svc::JsonValue* rates = rolling != nullptr ? rolling->Find("rates") : nullptr;
+  const svc::JsonValue* windows = rolling != nullptr ? rolling->Find("windows") : nullptr;
+  const svc::JsonValue* window =
+      windows != nullptr ? windows->Find("svc.latency_ns") : nullptr;
+  const svc::JsonValue* cumulative = stats.Find("histograms") != nullptr
+                                         ? stats.Find("histograms")->Find("svc.latency_ns")
+                                         : nullptr;
+
+  out << "commsched top - " << target;
+  if (queue != nullptr) {
+    out << "   workers " << uint_at(queue->Find("workers")) << "   draining "
+        << (queue->Find("draining") != nullptr && queue->Find("draining")->AsBool("draining")
+                ? "yes"
+                : "no");
+  }
+  out << "\n";
+  out << "  served " << uint_at(stats.Find("executed"));
+  if (queue != nullptr) {
+    out << "   inflight " << uint_at(queue->Find("running")) << "   queue "
+        << uint_at(queue->Find("depth"));
+  }
+  if (rates != nullptr) {
+    out << "   req/s " << double_at(rates->Find("svc.requests")) << "   err/s "
+        << double_at(rates->Find("svc.errors"));
+  }
+  out << "\n";
+  if (window != nullptr) {
+    out << "  latency (10s window, " << uint_at(window->Find("count")) << " reqs): p50 "
+        << ms(double_at(window->Find("p50"))) << " ms, p99 "
+        << ms(double_at(window->Find("p99"))) << " ms";
+  }
+  if (cumulative != nullptr) {
+    out << "   (lifetime p99 " << ms(double_at(cumulative->Find("p99"))) << " ms)";
+  }
+  if (window != nullptr || cumulative != nullptr) out << "\n";
+
+  const auto cache_line = [&](const char* label, const svc::JsonValue* cache) {
+    if (cache == nullptr) return;
+    const std::uint64_t hits = uint_at(cache->Find("hits"));
+    const std::uint64_t misses = uint_at(cache->Find("misses"));
+    const std::uint64_t total = hits + misses;
+    out << "  " << label << " cache: " << hits << "/" << total << " hits";
+    if (total > 0) {
+      out << " (" << 100.0 * static_cast<double>(hits) / static_cast<double>(total) << "%)";
+    }
+    out << ", size " << uint_at(cache->Find("size")) << "/" << uint_at(cache->Find("capacity"))
+        << "\n";
+  };
+  cache_line("topology", stats.Find("topology_cache"));
+  cache_line("result", stats.Find("result_cache"));
+
+  const svc::JsonValue* ops = stats.Find("ops");
+  if (ops != nullptr && ops->is_object() && !ops->AsObject("ops").empty()) {
+    std::vector<std::pair<std::string, std::uint64_t>> counts;
+    for (const auto& [name, value] : ops->AsObject("ops")) {
+      counts.emplace_back(name, value.AsUint("ops." + name));
+    }
+    std::sort(counts.begin(), counts.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    out << "  ops:";
+    for (const auto& [name, count] : counts) out << " " << name << "=" << count;
+    out << "\n";
+  }
+
+  const svc::JsonValue* slow = stats.Find("slow");
+  if (slow != nullptr && slow->is_array() && !slow->AsArray("slow").empty()) {
+    out << "  slow requests (latest last):\n";
+    for (const svc::JsonValue& record : slow->AsArray("slow")) {
+      out << "   ";
+      for (const auto& [key, value] : record.AsObject("slow record")) {
+        out << " " << key << "=";
+        if (value.is_string()) {
+          out << value.AsString(key);
+        } else if (value.is_bool()) {
+          out << (value.AsBool(key) ? "true" : "false");
+        } else {
+          out << value.AsDouble(key);
+        }
+      }
+      out << "\n";
+    }
+  }
+}
+
+int CmdTop(const Args& args) {
+  const std::string target = args.Get("connect", "");
+  if (target.empty()) throw ConfigError("top requires --connect [HOST:]PORT");
+  const std::size_t interval_ms = args.GetSize("interval-ms", 1000);
+  const bool once = args.Has("once");
+  svc::InstallDrainSignalHandlers();  // ctrl-C exits the loop cleanly
+  while (true) {
+    const std::string response = TcpJsonRequest(target, R"({"id":"top","op":"stats"})");
+    const svc::JsonValue stats = svc::ParseJson(response);
+    const svc::JsonValue* ok = stats.Find("ok");
+    if (ok == nullptr || !ok->AsBool("ok")) {
+      throw ConfigError("stats request failed: " + response);
+    }
+    std::ostringstream frame;
+    RenderTopFrame(target, stats, frame);
+    if (!once) std::cout << "\x1b[2J\x1b[H";  // clear + home between refreshes
+    std::cout << frame.str() << std::flush;
+    if (once || svc::DrainSignalled()) return 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    if (svc::DrainSignalled()) return 0;
+  }
+}
+
 int Usage() {
   std::cerr <<
-      "usage: commsched_cli <topo|distance|schedule|simulate|experiment|report|serve>"
+      "usage: commsched_cli <topo|distance|schedule|simulate|experiment|report|serve|top>"
       " [--flags]\n"
       "  topo       generate/describe a topology (--kind random|rings|mixed|mesh|torus|\n"
       "             hypercube|file, --switches N, --seed S, --dot)\n"
@@ -349,6 +546,16 @@ int Usage() {
       "             deadline, --topo-cache N, --result-cache N. SIGTERM/SIGINT\n"
       "             or stdin EOF drains: every admitted request is answered,\n"
       "             then the process exits 0. See DESIGN.md section 10.\n"
+      "             Observability (DESIGN.md section 12): the TCP listener\n"
+      "             also answers HTTP GET /metrics (Prometheus), /health and\n"
+      "             /ready; --slow-ms N logs requests slower than N ms\n"
+      "             (--slow-log F appends them to F as JSONL, --slow-log-\n"
+      "             capacity N bounds the in-memory tail); --allow-stats-reset\n"
+      "             enables the stats op's {\"reset\":true} variant;\n"
+      "             --no-windowed-metrics disables the rolling 10 s views\n"
+      "  top        live dashboard for a serving daemon: --connect [HOST:]PORT,\n"
+      "             --interval-ms N refresh period (default 1000), --once\n"
+      "             prints a single frame and exits (scripting/tests)\n"
       "observability flags (any command):\n"
       "  --trace F        write a JSONL event trace (search moves, sim milestones,\n"
       "                   net.sample telemetry) to F\n"
@@ -367,6 +574,7 @@ int Dispatch(const std::string& command, const Args& args) {
   if (command == "experiment") return CmdExperiment(args);
   if (command == "report") return CmdReport(args);
   if (command == "serve") return CmdServe(args);
+  if (command == "top") return CmdTop(args);
   return Usage();
 }
 
