@@ -77,6 +77,19 @@ DistanceTable DistanceTable::BuildHopCount(const Routing& routing) {
   return table;
 }
 
+DistanceTable DistanceTable::BuildGraphHops(const topo::SwitchGraph& graph) {
+  const std::size_t n = graph.switch_count();
+  DistanceTable table(n, 0.0);
+  for (SwitchId i = 0; i < n; ++i) {
+    const std::vector<std::size_t> hops = graph.BfsDistances(i);
+    for (SwitchId j = i + 1; j < n; ++j) {
+      CS_CHECK(hops[j] != static_cast<std::size_t>(-1), "graph must be connected");
+      table.Set(i, j, static_cast<double>(hops[j]));
+    }
+  }
+  return table;
+}
+
 double DistanceTable::SumSquaredAllPairs() const {
   double sum = 0.0;
   for (std::size_t i = 0; i < n_; ++i) {

@@ -34,6 +34,12 @@ class DistanceTable {
   /// Hop-count table (ablation baseline): T[i][j] = minimal legal hops.
   [[nodiscard]] static DistanceTable BuildHopCount(const Routing& routing);
 
+  /// BFS hop-count table straight from the graph, no routing function — the
+  /// large-fabric path (DESIGN.md §13). Build()'s per-pair effective-
+  /// resistance solves are infeasible at 10^3 switches; one BFS per source
+  /// is O(N(N+L)) total. Requires a connected graph.
+  [[nodiscard]] static DistanceTable BuildGraphHops(const topo::SwitchGraph& graph);
+
   [[nodiscard]] std::size_t size() const { return n_; }
 
   [[nodiscard]] double operator()(std::size_t i, std::size_t j) const {

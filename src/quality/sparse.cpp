@@ -1,0 +1,119 @@
+#include "quality/sparse.h"
+
+namespace commsched::qual {
+
+SparseQapEvaluator::SparseQapEvaluator(const CommGraph& graph, const dist::DistanceTable& table,
+                                       std::vector<std::size_t> switch_of_vertex)
+    : graph_(&graph), table_(&table), switch_of_(std::move(switch_of_vertex)) {
+  CS_CHECK(switch_of_.size() == graph.vertex_count(),
+           "assignment length must equal vertex count");
+  load_.assign(table.size(), 0);
+  for (std::size_t v = 0; v < switch_of_.size(); ++v) {
+    CS_CHECK(switch_of_[v] < table.size(), "vertex assigned to out-of-range switch");
+    load_[switch_of_[v]] += graph.vertex_size(v);
+  }
+  contrib_.assign(graph.vertex_count(), 0.0);
+  cost_ = 0.0;
+  for (const CommEdge& e : graph.edges()) {
+    const double c = EdgeCost(e.weight, switch_of_[e.u], switch_of_[e.v]);
+    cost_ += c;
+    contrib_[e.u] += c;
+    contrib_[e.v] += c;
+  }
+}
+
+double SparseQapEvaluator::NormalizedCost() const {
+  const double total_weight = graph_->TotalEdgeWeight();
+  if (total_weight <= 0.0) return 0.0;
+  const double mean_sq = table_->MeanSquaredDistance();
+  CS_CHECK(mean_sq > 0.0, "degenerate distance table (zero mean squared distance)");
+  return (cost_ / total_weight) / mean_sq;
+}
+
+double SparseQapEvaluator::SwapDelta(std::size_t a, std::size_t b) const {
+  CS_DCHECK(a < switch_of_.size() && b < switch_of_.size(), "vertex id out of range");
+  const std::size_t sa = switch_of_[a];
+  const std::size_t sb = switch_of_[b];
+  if (sa == sb) return 0.0;
+  double delta = 0.0;
+  // The (a, b) edge, if present, keeps its endpoints' switches as a set, so
+  // its cost is unchanged — both loops skip the partner.
+  for (const CommGraph::Neighbor* it = graph_->NeighborsBegin(a);
+       it != graph_->NeighborsEnd(a); ++it) {
+    if (it->vertex == b) continue;
+    const std::size_t sx = switch_of_[it->vertex];
+    delta += EdgeCost(it->weight, sb, sx) - EdgeCost(it->weight, sa, sx);
+  }
+  for (const CommGraph::Neighbor* it = graph_->NeighborsBegin(b);
+       it != graph_->NeighborsEnd(b); ++it) {
+    if (it->vertex == a) continue;
+    const std::size_t sx = switch_of_[it->vertex];
+    delta += EdgeCost(it->weight, sa, sx) - EdgeCost(it->weight, sb, sx);
+  }
+  return delta;
+}
+
+void SparseQapEvaluator::ApplySwap(std::size_t a, std::size_t b) {
+  const std::size_t sa = switch_of_[a];
+  const std::size_t sb = switch_of_[b];
+  if (sa == sb) return;
+  ApplyMove(a, sb);
+  ApplyMove(b, sa);
+}
+
+double SparseQapEvaluator::MoveDelta(std::size_t v, std::size_t s) const {
+  CS_DCHECK(v < switch_of_.size(), "vertex id out of range");
+  CS_DCHECK(s < load_.size(), "switch id out of range");
+  const std::size_t sv = switch_of_[v];
+  if (sv == s) return 0.0;
+  double delta = 0.0;
+  for (const CommGraph::Neighbor* it = graph_->NeighborsBegin(v);
+       it != graph_->NeighborsEnd(v); ++it) {
+    const std::size_t sx = switch_of_[it->vertex];
+    delta += EdgeCost(it->weight, s, sx) - EdgeCost(it->weight, sv, sx);
+  }
+  return delta;
+}
+
+void SparseQapEvaluator::ApplyMove(std::size_t v, std::size_t s) {
+  CS_DCHECK(s < load_.size(), "switch id out of range");
+  const std::size_t sv = switch_of_[v];
+  if (sv == s) return;
+  RemoveVertex(v);
+  load_[sv] -= graph_->vertex_size(v);
+  switch_of_[v] = s;
+  load_[s] += graph_->vertex_size(v);
+  InsertVertex(v);
+}
+
+double SparseQapEvaluator::RecomputeCost() const {
+  double cost = 0.0;
+  for (const CommEdge& e : graph_->edges()) {
+    cost += EdgeCost(e.weight, switch_of_[e.u], switch_of_[e.v]);
+  }
+  return cost;
+}
+
+void SparseQapEvaluator::RemoveVertex(std::size_t v) {
+  const std::size_t sv = switch_of_[v];
+  for (const CommGraph::Neighbor* it = graph_->NeighborsBegin(v);
+       it != graph_->NeighborsEnd(v); ++it) {
+    const double c = EdgeCost(it->weight, sv, switch_of_[it->vertex]);
+    cost_ -= c;
+    contrib_[v] -= c;
+    contrib_[it->vertex] -= c;
+  }
+}
+
+void SparseQapEvaluator::InsertVertex(std::size_t v) {
+  const std::size_t sv = switch_of_[v];
+  for (const CommGraph::Neighbor* it = graph_->NeighborsBegin(v);
+       it != graph_->NeighborsEnd(v); ++it) {
+    const double c = EdgeCost(it->weight, sv, switch_of_[it->vertex]);
+    cost_ += c;
+    contrib_[v] += c;
+    contrib_[it->vertex] += c;
+  }
+}
+
+}  // namespace commsched::qual

@@ -47,7 +47,17 @@ SearchEngine::SearchEngine(std::string algo, const EngineOptions& options, const
       rules_(rules),
       timer_name_("search." + algo_ + ".seed"),
       seed_span_name_(algo_ + ".seed"),
-      iter_span_name_(algo_ + ".iter") {}
+      iter_span_name_(algo_ + ".iter") {
+  // A zero here used to silently yield an empty no-op search result; callers
+  // that meant "don't search" invariably meant something else (a typoed
+  // flag, an uninitialized knob), so it is a configuration error.
+  if (options.seeds == 0) {
+    throw ConfigError("search seeds must be >= 1 (got 0)");
+  }
+  if (options.max_iterations_per_seed == 0) {
+    throw ConfigError("search iterations per seed must be >= 1 (got 0)");
+  }
+}
 
 SeedRun SearchEngine::RunSeed(Objective& objective, std::size_t seed_index) const {
   obs::Registry& registry = obs::Registry::Global();

@@ -52,6 +52,9 @@ inline constexpr double kSearchEps = 1e-12;
 
 /// Engine-level knobs common to all scan searchers. Mirrors the searcher
 /// option structs (TabuOptions et al.), which stay the public surface.
+/// SearchEngine's constructor throws ConfigError when seeds or
+/// max_iterations_per_seed is 0 (a zero used to silently produce an empty
+/// no-op result).
 struct EngineOptions {
   std::size_t seeds = 10;
   std::size_t max_iterations_per_seed = 20;

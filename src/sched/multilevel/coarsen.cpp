@@ -1,0 +1,104 @@
+#include "sched/multilevel/coarsen.h"
+
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace commsched::sched::ml {
+
+std::vector<std::size_t> HeavyEdgeMatching(const qual::CommGraph& graph,
+                                           const MatchingOptions& options) {
+  const std::size_t n = graph.vertex_count();
+  std::vector<std::size_t> match(n);
+  std::iota(match.begin(), match.end(), std::size_t{0});
+
+  Rng rng(options.rng_seed);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.Shuffle(order);
+
+  for (std::size_t v : order) {
+    if (match[v] != v) continue;  // already matched
+    std::size_t best = v;
+    double best_weight = 0.0;
+    for (const qual::CommGraph::Neighbor* it = graph.NeighborsBegin(v);
+         it != graph.NeighborsEnd(v); ++it) {
+      const std::size_t u = it->vertex;
+      if (match[u] != u) continue;
+      if (graph.vertex_size(v) + graph.vertex_size(u) > options.max_vertex_size) continue;
+      if (it->weight > best_weight ||
+          (it->weight == best_weight && best != v && u < best)) {
+        best = u;
+        best_weight = it->weight;
+      }
+    }
+    if (best != v) {
+      match[v] = best;
+      match[best] = v;
+    }
+  }
+  return match;
+}
+
+Contraction Contract(const qual::CommGraph& graph, const std::vector<std::size_t>& match) {
+  const std::size_t n = graph.vertex_count();
+  CS_CHECK(match.size() == n, "matching length must equal vertex count");
+
+  Contraction result;
+  result.coarse_of_fine.assign(n, static_cast<std::size_t>(-1));
+  std::vector<std::size_t> coarse_sizes;
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t partner = match[v];
+    CS_CHECK(partner < n && match[partner] == v, "matching is not an involution");
+    if (partner < v) continue;  // the smaller endpoint creates the super-vertex
+    const std::size_t id = coarse_sizes.size();
+    result.coarse_of_fine[v] = id;
+    std::size_t size = graph.vertex_size(v);
+    if (partner != v) {
+      result.coarse_of_fine[partner] = id;
+      size += graph.vertex_size(partner);
+    }
+    coarse_sizes.push_back(size);
+  }
+
+  std::vector<qual::CommEdge> coarse_edges;
+  coarse_edges.reserve(graph.edge_count());
+  result.absorbed_weight = 0.0;
+  for (const qual::CommEdge& e : graph.edges()) {
+    const std::size_t cu = result.coarse_of_fine[e.u];
+    const std::size_t cv = result.coarse_of_fine[e.v];
+    if (cu == cv) {
+      result.absorbed_weight += e.weight;
+    } else {
+      coarse_edges.push_back({cu, cv, e.weight});
+    }
+  }
+  // coarse_sizes.size() must be read before the vector is moved from: the
+  // two argument expressions are unsequenced.
+  const std::size_t coarse_count = coarse_sizes.size();
+  result.coarse = qual::CommGraph::FromEdges(coarse_count, std::move(coarse_edges),
+                                             std::move(coarse_sizes));
+  return result;
+}
+
+std::vector<Contraction> Coarsen(const qual::CommGraph& graph, const CoarsenOptions& options) {
+  std::vector<Contraction> levels;
+  const qual::CommGraph* current = &graph;
+  std::uint64_t state = options.rng_seed;
+  while (current->vertex_count() > options.target_vertices &&
+         levels.size() < options.max_levels) {
+    MatchingOptions matching;
+    matching.max_vertex_size = options.max_vertex_size;
+    matching.rng_seed = SplitMix64(state);
+    const std::vector<std::size_t> match = HeavyEdgeMatching(*current, matching);
+    Contraction level = Contract(*current, match);
+    const double shrink = static_cast<double>(level.coarse.vertex_count()) /
+                          static_cast<double>(current->vertex_count());
+    if (shrink > options.min_shrink) break;  // matching stalled
+    levels.push_back(std::move(level));
+    current = &levels.back().coarse;
+  }
+  return levels;
+}
+
+}  // namespace commsched::sched::ml

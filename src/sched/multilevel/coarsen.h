@@ -1,0 +1,70 @@
+// Coarsening for the multilevel mapping pipeline (DESIGN.md §13).
+//
+// Heavy-edge matching + contraction in the KaHIP/Scotch tradition: pair
+// each vertex with its heaviest-weight unmatched neighbour (subject to a
+// size cap so every super-vertex still fits on one switch), merge matched
+// pairs, and repeat until the graph is small enough for the SearchEngine to
+// map directly. The invariant tests lean on:
+//
+//   coarse.TotalEdgeWeight() + absorbed_weight == fine.TotalEdgeWeight()
+//
+// — contraction moves weight between the edge list and the absorbed pool,
+// it never creates or destroys it — and vertex sizes are conserved exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "quality/comm_graph.h"
+
+namespace commsched::sched::ml {
+
+struct MatchingOptions {
+  /// A matched pair's combined size must not exceed this (so a super-vertex
+  /// can always be hosted by a single switch).
+  std::size_t max_vertex_size = static_cast<std::size_t>(-1);
+  /// Seed of the random visit order (deterministic for a fixed seed).
+  std::uint64_t rng_seed = 1;
+};
+
+/// Heavy-edge matching: match[v] == partner, or v when unmatched. Visits
+/// vertices in a seeded random order; each unmatched vertex grabs its
+/// heaviest unmatched neighbour whose combined size fits the cap (ties
+/// break toward the smaller vertex id).
+[[nodiscard]] std::vector<std::size_t> HeavyEdgeMatching(const qual::CommGraph& graph,
+                                                         const MatchingOptions& options);
+
+/// One contraction step.
+struct Contraction {
+  qual::CommGraph coarse;
+  /// Fine vertex -> coarse vertex (coarse ids are contiguous, ordered by the
+  /// smallest fine member).
+  std::vector<std::size_t> coarse_of_fine;
+  /// Weight of fine edges internal to merged pairs (dropped from the coarse
+  /// edge list; conserved by the invariant above).
+  double absorbed_weight = 0.0;
+};
+
+/// Contracts matched pairs into super-vertices: sizes add, parallel coarse
+/// edges merge by weight, intra-pair edges move to absorbed_weight.
+[[nodiscard]] Contraction Contract(const qual::CommGraph& graph,
+                                   const std::vector<std::size_t>& match);
+
+struct CoarsenOptions {
+  /// Stop once the coarse graph has at most this many vertices.
+  std::size_t target_vertices = 256;
+  std::size_t max_vertex_size = static_cast<std::size_t>(-1);
+  std::size_t max_levels = 64;
+  /// Stop when a level shrinks by less than this factor (matching stalls on
+  /// graphs whose vertices are all near the size cap).
+  double min_shrink = 0.98;
+  std::uint64_t rng_seed = 1;
+};
+
+/// The full coarsening hierarchy. levels[0] contracts the input graph;
+/// levels.back().coarse is the coarsest graph. Empty when the input is
+/// already at or below target_vertices.
+[[nodiscard]] std::vector<Contraction> Coarsen(const qual::CommGraph& graph,
+                                               const CoarsenOptions& options);
+
+}  // namespace commsched::sched::ml

@@ -7,6 +7,7 @@
 #include "sched/annealing.h"
 #include "sched/local_search.h"
 #include "sched/tabu.h"
+#include "workload/procgen.h"
 
 namespace commsched::svc {
 namespace {
@@ -28,7 +29,20 @@ std::vector<std::size_t> EvenClusterSizes(std::size_t switch_count, std::size_t 
   return std::vector<std::size_t>(apps, switch_count / apps);
 }
 
+void ValidateSearchKnobs(const SearchKnobs& knobs) {
+  if (knobs.seeds == std::size_t{0}) {
+    throw ConfigError("search seeds must be >= 1 (got 0)");
+  }
+  if (knobs.iterations == std::size_t{0}) {
+    throw ConfigError("search iterations must be >= 1 (got 0)");
+  }
+  if (knobs.samples == std::size_t{0}) {
+    throw ConfigError("search samples must be >= 1 (got 0)");
+  }
+}
+
 std::string CanonicalSearchKnobs(const SearchKnobs& knobs, std::size_t switch_count) {
+  ValidateSearchKnobs(knobs);
   std::ostringstream key;
   key << "algo=" << knobs.algo;
   if (knobs.algo == "tabu") {
@@ -55,6 +69,7 @@ std::string CanonicalSearchKnobs(const SearchKnobs& knobs, std::size_t switch_co
 sched::SearchResult RunMappingSearch(const dist::DistanceTable& table,
                                      const std::vector<std::size_t>& cluster_sizes,
                                      const SearchKnobs& knobs) {
+  ValidateSearchKnobs(knobs);
   if (knobs.algo == "tabu") {
     sched::TabuOptions options;
     options.seeds = knobs.seeds.value_or(10);
@@ -131,6 +146,70 @@ std::string FormatSimulateText(const qual::Partition& partition,
   }
   out << table;
   out << "throughput: " << result.Throughput() << " flits/switch/cycle\n";
+  return out.str();
+}
+
+void ValidateMultilevelKnobs(const MultilevelKnobs& knobs) {
+  if (knobs.processes == 0) throw ConfigError("multilevel requires a process count >= 1");
+  if (knobs.seeds == std::size_t{0}) {
+    throw ConfigError("search seeds must be >= 1 (got 0)");
+  }
+  if (knobs.iterations == std::size_t{0}) {
+    throw ConfigError("search iterations must be >= 1 (got 0)");
+  }
+  if (knobs.pattern != "ring" && knobs.pattern != "grid" && knobs.pattern != "random") {
+    throw ConfigError("unknown comm pattern '" + knobs.pattern + "' (ring|grid|random)");
+  }
+  if (knobs.distance != "resistance" && knobs.distance != "hops") {
+    throw ConfigError("unknown distance kind '" + knobs.distance + "' (resistance|hops)");
+  }
+}
+
+std::string CanonicalMultilevelKnobs(const MultilevelKnobs& knobs) {
+  ValidateMultilevelKnobs(knobs);
+  std::ostringstream key;
+  key << "ml=1;procs=" << knobs.processes << ";pattern=" << knobs.pattern
+      << ";pattern_seed=" << knobs.pattern_seed << ";coarsen=" << knobs.coarsen_target
+      << ";budget=" << knobs.refine_budget << ";seeds=" << knobs.seeds.value_or(4)
+      << ";iters=" << knobs.iterations.value_or(0) << ";rng=" << knobs.rng_seed
+      << ";distance=" << knobs.distance;
+  return key.str();
+}
+
+sched::ml::MultilevelResult RunMultilevelSchedule(const dist::DistanceTable& table,
+                                                  std::size_t hosts_per_switch,
+                                                  const MultilevelKnobs& knobs) {
+  ValidateMultilevelKnobs(knobs);
+  const qual::CommGraph graph =
+      work::MakePatternComm(knobs.pattern, knobs.processes, knobs.pattern_seed);
+  sched::ml::MultilevelOptions options;
+  options.coarsen_target = knobs.coarsen_target;
+  options.refine_budget = knobs.refine_budget;
+  options.seeds = knobs.seeds.value_or(4);
+  options.engine_iterations = knobs.iterations.value_or(0);
+  options.rng_seed = knobs.rng_seed;
+  return sched::ml::MapMultilevel(graph, table, hosts_per_switch, options);
+}
+
+std::string FormatMultilevelText(const sched::ml::MultilevelResult& result,
+                                 std::size_t switch_count, std::size_t hosts_per_switch) {
+  std::ostringstream out;
+  out << "multilevel: procs=" << result.switch_of_process.size()
+      << " switches=" << switch_count << " hosts=" << hosts_per_switch
+      << " levels=" << result.levels << " coarsest=" << result.coarsest_vertices << "\n";
+  out << "level vertices edges before after moves\n";
+  for (std::size_t i = 0; i < result.level_stats.size(); ++i) {
+    const sched::ml::LevelStats& stats = result.level_stats[i];
+    out << i << " " << stats.vertices << " " << stats.edges << " " << stats.cost_before
+        << " " << stats.cost_after << " " << stats.moves << "\n";
+  }
+  out << "final: cost=" << result.cost << " normalized=" << result.normalized
+      << " max_load=" << result.max_load << "\n";
+  if (result.switch_of_process.size() <= 64) {
+    out << "assignment:";
+    for (std::size_t s : result.switch_of_process) out << " " << s;
+    out << "\n";
+  }
   return out.str();
 }
 

@@ -15,6 +15,7 @@
 
 #include "distance/distance_table.h"
 #include "quality/partition.h"
+#include "sched/multilevel/multilevel.h"
 #include "sched/search.h"
 #include "simnet/sweep.h"
 #include "topology/graph.h"
@@ -40,6 +41,11 @@ struct SearchKnobs {
   /// shared across the flag.
   bool parallel_seeds = false;
 };
+
+/// Throws ConfigError when an explicitly-set knob is degenerate (seeds,
+/// iterations, or samples == 0 — formerly a silent no-op search). Called by
+/// both front ends at parse time and again by RunMappingSearch.
+void ValidateSearchKnobs(const SearchKnobs& knobs);
 
 /// A stable, human-readable encoding of the knobs that affect the result —
 /// the mapping-memo cache key component. parallel_seeds is deliberately
@@ -67,5 +73,43 @@ struct SearchKnobs {
 /// and the throughput line.
 [[nodiscard]] std::string FormatSimulateText(const qual::Partition& partition,
                                              const sim::SweepResult& result);
+
+// ---------------------------------------------------------------------------
+// Multilevel mapping (schedule --multilevel; DESIGN.md §13). Shared between
+// the CLI and the service's schedule op so results stay byte-identical.
+// ---------------------------------------------------------------------------
+
+/// Knobs of a multilevel schedule request, normalized across front ends.
+struct MultilevelKnobs {
+  std::size_t processes = 0;        // process count (pattern generators)
+  std::string pattern = "grid";     // ring|grid|random
+  std::uint64_t pattern_seed = 1;
+  std::size_t coarsen_target = 0;   // 0 = auto
+  std::size_t refine_budget = 0;    // 0 = auto
+  std::optional<std::size_t> seeds;       // coarsest engine seeds (default 4)
+  std::optional<std::size_t> iterations;  // coarsest engine iterations (0 = auto)
+  std::uint64_t rng_seed = 1;
+  std::string distance = "resistance";  // resistance|hops
+};
+
+/// Throws ConfigError on degenerate knobs (processes == 0, explicit zero
+/// seeds/iterations, unknown pattern or distance kind).
+void ValidateMultilevelKnobs(const MultilevelKnobs& knobs);
+
+/// Memo-key component of a multilevel schedule (see CanonicalSearchKnobs).
+[[nodiscard]] std::string CanonicalMultilevelKnobs(const MultilevelKnobs& knobs);
+
+/// Builds the process communication graph named by knobs.pattern
+/// (work::MakePatternComm) and maps it onto `table`'s switches.
+[[nodiscard]] sched::ml::MultilevelResult RunMultilevelSchedule(const dist::DistanceTable& table,
+                                                                std::size_t hosts_per_switch,
+                                                                const MultilevelKnobs& knobs);
+
+/// The canonical rendering of a multilevel schedule — exactly what the CLI
+/// prints and the service's "text" field carries. The full assignment is
+/// listed only for <= 64 processes (byte-identity stays cheap at scale).
+[[nodiscard]] std::string FormatMultilevelText(const sched::ml::MultilevelResult& result,
+                                               std::size_t switch_count,
+                                               std::size_t hosts_per_switch);
 
 }  // namespace commsched::svc

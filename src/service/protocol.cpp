@@ -44,6 +44,14 @@ TopologyRequest ParseTopology(const JsonValue& value) {
       topology.cols = member.AsUint(context);
     } else if (key == "dim") {
       topology.dim = member.AsUint(context);
+    } else if (key == "x") {
+      topology.x = member.AsUint(context);
+    } else if (key == "y") {
+      topology.y = member.AsUint(context);
+    } else if (key == "z") {
+      topology.z = member.AsUint(context);
+    } else if (key == "k") {
+      topology.k = member.AsUint(context);
     } else if (key == "text") {
       topology.text = member.AsString(context);
     } else {
@@ -92,6 +100,18 @@ topo::SwitchGraph BuildTopology(const TopologyRequest& request) {
   if (kind == "mixed") return topo::MakeMixedDensity16(request.hosts);
   if (kind == "mesh") return topo::MakeMesh2D(request.rows, request.cols, request.hosts);
   if (kind == "torus") return topo::MakeTorus2D(request.rows, request.cols, request.hosts);
+  if (kind == "torus3d") {
+    if (request.x < 3 || request.y < 3 || request.z < 3) {
+      throw ConfigError("torus3d dimensions must all be >= 3");
+    }
+    return topo::MakeTorus3D(request.x, request.y, request.z, request.hosts);
+  }
+  if (kind == "fattree") {
+    if (request.k < 2 || request.k % 2 != 0) {
+      throw ConfigError("fattree arity k must be even and >= 2");
+    }
+    return topo::MakeFatTree(request.k, request.hosts);
+  }
   if (kind == "hypercube") return topo::MakeHypercube(request.dim, request.hosts);
   if (kind == "text") {
     if (request.text.empty()) throw ConfigError("topology kind 'text' requires \"text\"");
@@ -120,10 +140,27 @@ Request ParseRequest(const std::string& line) {
       request.algo = member.AsString("algo");
     } else if (key == "seeds") {
       request.seeds = member.AsUint("seeds");
+      if (*request.seeds == 0) throw ConfigError("search seeds must be >= 1 (got 0)");
     } else if (key == "iters") {
       request.iterations = member.AsUint("iters");
+      if (*request.iterations == 0) throw ConfigError("search iterations must be >= 1 (got 0)");
     } else if (key == "samples") {
       request.samples = member.AsUint("samples");
+      if (*request.samples == 0) throw ConfigError("search samples must be >= 1 (got 0)");
+    } else if (key == "multilevel") {
+      request.multilevel = member.AsBool("multilevel");
+    } else if (key == "procs") {
+      request.procs = member.AsUint("procs");
+    } else if (key == "pattern") {
+      request.pattern = member.AsString("pattern");
+    } else if (key == "pattern_seed") {
+      request.pattern_seed = member.AsUint("pattern_seed");
+    } else if (key == "coarsen_target") {
+      request.coarsen_target = member.AsUint("coarsen_target");
+    } else if (key == "refine_budget") {
+      request.refine_budget = member.AsUint("refine_budget");
+    } else if (key == "distance") {
+      request.distance = member.AsString("distance");
     } else if (key == "search_seed") {
       request.search_seed = member.AsUint("search_seed");
     } else if (key == "parallel_seeds") {

@@ -52,7 +52,8 @@ inline constexpr std::size_t kRequestOpCount =
 /// to the same cache key, so a generator spec and its serialized text hit
 /// the same cache entry.
 struct TopologyRequest {
-  std::string kind = "random";  // random|rings|mixed|mesh|torus|hypercube|text
+  // random|rings|mixed|mesh|torus|torus3d|fattree|hypercube|text
+  std::string kind = "random";
   std::size_t switches = 16;
   std::size_t hosts = 4;
   std::size_t degree = 3;
@@ -60,6 +61,10 @@ struct TopologyRequest {
   std::size_t rows = 4;
   std::size_t cols = 4;
   std::size_t dim = 4;
+  std::size_t x = 4;  // torus3d dimensions
+  std::size_t y = 4;
+  std::size_t z = 4;
+  std::size_t k = 4;  // fat-tree arity (even)
   std::string text;
 };
 
@@ -81,6 +86,17 @@ struct Request {
   std::optional<std::size_t> samples;
   std::uint64_t search_seed = 1;
   bool parallel_seeds = false;
+
+  // multilevel schedule knobs (DESIGN.md §13). "multilevel": true switches
+  // the schedule op to the coarsen/map/uncoarsen pipeline over a generated
+  // process communication graph.
+  bool multilevel = false;
+  std::size_t procs = 0;             // process count (required when multilevel)
+  std::string pattern = "grid";      // ring|grid|random
+  std::uint64_t pattern_seed = 1;
+  std::size_t coarsen_target = 0;    // 0 = auto
+  std::size_t refine_budget = 0;     // 0 = auto
+  std::string distance = "resistance";  // resistance|hops
 
   // quality: cluster id per switch.
   std::vector<std::size_t> partition;

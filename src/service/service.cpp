@@ -63,7 +63,8 @@ JsonObjectWriter ResponseHead(const Request& request) {
 SchedulingService::SchedulingService(ServiceOptions options)
     : options_(options),
       models_("topology", options.topology_cache_capacity),
-      results_("result", options.result_cache_capacity) {}
+      results_("result", options.result_cache_capacity),
+      ml_results_("ml_result", options.result_cache_capacity) {}
 
 void SchedulingService::SetStatusProvider(std::function<DaemonStatus()> provider) {
   const std::lock_guard<std::mutex> lock(status_mutex_);
@@ -156,6 +157,7 @@ std::shared_ptr<const ScheduleOutcome> SchedulingService::SearchOutcome(
 }
 
 std::string SchedulingService::RunSchedule(const Request& request) {
+  if (request.multilevel) return RunScheduleMultilevel(request);
   std::uint64_t model_hash = 0;
   bool model_hit = false;
   std::shared_ptr<const NetworkModel> model;
@@ -189,6 +191,64 @@ std::string SchedulingService::RunSchedule(const Request& request) {
   writer.Field("cc", outcome->result.best_cc);
   writer.Field("moves", static_cast<std::uint64_t>(outcome->result.iterations));
   writer.Field("evaluations", static_cast<std::uint64_t>(outcome->result.evaluations));
+  writer.Field("model_cache", model_hit ? "hit" : "miss");
+  writer.Field("result_cache", result_hit ? "hit" : "miss");
+  writer.Field("text", outcome->text);
+  return writer.Finish();
+}
+
+std::string SchedulingService::RunScheduleMultilevel(const Request& request) {
+  MultilevelKnobs knobs;
+  knobs.processes = request.procs;
+  knobs.pattern = request.pattern;
+  knobs.pattern_seed = request.pattern_seed;
+  knobs.coarsen_target = request.coarsen_target;
+  knobs.refine_budget = request.refine_budget;
+  knobs.seeds = request.seeds;
+  knobs.iterations = request.iterations;
+  knobs.rng_seed = request.search_seed;
+  knobs.distance = request.distance;
+  const std::string canonical = CanonicalMultilevelKnobs(knobs);  // validates
+
+  std::uint64_t model_hash = 0;
+  bool model_hit = false;
+  std::shared_ptr<const NetworkModel> model;
+  {
+    const obs::StageTimer stage(obs::RequestStage::kModel);
+    model = GetModel(request.topology, &model_hash, &model_hit);
+  }
+
+  bool result_hit = true;
+  std::shared_ptr<const MultilevelOutcome> outcome;
+  {
+    const obs::StageTimer stage(obs::RequestStage::kSearch);
+    const std::string key = "model=" + std::to_string(model_hash) + "|" + canonical;
+    outcome = ml_results_.GetOrCompute(HashBytes(key), [&model, &knobs, &result_hit]() {
+      result_hit = false;
+      auto computed = std::make_shared<MultilevelOutcome>();
+      // "hops" skips the model's resistance table for a per-compute BFS
+      // table — the memo makes repeats free either way.
+      const dist::DistanceTable hops = knobs.distance == "hops"
+                                           ? dist::DistanceTable::BuildGraphHops(model->graph)
+                                           : dist::DistanceTable();
+      const dist::DistanceTable& table = knobs.distance == "hops" ? hops : model->table;
+      computed->result =
+          svc::RunMultilevelSchedule(table, model->graph.hosts_per_switch(), knobs);
+      computed->text = FormatMultilevelText(computed->result, model->graph.switch_count(),
+                                            model->graph.hosts_per_switch());
+      return std::shared_ptr<const MultilevelOutcome>(std::move(computed));
+    });
+  }
+
+  const obs::StageTimer serialize_stage(obs::RequestStage::kSerialize);
+  JsonObjectWriter writer = ResponseHead(request);
+  writer.Field("multilevel", true);
+  writer.Field("procs", static_cast<std::uint64_t>(outcome->result.switch_of_process.size()));
+  writer.Field("cost", outcome->result.cost);
+  writer.Field("normalized", outcome->result.normalized);
+  writer.Field("levels", static_cast<std::uint64_t>(outcome->result.levels));
+  writer.Field("coarsest", static_cast<std::uint64_t>(outcome->result.coarsest_vertices));
+  writer.Field("max_load", static_cast<std::uint64_t>(outcome->result.max_load));
   writer.Field("model_cache", model_hit ? "hit" : "miss");
   writer.Field("result_cache", result_hit ? "hit" : "miss");
   writer.Field("text", outcome->text);

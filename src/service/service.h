@@ -47,6 +47,12 @@ struct ScheduleOutcome {
   std::string text;
 };
 
+/// A memoized multilevel mapping (schedule with "multilevel": true).
+struct MultilevelOutcome {
+  sched::ml::MultilevelResult result;
+  std::string text;
+};
+
 struct ServiceOptions {
   /// Cached (topology, routing) -> routing + distance-table models.
   std::size_t topology_cache_capacity = 32;
@@ -128,9 +134,14 @@ class SchedulingService {
       const std::vector<std::size_t>& cluster_sizes, const SearchKnobs& knobs,
       bool* result_hit);
 
+  /// Multilevel variant of RunSchedule (request.multilevel). Memoized in
+  /// ml_results_ under the model hash + CanonicalMultilevelKnobs key.
+  [[nodiscard]] std::string RunScheduleMultilevel(const Request& request);
+
   ServiceOptions options_;
   LruCache<NetworkModel> models_;
   LruCache<ScheduleOutcome> results_;
+  LruCache<MultilevelOutcome> ml_results_;
   std::atomic<std::uint64_t> executed_{0};
 
   mutable std::mutex status_mutex_;

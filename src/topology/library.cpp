@@ -53,6 +53,46 @@ SwitchGraph MakeHypercube(std::size_t dim, std::size_t hosts_per_switch) {
   return g;
 }
 
+SwitchGraph MakeTorus3D(std::size_t x, std::size_t y, std::size_t z,
+                        std::size_t hosts_per_switch) {
+  CS_CHECK(x >= 3 && y >= 3 && z >= 3, "3-D torus needs dimensions >= 3 to stay a simple graph");
+  SwitchGraph g(x * y * z, hosts_per_switch);
+  auto id = [y, z](std::size_t i, std::size_t j, std::size_t k) { return (i * y + j) * z + k; };
+  for (std::size_t i = 0; i < x; ++i) {
+    for (std::size_t j = 0; j < y; ++j) {
+      for (std::size_t k = 0; k < z; ++k) {
+        g.AddLink(id(i, j, k), id((i + 1) % x, j, k));
+        g.AddLink(id(i, j, k), id(i, (j + 1) % y, k));
+        g.AddLink(id(i, j, k), id(i, j, (k + 1) % z));
+      }
+    }
+  }
+  return g;
+}
+
+SwitchGraph MakeFatTree(std::size_t k, std::size_t hosts_per_switch) {
+  CS_CHECK(k >= 2 && k % 2 == 0, "fat-tree arity must be even and >= 2");
+  const std::size_t half = k / 2;
+  const std::size_t pod_switches = k;        // k/2 edge + k/2 aggregation
+  const std::size_t core_base = k * pod_switches;
+  SwitchGraph g(core_base + half * half, hosts_per_switch);
+  for (std::size_t pod = 0; pod < k; ++pod) {
+    const std::size_t edge_base = pod * pod_switches;
+    const std::size_t agg_base = edge_base + half;
+    for (std::size_t e = 0; e < half; ++e) {
+      for (std::size_t a = 0; a < half; ++a) {
+        g.AddLink(edge_base + e, agg_base + a);
+      }
+    }
+    for (std::size_t a = 0; a < half; ++a) {
+      for (std::size_t c = 0; c < half; ++c) {
+        g.AddLink(agg_base + a, core_base + a * half + c);
+      }
+    }
+  }
+  return g;
+}
+
 SwitchGraph MakeStar(std::size_t leaves, std::size_t hosts_per_switch) {
   CS_CHECK(leaves >= 1, "star needs at least one leaf");
   SwitchGraph g(leaves + 1, hosts_per_switch);

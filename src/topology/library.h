@@ -23,6 +23,21 @@ namespace commsched::topo {
 /// dim-dimensional hypercube (2^dim switches).
 [[nodiscard]] SwitchGraph MakeHypercube(std::size_t dim, std::size_t hosts_per_switch = 4);
 
+/// x * y * z torus (wraparound in all three dimensions; every dim >= 3 to
+/// keep the graph simple). 10x10x10 gives the 1k-switch fabric of the
+/// multilevel scale bench.
+[[nodiscard]] SwitchGraph MakeTorus3D(std::size_t x, std::size_t y, std::size_t z,
+                                      std::size_t hosts_per_switch = 4);
+
+/// k-ary fat-tree-like fabric (k even): k pods of k/2 edge + k/2 aggregation
+/// switches, (k/2)^2 core switches — 5k^2/4 switches total. Edge switch e of
+/// a pod links to all k/2 aggregations of its pod; aggregation j of every
+/// pod links to cores [j*k/2, (j+1)*k/2). Unlike a real fat-tree, hosts
+/// attach uniformly to every switch (the SwitchGraph model), so treat it as
+/// a fat-tree-*like* hierarchical fabric. Switch order: pod 0 edges, pod 0
+/// aggregations, pod 1 edges, ..., then cores.
+[[nodiscard]] SwitchGraph MakeFatTree(std::size_t k, std::size_t hosts_per_switch = 4);
+
 /// Star: switch 0 is the hub.
 [[nodiscard]] SwitchGraph MakeStar(std::size_t leaves, std::size_t hosts_per_switch = 4);
 

@@ -4,6 +4,8 @@
 //   commsched_cli distance --kind rings [--hops]
 //   commsched_cli schedule --kind random --switches 16 --apps 4 [--seeds 10]
 //                          [--algo tabu|sd|random|sa|gsa] [--parallel-seeds]
+//   commsched_cli schedule --kind torus3d --x 10 --y 10 --z 10 --multilevel
+//                          --procs 100000 --pattern grid --distance hops
 //   commsched_cli simulate --kind rings --apps 4 --mapping op|random|blocked
 //                          [--points 9] [--max-rate 1.4] [--vcs 1] [--duato]
 //                          [--telemetry N] [--fault-plan plan.json]
@@ -108,6 +110,13 @@ topo::SwitchGraph BuildTopology(const Args& args) {
     return topo::MakeTorus2D(args.GetSize("rows", 4), args.GetSize("cols", 4),
                              args.GetSize("hosts", 4));
   }
+  if (kind == "torus3d") {
+    return topo::MakeTorus3D(args.GetSize("x", 4), args.GetSize("y", 4), args.GetSize("z", 4),
+                             args.GetSize("hosts", 4));
+  }
+  if (kind == "fattree") {
+    return topo::MakeFatTree(args.GetSize("k", 4), args.GetSize("hosts", 4));
+  }
   if (kind == "hypercube") {
     return topo::MakeHypercube(args.GetSize("dim", 4), args.GetSize("hosts", 4));
   }
@@ -165,11 +174,45 @@ svc::SearchKnobs KnobsFromArgs(const Args& args) {
   if (args.Has("samples")) knobs.samples = args.GetSize("samples", 0);
   knobs.rng_seed = args.GetSize("search-seed", 1);
   knobs.parallel_seeds = args.Has("parallel-seeds");
+  svc::ValidateSearchKnobs(knobs);  // fail at parse time, not mid-run
   return knobs;
+}
+
+/// The multilevel knobs, exactly as the service's schedule op interprets
+/// them — both front ends funnel into svc::RunMultilevelSchedule so a
+/// served request stays byte-identical to a one-shot run.
+svc::MultilevelKnobs MultilevelKnobsFromArgs(const Args& args) {
+  svc::MultilevelKnobs knobs;
+  knobs.processes = args.GetSize("procs", 0);
+  knobs.pattern = args.Get("pattern", "grid");
+  knobs.pattern_seed = args.GetSize("pattern-seed", 1);
+  knobs.coarsen_target = args.GetSize("coarsen-target", 0);
+  knobs.refine_budget = args.GetSize("refine-budget", 0);
+  if (args.Has("seeds")) knobs.seeds = args.GetSize("seeds", 0);
+  if (args.Has("iters")) knobs.iterations = args.GetSize("iters", 0);
+  knobs.rng_seed = args.GetSize("search-seed", 1);
+  knobs.distance = args.Get("distance", "resistance");
+  svc::ValidateMultilevelKnobs(knobs);
+  return knobs;
+}
+
+int CmdScheduleMultilevel(const Args& args, const topo::SwitchGraph& graph) {
+  const svc::MultilevelKnobs knobs = MultilevelKnobsFromArgs(args);
+  const route::UpDownRouting routing(graph);
+  // hops skips the O(N^3)-ish resistance solve — required for 1k+ switches.
+  const dist::DistanceTable table = knobs.distance == "hops"
+                                        ? dist::DistanceTable::BuildGraphHops(graph)
+                                        : dist::DistanceTable::Build(routing);
+  const sched::ml::MultilevelResult result =
+      svc::RunMultilevelSchedule(table, graph.hosts_per_switch(), knobs);
+  std::cout << svc::FormatMultilevelText(result, graph.switch_count(),
+                                         graph.hosts_per_switch());
+  return 0;
 }
 
 int CmdSchedule(const Args& args) {
   const topo::SwitchGraph graph = BuildTopology(args);
+  if (args.Has("multilevel")) return CmdScheduleMultilevel(args, graph);
   const route::UpDownRouting routing(graph);
   const dist::DistanceTable table = dist::DistanceTable::Build(routing);
   const std::size_t apps = args.GetSize("apps", 4);
@@ -520,10 +563,15 @@ int Usage() {
       "usage: commsched_cli <topo|distance|schedule|simulate|experiment|report|serve|top>"
       " [--flags]\n"
       "  topo       generate/describe a topology (--kind random|rings|mixed|mesh|torus|\n"
-      "             hypercube|file, --switches N, --seed S, --dot)\n"
+      "             torus3d|fattree|hypercube|file, --switches N, --seed S,\n"
+      "             --x/--y/--z torus3d dims, --k fat-tree arity, --dot)\n"
       "  distance   equivalent-distance table as CSV (--hops for hop counts)\n"
       "  schedule   search for a mapping + quality coefficients (--apps K, --seeds N,\n"
-      "             --algo tabu|sd|random|sa|gsa, --parallel-seeds, --dot)\n"
+      "             --algo tabu|sd|random|sa|gsa, --parallel-seeds, --dot);\n"
+      "             --multilevel maps a generated process graph instead:\n"
+      "             --procs N processes, --pattern ring|grid|random,\n"
+      "             --pattern-seed S, --coarsen-target N, --refine-budget B,\n"
+      "             --distance resistance|hops (hops scales to 1k+ switches)\n"
       "  simulate   load sweep for a mapping (--mapping op|random|blocked,\n"
       "             --parallel-seeds for the op search, --vcs V,\n"
       "             --adaptive, --duato, --points P, --max-rate R,\n"
