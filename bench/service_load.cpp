@@ -14,8 +14,20 @@
 //   * hot+windowed — the hot batch with rolling-window metrics recording
 //              on and periodic Prometheus exposition renders; CI asserts
 //              the observability layer costs <5% of hot throughput.
+//
+// Scale-out points (DESIGN.md §14):
+//   * batch vs singles — the same 64 hot sub-requests as one batch frame
+//              vs 64 daemon round-trips; `batch_speedup_x` is the frame's
+//              amortization factor, gated >=3 in CI.
+//   * boot cold vs warm — service construction + first requests with an
+//              empty artifact store vs one warm-booted from a populated
+//              store (no routing or Laplacian re-solve).
+//   * fleet  — three in-process shards behind a ShardRing, mixed traffic
+//              routed by topology hash.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -203,6 +215,145 @@ void BM_ServicePingFloor(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(responses), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ServicePingFloor)->Unit(benchmark::kMillisecond);
+
+/// Wraps request lines into one batch frame.
+std::string BatchFrame(const std::string& frame_id, const std::vector<std::string>& lines) {
+  std::string frame = R"({"id":")" + frame_id + R"(","op":"batch","requests":[)";
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (i > 0) frame += ",";
+    frame += lines[i];
+  }
+  frame += "]}";
+  return frame;
+}
+
+/// Paired measurement of the batch protocol's amortization: each iteration
+/// serves the same 512 hot sub-requests twice — as 512 single lines, then
+/// as 8 frames of 64 — through one daemon each, so the daemon construction
+/// cost is identical on both sides and cancels. `batch_speedup_x` is
+/// singles-time over batch-time for identical work; CI gates it at >=3.
+void BM_ServiceBatchVsSingles(benchmark::State& state) {
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::string> base = MixedBatch(size);
+  std::vector<std::string> singles;
+  std::vector<std::string> frames;
+  for (int i = 0; i < 8; ++i) {
+    singles.insert(singles.end(), base.begin(), base.end());
+    frames.push_back(BatchFrame("f" + std::to_string(i), base));
+  }
+  svc::SchedulingService service;
+  ServeBatch(service, base, size);  // warm the model/result caches
+  std::uint64_t singles_ns = 0;
+  std::uint64_t batch_ns = 0;
+  std::size_t responses = 0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    responses += ServeBatch(service, singles, singles.size());
+    const auto t1 = std::chrono::steady_clock::now();
+    responses += size * ServeBatch(service, frames, frames.size());
+    const auto t2 = std::chrono::steady_clock::now();
+    singles_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+    batch_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t2 - t1).count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(responses));
+  state.counters["batch_speedup_x"] = benchmark::Counter(
+      batch_ns == 0 ? 0.0
+                    : static_cast<double>(singles_ns) / static_cast<double>(batch_ns));
+}
+BENCHMARK(BM_ServiceBatchVsSingles)->Arg(64)->Unit(benchmark::kMillisecond);
+
+/// Distinct-topology schedule requests (the boot benches below pay a full
+/// solve per topology when cold and zero when warm).
+std::vector<std::string> DistinctTopologyBatch(std::size_t count) {
+  std::vector<std::string> batch;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    batch.push_back(ScheduleRequest(i, 1000 + i, 12, "sd"));
+  }
+  return batch;
+}
+
+/// Service construction + 4 distinct-topology requests against an empty
+/// artifact store: every request is a cold routing + resistance solve (plus
+/// the artifact encode/write). The floor BM_ServiceBootWarm deletes.
+void BM_ServiceBootCold(benchmark::State& state) {
+  const std::vector<std::string> batch = DistinctTopologyBatch(4);
+  const std::string dir = std::filesystem::temp_directory_path() / "commsched_bench_boot_cold";
+  std::size_t responses = 0;
+  for (auto _ : state) {
+    std::filesystem::remove_all(dir);  // a genuinely cold store every time
+    svc::ServiceOptions options;
+    options.store_dir = dir;
+    svc::SchedulingService service(options);
+    responses += ServeBatch(service, batch, batch.size());
+  }
+  std::filesystem::remove_all(dir);
+  state.SetItemsProcessed(static_cast<std::int64_t>(responses));
+  state.counters["req_per_sec"] =
+      benchmark::Counter(static_cast<double>(responses), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ServiceBootCold)->Unit(benchmark::kMillisecond);
+
+/// The same construction + requests warm-booted from a store populated once
+/// outside the measured region: models decode from disk at boot, the
+/// requests are pure cache hits, and zero solves run (the restart path the
+/// CI warm-restart gate asserts on).
+void BM_ServiceBootWarm(benchmark::State& state) {
+  const std::vector<std::string> batch = DistinctTopologyBatch(4);
+  const std::string dir = std::filesystem::temp_directory_path() / "commsched_bench_boot_warm";
+  std::filesystem::remove_all(dir);
+  {
+    svc::ServiceOptions options;
+    options.store_dir = dir;
+    svc::SchedulingService seeder(options);
+    ServeBatch(seeder, batch, batch.size());
+  }
+  std::size_t responses = 0;
+  for (auto _ : state) {
+    svc::ServiceOptions options;
+    options.store_dir = dir;
+    svc::SchedulingService service(options);
+    responses += ServeBatch(service, batch, batch.size());
+  }
+  std::filesystem::remove_all(dir);
+  state.SetItemsProcessed(static_cast<std::int64_t>(responses));
+  state.counters["req_per_sec"] =
+      benchmark::Counter(static_cast<double>(responses), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ServiceBootWarm)->Unit(benchmark::kMillisecond);
+
+/// Three in-process shards behind a ShardRing: the router-side cost of
+/// ShardKeyOf (a topology build + hash per request) plus the owning shard's
+/// hot execution, without socket hops. Mirrors the CI fleet-smoke job.
+void BM_ServiceFleet3(benchmark::State& state) {
+  const std::vector<std::string> lines = MixedBatch(32);
+  std::vector<svc::Request> parsed;
+  for (const std::string& line : lines) parsed.push_back(svc::ParseRequest(line));
+  const svc::ShardRing ring({"shard-a", "shard-b", "shard-c"});
+  std::vector<std::unique_ptr<svc::SchedulingService>> shards;
+  for (std::size_t i = 0; i < ring.nodes().size(); ++i) {
+    shards.push_back(std::make_unique<svc::SchedulingService>());
+  }
+  // Warm every shard's caches for its own keys.
+  for (const svc::Request& request : parsed) {
+    benchmark::DoNotOptimize(shards[ring.NodeIndexOf(svc::ShardKeyOf(request))]
+                                 ->Execute(request).data());
+  }
+  std::size_t responses = 0;
+  for (auto _ : state) {
+    for (const svc::Request& request : parsed) {
+      const std::size_t owner = ring.NodeIndexOf(svc::ShardKeyOf(request));
+      const std::string response = shards[owner]->Execute(request);
+      benchmark::DoNotOptimize(response.data());
+      ++responses;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(responses));
+  state.counters["req_per_sec"] =
+      benchmark::Counter(static_cast<double>(responses), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ServiceFleet3)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -90,6 +90,17 @@ DistanceTable DistanceTable::BuildGraphHops(const topo::SwitchGraph& graph) {
   return table;
 }
 
+DistanceTable DistanceTable::FromValues(std::size_t n, std::vector<double> values) {
+  if (values.size() != n * n) {
+    throw ConfigError("distance table payload holds " + std::to_string(values.size()) +
+                      " values, expected " + std::to_string(n * n));
+  }
+  DistanceTable table;
+  table.n_ = n;
+  table.values_ = std::move(values);
+  return table;
+}
+
 double DistanceTable::SumSquaredAllPairs() const {
   double sum = 0.0;
   for (std::size_t i = 0; i < n_; ++i) {

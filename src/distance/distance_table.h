@@ -40,6 +40,14 @@ class DistanceTable {
   /// is O(N(N+L)) total. Requires a connected graph.
   [[nodiscard]] static DistanceTable BuildGraphHops(const topo::SwitchGraph& graph);
 
+  /// Reconstructs a table from its raw row-major values (the artifact-store
+  /// warm-boot path, DESIGN.md §14); `values` must hold n*n entries. Throws
+  /// ConfigError on a size mismatch.
+  [[nodiscard]] static DistanceTable FromValues(std::size_t n, std::vector<double> values);
+
+  /// The raw row-major values (n*n entries) — the persisted representation.
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
   [[nodiscard]] std::size_t size() const { return n_; }
 
   [[nodiscard]] double operator()(std::size_t i, std::size_t j) const {

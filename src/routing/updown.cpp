@@ -72,6 +72,32 @@ UpDownRouting::UpDownRouting(const SwitchGraph& graph, SwitchId root)
   Build();
 }
 
+UpDownRouting::UpDownRouting(const SwitchGraph& graph, UpDownState state)
+    : graph_(&graph), root_(state.root) {
+  const std::size_t n = graph.switch_count();
+  if (state.root >= n || state.level.size() != n || state.up_end.size() != graph.link_count() ||
+      state.dist_to_dest.size() != n) {
+    throw ConfigError("up*/down* state does not match the graph shape");
+  }
+  for (const auto& dist : state.dist_to_dest) {
+    if (dist.size() != 2 * n) {
+      throw ConfigError("up*/down* state does not match the graph shape");
+    }
+  }
+  level_ = std::move(state.level);
+  up_end_ = std::move(state.up_end);
+  dist_to_dest_ = std::move(state.dist_to_dest);
+}
+
+UpDownState UpDownRouting::ExportState() const {
+  UpDownState state;
+  state.root = root_;
+  state.level = level_;
+  state.up_end = up_end_;
+  state.dist_to_dest = dist_to_dest_;
+  return state;
+}
+
 void UpDownRouting::Build() {
   const SwitchGraph& g = *graph_;
   const std::size_t n = g.switch_count();

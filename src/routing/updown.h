@@ -40,6 +40,18 @@ enum class RootPolicy {
   kMinEccentricity,  // most central switch, ties to lower id
 };
 
+/// The complete precomputed state of an UpDownRouting, detached from any
+/// graph: the spanning-tree root, per-switch BFS levels, per-link up ends,
+/// and the per-destination legal-hop distance tables. Exported so the
+/// service's artifact store can persist a routing to disk and restore it on
+/// a later boot without re-running any BFS (DESIGN.md §14).
+struct UpDownState {
+  SwitchId root = 0;
+  std::vector<std::size_t> level;                      // per switch
+  std::vector<SwitchId> up_end;                        // per link
+  std::vector<std::vector<std::size_t>> dist_to_dest;  // [dest][switch*2+phase]
+};
+
 class UpDownRouting final : public Routing {
  public:
   /// Builds the routing function; the graph must stay alive and unchanged
@@ -51,6 +63,11 @@ class UpDownRouting final : public Routing {
   /// Explicit root override.
   UpDownRouting(const SwitchGraph& graph, SwitchId root);
 
+  /// Restores a routing from previously exported state instead of running
+  /// the BFS passes — the warm-boot path. Throws ConfigError when the state
+  /// shape does not match the graph (wrong switch/link counts).
+  UpDownRouting(const SwitchGraph& graph, UpDownState state);
+
   [[nodiscard]] const SwitchGraph& graph() const override { return *graph_; }
   [[nodiscard]] std::size_t MinimalDistance(SwitchId s, SwitchId t) const override;
   [[nodiscard]] std::vector<LinkId> LinksOnMinimalPaths(SwitchId s, SwitchId t) const override;
@@ -60,6 +77,9 @@ class UpDownRouting final : public Routing {
   [[nodiscard]] std::string Name() const override { return "up*/down*"; }
 
   [[nodiscard]] SwitchId root() const { return root_; }
+
+  /// Copies out the full precomputed state (see UpDownState).
+  [[nodiscard]] UpDownState ExportState() const;
 
   /// The "up" end of a link (closer to the root / lower id on ties).
   [[nodiscard]] SwitchId UpEnd(LinkId link) const;

@@ -112,6 +112,24 @@ class LruCache {
     return future.get();
   }
 
+  /// Seeds the cache with an already-computed value (the warm-boot path:
+  /// models decoded from the artifact store are ready, not built). Counts
+  /// neither a hit nor a miss — the first real request for the key then
+  /// registers as a hit, which is what "warm" means. A key already present
+  /// is left untouched.
+  void Insert(std::uint64_t key, std::shared_ptr<const Value> value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (entries_.find(key) != entries_.end()) return;
+    std::promise<std::shared_ptr<const Value>> promise;
+    promise.set_value(std::move(value));
+    Entry entry;
+    entry.future = promise.get_future().share();
+    lru_.push_front(key);
+    entry.lru_pos = lru_.begin();
+    entries_.emplace(key, std::move(entry));
+    EvictOverCapacity();
+  }
+
   [[nodiscard]] CacheStats Stats() const {
     std::lock_guard<std::mutex> lock(mutex_);
     CacheStats stats;

@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "service/cache.h"
 #include "service/json.h"
 #include "topology/generator.h"
 #include "topology/library.h"
@@ -20,8 +21,9 @@ RequestOp ParseOp(const std::string& name) {
   if (name == "health") return RequestOp::kHealth;
   if (name == "ready") return RequestOp::kReady;
   if (name == "metrics") return RequestOp::kMetrics;
+  if (name == "batch") return RequestOp::kBatch;
   throw ConfigError("unknown op '" + name +
-                    "' (ping|stats|sleep|schedule|quality|simulate|health|ready|metrics)");
+                    "' (ping|stats|sleep|schedule|quality|simulate|health|ready|metrics|batch)");
 }
 
 TopologyRequest ParseTopology(const JsonValue& value) {
@@ -82,6 +84,7 @@ const char* OpName(RequestOp op) {
     case RequestOp::kHealth: return "health";
     case RequestOp::kReady: return "ready";
     case RequestOp::kMetrics: return "metrics";
+    case RequestOp::kBatch: return "batch";
   }
   CS_UNREACHABLE("bad RequestOp");
 }
@@ -120,17 +123,63 @@ topo::SwitchGraph BuildTopology(const TopologyRequest& request) {
   throw ConfigError("unknown topology kind '" + kind + "'");
 }
 
-Request ParseRequest(const std::string& line) {
-  const JsonValue root = ParseJson(line);
+namespace {
+
+/// Best-effort "id" of a (possibly malformed) sub-request object — the
+/// per-entry analogue of SalvageRequestId, used to label batch-entry error
+/// responses.
+std::string SalvageEntryId(const JsonValue& entry) {
+  if (!entry.is_object()) return "";
+  const JsonValue* id = entry.Find("id");
+  if (id != nullptr && id->is_string()) return id->AsString("id");
+  return "";
+}
+
+Request ParseRequestObject(const JsonValue& root, bool allow_batch);
+
+/// Parses the batch "requests" array with per-entry error isolation: a
+/// malformed entry becomes a BatchEntry carrying the error (and any
+/// salvageable sub-id) instead of failing the whole frame. Batch-shape
+/// errors — missing/empty array, nested batch — still throw: there is no
+/// meaningful partial response for those.
+std::vector<BatchEntry> ParseBatchEntries(const JsonValue& value) {
+  std::vector<BatchEntry> entries;
+  for (const JsonValue& item : value.AsArray("requests")) {
+    BatchEntry entry;
+    try {
+      entry.request = ParseRequestObject(item, /*allow_batch=*/false);
+    } catch (const std::exception& e) {
+      entry.error = e.what();
+      entry.salvaged_id = SalvageEntryId(item);
+    }
+    entries.push_back(std::move(entry));
+  }
+  if (entries.empty()) {
+    throw ConfigError("batch \"requests\" must be a non-empty array");
+  }
+  return entries;
+}
+
+Request ParseRequestObject(const JsonValue& root, bool allow_batch) {
   const JsonValue* op = root.Find("op");
   if (!root.is_object() || op == nullptr) {
     throw ConfigError("request must be a JSON object with an \"op\"");
   }
   Request request;
   request.op = ParseOp(op->AsString("op"));
+  if (request.op == RequestOp::kBatch && !allow_batch) {
+    throw ConfigError("batch entries must not themselves be batches");
+  }
+  bool saw_requests = false;
   for (const auto& [key, member] : root.AsObject("request")) {
     if (key == "op") continue;
-    if (key == "id") {
+    if (key == "requests") {
+      if (request.op != RequestOp::kBatch) {
+        throw ConfigError("\"requests\" is only valid for op batch");
+      }
+      request.batch = ParseBatchEntries(member);
+      saw_requests = true;
+    } else if (key == "id") {
       request.id = member.AsString("id");
     } else if (key == "topology") {
       request.topology = ParseTopology(member);
@@ -195,14 +244,22 @@ Request ParseRequest(const std::string& line) {
       throw ConfigError("unknown request key '" + key + "'");
     }
   }
+  if (request.op == RequestOp::kBatch && !saw_requests) {
+    throw ConfigError("op batch requires a \"requests\" array");
+  }
   return request;
+}
+
+}  // namespace
+
+Request ParseRequest(const std::string& line) {
+  return ParseRequestObject(ParseJson(line), /*allow_batch=*/true);
 }
 
 std::string SalvageRequestId(const std::string& line) {
   try {
     const JsonValue root = ParseJson(line);
-    const JsonValue* id = root.Find("id");
-    if (id != nullptr && id->is_string()) return id->AsString("id");
+    return SalvageEntryId(root);
   } catch (const std::exception&) {
     // Malformed line: respond without an id.
   }
@@ -215,6 +272,25 @@ std::string ErrorResponse(const std::string& id, const std::string& error) {
   writer.Field("ok", false);
   writer.Field("error", error);
   return writer.Finish();
+}
+
+std::string BatchEntryErrorResponse(const std::string& id, const std::string& batch_id,
+                                    std::size_t index, const std::string& error) {
+  JsonObjectWriter writer;
+  if (!id.empty()) writer.Field("id", id);
+  if (!batch_id.empty()) writer.Field("batch", batch_id);
+  writer.Field("index", static_cast<std::uint64_t>(index));
+  writer.Field("ok", false);
+  writer.Field("error", error);
+  return writer.Finish();
+}
+
+std::uint64_t ModelHashOfGraph(const topo::SwitchGraph& graph) {
+  return HashBytes("updown:maxdegree|" + topo::ToText(graph));
+}
+
+std::uint64_t TopologyModelHash(const TopologyRequest& topology) {
+  return ModelHashOfGraph(BuildTopology(topology));
 }
 
 }  // namespace commsched::svc

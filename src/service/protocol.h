@@ -39,11 +39,12 @@ enum class RequestOp {
   kHealth,    // liveness + drain state of the serving daemon
   kReady,     // readiness: true until the daemon starts draining
   kMetrics,   // Prometheus text exposition of the registry
+  kBatch,     // many sub-requests in one frame (one response array)
 };
 
 /// Number of RequestOp values (for op-indexed lookup tables).
 inline constexpr std::size_t kRequestOpCount =
-    static_cast<std::size_t>(RequestOp::kMetrics) + 1;
+    static_cast<std::size_t>(RequestOp::kBatch) + 1;
 
 [[nodiscard]] const char* OpName(RequestOp op);
 
@@ -70,6 +71,8 @@ struct TopologyRequest {
 
 /// Materializes the requested topology (throws ConfigError on bad specs).
 [[nodiscard]] topo::SwitchGraph BuildTopology(const TopologyRequest& request);
+
+struct BatchEntry;
 
 /// One parsed protocol request. Defaults match the CLI.
 struct Request {
@@ -126,6 +129,21 @@ struct Request {
   /// stats op only: "reset": true zeroes the registry after snapshotting
   /// (guarded by ServiceOptions::allow_stats_reset).
   bool stats_reset = false;
+
+  /// batch op only: the parsed "requests" array. Entries that failed to
+  /// parse are kept in place (BatchEntry::error non-empty) so the response
+  /// array stays index-aligned with the request array — per-entry error
+  /// isolation, never a dropped batch.
+  std::vector<BatchEntry> batch;
+};
+
+/// One sub-request of a batch frame. Exactly one of the two states holds:
+/// `error` empty and `request` valid, or `error` carrying the parse failure
+/// with `salvaged_id` holding whatever "id" the malformed entry carried.
+struct BatchEntry {
+  Request request;
+  std::string error;
+  std::string salvaged_id;
 };
 
 /// Parses one request line. Throws ConfigError on malformed JSON, unknown
@@ -139,5 +157,24 @@ struct Request {
 
 /// {"id":...,"ok":false,"error":...} (id omitted when empty).
 [[nodiscard]] std::string ErrorResponse(const std::string& id, const std::string& error);
+
+/// Error response for one batch sub-request: echoes the enclosing batch id
+/// and the entry's position ("batch" and "index" fields) so clients can
+/// correlate partial failures inside a batch.
+[[nodiscard]] std::string BatchEntryErrorResponse(const std::string& id,
+                                                  const std::string& batch_id,
+                                                  std::size_t index,
+                                                  const std::string& error);
+
+/// The model-cache hash of an already-built graph: FNV-1a over the canonical
+/// key text (serialized graph + routing scheme), so two requests describing
+/// the same network differently share one entry. The single source of truth
+/// for model identity — the service's cache, the artifact store's filenames,
+/// and the shard router all key on this value.
+[[nodiscard]] std::uint64_t ModelHashOfGraph(const topo::SwitchGraph& graph);
+
+/// Builds the topology and hashes it (the router's path: it never keeps the
+/// graph). Throws ConfigError on bad specs, like BuildTopology.
+[[nodiscard]] std::uint64_t TopologyModelHash(const TopologyRequest& topology);
 
 }  // namespace commsched::svc

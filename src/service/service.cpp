@@ -2,8 +2,10 @@
 
 #include <array>
 #include <chrono>
+#include <map>
 #include <sstream>
 #include <thread>
+#include <utility>
 
 #include "common/strings.h"
 #include "obs/prometheus.h"
@@ -11,6 +13,7 @@
 #include "obs/rolling.h"
 #include "quality/quality.h"
 #include "service/json.h"
+#include "service/store.h"
 #include "simnet/sweep.h"
 #include "simnet/traffic.h"
 #include "topology/serialize.h"
@@ -18,13 +21,6 @@
 
 namespace commsched::svc {
 namespace {
-
-/// Canonical cache-key text of a topology: the serialized graph plus the
-/// routing scheme. Two requests describing the same network differently
-/// (generator spec vs. inline text) canonicalize to the same key.
-std::string CanonicalModelKey(const topo::SwitchGraph& graph) {
-  return "updown:maxdegree|" + topo::ToText(graph);
-}
 
 std::string RenderCacheStats(const CacheStats& stats) {
   JsonObjectWriter writer;
@@ -61,10 +57,38 @@ JsonObjectWriter ResponseHead(const Request& request) {
 }  // namespace
 
 SchedulingService::SchedulingService(ServiceOptions options)
-    : options_(options),
-      models_("topology", options.topology_cache_capacity),
-      results_("result", options.result_cache_capacity),
-      ml_results_("ml_result", options.result_cache_capacity) {}
+    : options_(std::move(options)),
+      models_("topology", options_.topology_cache_capacity),
+      results_("result", options_.result_cache_capacity),
+      ml_results_("ml_result", options_.result_cache_capacity),
+      solve_counter_(&obs::Registry::Global().GetCounter("svc.model.solve")) {
+  if (!options_.store_dir.empty()) {
+    store_ = std::make_unique<ArtifactStore>(options_.store_dir);
+    WarmBootFromStore();
+  }
+}
+
+SchedulingService::~SchedulingService() = default;
+
+void SchedulingService::WarmBootFromStore() {
+  for (const std::uint64_t key : store_->ListKeys(ArtifactKind::kModel)) {
+    // Get() counts a store.hit per loaded artifact and already screens
+    // header/hash corruption; decode failures and key mismatches (a renamed
+    // file) are screened here so they never poison the cache.
+    std::optional<std::string> payload = store_->Get(ArtifactKind::kModel, key);
+    if (!payload.has_value()) continue;
+    try {
+      std::shared_ptr<const NetworkModel> model = DecodeModelArtifact(*payload);
+      if (ModelHashOfGraph(model->graph) != key) {
+        store_->NoteCorrupt();
+        continue;
+      }
+      models_.Insert(key, std::move(model));
+    } catch (const std::exception&) {
+      store_->NoteCorrupt();
+    }
+  }
+}
 
 void SchedulingService::SetStatusProvider(std::function<DaemonStatus()> provider) {
   const std::lock_guard<std::mutex> lock(status_mutex_);
@@ -115,24 +139,155 @@ std::string SchedulingService::ExecuteOrThrow(const Request& request) {
       return RunReady(request);
     case RequestOp::kMetrics:
       return RunMetrics(request);
+    case RequestOp::kBatch:
+      return RunBatch(request);
   }
   CS_UNREACHABLE("bad RequestOp");
 }
 
+namespace {
+
+/// Frame-scoped model memo, active while RunBatch executes on its worker.
+/// Keyed by the raw topology spelling — not the canonical graph text — so
+/// repeated sub-requests for one topology skip even the graph construction
+/// and canonical-text hashing a standalone request pays on every call.
+/// Thread-local because a batch runs sequentially on one worker; the memo
+/// dies with the frame, so it never needs eviction or invalidation.
+struct BatchModelMemo {
+  std::map<std::string, std::pair<std::uint64_t, std::shared_ptr<const NetworkModel>>> models;
+  /// Rendered schedule responses minus their id head, keyed by the full
+  /// schedule body (ScheduleBodyKey). Only hit/hit responses land here — see
+  /// RunSchedule — so a memo copy is byte-for-byte what re-executing the
+  /// repeat would render, id aside.
+  std::map<std::string, std::string> schedule_responses;
+};
+
+thread_local BatchModelMemo* t_batch_memo = nullptr;
+
+std::string TopologySpecKey(const TopologyRequest& t) {
+  std::string key = t.kind;
+  key += '|';
+  for (const std::size_t v : {t.switches, t.hosts, t.degree, t.rows, t.cols, t.dim, t.x, t.y,
+                              t.z, t.k}) {
+    key += std::to_string(v);
+    key += ',';
+  }
+  key += std::to_string(t.seed);
+  key += '|';
+  key += t.text;
+  return key;
+}
+
+/// Everything RunSchedule's output depends on except the request id.
+std::string ScheduleBodyKey(const Request& r) {
+  std::string key = TopologySpecKey(r.topology);
+  key += '|';
+  key += std::to_string(r.apps);
+  key += '|';
+  key += r.algo;
+  key += '|';
+  key += r.seeds ? std::to_string(*r.seeds) : "-";
+  key += '|';
+  key += r.iterations ? std::to_string(*r.iterations) : "-";
+  key += '|';
+  key += r.samples ? std::to_string(*r.samples) : "-";
+  key += '|';
+  key += std::to_string(r.search_seed);
+  key += r.parallel_seeds ? "|p" : "|s";
+  return key;
+}
+
+/// The exact bytes ResponseHead renders for a non-empty id.
+std::string ResponseIdHead(const std::string& id) {
+  return "{\"id\":\"" + JsonEscape(id) + "\"";
+}
+
+}  // namespace
+
+std::string SchedulingService::RunBatch(const Request& request) {
+  // Arm the frame-scoped model memo for the sub-requests below (nested
+  // batches are rejected at parse time, so the memo is never re-entered).
+  BatchModelMemo memo;
+  t_batch_memo = &memo;
+  std::string responses;
+  std::uint64_t failed = 0;
+  for (std::size_t i = 0; i < request.batch.size(); ++i) {
+    const BatchEntry& entry = request.batch[i];
+    std::string line;
+    if (!entry.error.empty()) {
+      ++failed;
+      obs::Registry::Global().GetCounter("svc.errors").Add();
+      line = BatchEntryErrorResponse(entry.salvaged_id, request.id, i, entry.error);
+    } else {
+      // Execute (not ExecuteOrThrow): an entry that fails mid-execution
+      // becomes its standalone error response, and the batch carries on.
+      line = Execute(entry.request);
+    }
+    if (!responses.empty()) responses += ",";
+    responses += line;
+  }
+  t_batch_memo = nullptr;
+  JsonObjectWriter writer = ResponseHead(request);
+  writer.Field("count", static_cast<std::uint64_t>(request.batch.size()));
+  writer.Field("failed", failed);
+  writer.Raw("responses", "[" + responses + "]");
+  return writer.Finish();
+}
+
 std::shared_ptr<const NetworkModel> SchedulingService::GetModel(
     const TopologyRequest& topology, std::uint64_t* model_hash, bool* model_hit) {
+  // Inside a batch frame, repeats of one topology spelling resolve from the
+  // frame memo: no graph build, no canonical-text hash, and the marker
+  // reads "hit" exactly as the standalone repeat's LRU hit would.
+  std::string spec_key;
+  if (t_batch_memo != nullptr) {
+    spec_key = TopologySpecKey(topology);
+    const auto memoized = t_batch_memo->models.find(spec_key);
+    if (memoized != t_batch_memo->models.end()) {
+      if (model_hash != nullptr) *model_hash = memoized->second.first;
+      if (model_hit != nullptr) *model_hit = true;
+      // Still touch the LRU by hash: the hit/miss counters stay truthful for
+      // stats consumers, the entry's recency refreshes, and a model evicted
+      // mid-frame re-seats without a re-solve. The memo's saving is the
+      // skipped graph build + canonical-text hash, not this lookup.
+      std::shared_ptr<const NetworkModel> kept = memoized->second.second;
+      return models_.GetOrCompute(memoized->second.first,
+                                  [&kept]() { return kept; });
+    }
+  }
   // Building the graph itself is cheap (generators and text parsing); the
   // cache exists for the routing construction and the O(N²) resistance
   // solves behind DistanceTable::Build.
   topo::SwitchGraph graph = BuildTopology(topology);
-  const std::uint64_t hash = HashBytes(CanonicalModelKey(graph));
+  const std::uint64_t hash = ModelHashOfGraph(graph);
   if (model_hash != nullptr) *model_hash = hash;
   bool hit = true;
-  auto model = models_.GetOrCompute(hash, [&graph, &hit]() {
-    hit = false;
-    return std::make_shared<const NetworkModel>(std::move(graph));
-  });
+  auto model = models_.GetOrCompute(
+      hash, [this, &graph, hash, &hit]() -> std::shared_ptr<const NetworkModel> {
+        hit = false;
+        if (store_ != nullptr) {
+          // Cache miss but maybe a store hit: a model evicted (or solved by
+          // a previous incarnation of this daemon) restores from disk
+          // without re-solving.
+          if (std::optional<std::string> payload = store_->Get(ArtifactKind::kModel, hash)) {
+            try {
+              return DecodeModelArtifact(*payload);
+            } catch (const std::exception&) {
+              store_->NoteCorrupt();  // fall through to a cold solve
+            }
+          }
+        }
+        solve_counter_->Add();
+        auto built = std::make_shared<const NetworkModel>(std::move(graph));
+        if (store_ != nullptr) {
+          store_->Put(ArtifactKind::kModel, hash, EncodeModelArtifact(*built));
+        }
+        return built;
+      });
   if (model_hit != nullptr) *model_hit = hit;
+  if (t_batch_memo != nullptr) {
+    t_batch_memo->models.emplace(std::move(spec_key), std::make_pair(hash, model));
+  }
   return model;
 }
 
@@ -158,6 +313,19 @@ std::shared_ptr<const ScheduleOutcome> SchedulingService::SearchOutcome(
 
 std::string SchedulingService::RunSchedule(const Request& request) {
   if (request.multilevel) return RunScheduleMultilevel(request);
+  // Frame-scoped response memo: inside a batch, a repeat of a schedule body
+  // that already rendered as a pure cache read (model AND result hit) only
+  // re-renders the id head. A hit/hit response is a deterministic function
+  // of the body, so the memo copy is byte-identical to re-executing the
+  // repeat — the markers a standalone repeat would render are hit/hit too.
+  std::string memo_key;
+  if (t_batch_memo != nullptr && !request.id.empty() && !request.want_timings) {
+    memo_key = ScheduleBodyKey(request);
+    const auto memoized = t_batch_memo->schedule_responses.find(memo_key);
+    if (memoized != t_batch_memo->schedule_responses.end()) {
+      return ResponseIdHead(request.id) + memoized->second;
+    }
+  }
   std::uint64_t model_hash = 0;
   bool model_hit = false;
   std::shared_ptr<const NetworkModel> model;
@@ -194,7 +362,15 @@ std::string SchedulingService::RunSchedule(const Request& request) {
   writer.Field("model_cache", model_hit ? "hit" : "miss");
   writer.Field("result_cache", result_hit ? "hit" : "miss");
   writer.Field("text", outcome->text);
-  return writer.Finish();
+  std::string line = writer.Finish();
+  if (!memo_key.empty() && model_hit && result_hit) {
+    const std::string head = ResponseIdHead(request.id);
+    if (line.compare(0, head.size(), head) == 0) {
+      t_batch_memo->schedule_responses.emplace(std::move(memo_key),
+                                               line.substr(head.size()));
+    }
+  }
+  return line;
 }
 
 std::string SchedulingService::RunScheduleMultilevel(const Request& request) {
@@ -354,6 +530,17 @@ std::string SchedulingService::RunStats(const Request& request) {
   writer.Field("executed", executed());
   writer.Raw("topology_cache", RenderCacheStats(models_.Stats()));
   writer.Raw("result_cache", RenderCacheStats(results_.Stats()));
+
+  if (store_ != nullptr) {
+    const StoreStats store = store_->Stats();
+    JsonObjectWriter section;
+    section.Field("dir", store_->dir());
+    section.Field("hits", store.hits);
+    section.Field("misses", store.misses);
+    section.Field("writes", store.writes);
+    section.Field("corrupt", store.corrupt);
+    writer.Raw("store", section.Finish());
+  }
 
   {
     // Per-op request counts ("hottest ops" in the top dashboard).

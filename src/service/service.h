@@ -26,11 +26,19 @@
 
 namespace commsched::svc {
 
+class ArtifactStore;
+
 /// An immutable cached network model. The routing holds a pointer into
 /// `graph`, so the struct is pinned: heap-allocated, never copied or moved.
 struct NetworkModel {
   explicit NetworkModel(topo::SwitchGraph g)
       : graph(std::move(g)), routing(graph), table(dist::DistanceTable::Build(routing)) {}
+
+  /// Restores a model from persisted parts without re-running the routing
+  /// BFS or the resistance solves (the artifact-store warm path). Throws
+  /// ConfigError when the state does not match the graph's shape.
+  NetworkModel(topo::SwitchGraph g, route::UpDownState state, dist::DistanceTable t)
+      : graph(std::move(g)), routing(graph, std::move(state)), table(std::move(t)) {}
 
   NetworkModel(const NetworkModel&) = delete;
   NetworkModel& operator=(const NetworkModel&) = delete;
@@ -61,6 +69,11 @@ struct ServiceOptions {
   /// Allows the stats op's {"reset": true} variant (zeroes the registry).
   /// Off by default: a misbehaving client must not erase fleet telemetry.
   bool allow_stats_reset = false;
+  /// Non-empty enables the on-disk artifact store (DESIGN.md §14): solved
+  /// models are persisted there and every artifact present at construction
+  /// is decoded straight into the topology cache, so a restarted daemon
+  /// serves previously-seen models without a routing or Laplacian re-solve.
+  std::string store_dir;
 };
 
 /// Live daemon state surfaced through the stats/health/ready ops and the
@@ -81,6 +94,7 @@ struct DaemonStatus {
 class SchedulingService {
  public:
   explicit SchedulingService(ServiceOptions options = {});
+  ~SchedulingService();  // out-of-line: ArtifactStore is incomplete here
 
   SchedulingService(const SchedulingService&) = delete;
   SchedulingService& operator=(const SchedulingService&) = delete;
@@ -100,6 +114,9 @@ class SchedulingService {
 
   [[nodiscard]] CacheStats TopologyCacheStats() const { return models_.Stats(); }
   [[nodiscard]] CacheStats ResultCacheStats() const { return results_.Stats(); }
+
+  /// The artifact store, or nullptr when store_dir was empty.
+  [[nodiscard]] const ArtifactStore* store() const { return store_.get(); }
   [[nodiscard]] std::uint64_t executed() const {
     return executed_.load(std::memory_order_relaxed);
   }
@@ -127,6 +144,19 @@ class SchedulingService {
   [[nodiscard]] std::string RunReady(const Request& request);
   [[nodiscard]] std::string RunMetrics(const Request& request);
 
+  /// Executes every batch entry in admission order on the calling worker
+  /// (sub-requests must not re-enter the worker pool: a full pool of
+  /// batches waiting on their own sub-tasks would deadlock, and the heavy
+  /// solves already parallelize internally). OK entries render exactly the
+  /// bytes their standalone request would; malformed entries render error
+  /// objects carrying the batch id and entry index.
+  [[nodiscard]] std::string RunBatch(const Request& request);
+
+  /// Decodes every artifact in the store into the topology cache (no
+  /// hit/miss counted): the first request for a persisted model is then a
+  /// cache hit with zero re-solves.
+  void WarmBootFromStore();
+
   /// Memoized mapping search on a model (also serves simulate's op
   /// mapping). `result_hit` reports the memo outcome.
   [[nodiscard]] std::shared_ptr<const ScheduleOutcome> SearchOutcome(
@@ -142,6 +172,8 @@ class SchedulingService {
   LruCache<NetworkModel> models_;
   LruCache<ScheduleOutcome> results_;
   LruCache<MultilevelOutcome> ml_results_;
+  std::unique_ptr<ArtifactStore> store_;  // null when store_dir is empty
+  obs::Counter* solve_counter_;           // svc.model.solve: full cold builds
   std::atomic<std::uint64_t> executed_{0};
 
   mutable std::mutex status_mutex_;

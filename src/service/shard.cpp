@@ -1,0 +1,87 @@
+#include "service/shard.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+#include "service/cache.h"
+#include "service/protocol.h"
+
+namespace commsched::svc {
+
+namespace {
+
+/// FNV-1a of the short, similar strings the ring hashes ("host:port#v")
+/// clusters in the upper bits, which skews ring-arc lengths badly enough to
+/// overload one shard ~2x. splitmix64's finalizer avalanche fixes both the
+/// point placement and the key lookup side; it is a fixed bijection, so
+/// ownership stays deterministic across processes.
+std::uint64_t MixHash(std::uint64_t h) {
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace
+
+ShardRing::ShardRing(std::vector<std::string> nodes, std::size_t vnodes)
+    : nodes_(std::move(nodes)), vnodes_(vnodes == 0 ? 1 : vnodes) {
+  if (nodes_.empty()) throw ConfigError("shard ring needs at least one node");
+  std::set<std::string> seen;
+  for (const std::string& node : nodes_) {
+    if (node.empty()) throw ConfigError("shard ring node addresses must not be empty");
+    if (!seen.insert(node).second) {
+      throw ConfigError("duplicate shard ring node '" + node + "'");
+    }
+  }
+  ring_.reserve(nodes_.size() * vnodes_);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (std::size_t v = 0; v < vnodes_; ++v) {
+      ring_.push_back({MixHash(HashBytes(nodes_[i] + "#" + std::to_string(v))), i});
+    }
+  }
+  // Ties (64-bit collisions) break by node index so the ring is a pure
+  // function of the node list, never of construction order.
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    return a.hash != b.hash ? a.hash < b.hash : a.node < b.node;
+  });
+}
+
+std::size_t ShardRing::NodeIndexOf(std::uint64_t key) const {
+  const std::uint64_t mixed = MixHash(key);
+  auto it = std::upper_bound(
+      ring_.begin(), ring_.end(), mixed,
+      [](std::uint64_t k, const Point& point) { return k < point.hash; });
+  if (it == ring_.end()) it = ring_.begin();  // wrap past the highest point
+  return it->node;
+}
+
+std::uint64_t ShardKeyOf(const Request& request) {
+  const auto model_op = [](RequestOp op) {
+    return op == RequestOp::kSchedule || op == RequestOp::kQuality || op == RequestOp::kSimulate;
+  };
+  const TopologyRequest* topology = nullptr;
+  if (model_op(request.op)) {
+    topology = &request.topology;
+  } else if (request.op == RequestOp::kBatch) {
+    for (const BatchEntry& entry : request.batch) {
+      if (entry.error.empty() && model_op(entry.request.op)) {
+        topology = &entry.request.topology;
+        break;
+      }
+    }
+  }
+  if (topology != nullptr) {
+    try {
+      return TopologyModelHash(*topology);
+    } catch (const ConfigError&) {
+      // Unbuildable spec: route by id; the owner renders the build error.
+    }
+  }
+  return HashBytes("id:" + request.id);
+}
+
+}  // namespace commsched::svc

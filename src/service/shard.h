@@ -1,0 +1,60 @@
+// Consistent-hash sharding of requests over a daemon fleet (DESIGN.md §14).
+//
+// The fleet's unit of state is the network model, so the router keys every
+// request by its topology's model hash: all requests for one topology land
+// on one daemon, shards hold disjoint model caches, and the fleet's
+// aggregate cache capacity scales with its size. The map is the classic
+// ring of virtual nodes — each daemon address is hashed at `vnodes` points,
+// a key is owned by the first ring point clockwise from it — so adding or
+// removing one daemon of N remaps only ~1/N of the keys (the property test
+// asserts ≤ 2/N) instead of reshuffling every cache.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace commsched::svc {
+
+struct Request;
+
+class ShardRing {
+ public:
+  /// Builds the ring over daemon addresses (any non-empty, distinct
+  /// strings; the router uses "host:port"). Throws ConfigError on an empty
+  /// fleet or a duplicate address. `vnodes` trades ring size for balance;
+  /// 64 keeps the max/mean shard load under ~1.5x for small fleets.
+  explicit ShardRing(std::vector<std::string> nodes, std::size_t vnodes = 64);
+
+  /// The owning node of a key. Deterministic across processes and runs:
+  /// the ring hashes with the same FNV-1a the caches key with.
+  [[nodiscard]] const std::string& OwnerOf(std::uint64_t key) const {
+    return nodes_[NodeIndexOf(key)];
+  }
+
+  /// OwnerOf as an index into nodes().
+  [[nodiscard]] std::size_t NodeIndexOf(std::uint64_t key) const;
+
+  [[nodiscard]] const std::vector<std::string>& nodes() const { return nodes_; }
+  [[nodiscard]] std::size_t vnodes_per_node() const { return vnodes_; }
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    std::size_t node;
+  };
+
+  std::vector<std::string> nodes_;
+  std::size_t vnodes_;
+  std::vector<Point> ring_;  // sorted by (hash, node)
+};
+
+/// The routing key of a parsed request: the topology model hash for ops
+/// that resolve a model (schedule/quality/simulate; a batch routes by its
+/// first such sub-request, so one frame's shared-topology entries stay on
+/// one shard's cache), and an FNV hash of the request id otherwise.
+/// Total: a topology spec that fails to build falls back to the id hash —
+/// the owning daemon then renders the same error the CLI would.
+[[nodiscard]] std::uint64_t ShardKeyOf(const Request& request);
+
+}  // namespace commsched::svc

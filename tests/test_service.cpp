@@ -339,6 +339,112 @@ TEST(ServiceExecute, StatsReportsCacheCounters) {
   EXPECT_EQ(result_cache->Find("hits")->AsUint("hits"), 1u);
 }
 
+// --------------------------------------------------------------- batch --
+
+TEST(ServiceBatch, ParsesEntriesAndCapturesPerEntryErrors) {
+  const svc::Request batch = svc::ParseRequest(
+      R"({"id":"f","op":"batch","requests":[)"
+      R"({"id":"a","op":"ping"},)"
+      R"({"id":"bad","op":"launch"},)"
+      R"({"id":"b","op":"stats"}]})");
+  EXPECT_EQ(batch.op, svc::RequestOp::kBatch);
+  ASSERT_EQ(batch.batch.size(), 3u);
+  EXPECT_TRUE(batch.batch[0].error.empty());
+  EXPECT_EQ(batch.batch[0].request.id, "a");
+  // The malformed middle entry is captured, not dropped, and its id is
+  // salvaged for the error response.
+  EXPECT_FALSE(batch.batch[1].error.empty());
+  EXPECT_EQ(batch.batch[1].salvaged_id, "bad");
+  EXPECT_TRUE(batch.batch[2].error.empty());
+}
+
+TEST(ServiceBatch, RejectsDegenerateFrames) {
+  // requests must be a non-empty array and only valid on op batch.
+  EXPECT_THROW(svc::ParseRequest(R"({"op":"batch"})"), ConfigError);
+  EXPECT_THROW(svc::ParseRequest(R"({"op":"batch","requests":[]})"), ConfigError);
+  EXPECT_THROW(svc::ParseRequest(R"({"op":"ping","requests":[{"op":"ping"}]})"),
+               ConfigError);
+  // A nested batch is isolated like any other bad entry, not a frame error.
+  const svc::Request nested = svc::ParseRequest(
+      R"({"id":"n","op":"batch","requests":[{"id":"inner","op":"batch",)"
+      R"("requests":[{"op":"ping"}]}]})");
+  ASSERT_EQ(nested.batch.size(), 1u);
+  EXPECT_NE(nested.batch[0].error.find("batch"), std::string::npos)
+      << nested.batch[0].error;
+  EXPECT_EQ(nested.batch[0].salvaged_id, "inner");
+}
+
+TEST(ServiceBatch, SubResponsesAreByteIdenticalToStandaloneExecution) {
+  svc::SchedulingService service;
+  const char* kSub[] = {
+      R"({"id":"s1","op":"schedule","topology":{"kind":"mixed"}})",
+      R"({"id":"p1","op":"ping"})",
+      R"({"id":"s2","op":"schedule","topology":{"kind":"mixed"}})",
+  };
+  // Standalone baseline on a fresh service so cache hit/miss markers align.
+  std::vector<std::string> standalone;
+  {
+    svc::SchedulingService reference;
+    for (const char* line : kSub) {
+      standalone.push_back(reference.Execute(svc::ParseRequest(line)));
+    }
+  }
+  const std::string frame = std::string(R"({"id":"f","op":"batch","requests":[)") +
+                            kSub[0] + "," + kSub[1] + "," + kSub[2] + "]}";
+  const std::string text = service.Execute(svc::ParseRequest(frame));
+  const JsonValue response = svc::ParseJson(text);
+  ASSERT_TRUE(response.Find("ok")->AsBool("ok"));
+  EXPECT_EQ(response.Find("op")->AsString("op"), "batch");
+  EXPECT_EQ(response.Find("count")->AsUint("count"), 3u);
+  EXPECT_EQ(response.Find("failed")->AsUint("failed"), 0u);
+  ASSERT_EQ(response.Find("responses")->AsArray("responses").size(), 3u);
+  // Sub-responses are embedded raw, so each standalone rendering must occur
+  // verbatim — byte-identical — and in admission order.
+  std::size_t from = 0;
+  for (std::size_t i = 0; i < standalone.size(); ++i) {
+    const std::size_t at = text.find(standalone[i], from);
+    ASSERT_NE(at, std::string::npos) << "sub-response " << i << " not verbatim in " << text;
+    from = at + standalone[i].size();
+  }
+}
+
+TEST(ServiceBatch, MalformedEntryIsolatedWithBatchIdAndIndex) {
+  svc::SchedulingService service;
+  const std::string frame =
+      R"({"id":"frame9","op":"batch","requests":[)"
+      R"({"id":"ok1","op":"ping"},)"
+      R"({"id":"broken","op":"ping","bogus_key":1},)"
+      R"({"id":"ok2","op":"ping"}]})";
+  const JsonValue response = svc::ParseJson(service.Execute(svc::ParseRequest(frame)));
+  ASSERT_TRUE(response.Find("ok")->AsBool("ok"));  // the frame succeeds
+  EXPECT_EQ(response.Find("failed")->AsUint("failed"), 1u);
+  const auto& responses = response.Find("responses")->AsArray("responses");
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_TRUE(responses[0].Find("ok")->AsBool("ok"));
+  EXPECT_TRUE(responses[2].Find("ok")->AsBool("ok"));
+  // The error object correlates: salvaged entry id, enclosing batch id, and
+  // the entry's index in the frame.
+  const JsonValue& error = responses[1];
+  EXPECT_FALSE(error.Find("ok")->AsBool("ok"));
+  EXPECT_EQ(error.Find("id")->AsString("id"), "broken");
+  EXPECT_EQ(error.Find("batch")->AsString("batch"), "frame9");
+  EXPECT_EQ(error.Find("index")->AsUint("index"), 1u);
+  EXPECT_NE(error.Find("error")->AsString("error").find("bogus_key"), std::string::npos);
+}
+
+TEST(ServiceBatch, SharesModelAcrossEntriesInOneFrame) {
+  svc::SchedulingService service;
+  const std::string frame =
+      R"({"id":"f","op":"batch","requests":[)"
+      R"({"id":"a","op":"schedule","topology":{"kind":"mixed"}},)"
+      R"({"id":"b","op":"quality","topology":{"kind":"mixed"},)"
+      R"("partition":[0,0,0,0,1,1,1,1,2,2,2,2,3,3,3,3]}]})";
+  (void)service.Execute(svc::ParseRequest(frame));
+  // One topology, two sub-requests: exactly one model solve.
+  EXPECT_EQ(service.TopologyCacheStats().misses, 1u);
+  EXPECT_EQ(service.TopologyCacheStats().hits, 1u);
+}
+
 // -------------------------------------------------------------- daemon --
 
 TEST(ServiceDaemon, DeliversEveryResponseExactlyOnce) {

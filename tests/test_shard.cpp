@@ -1,0 +1,179 @@
+// Property tests for the consistent-hash shard ring (DESIGN.md §14):
+// determinism across instances, balance under the default vnode count, the
+// ≤2/N key-movement bound on fleet growth/shrink, and the request routing
+// key (model-hash canonicalization, batch routing, error fallbacks).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/commsched.h"
+
+namespace commsched {
+namespace {
+
+using svc::ShardRing;
+
+std::vector<std::string> Fleet(std::size_t n) {
+  std::vector<std::string> nodes;
+  nodes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes.push_back("127.0.0.1:" + std::to_string(9100 + i));
+  }
+  return nodes;
+}
+
+/// Deterministic pseudo-random key stream (splitmix64) so the distribution
+/// properties are reproducible without seeding from the clock.
+std::vector<std::uint64_t> Keys(std::size_t count) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(count);
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  for (std::size_t i = 0; i < count; ++i) {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    keys.push_back(z ^ (z >> 31));
+  }
+  return keys;
+}
+
+TEST(Shard, RejectsDegenerateFleets) {
+  EXPECT_THROW(ShardRing({}), ConfigError);
+  EXPECT_THROW(ShardRing({"a", ""}), ConfigError);
+  EXPECT_THROW(ShardRing({"a", "b", "a"}), ConfigError);
+  // vnodes is clamped, not rejected: a misconfigured 0 still yields a ring.
+  EXPECT_EQ(ShardRing({"a"}, 0).vnodes_per_node(), 1u);
+}
+
+TEST(Shard, SingleNodeOwnsEverything) {
+  const ShardRing ring(Fleet(1));
+  for (const std::uint64_t key : Keys(100)) {
+    EXPECT_EQ(ring.NodeIndexOf(key), 0u);
+  }
+}
+
+TEST(Shard, DeterministicAcrossInstancesAndNodeOrder) {
+  const ShardRing a(Fleet(5));
+  const ShardRing b(Fleet(5));
+  // Ownership is a pure function of the address strings, not of the order
+  // the operator listed them in --fleet.
+  std::vector<std::string> shuffled = Fleet(5);
+  std::swap(shuffled[0], shuffled[3]);
+  std::swap(shuffled[1], shuffled[4]);
+  const ShardRing c(shuffled);
+  for (const std::uint64_t key : Keys(2000)) {
+    EXPECT_EQ(a.OwnerOf(key), b.OwnerOf(key));
+    EXPECT_EQ(a.OwnerOf(key), c.OwnerOf(key));
+  }
+}
+
+TEST(Shard, DefaultVnodesKeepShardsRoughlyBalanced) {
+  const std::size_t kNodes = 4;
+  const std::size_t kKeys = 20000;
+  const ShardRing ring(Fleet(kNodes));
+  std::map<std::string, std::size_t> load;
+  for (const std::uint64_t key : Keys(kKeys)) {
+    load[ring.OwnerOf(key)]++;
+  }
+  EXPECT_EQ(load.size(), kNodes);  // every shard owns some keys
+  const double mean = static_cast<double>(kKeys) / kNodes;
+  for (const auto& [node, count] : load) {
+    EXPECT_LT(count, mean * 1.6) << node << " is overloaded";
+    EXPECT_GT(count, mean * 0.4) << node << " is starved";
+  }
+}
+
+TEST(Shard, AddingANodeOnlyMovesKeysToTheNewNode) {
+  const std::vector<std::uint64_t> keys = Keys(5000);
+  const ShardRing before(Fleet(4));
+  std::vector<std::string> grown = Fleet(4);
+  grown.push_back("127.0.0.1:9999");
+  const ShardRing after(grown);
+
+  std::size_t moved = 0;
+  for (const std::uint64_t key : keys) {
+    const std::string& old_owner = before.OwnerOf(key);
+    const std::string& new_owner = after.OwnerOf(key);
+    if (new_owner != old_owner) {
+      ++moved;
+      // Consistency: a key never migrates between surviving nodes.
+      EXPECT_EQ(new_owner, "127.0.0.1:9999");
+    }
+  }
+  // ~1/5 of keys should move to the 5th node; assert the ≤ 2/N bound.
+  EXPECT_GT(moved, 0u);
+  EXPECT_LE(moved, keys.size() * 2 / grown.size());
+}
+
+TEST(Shard, RemovingANodeOnlyReassignsItsKeys) {
+  const std::vector<std::uint64_t> keys = Keys(5000);
+  const std::vector<std::string> full = Fleet(5);
+  const ShardRing before(full);
+  std::vector<std::string> shrunk(full.begin(), full.end() - 1);
+  const ShardRing after(shrunk);
+
+  std::size_t moved = 0;
+  for (const std::uint64_t key : keys) {
+    const std::string& old_owner = before.OwnerOf(key);
+    if (old_owner == full.back()) {
+      ++moved;  // orphaned keys must land somewhere among the survivors
+    } else {
+      EXPECT_EQ(after.OwnerOf(key), old_owner);  // everyone else stays put
+    }
+  }
+  EXPECT_GT(moved, 0u);
+  EXPECT_LE(moved, keys.size() * 2 / full.size());
+}
+
+// ---------------------------------------------------------- routing keys --
+
+TEST(Shard, ModelOpsRouteByTopologyNotSpelling) {
+  // Two spellings of the same topology — different ids, ops, and knobs —
+  // must produce one routing key, so they share one shard's model cache.
+  const auto schedule = svc::ParseRequest(
+      R"({"id":"a","op":"schedule","topology":{"kind":"mixed"},"apps":4})");
+  const auto quality = svc::ParseRequest(
+      R"({"id":"b","op":"quality","topology":{"kind":"mixed"},"apps":2})");
+  EXPECT_EQ(svc::ShardKeyOf(schedule), svc::ShardKeyOf(quality));
+  EXPECT_EQ(svc::ShardKeyOf(schedule),
+            svc::TopologyModelHash(schedule.topology));
+
+  const auto other = svc::ParseRequest(
+      R"({"id":"a","op":"schedule","topology":{"kind":"rings"},"apps":4})");
+  EXPECT_NE(svc::ShardKeyOf(schedule), svc::ShardKeyOf(other));
+}
+
+TEST(Shard, NonModelOpsRouteByIdHash) {
+  const auto ping_a = svc::ParseRequest(R"({"id":"a","op":"ping"})");
+  const auto ping_a2 = svc::ParseRequest(R"({"id":"a","op":"ping"})");
+  const auto ping_b = svc::ParseRequest(R"({"id":"b","op":"ping"})");
+  EXPECT_EQ(svc::ShardKeyOf(ping_a), svc::ShardKeyOf(ping_a2));
+  EXPECT_NE(svc::ShardKeyOf(ping_a), svc::ShardKeyOf(ping_b));
+}
+
+TEST(Shard, BatchRoutesByFirstModelSubRequest) {
+  const auto batch = svc::ParseRequest(
+      R"({"id":"frame","op":"batch","requests":[)"
+      R"({"id":"p","op":"ping"},)"
+      R"({"id":"s","op":"schedule","topology":{"kind":"mixed"},"apps":4},)"
+      R"({"id":"t","op":"schedule","topology":{"kind":"rings"},"apps":4}]})");
+  const auto standalone = svc::ParseRequest(
+      R"({"id":"s","op":"schedule","topology":{"kind":"mixed"},"apps":4})");
+  EXPECT_EQ(svc::ShardKeyOf(batch), svc::ShardKeyOf(standalone));
+}
+
+TEST(Shard, UnbuildableTopologyFallsBackToIdHash) {
+  // An invalid spec must still route somewhere — the owning daemon renders
+  // the build error — so ShardKeyOf has to be total.
+  const auto bad = svc::ParseRequest(
+      R"({"id":"x","op":"schedule","topology":{"kind":"torus3d","x":2,"y":3,"z":3}})");
+  const auto ping_x = svc::ParseRequest(R"({"id":"x","op":"ping"})");
+  EXPECT_EQ(svc::ShardKeyOf(bad), svc::ShardKeyOf(ping_x));
+}
+
+}  // namespace
+}  // namespace commsched

@@ -14,7 +14,8 @@
 //   commsched_cli report   --trace run.jsonl [--metrics-file m.json]
 //                          [--csv sweep.csv] [--top 5]
 //   commsched_cli serve    [--listen PORT] [--workers N] [--slow-ms N]
-//                          [--allow-stats-reset]
+//                          [--allow-stats-reset] [--store-dir DIR]
+//   commsched_cli route    --fleet HOST:PORT,HOST:PORT,... [--vnodes 64]
 //   commsched_cli top      --connect [HOST:]PORT [--interval-ms 1000] [--once]
 //
 // Observability (any command): --trace <file> streams structured JSONL
@@ -359,6 +360,7 @@ int CmdServe(const Args& args) {
   service_options.topology_cache_capacity = args.GetSize("topo-cache", 32);
   service_options.result_cache_capacity = args.GetSize("result-cache", 1024);
   service_options.allow_stats_reset = args.Has("allow-stats-reset");
+  service_options.store_dir = args.Get("store-dir", "");
   svc::SchedulingService service(service_options);
 
   svc::DaemonOptions daemon_options;
@@ -379,9 +381,9 @@ int CmdServe(const Args& args) {
   return svc::RunStdioServer(service, daemon_options, std::cin, std::cout);
 }
 
-/// Sends one JSONL request to a serving daemon at "[HOST:]PORT" (HOST
-/// defaults to 127.0.0.1, IPv4 literal) and returns the response line.
-std::string TcpJsonRequest(const std::string& target, const std::string& line) {
+/// Opens a TCP connection to "[HOST:]PORT" (HOST defaults to 127.0.0.1,
+/// IPv4 literal). Throws ConfigError with the failing target in the message.
+int ConnectTcp(const std::string& target) {
   std::string host = "127.0.0.1";
   std::string port_text = target;
   const std::size_t colon = target.rfind(':');
@@ -396,7 +398,7 @@ std::string TcpJsonRequest(const std::string& target, const std::string& line) {
     port = -1;
   }
   if (port <= 0 || port > 65535) {
-    throw ConfigError("bad --connect target '" + target + "' (want [HOST:]PORT)");
+    throw ConfigError("bad target '" + target + "' (want [HOST:]PORT)");
   }
 
   sockaddr_in addr{};
@@ -412,16 +414,30 @@ std::string TcpJsonRequest(const std::string& target, const std::string& line) {
     ::close(fd);
     throw ConfigError("cannot connect to " + host + ":" + port_text + ": " + reason);
   }
-  const std::string request = line + "\n";
+  return fd;
+}
+
+bool WriteAllFd(int fd, const std::string& data) {
   std::size_t sent = 0;
-  while (sent < request.size()) {
-    const ssize_t wrote = ::write(fd, request.data() + sent, request.size() - sent);
+  while (sent < data.size()) {
+    const ssize_t wrote = ::write(fd, data.data() + sent, data.size() - sent);
     if (wrote < 0) {
       if (errno == EINTR) continue;
-      ::close(fd);
-      throw ConfigError("write to daemon failed");
+      return false;
     }
     sent += static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+/// Sends one JSONL request to a serving daemon at "[HOST:]PORT" and returns
+/// the response line (one connection per call; `top` refreshes are seconds
+/// apart).
+std::string TcpJsonRequest(const std::string& target, const std::string& line) {
+  const int fd = ConnectTcp(target);
+  if (!WriteAllFd(fd, line + "\n")) {
+    ::close(fd);
+    throw ConfigError("write to daemon failed");
   }
   std::string response;
   char chunk[4096];
@@ -437,6 +453,99 @@ std::string TcpJsonRequest(const std::string& target, const std::string& line) {
     throw ConfigError("daemon closed the connection without a response");
   }
   return response.substr(0, newline);
+}
+
+/// A persistent connection to one shard daemon: requests and responses are
+/// newline-framed over a single socket (the daemon's TCP session serves
+/// many requests per connection). Reconnects once per exchange on a broken
+/// socket — a drained-and-restarted daemon looks like one failed write.
+class ShardClient {
+ public:
+  explicit ShardClient(std::string target) : target_(std::move(target)) {}
+  ~ShardClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  ShardClient(const ShardClient&) = delete;
+  ShardClient& operator=(const ShardClient&) = delete;
+
+  /// Forwards one request line, returns the daemon's response line. Throws
+  /// ConfigError when the shard stays unreachable across a reconnect.
+  std::string Exchange(const std::string& line) {
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      if (fd_ < 0) {
+        fd_ = ConnectTcp(target_);  // throws with the target in the message
+        buffer_.clear();
+      }
+      std::string response;
+      if (TryExchange(line, &response)) return response;
+      ::close(fd_);
+      fd_ = -1;  // stale connection: retry on a fresh one
+    }
+    throw ConfigError("shard " + target_ + " closed the connection");
+  }
+
+ private:
+  bool TryExchange(const std::string& line, std::string* response) {
+    if (!WriteAllFd(fd_, line + "\n")) return false;
+    std::size_t newline;
+    while ((newline = buffer_.find('\n')) == std::string::npos) {
+      char chunk[4096];
+      const ssize_t got = ::read(fd_, chunk, sizeof(chunk));
+      if (got < 0 && errno == EINTR) continue;
+      if (got <= 0) return false;
+      buffer_.append(chunk, static_cast<std::size_t>(got));
+    }
+    *response = buffer_.substr(0, newline);
+    buffer_.erase(0, newline + 1);
+    return true;
+  }
+
+  std::string target_;
+  int fd_ = -1;
+  std::string buffer_;  // bytes past the last consumed response
+};
+
+/// The consistent-hash front of a daemon fleet: forwards each stdin JSONL
+/// frame to the shard owning its topology hash and relays the response, so
+/// every model lives in exactly one daemon's cache (DESIGN.md §14).
+int CmdRoute(const Args& args) {
+  const std::string fleet = args.Get("fleet", "");
+  if (fleet.empty()) throw ConfigError("route requires --fleet HOST:PORT[,HOST:PORT...]");
+  std::vector<std::string> nodes;
+  for (const std::string& node : Split(fleet, ',')) {
+    const std::string trimmed = Trim(node);
+    if (!trimmed.empty()) nodes.push_back(trimmed);
+  }
+  const svc::ShardRing ring(nodes, args.GetSize("vnodes", 64));
+  std::vector<std::unique_ptr<ShardClient>> clients;
+  clients.reserve(nodes.size());
+  for (const std::string& node : ring.nodes()) {
+    clients.push_back(std::make_unique<ShardClient>(node));
+  }
+
+  svc::InstallDrainSignalHandlers();  // SIGTERM/SIGINT: stop relaying, exit 0
+  std::string line;
+  while (!svc::DrainSignalled() && std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    std::uint64_t key = 0;
+    try {
+      key = svc::ShardKeyOf(svc::ParseRequest(line));
+    } catch (const std::exception&) {
+      // Malformed frame: still forward it (keyed by any salvageable id) so
+      // the owning daemon renders the exact error bytes a direct client
+      // would see. The router adds no error dialect of its own.
+      key = svc::HashBytes("id:" + svc::SalvageRequestId(line));
+    }
+    const std::size_t owner = ring.NodeIndexOf(key);
+    try {
+      std::cout << clients[owner]->Exchange(line) << "\n" << std::flush;
+    } catch (const std::exception& e) {
+      // Connection-level failure: the only case the router answers itself.
+      std::cout << svc::ErrorResponse(svc::SalvageRequestId(line), e.what()) << "\n"
+                << std::flush;
+    }
+  }
+  return 0;
 }
 
 /// One refresh of the top dashboard: renders a stats response.
@@ -560,8 +669,8 @@ int CmdTop(const Args& args) {
 
 int Usage() {
   std::cerr <<
-      "usage: commsched_cli <topo|distance|schedule|simulate|experiment|report|serve|top>"
-      " [--flags]\n"
+      "usage: commsched_cli <topo|distance|schedule|simulate|experiment|report|serve|"
+      "route|top> [--flags]\n"
       "  topo       generate/describe a topology (--kind random|rings|mixed|mesh|torus|\n"
       "             torus3d|fattree|hypercube|file, --switches N, --seed S,\n"
       "             --x/--y/--z torus3d dims, --k fat-tree arity, --dot)\n"
@@ -600,7 +709,14 @@ int Usage() {
       "             (--slow-log F appends them to F as JSONL, --slow-log-\n"
       "             capacity N bounds the in-memory tail); --allow-stats-reset\n"
       "             enables the stats op's {\"reset\":true} variant;\n"
-      "             --no-windowed-metrics disables the rolling 10 s views\n"
+      "             --no-windowed-metrics disables the rolling 10 s views;\n"
+      "             --store-dir D persists solved network models to D and\n"
+      "             warm-boots from it on restart (DESIGN.md section 14)\n"
+      "  route      consistent-hash front for a daemon fleet: forwards stdin\n"
+      "             JSONL frames to the shard owning each request's topology\n"
+      "             hash and relays responses in order. --fleet HOST:PORT,\n"
+      "             HOST:PORT,... lists the daemons, --vnodes N virtual nodes\n"
+      "             per daemon (default 64). See DESIGN.md section 14.\n"
       "  top        live dashboard for a serving daemon: --connect [HOST:]PORT,\n"
       "             --interval-ms N refresh period (default 1000), --once\n"
       "             prints a single frame and exits (scripting/tests)\n"
@@ -622,6 +738,7 @@ int Dispatch(const std::string& command, const Args& args) {
   if (command == "experiment") return CmdExperiment(args);
   if (command == "report") return CmdReport(args);
   if (command == "serve") return CmdServe(args);
+  if (command == "route") return CmdRoute(args);
   if (command == "top") return CmdTop(args);
   return Usage();
 }
